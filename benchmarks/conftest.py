@@ -1,0 +1,67 @@
+"""Shared fixtures and result recording for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  Results are
+written as plain-text tables under ``benchmarks/results/`` so they can be
+inspected (and copied into EXPERIMENTS.md) after a run, in addition to the
+timing statistics pytest-benchmark reports.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scale at which the benchmark databases are generated.  The paper uses
+#: multi-GB datasets; the shapes being verified are scale-invariant.
+BENCH_SCALE = 0.25
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Scale at which benchmark databases are generated."""
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_result(results_dir):
+    """A callable ``record(name, text)`` that stores a rendered result table."""
+
+    def record(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return path
+
+    return record
+
+
+@pytest.fixture(scope="session")
+def workload_cache():
+    """Session-scoped cache of generated workload databases keyed by (name, scale, seed)."""
+    from repro.workloads import get_workload
+
+    cache: dict[tuple[str, float, int], object] = {}
+
+    def get(name: str, scale: float = BENCH_SCALE, seed: int = 1):
+        key = (name, scale, seed)
+        if key not in cache:
+            workload = get_workload(name)
+            cache[key] = (workload, workload.database(scale=scale, seed=seed))
+        return cache[key]
+
+    return get

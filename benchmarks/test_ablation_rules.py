@@ -1,0 +1,58 @@
+"""Ablation A1: how much the richer access schema buys the planner.
+
+DESIGN.md calls out one design choice worth quantifying: QPlan exploits every
+access constraint it can reach (the paper's Combination/Transitivity
+machinery), so richer access schemas yield tighter plans.  This ablation
+compares plan access bounds and actual ``|D_Q|`` under the full access schema
+versus a minimal prefix, on the same effectively bounded queries.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+import pytest
+
+from repro.bench import effectively_bounded_queries
+from repro.execution import BoundedEngine
+from repro.planning import qplan
+from repro.workloads import get_workload
+
+
+@pytest.mark.benchmark(group="ablation-rules")
+@pytest.mark.parametrize("workload_name", ["tfacc", "tpch"])
+def test_plan_bounds_tighten_with_more_constraints(workload_name, record_result, benchmark, bench_scale):
+    workload = get_workload(workload_name)
+    small = workload.access_schema.restricted(12)
+    queries = effectively_bounded_queries(workload.queries(seed=2), small)
+    if not queries:
+        pytest.skip("no queries effectively bounded under the restricted schema")
+
+    def plan_both():
+        bounds_small = [qplan(q, small, check=False).total_bound for q in queries]
+        bounds_full = [qplan(q, workload.access_schema, check=False).total_bound for q in queries]
+        return bounds_small, bounds_full
+
+    bounds_small, bounds_full = benchmark.pedantic(plan_both, rounds=1, iterations=1)
+
+    database = workload.database(scale=bench_scale, seed=1)
+    engine_small = BoundedEngine(small)
+    engine_full = BoundedEngine(workload.access_schema)
+    engine_small.prepare(database)
+    engine_full.prepare(database)
+    accessed_small = [engine_small.execute(q, database).stats.tuples_accessed for q in queries]
+    accessed_full = [engine_full.execute(q, database).stats.tuples_accessed for q in queries]
+
+    lines = [
+        f"Ablation A1 ({workload_name}): plan quality vs access-schema size",
+        f"queries: {len(queries)}",
+        f"mean plan bound, 12 constraints : {mean(bounds_small):.1f}",
+        f"mean plan bound, full schema    : {mean(bounds_full):.1f}",
+        f"mean |DQ|, 12 constraints       : {mean(accessed_small):.1f}",
+        f"mean |DQ|, full schema          : {mean(accessed_full):.1f}",
+    ]
+    record_result(f"ablation_rules_{workload_name}", "\n".join(lines))
+
+    # The full schema can only produce plans at least as tight as the prefix.
+    assert mean(bounds_full) <= mean(bounds_small) + 1e-9
+    assert mean(accessed_full) <= mean(accessed_small) + 1e-9

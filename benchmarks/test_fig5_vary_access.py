@@ -1,0 +1,49 @@
+"""Figure 5(b)/(f)/(j): bounded evaluation while varying ``||A||``.
+
+The paper varies the number of access constraints from 12 to 20 and observes
+that more constraints give QPlan more options, hence better plans and smaller
+``D_Q``.  Each test sweeps prefixes of the workload's access schema, records
+the series, and asserts that evalDQ with the full prefix never accesses more
+data than with the smallest prefix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import experiment_vary_access, format_comparison
+from repro.workloads import get_workload
+
+COUNTS = (12, 14, 16, 18, 20)
+
+
+def _run_panel(workload_name: str, record_result, benchmark, bench_scale: float, panel: str):
+    workload = get_workload(workload_name)
+
+    def run_experiment():
+        return experiment_vary_access(workload, counts=COUNTS, scale=bench_scale)
+
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record_result(f"fig5{panel}_{workload_name}_vary_access", format_comparison(series))
+
+    assert series.points, "the ||A|| sweep must produce at least one point"
+    first, last = series.points[0], series.points[-1]
+    # More constraints can only help (never hurt) the bounded plans.
+    assert last.dq_tuples <= first.dq_tuples + 1e-9
+    for point in series.points:
+        assert point.dq_tuples <= point.naive_tuples or point.naive_tuples == 0
+
+
+@pytest.mark.benchmark(group="fig5-vary-access")
+def test_fig5b_tfacc(record_result, benchmark, bench_scale):
+    _run_panel("tfacc", record_result, benchmark, bench_scale, panel="b")
+
+
+@pytest.mark.benchmark(group="fig5-vary-access")
+def test_fig5f_mot(record_result, benchmark, bench_scale):
+    _run_panel("mot", record_result, benchmark, bench_scale, panel="f")
+
+
+@pytest.mark.benchmark(group="fig5-vary-access")
+def test_fig5j_tpch(record_result, benchmark, bench_scale):
+    _run_panel("tpch", record_result, benchmark, bench_scale, panel="j")

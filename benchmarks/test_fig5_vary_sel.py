@@ -1,0 +1,45 @@
+"""Figure 5(c)/(g)/(k): bounded evaluation while varying ``#-sel``.
+
+The paper varies the number of equality conjuncts from 4 to 8.  The baseline
+is largely indifferent to ``#-sel`` while evalDQ benefits from extra constants
+(more selective fetches); the assertion here is the weaker, scale-robust one:
+evalDQ never touches more data than the baseline at any ``#-sel``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import experiment_vary_sel, format_comparison
+from repro.workloads import get_workload
+
+SEL_VALUES = (4, 5, 6, 7, 8)
+
+
+def _run_panel(workload_name: str, record_result, benchmark, bench_scale: float, panel: str):
+    workload = get_workload(workload_name)
+
+    def run_experiment():
+        return experiment_vary_sel(workload, values=SEL_VALUES, scale=bench_scale)
+
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record_result(f"fig5{panel}_{workload_name}_vary_sel", format_comparison(series))
+
+    assert series.points, "the #-sel sweep must produce at least one point"
+    for point in series.points:
+        assert point.dq_tuples <= point.naive_tuples or point.naive_tuples == 0
+
+
+@pytest.mark.benchmark(group="fig5-vary-sel")
+def test_fig5c_tfacc(record_result, benchmark, bench_scale):
+    _run_panel("tfacc", record_result, benchmark, bench_scale, panel="c")
+
+
+@pytest.mark.benchmark(group="fig5-vary-sel")
+def test_fig5g_mot(record_result, benchmark, bench_scale):
+    _run_panel("mot", record_result, benchmark, bench_scale, panel="g")
+
+
+@pytest.mark.benchmark(group="fig5-vary-sel")
+def test_fig5k_tpch(record_result, benchmark, bench_scale):
+    _run_panel("tpch", record_result, benchmark, bench_scale, panel="k")

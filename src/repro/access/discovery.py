@@ -1,0 +1,138 @@
+"""Discovering access constraints from data.
+
+Section 2 of the paper notes that access constraints "can be deduced from (1)
+FDs ..., (2) attributes with bounded domains ..., and (3) the semantics of
+real-life data", and Section 6 extracts them "by examining the size of the
+active domains and dependencies of the attributes".  This module implements
+those three discovery routes over a database instance:
+
+* :func:`discover_functional_dependencies` — minimal single-attribute-rhs FDs
+  holding in the instance (``X -> (Y, 1)`` constraints),
+* :func:`discover_domain_bounds` — attributes with a small active domain
+  (``X -> (B, N)`` for any ``X``; emitted with ``X = ∅``),
+* :func:`profile_constraints` — for candidate ``(X, Y)`` pairs, the tightest
+  bound supported by the data (the "semantics of real-life data" route, where
+  the candidate pairs come from domain knowledge).
+
+Discovery is exact with respect to the given instance; bounds discovered from
+data are *observations*, and callers decide how much slack to add before using
+them as constraints on future data (``slack`` parameter).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from ..relational.database import Database
+from ..relational.relation import Relation
+from .constraint import AccessConstraint
+from .schema import AccessSchema
+
+
+def _bound_with_slack(observed: int, slack: float) -> int:
+    """Round an observed bound up by the relative ``slack`` (at least 1)."""
+    return max(1, int(observed * (1.0 + slack)) + (1 if slack > 0 else 0))
+
+
+def discover_domain_bounds(
+    relation: Relation,
+    max_domain: int = 64,
+    slack: float = 0.0,
+) -> list[AccessConstraint]:
+    """Constraints ``∅ -> (attribute, N)`` for attributes with small active domains.
+
+    Parameters
+    ----------
+    relation:
+        The instance to profile.
+    max_domain:
+        Attributes with more distinct values than this are not reported.
+    slack:
+        Relative head-room added to the observed bound.
+    """
+    constraints: list[AccessConstraint] = []
+    stats = relation.statistics()
+    for attribute in relation.schema.attribute_names:
+        distinct = stats.distinct_counts.get(attribute, 0)
+        if 0 < distinct <= max_domain:
+            constraints.append(
+                AccessConstraint(
+                    relation.name, (), [attribute], _bound_with_slack(distinct, slack)
+                )
+            )
+    return constraints
+
+
+def discover_functional_dependencies(
+    relation: Relation,
+    max_lhs: int = 2,
+) -> list[AccessConstraint]:
+    """Minimal FDs ``X -> A`` (as ``X -> (A, 1)`` constraints) holding in the instance.
+
+    The search is levelwise over left-hand sides of size up to ``max_lhs`` —
+    the classical TANE-style pruning restricted to what small schemas need: an
+    FD is reported only if no subset of its left-hand side already determines
+    the same attribute.
+    """
+    attributes = relation.schema.attribute_names
+    found: list[AccessConstraint] = []
+    determined_by: dict[str, list[frozenset[str]]] = {a: [] for a in attributes}
+
+    for lhs_size in range(1, max_lhs + 1):
+        for lhs in combinations(attributes, lhs_size):
+            lhs_set = frozenset(lhs)
+            for rhs in attributes:
+                if rhs in lhs_set:
+                    continue
+                if any(smaller <= lhs_set for smaller in determined_by[rhs]):
+                    continue  # a minimal FD with a subset LHS already covers this
+                if relation.group_cardinality(lhs, (rhs,)) <= 1:
+                    determined_by[rhs].append(lhs_set)
+                    found.append(AccessConstraint(relation.name, lhs, (rhs,), 1))
+    return found
+
+
+def profile_constraints(
+    relation: Relation,
+    candidates: Iterable[tuple[Sequence[str], Sequence[str]]],
+    slack: float = 0.0,
+) -> list[AccessConstraint]:
+    """The tightest bound supported by the data for each candidate ``(X, Y)`` pair.
+
+    Candidates typically come from domain knowledge (e.g. "accidents per day",
+    "vehicles per accident"); the profiler measures the observed maximum group
+    size and emits ``X -> (Y, N)`` with the requested slack.
+    """
+    constraints: list[AccessConstraint] = []
+    for x, y in candidates:
+        observed = relation.group_cardinality(tuple(x), tuple(y))
+        constraints.append(
+            AccessConstraint(relation.name, x, y, _bound_with_slack(max(observed, 1), slack))
+        )
+    return constraints
+
+
+def discover_access_schema(
+    database: Database,
+    max_domain: int = 64,
+    max_fd_lhs: int = 2,
+    candidates: dict[str, list[tuple[Sequence[str], Sequence[str]]]] | None = None,
+    slack: float = 0.0,
+) -> AccessSchema:
+    """Run all discovery routes over every relation and merge the results.
+
+    ``candidates`` optionally supplies per-relation ``(X, Y)`` pairs for the
+    semantics-driven route.  The returned schema is validated against the
+    database's schema before being returned.
+    """
+    access_schema = AccessSchema()
+    for relation in database:
+        access_schema.extend(discover_domain_bounds(relation, max_domain, slack))
+        access_schema.extend(discover_functional_dependencies(relation, max_fd_lhs))
+        if candidates and relation.name in candidates:
+            access_schema.extend(
+                profile_constraints(relation, candidates[relation.name], slack)
+            )
+    access_schema.validate_against(database.schema)
+    return access_schema

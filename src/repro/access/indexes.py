@@ -1,0 +1,144 @@
+"""Constraint-backed indexes: the retrieval half of an access constraint.
+
+The paper's experiments build, for every access constraint ``X -> (Y, N)``, a
+projection of the relation on ``X ∪ Y`` with an index on ``X``.  This module
+does the same over the in-memory substrate:
+
+* :func:`build_access_indexes` constructs one hash index per constraint
+  (keyed by ``X``, returning distinct ``X ∪ Y`` projections),
+* :class:`ConstraintIndex` wraps a hash index together with its constraint so
+  bounded fetch steps can (optionally) *enforce* the bound ``N``: a probe that
+  returns more than ``N`` distinct values indicates the database does not
+  satisfy ``A`` and raises instead of silently breaking the plan's access
+  bound.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..errors import ConstraintViolationError
+from ..relational.database import Database
+from ..relational.indexes import HashIndex
+from .constraint import AccessConstraint
+from .schema import AccessSchema
+
+
+class ConstraintIndex:
+    """The index associated with one access constraint.
+
+    Probes return distinct projections on ``X ∪ Y`` (keys first, in the
+    constraint's canonical attribute order) and are charged to the database's
+    access counter by the underlying :class:`~repro.relational.indexes.HashIndex`.
+    """
+
+    __slots__ = ("constraint", "index", "enforce_bound")
+
+    def __init__(
+        self,
+        constraint: AccessConstraint,
+        index: HashIndex,
+        enforce_bound: bool = True,
+    ) -> None:
+        self.constraint = constraint
+        self.index = index
+        self.enforce_bound = enforce_bound
+
+    @property
+    def relation(self) -> str:
+        return self.constraint.relation
+
+    @property
+    def key(self) -> tuple[str, ...]:
+        return self.constraint.x
+
+    @property
+    def value(self) -> tuple[str, ...]:
+        """Attributes returned by a probe: ``X`` followed by ``Y``."""
+        return self.index.value
+
+    def fetch(self, x_value: Sequence[Any]) -> list[tuple[Any, ...]]:
+        """Distinct ``X ∪ Y`` projections for one ``X``-value.
+
+        Raises :class:`ConstraintViolationError` when the result exceeds the
+        constraint's bound and enforcement is on.
+        """
+        rows = self.index.probe(x_value)
+        if self.enforce_bound and len(rows) > self.constraint.bound:
+            raise ConstraintViolationError(
+                f"probe of {self.constraint} returned {len(rows)} distinct values, "
+                f"exceeding the bound {self.constraint.bound}; the database does not "
+                f"satisfy the access schema",
+                constraint=self.constraint,
+                witness=tuple(x_value),
+            )
+        return rows
+
+    def fetch_many(self, x_values: Iterable[Sequence[Any]]) -> list[tuple[Any, ...]]:
+        """Fetch for several ``X``-values and concatenate distinct results."""
+        seen: set[tuple[Any, ...]] = set()
+        out: list[tuple[Any, ...]] = []
+        for x_value in x_values:
+            for row in self.fetch(x_value):
+                if row not in seen:
+                    seen.add(row)
+                    out.append(row)
+        return out
+
+    def contains(self, x_value: Sequence[Any]) -> bool:
+        """Whether any tuple carries this ``X``-value (a membership probe)."""
+        return self.index.contains_key(x_value)
+
+    def __repr__(self) -> str:
+        return f"ConstraintIndex({self.constraint})"
+
+
+class AccessIndexes:
+    """All constraint indexes built for one (database, access schema) pair."""
+
+    def __init__(self) -> None:
+        self._by_constraint: dict[AccessConstraint, ConstraintIndex] = {}
+
+    def add(self, index: ConstraintIndex) -> None:
+        self._by_constraint[index.constraint] = index
+
+    def for_constraint(self, constraint: AccessConstraint) -> ConstraintIndex:
+        try:
+            return self._by_constraint[constraint]
+        except KeyError:
+            raise ConstraintViolationError(
+                f"no index has been built for constraint {constraint}"
+            ) from None
+
+    def __contains__(self, constraint: AccessConstraint) -> bool:
+        return constraint in self._by_constraint
+
+    def __len__(self) -> int:
+        return len(self._by_constraint)
+
+    def __iter__(self):
+        return iter(self._by_constraint.values())
+
+
+def build_access_indexes(
+    database: Database,
+    access_schema: AccessSchema,
+    enforce_bounds: bool = True,
+) -> AccessIndexes:
+    """Build one :class:`ConstraintIndex` per constraint of ``access_schema``.
+
+    Constraints on relations absent from the database are skipped, so an
+    access schema shared across dataset variants can be reused unchanged.
+    Index construction itself is not charged to the access counter — the paper
+    treats indexes as pre-built auxiliary structures.
+    """
+    indexes = AccessIndexes()
+    for constraint in access_schema:
+        if constraint.relation not in database.schema:
+            continue
+        value_attributes = list(constraint.fetch_attributes)
+        hash_index = database.build_index(
+            constraint.relation, key=constraint.x, value=value_attributes
+        )
+        indexes.add(ConstraintIndex(constraint, hash_index, enforce_bound=enforce_bounds))
+    return indexes

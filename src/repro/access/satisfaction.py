@@ -1,0 +1,109 @@
+"""Checking ``D |= A``: does a database instance satisfy an access schema?
+
+A database ``D`` satisfies a constraint ``X -> (Y, N)`` when every ``X``-value
+has at most ``N`` distinct corresponding ``Y``-values (the index half of the
+definition is provided by :mod:`repro.access.indexes`).  The checker reports
+every violation with a witness so workload generators and tests can diagnose
+bad data instead of silently producing unbounded plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ConstraintViolationError
+from ..relational.database import Database
+from .constraint import AccessConstraint
+from .schema import AccessSchema
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One constraint violation: an ``X``-value with too many ``Y``-values."""
+
+    constraint: AccessConstraint
+    x_value: tuple[Any, ...]
+    distinct_y: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.constraint} violated: X-value {self.x_value!r} has "
+            f"{self.distinct_y} distinct Y-values (> {self.constraint.bound})"
+        )
+
+
+def check_constraint(database: Database, constraint: AccessConstraint) -> list[Violation]:
+    """All violations of one constraint in ``database`` (empty list when satisfied)."""
+    relation = database.relation(constraint.relation)
+    schema = relation.schema
+    x_positions = schema.positions(constraint.x)
+    y_positions = schema.positions(constraint.y)
+    groups: dict[tuple[Any, ...], set[tuple[Any, ...]]] = {}
+    for row in relation.tuples():
+        key = tuple(row[p] for p in x_positions)
+        groups.setdefault(key, set()).add(tuple(row[p] for p in y_positions))
+    return [
+        Violation(constraint, key, len(values))
+        for key, values in groups.items()
+        if len(values) > constraint.bound
+    ]
+
+
+def find_violations(database: Database, access_schema: AccessSchema) -> list[Violation]:
+    """All violations of all constraints of ``access_schema`` in ``database``."""
+    violations: list[Violation] = []
+    for constraint in access_schema:
+        if constraint.relation not in database.schema:
+            continue
+        violations.extend(check_constraint(database, constraint))
+    return violations
+
+
+def satisfies(database: Database, access_schema: AccessSchema) -> bool:
+    """``D |= A``: whether the database satisfies every constraint."""
+    for constraint in access_schema:
+        if constraint.relation not in database.schema:
+            continue
+        if check_constraint(database, constraint):
+            return False
+    return True
+
+
+def require_satisfies(database: Database, access_schema: AccessSchema) -> None:
+    """Raise :class:`ConstraintViolationError` when ``D |≠ A``.
+
+    The error carries the first violation as a witness.
+    """
+    violations = find_violations(database, access_schema)
+    if violations:
+        first = violations[0]
+        raise ConstraintViolationError(
+            f"database violates {len(violations)} access constraint group(s); "
+            f"first: {first}",
+            constraint=first.constraint,
+            witness=first,
+        )
+
+
+def tighten_bounds(database: Database, access_schema: AccessSchema) -> AccessSchema:
+    """Return a copy of ``access_schema`` whose bounds match the data exactly.
+
+    For each constraint the bound is replaced by the maximum number of distinct
+    ``Y``-values actually observed per ``X``-value (at least 1).  Useful when a
+    generator produced data more skewed than intended, or to derive the best
+    bounds a given instance supports.
+    """
+    tightened = AccessSchema()
+    for constraint in access_schema:
+        if constraint.relation not in database.schema:
+            tightened.add(constraint)
+            continue
+        relation = database.relation(constraint.relation)
+        observed = relation.group_cardinality(constraint.x, constraint.y)
+        tightened.add(
+            AccessConstraint(
+                constraint.relation, constraint.x, constraint.y, max(1, observed)
+            )
+        )
+    return tightened

@@ -1,0 +1,146 @@
+"""Access schemas: sets of access constraints over a database schema."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import AccessSchemaError
+from ..relational.schema import DatabaseSchema
+from ..spc.normalize import TAG_ATTRIBUTE, UniversalSchema, prefixed
+from .constraint import AccessConstraint
+
+
+class AccessSchema:
+    """A set of access constraints, the paper's ``A``.
+
+    The class keeps constraints grouped by relation for the per-atom lookups
+    the checking algorithms perform, and exposes the two size measures used in
+    the complexity statements: ``cardinality`` (the paper's ``||A||``, number
+    of constraints) and ``size`` (``|A|``, total attribute occurrences).
+    """
+
+    def __init__(self, constraints: Iterable[AccessConstraint] = ()) -> None:
+        self._constraints: list[AccessConstraint] = []
+        self._by_relation: dict[str, list[AccessConstraint]] = {}
+        for constraint in constraints:
+            self.add(constraint)
+
+    # -- construction ---------------------------------------------------------------
+
+    def add(self, constraint: AccessConstraint) -> None:
+        """Add a constraint (duplicates are ignored)."""
+        if constraint in self._constraints:
+            return
+        self._constraints.append(constraint)
+        self._by_relation.setdefault(constraint.relation, []).append(constraint)
+
+    def extend(self, constraints: Iterable[AccessConstraint]) -> None:
+        for constraint in constraints:
+            self.add(constraint)
+
+    def validate_against(self, schema: DatabaseSchema) -> None:
+        """Check that every constraint refers to existing relations and attributes."""
+        for constraint in self._constraints:
+            if constraint.relation not in schema:
+                raise AccessSchemaError(
+                    f"constraint {constraint} refers to unknown relation "
+                    f"{constraint.relation!r}"
+                )
+            constraint.validate_against(schema.relation(constraint.relation))
+
+    # -- inspection -------------------------------------------------------------------
+
+    def constraints(self) -> tuple[AccessConstraint, ...]:
+        return tuple(self._constraints)
+
+    def for_relation(self, relation: str) -> tuple[AccessConstraint, ...]:
+        """All constraints declared on ``relation``."""
+        return tuple(self._by_relation.get(relation, ()))
+
+    def __iter__(self) -> Iterator[AccessConstraint]:
+        return iter(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __contains__(self, constraint: AccessConstraint) -> bool:
+        return constraint in self._constraints
+
+    @property
+    def cardinality(self) -> int:
+        """``||A||``: number of access constraints."""
+        return len(self._constraints)
+
+    @property
+    def size(self) -> int:
+        """``|A|``: total number of attribute occurrences across constraints."""
+        return sum(constraint.size for constraint in self._constraints)
+
+    @property
+    def relations(self) -> tuple[str, ...]:
+        """Relations that have at least one constraint."""
+        return tuple(self._by_relation)
+
+    def __repr__(self) -> str:
+        return f"AccessSchema({self.cardinality} constraints over {len(self._by_relation)} relations)"
+
+    def describe(self) -> str:
+        """A human-readable listing of all constraints."""
+        lines = [f"AccessSchema with {self.cardinality} constraints:"]
+        lines.extend(f"  {constraint}" for constraint in self._constraints)
+        return "\n".join(lines)
+
+    # -- derivation ---------------------------------------------------------------------
+
+    def restricted(self, count: int) -> "AccessSchema":
+        """The first ``count`` constraints, in insertion order.
+
+        Figure 5(b)/(f)/(j) vary ``||A||`` by using progressively larger
+        prefixes of the full access schema; this helper implements that knob.
+        """
+        if count < 0:
+            raise AccessSchemaError(f"cannot restrict to a negative count: {count}")
+        return AccessSchema(self._constraints[:count])
+
+    def without(self, constraint: AccessConstraint) -> "AccessSchema":
+        """A copy of this schema with one constraint removed (Example 8)."""
+        return AccessSchema(c for c in self._constraints if c != constraint)
+
+    def merged(self, other: "AccessSchema") -> "AccessSchema":
+        """The union of two access schemas."""
+        merged = AccessSchema(self._constraints)
+        merged.extend(other.constraints())
+        return merged
+
+    def to_universal(self, universal: UniversalSchema) -> "AccessSchema":
+        """Translate constraints to the Lemma 1 single-relation schema.
+
+        A constraint ``X -> (Y, N)`` on relation ``R_i`` becomes
+        ``{__rel} ∪ X' -> (Y', N)`` on the universal relation, where primed
+        sets use the ``Ri__attribute`` columns.
+        """
+        translated = AccessSchema()
+        target = universal.relation.name
+        for constraint in self._constraints:
+            x = [TAG_ATTRIBUTE] + [prefixed(constraint.relation, a) for a in constraint.x]
+            y = [prefixed(constraint.relation, a) for a in constraint.y]
+            translated.add(AccessConstraint(target, x, y, constraint.bound))
+        return translated
+
+
+def access_schema_from_specs(
+    specs: Sequence[tuple[str, Sequence[str], Sequence[str], int]]
+) -> AccessSchema:
+    """Build an access schema from ``(relation, X, Y, N)`` tuples.
+
+    Convenience used by examples and workload definitions::
+
+        A0 = access_schema_from_specs([
+            ("in_album", ["album_id"], ["photo_id"], 1000),
+            ("friends", ["user_id"], ["friend_id"], 5000),
+            ("tagging", ["photo_id", "taggee_id"], ["tagger_id"], 1),
+        ])
+    """
+    return AccessSchema(
+        AccessConstraint(relation, x, y, bound) for relation, x, y, bound in specs
+    )

@@ -1,0 +1,47 @@
+"""Benchmark harness: the experiments of Section 6 as reusable functions."""
+
+from .harness import (
+    AlgorithmTimes,
+    ComparisonPoint,
+    ComparisonSeries,
+    CoverageResult,
+    ScalingPoint,
+    compare_once,
+    effectively_bounded_queries,
+    experiment_algorithm_times,
+    experiment_checker_scaling,
+    experiment_coverage,
+    experiment_vary_access,
+    experiment_vary_prod,
+    experiment_vary_sel,
+    experiment_vary_size,
+)
+from .reporting import (
+    format_algorithm_times,
+    format_comparison,
+    format_complexity_table,
+    format_coverage,
+    format_scaling,
+)
+
+__all__ = [
+    "AlgorithmTimes",
+    "ComparisonPoint",
+    "ComparisonSeries",
+    "CoverageResult",
+    "ScalingPoint",
+    "compare_once",
+    "effectively_bounded_queries",
+    "experiment_algorithm_times",
+    "experiment_checker_scaling",
+    "experiment_coverage",
+    "experiment_vary_access",
+    "experiment_vary_prod",
+    "experiment_vary_sel",
+    "experiment_vary_size",
+    "format_algorithm_times",
+    "format_comparison",
+    "format_complexity_table",
+    "format_coverage",
+    "format_scaling",
+]

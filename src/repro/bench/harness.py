@@ -1,0 +1,400 @@
+"""Experiment harness reproducing the measurements of Section 6.
+
+Each ``experiment_*`` function corresponds to one figure panel or table of the
+paper and returns structured rows (dataclasses) that
+:mod:`repro.bench.reporting` renders as paper-style text tables.  The
+``benchmarks/`` directory wraps these functions in pytest-benchmark tests; the
+functions themselves are also directly usable from notebooks or scripts.
+
+All experiments take an explicit ``scale`` so they run at laptop size by
+default; the shapes the paper reports (evalDQ flat in ``|D|``, the baseline
+growing; more constraints → smaller ``D_Q``) are scale-invariant.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Iterable, Sequence
+
+from ..access.schema import AccessSchema
+from ..core.bcheck import bcheck
+from ..core.dominating import find_dominating_parameters
+from ..core.ebcheck import ebcheck
+from ..execution.engine import BoundedEngine
+from ..execution.naive import NaiveExecutor
+from ..planning.qplan import qplan
+from ..relational.database import Database
+from ..spc.query import SPCQuery
+from ..workloads.base import Workload
+
+
+# ---------------------------------------------------------------------------
+# result records
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ComparisonPoint:
+    """One x-axis point of a Figure 5 panel."""
+
+    label: str
+    evaldq_seconds: float
+    naive_seconds: float
+    dq_tuples: float
+    naive_tuples: float
+    queries: int
+
+    @property
+    def speedup(self) -> float:
+        """Baseline time over evalDQ time (>1 means evalDQ wins)."""
+        if self.evaldq_seconds <= 0:
+            return float("inf")
+        return self.naive_seconds / self.evaldq_seconds
+
+
+@dataclass
+class ComparisonSeries:
+    """A full Figure 5 panel: one point per knob value."""
+
+    workload: str
+    knob: str
+    points: list[ComparisonPoint] = field(default_factory=list)
+
+    def add(self, point: ComparisonPoint) -> None:
+        self.points.append(point)
+
+
+@dataclass
+class AlgorithmTimes:
+    """One row of Table 1: worst-case elapsed time of each algorithm on a workload."""
+
+    workload: str
+    bcheck_seconds: float
+    ebcheck_seconds: float
+    finddp_seconds: float
+    qplan_seconds: float
+
+
+@dataclass
+class CoverageResult:
+    """Exp-1's coverage statistic: how many generated queries are effectively bounded."""
+
+    workload: str
+    total: int
+    bounded: int
+    effectively_bounded: int
+
+    @property
+    def fraction(self) -> float:
+        return self.effectively_bounded / self.total if self.total else 0.0
+
+
+@dataclass
+class ScalingPoint:
+    """One measurement of checker runtime against the input-size product."""
+
+    query_size: int
+    access_size: int
+    work_estimate: int
+    seconds: float
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+
+def effectively_bounded_queries(
+    queries: Sequence[SPCQuery], access_schema: AccessSchema
+) -> list[SPCQuery]:
+    """The subset of ``queries`` that EBCheck accepts under ``access_schema``."""
+    return [q for q in queries if ebcheck(q, access_schema).effectively_bounded]
+
+
+def compare_once(
+    queries: Sequence[SPCQuery],
+    access_schema: AccessSchema,
+    database: Database,
+    label: str,
+    run_naive: bool = True,
+) -> ComparisonPoint:
+    """Evaluate every query with evalDQ and the baseline; average the costs."""
+    engine = BoundedEngine(access_schema, fallback_to_naive=False)
+    engine.prepare(database)
+    naive = NaiveExecutor()
+
+    evaldq_times: list[float] = []
+    naive_times: list[float] = []
+    dq_sizes: list[int] = []
+    naive_sizes: list[int] = []
+    for query in queries:
+        result = engine.execute(query, database)
+        evaldq_times.append(result.stats.elapsed_seconds)
+        dq_sizes.append(result.stats.tuples_accessed)
+        if run_naive:
+            baseline = naive.execute(query, database)
+            naive_times.append(baseline.stats.elapsed_seconds)
+            naive_sizes.append(baseline.stats.tuples_accessed)
+            if baseline.as_set != result.as_set:
+                raise AssertionError(
+                    f"bounded and baseline evaluation disagree on {query.name}"
+                )
+    return ComparisonPoint(
+        label=label,
+        evaldq_seconds=mean(evaldq_times) if evaldq_times else 0.0,
+        naive_seconds=mean(naive_times) if naive_times else 0.0,
+        dq_tuples=mean(dq_sizes) if dq_sizes else 0.0,
+        naive_tuples=mean(naive_sizes) if naive_sizes else 0.0,
+        queries=len(queries),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 experiments
+# ---------------------------------------------------------------------------
+
+
+def experiment_vary_size(
+    workload: Workload,
+    fractions: Sequence[float] = (2**-5, 2**-4, 2**-3, 2**-2, 2**-1, 1.0),
+    scale: float = 0.3,
+    seed: int = 1,
+    query_seed: int = 2,
+) -> ComparisonSeries:
+    """Figure 5(a)/(e)/(i): vary ``|D|`` while keeping queries and ``A`` fixed."""
+    series = ComparisonSeries(workload=workload.name, knob="|D|")
+    base = workload.database(scale=scale, seed=seed)
+    queries = effectively_bounded_queries(workload.queries(seed=query_seed), workload.access_schema)
+    for fraction in fractions:
+        database = base.scaled_copy(fraction) if fraction < 1.0 else base
+        point = compare_once(
+            queries, workload.access_schema, database, label=f"{fraction:g}"
+        )
+        series.add(point)
+    return series
+
+
+def experiment_vary_access(
+    workload: Workload,
+    counts: Sequence[int] = (12, 14, 16, 18, 20),
+    scale: float = 0.3,
+    seed: int = 1,
+    query_seed: int = 2,
+) -> ComparisonSeries:
+    """Figure 5(b)/(f)/(j): vary the number of access constraints ``||A||``.
+
+    Queries are filtered to those effectively bounded under the *smallest*
+    prefix so every x-axis point evaluates the same query set (as in the
+    paper, where queries stayed effectively bounded across the sweep).
+    """
+    series = ComparisonSeries(workload=workload.name, knob="||A||")
+    database = workload.database(scale=scale, seed=seed)
+    smallest = workload.access_schema.restricted(min(counts))
+    queries = effectively_bounded_queries(workload.queries(seed=query_seed), smallest)
+    for count in counts:
+        restricted = workload.access_schema.restricted(count)
+        point = compare_once(queries, restricted, database, label=str(count))
+        series.add(point)
+    return series
+
+
+def _queries_by_knob(
+    workload: Workload,
+    knob: str,
+    values: Sequence[int],
+    query_seed: int,
+    per_value: int = 6,
+) -> dict[int, list[SPCQuery]]:
+    """Generate ``per_value`` effectively bounded queries for each knob value."""
+    from ..workloads.querygen import generate_query  # local import to avoid cycles
+
+    spec_builder = {
+        "tfacc": "tfacc_querygen_spec",
+        "mot": "mot_querygen_spec",
+        "tpch": "tpch_querygen_spec",
+    }
+    import repro.workloads.mot as mot_module
+    import repro.workloads.tfacc as tfacc_module
+    import repro.workloads.tpch as tpch_module
+
+    modules = {"tfacc": tfacc_module, "mot": mot_module, "tpch": tpch_module}
+    module = modules.get(workload.name)
+    if module is None:
+        raise ValueError(f"knob sweeps are defined for the paper workloads, not {workload.name!r}")
+    spec = getattr(module, spec_builder[workload.name])()
+
+    result: dict[int, list[SPCQuery]] = {}
+    for value in values:
+        selected: list[SPCQuery] = []
+        attempt = 0
+        while len(selected) < per_value and attempt < per_value * 20:
+            attempt += 1
+            if knob == "#-sel":
+                generated = generate_query(
+                    spec,
+                    num_products=min(2, value // 3),
+                    num_selections=value,
+                    seed=query_seed * 10_000 + value * 100 + attempt,
+                )
+            else:
+                generated = generate_query(
+                    spec,
+                    num_products=value,
+                    num_selections=max(4, value + 2),
+                    seed=query_seed * 10_000 + value * 100 + attempt,
+                )
+            query = generated.query
+            if knob == "#-sel" and query.num_selections != value:
+                continue
+            if knob == "#-prod" and query.num_products != value:
+                continue
+            if ebcheck(query, workload.access_schema).effectively_bounded:
+                selected.append(query)
+        result[value] = selected
+    return result
+
+
+def experiment_vary_sel(
+    workload: Workload,
+    values: Sequence[int] = (4, 5, 6, 7, 8),
+    scale: float = 0.3,
+    seed: int = 1,
+    query_seed: int = 3,
+) -> ComparisonSeries:
+    """Figure 5(c)/(g)/(k): vary the number of equality conjuncts ``#-sel``."""
+    series = ComparisonSeries(workload=workload.name, knob="#-sel")
+    database = workload.database(scale=scale, seed=seed)
+    by_value = _queries_by_knob(workload, "#-sel", values, query_seed)
+    for value in values:
+        queries = by_value[value]
+        if not queries:
+            continue
+        series.add(compare_once(queries, workload.access_schema, database, label=str(value)))
+    return series
+
+
+def experiment_vary_prod(
+    workload: Workload,
+    values: Sequence[int] = (0, 1, 2, 3, 4),
+    scale: float = 0.3,
+    seed: int = 1,
+    query_seed: int = 4,
+) -> ComparisonSeries:
+    """Figure 5(d)/(h)/(l): vary the number of Cartesian products ``#-prod``."""
+    series = ComparisonSeries(workload=workload.name, knob="#-prod")
+    database = workload.database(scale=scale, seed=seed)
+    by_value = _queries_by_knob(workload, "#-prod", values, query_seed)
+    for value in values:
+        queries = by_value[value]
+        if not queries:
+            continue
+        series.add(compare_once(queries, workload.access_schema, database, label=str(value)))
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Tables 1 and 2, coverage
+# ---------------------------------------------------------------------------
+
+
+def experiment_algorithm_times(
+    workload: Workload,
+    query_seed: int = 2,
+    repeats: int = 3,
+) -> AlgorithmTimes:
+    """Table 1: worst-case elapsed time of BCheck / EBCheck / findDPh / QPlan."""
+    queries = workload.queries(seed=query_seed)
+    access_schema = workload.access_schema
+
+    def worst(func) -> float:
+        worst_seconds = 0.0
+        for query in queries:
+            best_of = float("inf")
+            for _ in range(repeats):
+                started = time.perf_counter()
+                try:
+                    func(query)
+                except Exception:
+                    pass
+                best_of = min(best_of, time.perf_counter() - started)
+            worst_seconds = max(worst_seconds, best_of)
+        return worst_seconds
+
+    return AlgorithmTimes(
+        workload=workload.name,
+        bcheck_seconds=worst(lambda q: bcheck(q, access_schema)),
+        ebcheck_seconds=worst(lambda q: ebcheck(q, access_schema)),
+        finddp_seconds=worst(lambda q: find_dominating_parameters(q, access_schema)),
+        qplan_seconds=worst(
+            lambda q: qplan(q, access_schema)
+            if ebcheck(q, access_schema).effectively_bounded
+            else None
+        ),
+    )
+
+
+def experiment_coverage(workloads: Iterable[Workload], query_seed: int = 2) -> list[CoverageResult]:
+    """Exp-1's coverage claim: the fraction of queries that are effectively bounded."""
+    results = []
+    for workload in workloads:
+        queries = workload.queries(seed=query_seed)
+        bounded = sum(1 for q in queries if bcheck(q, workload.access_schema).bounded)
+        effective = sum(
+            1 for q in queries if ebcheck(q, workload.access_schema).effectively_bounded
+        )
+        results.append(
+            CoverageResult(
+                workload=workload.name,
+                total=len(queries),
+                bounded=bounded,
+                effectively_bounded=effective,
+            )
+        )
+    return results
+
+
+def experiment_checker_scaling(
+    workload: Workload,
+    query_counts: Sequence[int] = (2, 4, 8, 16, 24),
+    query_seed: int = 5,
+) -> list[ScalingPoint]:
+    """Table 2 support: empirical runtime of EBCheck against ``|Q|·(|A|+|Q|)``.
+
+    Queries of growing size are built by generating progressively larger
+    bodies; the work estimate is the complexity bound's argument, so a roughly
+    linear relationship between estimate and time supports the quadratic bound.
+    """
+    from ..workloads.querygen import generate_query
+    import repro.workloads.tfacc as tfacc_module
+    import repro.workloads.mot as mot_module
+    import repro.workloads.tpch as tpch_module
+
+    modules = {"tfacc": tfacc_module, "mot": mot_module, "tpch": tpch_module}
+    module = modules.get(workload.name, tfacc_module)
+    spec = getattr(module, f"{workload.name}_querygen_spec", tfacc_module.tfacc_querygen_spec)()
+
+    points: list[ScalingPoint] = []
+    access_schema = workload.access_schema
+    for count in query_counts:
+        generated = generate_query(
+            spec,
+            num_products=count - 1,
+            num_selections=count + 3,
+            seed=query_seed * 1000 + count,
+        )
+        query = generated.query
+        started = time.perf_counter()
+        for _ in range(5):
+            ebcheck(query, access_schema)
+        elapsed = (time.perf_counter() - started) / 5
+        points.append(
+            ScalingPoint(
+                query_size=query.size,
+                access_size=access_schema.size,
+                work_estimate=query.size * (access_schema.size + query.size),
+                seconds=elapsed,
+            )
+        )
+    return points

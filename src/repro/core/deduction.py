@@ -1,0 +1,158 @@
+"""Deduced facts, actualized constraints and proof steps.
+
+The rule systems ``I_B`` (Fig. 1) and ``I_E`` (Fig. 2) derive judgements of the
+form ``X ↦ (Y, N)`` over sets of attribute references of a query.  This module
+provides the shared vocabulary for those derivations:
+
+* :class:`DeducedFact` — one judgement ``X ↦ (Y, N)``,
+* :class:`ProofStep` / :class:`Proof` — a record of which rule produced a fact
+  from which premises, so checkers can *explain* their verdicts,
+* :func:`actualize` — the ``Actualization`` rule applied wholesale: every
+  access constraint instantiated on every occurrence ``S_i`` whose relation it
+  constrains (the set ``Γ`` built at line 1 of both BCheck and QPlan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..access.constraint import AccessConstraint
+from ..access.schema import AccessSchema
+from ..spc.atoms import AttrRef
+from ..spc.query import SPCQuery
+
+#: Rule names used in proof steps; mirrors Fig. 1 / Fig. 2 of the paper.
+REFLEXIVITY = "Reflexivity"
+ACTUALIZATION = "Actualization"
+AUGMENTATION = "Augmentation"
+TRANSITIVITY = "Transitivity"
+COMBINATION = "Combination"
+
+
+@dataclass(frozen=True)
+class DeducedFact:
+    """A judgement ``X ↦ (Y, N)`` over attribute references of a query."""
+
+    x: frozenset[AttrRef]
+    y: frozenset[AttrRef]
+    bound: int
+
+    def __str__(self) -> str:
+        x = "{" + ", ".join(sorted(str(r) for r in self.x)) + "}"
+        y = "{" + ", ".join(sorted(str(r) for r in self.y)) + "}"
+        return f"{x} -> ({y}, {self.bound})"
+
+
+@dataclass(frozen=True)
+class ActualizedConstraint:
+    """An access constraint instantiated on one occurrence: ``S_i[X] ↦ (S_i[Y], N)``.
+
+    Attributes
+    ----------
+    atom:
+        Index of the occurrence ``S_i`` the constraint was applied to.
+    constraint:
+        The original access constraint of ``A``.
+    x / y:
+        The constraint's attribute sets lifted to attribute references of the
+        occurrence.
+    """
+
+    atom: int
+    constraint: AccessConstraint
+    x: frozenset[AttrRef]
+    y: frozenset[AttrRef]
+
+    @property
+    def bound(self) -> int:
+        return self.constraint.bound
+
+    @property
+    def covered(self) -> frozenset[AttrRef]:
+        """``S_i[X ∪ Y]``: everything retrievable through this constraint's index."""
+        return self.x | self.y
+
+    def as_fact(self) -> DeducedFact:
+        return DeducedFact(self.x, self.y, self.bound)
+
+    def __str__(self) -> str:
+        x = ", ".join(sorted(str(r) for r in self.x)) or "∅"
+        y = ", ".join(sorted(str(r) for r in self.y))
+        return f"S{self.atom}: ({x}) -> ({y}, {self.bound})"
+
+
+def actualize(query: SPCQuery, access_schema: AccessSchema) -> list[ActualizedConstraint]:
+    """Apply ``Actualization`` exhaustively: ``Γ = Actualize(A, Q)``.
+
+    For every constraint ``X -> (Y, N)`` of ``A`` and every occurrence ``S_i``
+    of the constrained relation in ``Q``, produce ``S_i[X] ↦ (S_i[Y], N)``.
+    """
+    actualized: list[ActualizedConstraint] = []
+    for index, atom in enumerate(query.atoms):
+        for constraint in access_schema.for_relation(atom.relation_name):
+            if not atom.schema.has_attributes(constraint.x + constraint.y):
+                # A constraint declared for a same-named relation with a
+                # different shape cannot be applied to this occurrence.
+                continue
+            actualized.append(
+                ActualizedConstraint(
+                    atom=index,
+                    constraint=constraint,
+                    x=frozenset(AttrRef(index, a) for a in constraint.x),
+                    y=frozenset(AttrRef(index, a) for a in constraint.y),
+                )
+            )
+    return actualized
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One application of a deduction rule."""
+
+    rule: str
+    conclusion: DeducedFact
+    premises: tuple[DeducedFact, ...] = ()
+    constraint: ActualizedConstraint | None = None
+    note: str = ""
+
+    def __str__(self) -> str:
+        suffix = f"  [{self.note}]" if self.note else ""
+        return f"{self.rule}: {self.conclusion}{suffix}"
+
+
+@dataclass
+class Proof:
+    """An ordered list of proof steps ending in the target judgement."""
+
+    steps: list[ProofStep] = field(default_factory=list)
+
+    def add(self, step: ProofStep) -> None:
+        self.steps.append(step)
+
+    def extend(self, steps: Iterable[ProofStep]) -> None:
+        self.steps.extend(steps)
+
+    @property
+    def conclusion(self) -> DeducedFact | None:
+        return self.steps[-1].conclusion if self.steps else None
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def describe(self) -> str:
+        """A numbered, human-readable rendering of the proof."""
+        if not self.steps:
+            return "(empty proof)"
+        lines = []
+        for number, step in enumerate(self.steps, start=1):
+            lines.append(f"({number}) {step}")
+        return "\n".join(lines)
+
+
+def refs_of(query: SPCQuery, atom: int, attributes: Sequence[str]) -> frozenset[AttrRef]:
+    """Lift plain attribute names of one occurrence to attribute references."""
+    return frozenset(AttrRef(atom, a) for a in attributes)

@@ -1,0 +1,243 @@
+"""Dominating parameters (Section 4.3).
+
+When a query is not effectively bounded, the paper asks whether instantiating
+a small set ``X_P`` of its parameters (at most a fraction ``α`` of them) makes
+it effectively bounded — and if so, for a minimum such set.  The decision
+problem ``DP`` is NP-complete and the optimization problem ``MDP`` is
+NPO-complete (Theorem 7), so the paper ships the heuristic ``findDPh``.
+
+This module provides:
+
+* :func:`find_dominating_parameters` — the three-step ``findDPh`` heuristic,
+* :func:`find_minimum_dominating_parameters` — an exact (exponential-time)
+  solver for small queries, used by tests and the ablation benchmark to
+  quantify the heuristic's optimality gap,
+* :func:`has_dominating_parameters` — the DP decision problem, answered by the
+  heuristic with an exact fallback for small inputs.
+
+Two conventions follow Example 9 of the paper rather than the terse problem
+statement:
+
+* *Candidate parameters.*  The paper treats ``Q_1`` as a template whose
+  parameters include attributes (``aid``, ``uid``) that carry no condition in
+  the query body; instantiating them *adds* a ``attr = constant`` conjunct.
+  Accordingly, the candidate set here is every attribute of every occurrence
+  that is not yet equated with a constant — not merely the attributes already
+  appearing in ``C`` or ``Z``.
+* *The α-ratio.*  The paper bounds ``|X_P| / |X_B| ≤ α``; Example 9 computes
+  the ratio against all seven uninstantiated attributes of ``Q_1``, so the
+  denominator used here is the number of candidate parameters, which
+  reproduces the example's arithmetic (3/7) exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable
+
+from ..access.schema import AccessSchema
+from ..spc.atoms import AttrRef
+from ..spc.query import SPCQuery
+from .ebcheck import ebcheck
+
+
+#: Placeholder constant used when probing "would the query be effectively
+#: bounded if these parameters were instantiated?".  Effective boundedness
+#: does not depend on the actual constants, only on which parameters carry one.
+_PROBE_VALUE = "__probe__"
+
+
+@dataclass
+class DominatingParametersResult:
+    """Outcome of a dominating-parameter search."""
+
+    found: bool
+    parameters: frozenset[AttrRef]
+    #: Ratio ``|X_P| / |uninstantiated parameters|`` (None when not found).
+    ratio: float | None
+    #: Why the search failed, when it did.
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.found
+
+
+def _instantiated(query: SPCQuery, refs: Iterable[AttrRef]) -> SPCQuery:
+    """The query with every reference of ``refs`` bound to a probe constant."""
+    return query.with_constants({ref: _PROBE_VALUE for ref in refs})
+
+
+def _candidate_refs(query: SPCQuery) -> frozenset[AttrRef]:
+    """Candidate parameters for ``X_P``: occurrence attributes not yet instantiated."""
+    return query.all_refs() - query.constant_refs
+
+
+def makes_effectively_bounded(
+    query: SPCQuery, access_schema: AccessSchema, refs: Iterable[AttrRef]
+) -> bool:
+    """Whether instantiating ``refs`` makes ``query`` effectively bounded under ``A``."""
+    return ebcheck(_instantiated(query, refs), access_schema).effectively_bounded
+
+
+def find_dominating_parameters(
+    query: SPCQuery,
+    access_schema: AccessSchema,
+    alpha: float | None = None,
+) -> DominatingParametersResult:
+    """The ``findDPh`` heuristic (Section 4.3).
+
+    Parameters
+    ----------
+    query, access_schema:
+        The inputs of the DP problem.
+    alpha:
+        The fraction ``α ∈ (0, 1)`` limiting ``|X_P|`` relative to the number
+        of uninstantiated parameters.  ``None`` disables the ratio check.
+    """
+    query.closure.require_satisfiable()
+    candidates = _candidate_refs(query)
+    denominator = max(1, len(candidates))
+
+    # A query that is already effectively bounded needs no instantiation: the
+    # empty set is trivially a minimum dominating-parameter set.
+    if ebcheck(query, access_schema).effectively_bounded:
+        return DominatingParametersResult(found=True, parameters=frozenset(), ratio=0.0)
+
+    # Step 1 (initial candidates): attributes not yet instantiated that appear
+    # in the key or value side of some access constraint on their relation.
+    initial: set[AttrRef] = set()
+    for ref in candidates:
+        relation = query.atoms[ref.atom].relation_name
+        for constraint in access_schema.for_relation(relation):
+            if ref.attribute in constraint.covered:
+                initial.add(ref)
+                break
+
+    # Step 2 (checking): every occurrence's parameters must be indexed and
+    # covered by the candidate set together with the already-instantiated
+    # parameters; otherwise no dominating set exists at all (Example 8).
+    probe = ebcheck(_instantiated(query, initial), access_schema)
+    if not probe.effectively_bounded:
+        return DominatingParametersResult(
+            found=False,
+            parameters=frozenset(),
+            ratio=None,
+            reason=(
+                "instantiating every candidate parameter still leaves the query "
+                "not effectively bounded: " + probe.explain()
+            ),
+        )
+
+    # Step 3 (minimizing): drop parameters that can be recovered through a
+    # constraint whose key side is still covered by the remaining candidates
+    # (or by constants), removing the whole Σ_Q-equivalence class at once.
+    # As in the paper, removability is a purely rule-based check (no repeated
+    # EBCheck calls), which keeps findDPh within O(|Q|(|A| + |Q|)).
+    current: set[AttrRef] = set(initial)
+    closure_eq = query.closure
+    changed = True
+    while changed:
+        changed = False
+        for ref in sorted(current):
+            if ref not in current:
+                continue
+            relation = query.atoms[ref.atom].relation_name
+            removable = False
+            for constraint in access_schema.for_relation(relation):
+                if ref.attribute in constraint.x_set:
+                    continue
+                if ref.attribute not in constraint.y_set:
+                    continue
+                key_refs = {AttrRef(ref.atom, a) for a in constraint.x}
+                covered = current | query.constant_refs
+                remaining = covered - {ref}
+                if all(
+                    key_ref in remaining
+                    or any(closure_eq.entails_eq(key_ref, other) for other in remaining)
+                    for key_ref in key_refs
+                ):
+                    removable = True
+                    break
+            if not removable:
+                continue
+            equivalence_class = {
+                other for other in current if closure_eq.entails_eq(ref, other)
+            }
+            shrunk = current - equivalence_class
+            if shrunk:
+                current = shrunk
+                changed = True
+
+    # Final safety net: the rule-based minimization should preserve effective
+    # boundedness; if an edge case slips through, fall back to the validated
+    # (larger) candidate set from step 2.
+    if not makes_effectively_bounded(query, access_schema, current):
+        current = set(initial)
+
+    ratio = len(current) / denominator
+    if alpha is not None and ratio > alpha:
+        return DominatingParametersResult(
+            found=False,
+            parameters=frozenset(current),
+            ratio=ratio,
+            reason=f"smallest set found has ratio {ratio:.3f} > α = {alpha:.3f}",
+        )
+    return DominatingParametersResult(found=True, parameters=frozenset(current), ratio=ratio)
+
+
+def find_minimum_dominating_parameters(
+    query: SPCQuery,
+    access_schema: AccessSchema,
+    alpha: float | None = None,
+    max_parameters: int = 16,
+) -> DominatingParametersResult:
+    """Exact minimum dominating-parameter set by exhaustive search.
+
+    Exponential in the number of uninstantiated parameters (MDP is
+    NPO-complete); refuses inputs with more than ``max_parameters`` candidates.
+    Intended for tests and the heuristic-vs-exact ablation.
+    """
+    query.closure.require_satisfiable()
+    candidates = sorted(_candidate_refs(query))
+    if len(candidates) > max_parameters:
+        raise ValueError(
+            f"exact search limited to {max_parameters} candidate parameters, "
+            f"query has {len(candidates)}"
+        )
+    denominator = max(1, len(candidates))
+    for size in range(0, len(candidates) + 1):
+        for subset in combinations(candidates, size):
+            if makes_effectively_bounded(query, access_schema, subset):
+                ratio = size / denominator
+                if alpha is not None and ratio > alpha:
+                    return DominatingParametersResult(
+                        found=False,
+                        parameters=frozenset(subset),
+                        ratio=ratio,
+                        reason=f"minimum set has ratio {ratio:.3f} > α = {alpha:.3f}",
+                    )
+                return DominatingParametersResult(
+                    found=True, parameters=frozenset(subset), ratio=ratio
+                )
+    return DominatingParametersResult(
+        found=False,
+        parameters=frozenset(),
+        ratio=None,
+        reason="no subset of parameters makes the query effectively bounded",
+    )
+
+
+def has_dominating_parameters(
+    query: SPCQuery,
+    access_schema: AccessSchema,
+    alpha: float | None = None,
+) -> bool:
+    """The DP decision problem, answered heuristically (sound but incomplete).
+
+    A ``True`` answer is always correct; a ``False`` answer may be a heuristic
+    miss when an ``α`` constraint is supplied (the heuristic may find a larger
+    set than necessary).  Use :func:`find_minimum_dominating_parameters` for an
+    exact answer on small queries.
+    """
+    return find_dominating_parameters(query, access_schema, alpha).found

@@ -1,0 +1,95 @@
+"""Symbolic entailment interfaces for the rule systems ``I_B`` and ``I_E``.
+
+The checking algorithms (BCheck, EBCheck) only need the closure engine, but
+the paper's characterizations are stated as derivability judgements:
+
+* ``X ↦_{I_B} (Y, N)`` — Fig. 1; characterizes boundedness (Theorem 3).
+* ``X ↦_{I_E} (Y, N)`` — Fig. 2; characterizes effective boundedness
+  (Theorem 4).
+
+This module exposes those judgements directly, so users (and the tests that
+replay Examples 3 and 5 of the paper) can ask "can this fact be derived?" and
+obtain the derived bound and a proof.
+
+The implementations use the connection stated in the paper's proofs:
+
+* ``X ↦_{I_B} (Y, N)`` for some ``N`` iff ``Y ⊆ X^*`` (the access closure of
+  ``X``), and
+* for ``X ⊆ Y``, ``X ↦_{I_E} (Y, N)`` iff ``Y ⊆ X^*`` **and** ``Y`` is indexed
+  in ``A`` (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..access.schema import AccessSchema
+from ..spc.atoms import AttrRef
+from ..spc.query import SPCQuery
+from .closure import BOUND_CAP, ClosureResult, compute_closure, indexed_per_atom
+from .deduction import Proof
+
+
+@dataclass
+class Derivation:
+    """Outcome of an entailment query: derivable or not, bound, and proofs."""
+
+    derivable: bool
+    #: Combined bound ``N`` for the target set (product of per-attribute bounds).
+    bound: int | None
+    closure: ClosureResult
+    #: One proof per target attribute (only for derivable targets).
+    proofs: dict[AttrRef, Proof]
+
+    def __bool__(self) -> bool:
+        return self.derivable
+
+
+def _derive(
+    query: SPCQuery,
+    access_schema: AccessSchema,
+    x: Iterable[AttrRef],
+    y: Iterable[AttrRef],
+) -> Derivation:
+    targets = frozenset(y)
+    closure = compute_closure(query, access_schema, x)
+    if not closure.contains(targets):
+        return Derivation(False, None, closure, {})
+    bound = 1
+    proofs: dict[AttrRef, Proof] = {}
+    for ref in targets:
+        bound = min(BOUND_CAP, bound * closure.bounds.get(ref, 1))
+        proofs[ref] = closure.proof_of(ref)
+    return Derivation(True, bound, closure, proofs)
+
+
+def ib_derives(
+    query: SPCQuery,
+    access_schema: AccessSchema,
+    x: Iterable[AttrRef],
+    y: Iterable[AttrRef],
+) -> Derivation:
+    """Whether ``X ↦_{I_B} (Y, N)`` is derivable for some ``N`` (and that ``N``)."""
+    return _derive(query, access_schema, x, y)
+
+
+def ie_derives(
+    query: SPCQuery,
+    access_schema: AccessSchema,
+    x: Iterable[AttrRef],
+    y: Iterable[AttrRef],
+) -> Derivation:
+    """Whether ``X ↦_{I_E} (Y, N)`` is derivable for some ``N`` (and that ``N``).
+
+    In addition to closure membership this enforces the indexing condition of
+    ``I_E``: the target set, split by occurrence, must be indexed in ``A``.
+    """
+    derivation = _derive(query, access_schema, x, y)
+    if not derivation.derivable:
+        return derivation
+    indexed = indexed_per_atom(query, access_schema, frozenset(y))
+    atoms_with_targets = {ref.atom for ref in y}
+    if any(not indexed[atom] for atom in atoms_with_targets):
+        return Derivation(False, None, derivation.closure, {})
+    return derivation

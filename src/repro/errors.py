@@ -1,0 +1,105 @@
+"""Exception hierarchy for the bounded conjunctive query library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish schema problems from planning problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A relation or database schema is malformed or used inconsistently."""
+
+
+class UnknownRelationError(SchemaError):
+    """A relation name was referenced that does not exist in the schema."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown relation: {name!r}")
+        self.name = name
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute name was referenced that does not exist in its relation."""
+
+    def __init__(self, relation: str, attribute: str) -> None:
+        super().__init__(f"relation {relation!r} has no attribute {attribute!r}")
+        self.relation = relation
+        self.attribute = attribute
+
+
+class ArityError(SchemaError):
+    """A tuple does not match the arity of its relation schema."""
+
+
+class QueryError(ReproError):
+    """An SPC query is malformed (bad atoms, unknown aliases, ...)."""
+
+
+class UnsatisfiableQueryError(QueryError):
+    """The selection condition equates two distinct constants.
+
+    The paper assumes w.l.o.g. that queries are satisfiable; algorithms that
+    require satisfiability raise this error instead of silently mis-deciding.
+    """
+
+
+class ParseError(QueryError):
+    """The textual SPC syntax could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class AccessSchemaError(ReproError):
+    """An access constraint or access schema is malformed."""
+
+
+class ConstraintViolationError(AccessSchemaError):
+    """A database instance violates an access constraint it must satisfy."""
+
+    def __init__(self, message: str, constraint=None, witness=None) -> None:
+        super().__init__(message)
+        self.constraint = constraint
+        self.witness = witness
+
+
+class NotEffectivelyBoundedError(ReproError):
+    """Raised when a bounded plan is requested for a non-bounded query."""
+
+
+class PlanningError(ReproError):
+    """Query-plan generation failed despite the query being bounded."""
+
+
+class ExecutionError(ReproError):
+    """A query plan could not be executed against the given database."""
+
+
+class BudgetExceededError(ExecutionError):
+    """An executor exceeded its configured tuple-access budget.
+
+    This mirrors the paper's motivation: a bounded plan promises an access
+    bound before touching data; exceeding the budget indicates either a
+    violated access schema or an incorrect plan.
+    """
+
+    def __init__(self, accessed: int, budget: int) -> None:
+        super().__init__(
+            f"tuple-access budget exceeded: accessed {accessed} tuples, "
+            f"budget was {budget}"
+        )
+        self.accessed = accessed
+        self.budget = budget
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with invalid parameters."""

@@ -1,0 +1,17 @@
+"""Query execution: bounded (evalDQ), baselines, and the end-to-end engine."""
+
+from .bounded import BoundedExecutor, eval_dq
+from .engine import BoundedEngine, QueryReport
+from .metrics import ExecutionResult, ExecutionStats
+from .naive import NaiveExecutor, NestedLoopExecutor
+
+__all__ = [
+    "BoundedEngine",
+    "BoundedExecutor",
+    "ExecutionResult",
+    "ExecutionStats",
+    "NaiveExecutor",
+    "NestedLoopExecutor",
+    "QueryReport",
+    "eval_dq",
+]

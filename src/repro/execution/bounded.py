@@ -1,0 +1,281 @@
+"""evalDQ: executing bounded plans by fetching only a bounded ``D_Q``.
+
+The executor realizes Section 5's evaluation strategy: follow the plan's fetch
+steps (each a bounded probe sequence through an access-constraint index),
+assemble the per-occurrence partial relations ``T_j``, then evaluate the query
+over those small row sets only — joins, constant filters and the final
+projection never touch the underlying database again.
+
+All data access is charged to the database's access counter through the
+constraint indexes, so ``ExecutionStats.tuples_accessed`` is exactly the
+``|D_Q|`` the paper reports in Figure 5.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Sequence
+
+from ..access.indexes import AccessIndexes, ConstraintIndex, build_access_indexes
+from ..access.schema import AccessSchema
+from ..errors import ExecutionError
+from ..relational.algebra import RowSet, hash_join, product, project
+from ..relational.database import Database
+from ..spc.atoms import AttrEq, AttrRef, ConstEq
+from ..spc.query import SPCQuery
+from ..planning.plan import BoundedPlan, ColumnSource, ConstSource, FetchStep
+from .metrics import ExecutionResult, ExecutionStats
+
+
+class BoundedExecutor:
+    """Executes :class:`~repro.planning.plan.BoundedPlan` objects against databases.
+
+    Parameters
+    ----------
+    enforce_bounds:
+        When true (default), a probe returning more distinct values than its
+        constraint allows raises — the database does not satisfy the access
+        schema and the plan's bound promise cannot be kept.
+    """
+
+    def __init__(self, enforce_bounds: bool = True) -> None:
+        self.enforce_bounds = enforce_bounds
+        self._index_cache: dict[int, AccessIndexes] = {}
+
+    # -- preparation -------------------------------------------------------------------
+
+    def prepare(self, database: Database, access_schema: AccessSchema) -> AccessIndexes:
+        """Build (and cache per database) the constraint indexes of ``access_schema``."""
+        cached = self._index_cache.get(id(database))
+        if cached is None:
+            cached = build_access_indexes(database, access_schema, self.enforce_bounds)
+            self._index_cache[id(database)] = cached
+        else:
+            for constraint in access_schema:
+                if constraint.relation in database.schema and constraint not in cached:
+                    extra = build_access_indexes(
+                        database, AccessSchema([constraint]), self.enforce_bounds
+                    )
+                    for index in extra:
+                        cached.add(index)
+        return cached
+
+    # -- plan execution -----------------------------------------------------------------
+
+    def execute(
+        self,
+        plan: BoundedPlan,
+        database: Database,
+        indexes: AccessIndexes | None = None,
+    ) -> ExecutionResult:
+        """Run ``plan`` against ``database`` and return the answer with its cost."""
+        query = plan.query
+        if indexes is None:
+            indexes = self.prepare(database, plan.access_schema)
+
+        started = time.perf_counter()
+        before = database.access_snapshot()
+
+        fetched: list[RowSet] = []
+        step_sizes: list[int] = []
+        for step in plan.steps:
+            rowset = self._execute_step(step, fetched, indexes)
+            fetched.append(rowset)
+            step_sizes.append(len(rowset))
+
+        answer = self._assemble(query, plan, fetched)
+
+        elapsed = time.perf_counter() - started
+        delta = database.accesses_since(before)
+        stats = ExecutionStats.from_snapshot(
+            strategy="bounded",
+            delta=delta,
+            elapsed_seconds=elapsed,
+            result_rows=len(answer),
+            plan_bound=plan.total_bound,
+        )
+        return ExecutionResult(rows=answer, stats=stats, details={"step_sizes": step_sizes})
+
+    # -- fetch steps -------------------------------------------------------------------------
+
+    def _execute_step(
+        self,
+        step: FetchStep,
+        fetched: Sequence[RowSet],
+        indexes: AccessIndexes,
+    ) -> RowSet:
+        index = self._constraint_index(step, indexes)
+        key_order = index.key  # canonical X order of the constraint
+        candidates = self._candidate_keys(step, key_order, fetched)
+        rows = index.fetch_many(candidates)
+        return RowSet(step.outputs, rows)
+
+    def _constraint_index(self, step: FetchStep, indexes: AccessIndexes) -> ConstraintIndex:
+        if step.constraint not in indexes:
+            raise ExecutionError(
+                f"no index available for constraint {step.constraint}; call prepare() "
+                f"with the plan's access schema first"
+            )
+        return indexes.for_constraint(step.constraint)
+
+    def _candidate_keys(
+        self,
+        step: FetchStep,
+        key_order: Sequence[str],
+        fetched: Sequence[RowSet],
+    ) -> list[tuple[Any, ...]]:
+        """Enumerate candidate ``X``-values for a fetch step.
+
+        Key attributes bound to columns of the same earlier step vary jointly
+        (their values are taken from the same fetched rows); attributes bound
+        to different steps or to constants combine by Cartesian product.
+        """
+        if not key_order:
+            return [()]
+
+        # Group key attributes by their source so joint values stay joint.
+        constant_values: dict[str, Any] = {}
+        by_step: dict[int, list[str]] = {}
+        for attribute in key_order:
+            source = step.key_sources[attribute]
+            if isinstance(source, ConstSource):
+                constant_values[attribute] = source.value
+            elif isinstance(source, ColumnSource):
+                by_step.setdefault(source.step, []).append(attribute)
+            else:  # pragma: no cover - defensive
+                raise ExecutionError(f"unknown value source {source!r}")
+
+        # Start from a single empty assignment and extend it per source group.
+        assignments: list[dict[str, Any]] = [dict(constant_values)]
+        for source_step, attributes in by_step.items():
+            rowset = fetched[source_step]
+            columns = [step.key_sources[a].column for a in attributes]  # type: ignore[union-attr]
+            positions = [rowset.position(c) for c in columns]
+            joint_values = {tuple(row[p] for p in positions) for row in rowset.rows}
+            extended: list[dict[str, Any]] = []
+            for assignment in assignments:
+                for values in joint_values:
+                    candidate = dict(assignment)
+                    candidate.update(zip(attributes, values))
+                    extended.append(candidate)
+            assignments = extended
+
+        keys = {tuple(assignment[a] for a in key_order) for assignment in assignments}
+        return sorted(keys, key=repr)
+
+    # -- assembling the answer -----------------------------------------------------------------
+
+    def _assemble(
+        self,
+        query: SPCQuery,
+        plan: BoundedPlan,
+        fetched: Sequence[RowSet],
+    ) -> RowSet:
+        # Per-occurrence row sets: the covering step's output projected onto the
+        # occurrence's parameters, with per-occurrence conditions applied.
+        per_atom: dict[int, RowSet | None] = {}
+        witnesses_ok = True
+        for atom_index in range(query.num_atoms):
+            needed = sorted(query.atom_parameters(atom_index))
+            covering = fetched[plan.covering[atom_index]]
+            if not needed:
+                # Parameter-less occurrence: only its non-emptiness matters.
+                if not covering.rows:
+                    witnesses_ok = False
+                per_atom[atom_index] = None
+                continue
+            rowset = project(covering, needed, distinct=True)
+            rowset = self._apply_local_conditions(query, atom_index, rowset)
+            per_atom[atom_index] = rowset
+
+        if not witnesses_ok:
+            return RowSet(tuple(query.output), [])
+
+        joined = self._join_atoms(query, per_atom)
+        output_columns = tuple(query.output)
+        return project(joined, output_columns, distinct=True)
+
+    def _apply_local_conditions(
+        self, query: SPCQuery, atom_index: int, rowset: RowSet
+    ) -> RowSet:
+        """Apply constant and same-occurrence equality conditions to one row set."""
+        rows = rowset.rows
+        header = rowset.header
+        for condition in query.conditions:
+            if isinstance(condition, ConstEq):
+                if condition.ref.atom != atom_index or condition.ref not in header:
+                    continue
+                position = rowset.position(condition.ref)
+                rows = [row for row in rows if row[position] == condition.value]
+            elif isinstance(condition, AttrEq):
+                left, right = condition.left, condition.right
+                if left.atom != atom_index or right.atom != atom_index:
+                    continue
+                if left not in header or right not in header:
+                    continue
+                left_pos, right_pos = rowset.position(left), rowset.position(right)
+                rows = [row for row in rows if row[left_pos] == row[right_pos]]
+        return RowSet(header, rows)
+
+    def _join_atoms(self, query: SPCQuery, per_atom: dict[int, RowSet | None]) -> RowSet:
+        """Join the per-occurrence row sets on the cross-occurrence equalities."""
+        cross_conditions = [
+            condition
+            for condition in query.conditions
+            if isinstance(condition, AttrEq) and condition.left.atom != condition.right.atom
+        ]
+
+        accumulated: RowSet | None = None
+        included: set[int] = set()
+        for atom_index in range(query.num_atoms):
+            rowset = per_atom[atom_index]
+            if rowset is None:
+                continue
+            if accumulated is None:
+                accumulated = rowset
+                included.add(atom_index)
+                continue
+            pairs: list[tuple[AttrRef, AttrRef]] = []
+            for condition in cross_conditions:
+                left, right = condition.left, condition.right
+                if left.atom in included and right.atom == atom_index:
+                    if left in accumulated.header and right in rowset.header:
+                        pairs.append((left, right))
+                elif right.atom in included and left.atom == atom_index:
+                    if right in accumulated.header and left in rowset.header:
+                        pairs.append((right, left))
+            accumulated = hash_join(accumulated, rowset, pairs) if pairs else product(accumulated, rowset)
+            included.add(atom_index)
+
+        if accumulated is None:
+            # Every occurrence was a parameter-less witness; the query is
+            # Boolean and satisfied (witnesses were checked by the caller).
+            return RowSet((), [()])
+
+        # Late cross-occurrence conditions between occurrences joined earlier
+        # through other paths (e.g. a triangle of equalities) are applied as
+        # residual filters.
+        for condition in cross_conditions:
+            left, right = condition.left, condition.right
+            if left in accumulated.header and right in accumulated.header:
+                left_pos = accumulated.position(left)
+                right_pos = accumulated.position(right)
+                accumulated = RowSet(
+                    accumulated.header,
+                    [row for row in accumulated.rows if row[left_pos] == row[right_pos]],
+                )
+        return accumulated
+
+
+def eval_dq(
+    plan: BoundedPlan,
+    database: Database,
+    enforce_bounds: bool = True,
+) -> ExecutionResult:
+    """Convenience wrapper: execute a bounded plan with a fresh executor.
+
+    This is the paper's ``evalDQ``: fetch ``D_Q`` following the plan, then
+    evaluate the query over ``D_Q`` only.
+    """
+    executor = BoundedExecutor(enforce_bounds=enforce_bounds)
+    return executor.execute(plan, database)

@@ -1,0 +1,154 @@
+"""The BoundedEngine: the end-to-end workflow the paper proposes.
+
+The conclusion of the introduction describes the intended use: given a query
+``Q`` and an access schema ``A``,
+
+1. check (in quadratic time) whether ``Q`` is effectively bounded under ``A``;
+2. if so, generate a bounded plan and answer ``Q`` by fetching a bounded
+   ``D_Q``;
+3. if not, suggest a minimum set of dominating parameters for the user to
+   instantiate (or an access-schema extension);
+4. only when none of that applies, pay the price of evaluating ``Q`` directly.
+
+:class:`BoundedEngine` packages those four stages behind one object so the
+examples and benchmarks read like the workflow they reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..access.indexes import AccessIndexes
+from ..access.schema import AccessSchema
+from ..core.bcheck import BoundednessResult, bcheck
+from ..core.dominating import DominatingParametersResult, find_dominating_parameters
+from ..core.ebcheck import EffectiveBoundednessResult, ebcheck
+from ..errors import NotEffectivelyBoundedError
+from ..planning.plan import BoundedPlan
+from ..planning.qplan import qplan
+from ..relational.database import Database
+from ..spc.atoms import AttrRef
+from ..spc.query import SPCQuery
+from .bounded import BoundedExecutor
+from .metrics import ExecutionResult
+from .naive import NaiveExecutor
+
+
+@dataclass
+class QueryReport:
+    """The engine's static analysis of one query under the access schema."""
+
+    query: SPCQuery
+    boundedness: BoundednessResult
+    effective: EffectiveBoundednessResult
+    plan: BoundedPlan | None = None
+    dominating: DominatingParametersResult | None = None
+
+    @property
+    def bounded(self) -> bool:
+        return self.boundedness.bounded
+
+    @property
+    def effectively_bounded(self) -> bool:
+        return self.effective.effectively_bounded
+
+    @property
+    def access_bound(self) -> int | None:
+        """The plan's access bound when a bounded plan exists."""
+        return self.plan.total_bound if self.plan is not None else None
+
+    @property
+    def suggested_parameters(self) -> frozenset[AttrRef] | None:
+        """Dominating parameters to instantiate when the query is not bounded."""
+        if self.dominating is not None and self.dominating.found:
+            return self.dominating.parameters
+        return None
+
+    def describe(self) -> str:
+        lines = [f"Report for {self.query.name}:"]
+        lines.append(f"  bounded: {self.bounded}")
+        lines.append(f"  effectively bounded: {self.effectively_bounded}")
+        if self.plan is not None:
+            lines.append(f"  plan access bound: {self.plan.total_bound} tuples")
+        if self.suggested_parameters is not None:
+            pretty = ", ".join(
+                ref.pretty(self.query.atoms) for ref in sorted(self.suggested_parameters)
+            )
+            lines.append(f"  suggested dominating parameters: {pretty}")
+        return "\n".join(lines)
+
+
+class BoundedEngine:
+    """Checks, plans and executes SPC queries under a fixed access schema."""
+
+    def __init__(
+        self,
+        access_schema: AccessSchema,
+        fallback_to_naive: bool = True,
+        enforce_bounds: bool = True,
+        dominating_alpha: float | None = None,
+    ) -> None:
+        self.access_schema = access_schema
+        self.fallback_to_naive = fallback_to_naive
+        self.dominating_alpha = dominating_alpha
+        self._bounded_executor = BoundedExecutor(enforce_bounds=enforce_bounds)
+        self._naive_executor = NaiveExecutor()
+        self._plan_cache: dict[SPCQuery, BoundedPlan] = {}
+
+    # -- analysis -----------------------------------------------------------------------
+
+    def check(self, query: SPCQuery, suggest_parameters: bool = True) -> QueryReport:
+        """Static analysis: boundedness, effective boundedness, plan, suggestions."""
+        boundedness = bcheck(query, self.access_schema)
+        effective = ebcheck(query, self.access_schema)
+        plan: BoundedPlan | None = None
+        dominating: DominatingParametersResult | None = None
+        if effective.effectively_bounded:
+            plan = self.plan(query)
+        elif suggest_parameters:
+            dominating = find_dominating_parameters(
+                query, self.access_schema, alpha=self.dominating_alpha
+            )
+        return QueryReport(
+            query=query,
+            boundedness=boundedness,
+            effective=effective,
+            plan=plan,
+            dominating=dominating,
+        )
+
+    def is_effectively_bounded(self, query: SPCQuery) -> bool:
+        return ebcheck(query, self.access_schema).effectively_bounded
+
+    def plan(self, query: SPCQuery) -> BoundedPlan:
+        """The (cached) bounded plan for an effectively bounded query."""
+        plan = self._plan_cache.get(query)
+        if plan is None:
+            plan = qplan(query, self.access_schema)
+            self._plan_cache[query] = plan
+        return plan
+
+    # -- execution ----------------------------------------------------------------------
+
+    def prepare(self, database: Database) -> AccessIndexes:
+        """Pre-build the access-constraint indexes on ``database``."""
+        return self._bounded_executor.prepare(database, self.access_schema)
+
+    def execute(self, query: SPCQuery, database: Database) -> ExecutionResult:
+        """Answer ``query`` on ``database`` with the bounded plan when possible.
+
+        Falls back to the naive executor for queries that are not effectively
+        bounded when ``fallback_to_naive`` is enabled; otherwise raises
+        :class:`~repro.errors.NotEffectivelyBoundedError`.
+        """
+        try:
+            plan = self.plan(query)
+        except NotEffectivelyBoundedError:
+            if not self.fallback_to_naive:
+                raise
+            return self._naive_executor.execute(query, database)
+        return self._bounded_executor.execute(plan, database)
+
+    def execute_naive(self, query: SPCQuery, database: Database) -> ExecutionResult:
+        """Force baseline evaluation (used for comparisons and correctness checks)."""
+        return self._naive_executor.execute(query, database)

@@ -1,0 +1,108 @@
+"""Execution metrics shared by the bounded and baseline executors.
+
+The experiments of Section 6 report two quantities per query: elapsed time and
+``|D_Q|``, the number of tuples accessed.  :class:`ExecutionStats` carries both
+(plus a breakdown into scans and index probes) and is attached to every
+:class:`ExecutionResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..relational.algebra import RowSet
+from ..relational.statistics import AccessSnapshot
+
+
+@dataclass
+class ExecutionStats:
+    """Cost accounting for one query execution."""
+
+    #: Evaluation strategy: ``"bounded"`` (evalDQ) or ``"naive"`` (baseline).
+    strategy: str = "bounded"
+    #: Wall-clock seconds spent evaluating the query.
+    elapsed_seconds: float = 0.0
+    #: Total tuples accessed (scans + index probes) — the paper's ``|D_Q|``
+    #: for evalDQ, and the full-scan volume for the baseline.
+    tuples_accessed: int = 0
+    #: Tuples read through index probes.
+    index_probed: int = 0
+    #: Tuples read through full scans.
+    scanned: int = 0
+    #: Number of index lookups performed.
+    lookups: int = 0
+    #: Number of full relation scans performed.
+    scans: int = 0
+    #: Number of rows in the query answer.
+    result_rows: int = 0
+    #: The plan's a-priori access bound (bounded strategy only).
+    plan_bound: int | None = None
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        strategy: str,
+        delta: AccessSnapshot,
+        elapsed_seconds: float,
+        result_rows: int,
+        plan_bound: int | None = None,
+    ) -> "ExecutionStats":
+        """Build stats from an access-counter delta."""
+        return cls(
+            strategy=strategy,
+            elapsed_seconds=elapsed_seconds,
+            tuples_accessed=delta.total,
+            index_probed=delta.index_probed,
+            scanned=delta.scanned,
+            lookups=delta.lookups,
+            scans=delta.scans,
+            result_rows=result_rows,
+            plan_bound=plan_bound,
+        )
+
+    def describe(self) -> str:
+        parts = [
+            f"strategy={self.strategy}",
+            f"time={self.elapsed_seconds * 1000:.2f}ms",
+            f"accessed={self.tuples_accessed}",
+            f"rows={self.result_rows}",
+        ]
+        if self.plan_bound is not None:
+            parts.append(f"bound={self.plan_bound}")
+        return ", ".join(parts)
+
+
+@dataclass
+class ExecutionResult:
+    """A query answer plus the cost of producing it."""
+
+    rows: RowSet
+    stats: ExecutionStats
+    #: Extra executor-specific details (e.g. per-step fetch sizes).
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def tuples(self) -> list[tuple]:
+        """The answer tuples, in output order."""
+        return list(self.rows.rows)
+
+    @property
+    def as_set(self) -> frozenset[tuple]:
+        """The answer as a set (SPC queries have set semantics)."""
+        return frozenset(self.rows.rows)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.rows.rows
+
+    @property
+    def boolean_value(self) -> bool:
+        """For Boolean queries: whether the answer is non-empty."""
+        return bool(self.rows.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows.rows)
+
+    def __repr__(self) -> str:
+        return f"ExecutionResult({len(self.rows.rows)} rows; {self.stats.describe()})"

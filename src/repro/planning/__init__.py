@@ -1,0 +1,35 @@
+"""Query planning for effectively bounded SPC queries (Section 5).
+
+* :mod:`repro.planning.plan` — the executable :class:`BoundedPlan` artefact.
+* :mod:`repro.planning.qplan` — the QPlan algorithm (Fig. 4).
+* :mod:`repro.planning.minimum` — minimum ``D_Q`` / M-boundedness (Section 5.2).
+"""
+
+from .minimum import (
+    is_effectively_m_bounded,
+    is_m_bounded,
+    minimum_plan_bound,
+)
+from .plan import (
+    AtomProof,
+    BoundedPlan,
+    ColumnSource,
+    ConstSource,
+    FetchStep,
+    ValueSource,
+)
+from .qplan import plan_access_bound, qplan
+
+__all__ = [
+    "AtomProof",
+    "BoundedPlan",
+    "ColumnSource",
+    "ConstSource",
+    "FetchStep",
+    "ValueSource",
+    "is_effectively_m_bounded",
+    "is_m_bounded",
+    "minimum_plan_bound",
+    "plan_access_bound",
+    "qplan",
+]

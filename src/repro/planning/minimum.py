@@ -1,0 +1,151 @@
+"""Minimum bounded subsets and M-boundedness (Section 5.2).
+
+The paper defines ``Q`` to be *M-bounded* under ``A`` when every satisfying
+instance has a subset ``D_Q`` of at most ``M`` tuples with ``Q(D_Q) = Q(D)``,
+and *effectively M-bounded* when that subset can also be identified in time
+independent of ``|D|``.  Deciding either, with ``M`` part of the input, is
+NP-complete (Theorem 8), in contrast to the quadratic-time checks when ``M``
+is left free.
+
+This module offers the practical counterparts:
+
+* :func:`minimum_plan_bound` — the smallest access bound achievable by a
+  bounded plan, either with the default greedy covering-step choice or by
+  exhaustively enumerating covering-step combinations (exponential, for small
+  plans and the ablation benchmark).
+* :func:`is_effectively_m_bounded` — a sound decision procedure: answers
+  ``True`` only when a plan with bound at most ``M`` exists.  Because exact
+  minimization is NP-hard, a ``False`` answer with ``exhaustive=False`` may be
+  conservative; with ``exhaustive=True`` it is exact *with respect to the class
+  of plans the planner produces*.
+* :func:`is_m_bounded` — the boundedness variant, using the closure's bound
+  estimates when no effective plan exists.
+"""
+
+from __future__ import annotations
+
+from itertools import product as cartesian_product
+
+from ..access.schema import AccessSchema
+from ..core.bcheck import bcheck
+from ..core.ebcheck import ebcheck
+from ..errors import NotEffectivelyBoundedError
+from ..spc.query import SPCQuery
+from .plan import BoundedPlan, ColumnSource
+from .qplan import qplan
+
+
+def _plan_bound_for_covering(plan: BoundedPlan, covering: dict[int, int]) -> int:
+    """Total bound of the plan restricted to the steps a covering choice needs."""
+    needed: set[int] = set()
+
+    def mark(step_index: int) -> None:
+        if step_index in needed:
+            return
+        needed.add(step_index)
+        for source in plan.steps[step_index].key_sources.values():
+            if isinstance(source, ColumnSource):
+                mark(source.step)
+
+    for step_index in covering.values():
+        mark(step_index)
+    return sum(plan.steps[index].bound for index in needed)
+
+
+def minimum_plan_bound(
+    query: SPCQuery,
+    access_schema: AccessSchema,
+    exhaustive: bool = False,
+    max_combinations: int = 100_000,
+) -> int:
+    """The smallest access bound over admissible covering-step choices.
+
+    With ``exhaustive=False`` this is simply the default plan's bound.  With
+    ``exhaustive=True`` the planner's *unpruned* step set is re-covered in
+    every admissible way and the cheapest combination is returned; the search
+    is capped at ``max_combinations`` combinations.
+    """
+    if not exhaustive:
+        return qplan(query, access_schema).total_bound
+
+    plan = qplan(query, access_schema)
+    # Re-plan without pruning to expose every admissible covering candidate.
+    full = qplan(query, access_schema, check=False)
+    candidates_per_atom: list[list[int]] = []
+    for atom_index in range(query.num_atoms):
+        needed = query.atom_parameters(atom_index)
+        candidates = [
+            step.index
+            for step in full.steps
+            if step.atom == atom_index
+            and (
+                (needed and needed <= set(step.outputs))
+                or (not needed and not step.constraint.x)
+            )
+        ]
+        if not candidates:
+            return plan.total_bound
+        candidates_per_atom.append(candidates)
+
+    total_combinations = 1
+    for candidates in candidates_per_atom:
+        total_combinations *= len(candidates)
+    if total_combinations > max_combinations:
+        return plan.total_bound
+
+    best = plan.total_bound
+    for combination in cartesian_product(*candidates_per_atom):
+        covering = dict(enumerate(combination))
+        best = min(best, _plan_bound_for_covering(full, covering))
+    return best
+
+
+def is_effectively_m_bounded(
+    query: SPCQuery,
+    access_schema: AccessSchema,
+    m: int,
+    exhaustive: bool = True,
+) -> bool:
+    """Whether a bounded plan fetching at most ``m`` tuples exists.
+
+    Sound: ``True`` answers always come with a concrete plan achieving the
+    bound.  Exactness is relative to the planner's plan space (Theorem 8 shows
+    the general problem is NP-complete).
+    """
+    if m < 0:
+        return False
+    if not ebcheck(query, access_schema).effectively_bounded:
+        return False
+    return minimum_plan_bound(query, access_schema, exhaustive=exhaustive) <= m
+
+
+def is_m_bounded(
+    query: SPCQuery,
+    access_schema: AccessSchema,
+    m: int,
+) -> bool:
+    """Whether ``Q`` is M-bounded under ``A`` (sound, possibly conservative).
+
+    Uses the effective plan bound when one exists; otherwise falls back to the
+    boundedness closure's per-parameter bound estimates: the witness subset
+    needs at most one partial tuple per combination of bounded parameter
+    values per occurrence, so the sum over occurrences of the product of
+    parameter bounds is an upper bound on ``|D_Q|``.
+    """
+    if m < 0:
+        return False
+    verdict = bcheck(query, access_schema)
+    if not verdict.bounded:
+        return False
+    try:
+        if minimum_plan_bound(query, access_schema, exhaustive=True) <= m:
+            return True
+    except NotEffectivelyBoundedError:
+        pass
+    estimate = 0
+    for atom_index in range(query.num_atoms):
+        atom_bound = 1
+        for ref in query.atom_parameters(atom_index):
+            atom_bound *= max(1, verdict.closure.bounds.get(ref, 1))
+        estimate += atom_bound
+    return estimate <= m

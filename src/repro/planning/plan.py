@@ -1,0 +1,156 @@
+"""Executable bounded query plans.
+
+A :class:`BoundedPlan` is the artefact QPlan produces (Section 5.1): an ordered
+list of *fetch steps*, one designated *covering step* per query occurrence, and
+the bookkeeping needed to execute the plan and to state its access bound before
+touching any data.
+
+Each fetch step applies one access constraint ``X -> (Y, N)`` to one occurrence
+``S_i``: it enumerates candidate ``X``-values from constants and from columns
+of earlier steps (following ``Σ_Q`` equalities), probes the constraint's index
+for each candidate, and materializes the distinct ``X ∪ Y`` projections of
+``S_i``.  Because every probe goes through an access-constraint index, the
+number of tuples a step can fetch is bounded by ``N`` times the number of
+candidate key values — a quantity derived from ``Q`` and ``A`` only, never from
+``|D|``.  The sum of these bounds is the plan's access bound ``Σ M_i``
+(7 000 for the paper's Example 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+from ..access.constraint import AccessConstraint
+from ..access.schema import AccessSchema
+from ..spc.atoms import AttrRef
+from ..spc.query import SPCQuery
+
+
+@dataclass(frozen=True)
+class ConstSource:
+    """A key attribute whose candidate values are a single constant of ``Q``."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        return f"const {self.value!r}"
+
+
+@dataclass(frozen=True)
+class ColumnSource:
+    """A key attribute whose candidate values come from a column of an earlier step.
+
+    ``step`` is the index of the producing :class:`FetchStep` in the plan;
+    ``column`` is the output column (an :class:`AttrRef`) whose distinct values
+    are used, justified by a ``Σ_Q`` equality between that column and the key
+    attribute being bound.
+    """
+
+    step: int
+    column: AttrRef
+
+    def __str__(self) -> str:
+        return f"step {self.step}, column {self.column}"
+
+
+ValueSource = Union[ConstSource, ColumnSource]
+
+
+@dataclass
+class FetchStep:
+    """One bounded fetch: apply one access constraint to one occurrence."""
+
+    index: int
+    atom: int
+    constraint: AccessConstraint
+    #: Key attribute name (of the constraint's ``X``) -> where its values come from.
+    key_sources: dict[str, ValueSource]
+    #: Output columns, in the constraint's canonical fetch order (``X`` then ``Y \\ X``).
+    outputs: tuple[AttrRef, ...]
+    #: Upper bound on the number of distinct rows this step can fetch.
+    bound: int
+
+    @property
+    def depends_on(self) -> frozenset[int]:
+        """Indexes of earlier steps this step draws key values from."""
+        return frozenset(
+            source.step for source in self.key_sources.values() if isinstance(source, ColumnSource)
+        )
+
+    def describe(self, query: SPCQuery) -> str:
+        atoms = query.atoms
+        alias = atoms[self.atom].alias
+        keys = (
+            ", ".join(f"{name} <- {source}" for name, source in sorted(self.key_sources.items()))
+            or "(no keys)"
+        )
+        outs = ", ".join(ref.pretty(atoms) for ref in self.outputs)
+        return (
+            f"T{self.index}: fetch {alias} via [{self.constraint}] with {keys}; "
+            f"outputs ({outs}); bound {self.bound}"
+        )
+
+
+@dataclass
+class AtomProof:
+    """The per-occurrence summary QPlan reports: the paper's object ``o_i``.
+
+    ``covered`` is ``o.X`` (parameters of the occurrence obtained by the plan),
+    ``steps`` plays the role of ``o.P`` (which fetch steps realize the proof),
+    and ``bound`` is ``o.c`` (the number of tuples fetched for the occurrence).
+    """
+
+    atom: int
+    covered: frozenset[AttrRef]
+    steps: tuple[int, ...]
+    bound: int
+
+
+@dataclass
+class BoundedPlan:
+    """A complete bounded evaluation plan for an effectively bounded query."""
+
+    query: SPCQuery
+    access_schema: AccessSchema
+    steps: list[FetchStep]
+    #: Occurrence index -> index of the step whose output covers ``X_Q^i``.
+    covering: dict[int, int]
+    proofs: dict[int, AtomProof] = field(default_factory=dict)
+
+    @property
+    def total_bound(self) -> int:
+        """The plan's access bound ``Σ M_i``: max tuples fetched, independent of ``|D|``."""
+        return sum(step.bound for step in self.steps)
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    def step(self, index: int) -> FetchStep:
+        return self.steps[index]
+
+    def covering_step(self, atom: int) -> FetchStep:
+        """The designated covering step for occurrence ``atom``."""
+        return self.steps[self.covering[atom]]
+
+    def describe(self) -> str:
+        """A human-readable rendering of the whole plan."""
+        lines = [
+            f"Bounded plan for {self.query.name}: {len(self.steps)} fetch steps, "
+            f"access bound {self.total_bound} tuples"
+        ]
+        for step in self.steps:
+            lines.append("  " + step.describe(self.query))
+        for atom_index in sorted(self.covering):
+            alias = self.query.atoms[atom_index].alias
+            lines.append(
+                f"  covering step for {alias}: T{self.covering[atom_index]}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundedPlan({self.query.name}: {len(self.steps)} steps, "
+            f"bound {self.total_bound})"
+        )

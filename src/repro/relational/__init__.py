@@ -1,0 +1,86 @@
+"""Relational substrate: schemas, relations, databases, indices and algebra.
+
+This package is the storage and evaluation substrate the paper's algorithms
+run on top of — the role MySQL plays in the original experiments.  It provides
+
+* typed relation and database schemas (:mod:`repro.relational.schema`),
+* in-memory relations and database instances with per-query access accounting
+  (:mod:`repro.relational.relation`, :mod:`repro.relational.database`),
+* hash indices with bounded, counted probes (:mod:`repro.relational.indexes`),
+* materialized relational-algebra operators (:mod:`repro.relational.algebra`),
+* CSV import/export (:mod:`repro.relational.csvio`).
+"""
+
+from .algebra import (
+    RowSet,
+    difference,
+    hash_join,
+    product,
+    project,
+    rename,
+    select,
+    select_attr_eq,
+    select_eq,
+    semijoin,
+    union,
+)
+from .csvio import (
+    read_database_csv,
+    read_relation_csv,
+    relation_from_rows,
+    write_database_csv,
+    write_relation_csv,
+)
+from .database import Database
+from .indexes import HashIndex, IndexCatalog
+from .relation import Relation
+from .schema import Attribute, DatabaseSchema, RelationSchema, schema_from_mapping
+from .statistics import AccessCounter, AccessSnapshot, RelationStatistics
+from .types import (
+    ANY,
+    AttributeType,
+    BoundedIntType,
+    EnumType,
+    FLOAT,
+    INT,
+    STRING,
+    type_from_name,
+)
+
+__all__ = [
+    "ANY",
+    "AccessCounter",
+    "AccessSnapshot",
+    "Attribute",
+    "AttributeType",
+    "BoundedIntType",
+    "Database",
+    "DatabaseSchema",
+    "EnumType",
+    "FLOAT",
+    "HashIndex",
+    "INT",
+    "IndexCatalog",
+    "Relation",
+    "RelationSchema",
+    "RelationStatistics",
+    "RowSet",
+    "STRING",
+    "difference",
+    "hash_join",
+    "product",
+    "project",
+    "read_database_csv",
+    "read_relation_csv",
+    "relation_from_rows",
+    "rename",
+    "schema_from_mapping",
+    "select",
+    "select_attr_eq",
+    "select_eq",
+    "semijoin",
+    "type_from_name",
+    "union",
+    "write_database_csv",
+    "write_relation_csv",
+]

@@ -1,0 +1,164 @@
+"""Relational-algebra operators over in-memory row sets.
+
+These operators implement the textbook semantics of selection, projection,
+Cartesian product, natural/equi-join, renaming, union and difference over
+*materialized* row lists.  They are deliberately independent of
+:class:`~repro.relational.relation.Relation` and access counters: executors
+decide which rows to feed in (and are charged when they read them); the
+algebra then combines those in-memory rows.
+
+Rows are positional tuples accompanied by a *header* — a tuple of column
+labels.  Executors use ``(alias, attribute)`` pairs as labels so renamed
+occurrences of the same relation stay distinct, exactly as the paper's
+``S_i[A]`` notation requires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+from ..errors import SchemaError
+
+Header = tuple[Hashable, ...]
+Row = tuple[Any, ...]
+
+
+class RowSet:
+    """A header plus a list of positional rows; the unit the operators work on."""
+
+    __slots__ = ("header", "rows")
+
+    def __init__(self, header: Sequence[Hashable], rows: Iterable[Sequence[Any]] = ()) -> None:
+        self.header: Header = tuple(header)
+        positions_seen = set(self.header)
+        if len(positions_seen) != len(self.header):
+            raise SchemaError(f"duplicate column labels in header: {self.header}")
+        self.rows: list[Row] = [tuple(r) for r in rows]
+
+    def position(self, column: Hashable) -> int:
+        try:
+            return self.header.index(column)
+        except ValueError:
+            raise SchemaError(f"no column {column!r} in header {self.header}") from None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"RowSet({self.header}, {len(self.rows)} rows)"
+
+    def distinct(self) -> "RowSet":
+        """A copy with duplicate rows removed (stable order)."""
+        seen: set[Row] = set()
+        out: list[Row] = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        return RowSet(self.header, out)
+
+
+def select(rowset: RowSet, predicate: Callable[[Row], bool]) -> RowSet:
+    """σ_predicate(rowset)."""
+    return RowSet(rowset.header, [row for row in rowset.rows if predicate(row)])
+
+
+def select_eq(rowset: RowSet, column: Hashable, value: Any) -> RowSet:
+    """σ_{column = value}(rowset)."""
+    position = rowset.position(column)
+    return RowSet(rowset.header, [row for row in rowset.rows if row[position] == value])
+
+
+def select_attr_eq(rowset: RowSet, left: Hashable, right: Hashable) -> RowSet:
+    """σ_{left = right}(rowset) for two columns of the same row set."""
+    left_pos = rowset.position(left)
+    right_pos = rowset.position(right)
+    return RowSet(rowset.header, [row for row in rowset.rows if row[left_pos] == row[right_pos]])
+
+
+def project(rowset: RowSet, columns: Sequence[Hashable], distinct: bool = True) -> RowSet:
+    """π_columns(rowset); set semantics by default, as in SPC."""
+    positions = [rowset.position(c) for c in columns]
+    projected = [tuple(row[p] for p in positions) for row in rowset.rows]
+    result = RowSet(columns, projected)
+    return result.distinct() if distinct else result
+
+
+def rename(rowset: RowSet, mapping: dict[Hashable, Hashable]) -> RowSet:
+    """ρ(rowset): relabel columns according to ``mapping`` (others unchanged)."""
+    new_header = tuple(mapping.get(c, c) for c in rowset.header)
+    return RowSet(new_header, rowset.rows)
+
+
+def product(left: RowSet, right: RowSet) -> RowSet:
+    """left × right."""
+    overlap = set(left.header) & set(right.header)
+    if overlap:
+        raise SchemaError(f"Cartesian product with overlapping columns: {overlap}")
+    header = left.header + right.header
+    rows = [l + r for l in left.rows for r in right.rows]
+    return RowSet(header, rows)
+
+
+def hash_join(
+    left: RowSet,
+    right: RowSet,
+    pairs: Sequence[tuple[Hashable, Hashable]],
+) -> RowSet:
+    """Equi-join of ``left`` and ``right`` on the given (left, right) column pairs.
+
+    With an empty ``pairs`` list this degenerates to a Cartesian product,
+    which is exactly how an SPC query with no cross-relation equality atoms
+    behaves.
+    """
+    if not pairs:
+        return product(left, right)
+    overlap = set(left.header) & set(right.header)
+    if overlap:
+        raise SchemaError(f"join with overlapping columns: {overlap}")
+    left_positions = [left.position(l) for l, _ in pairs]
+    right_positions = [right.position(r) for _, r in pairs]
+    buckets: dict[tuple[Any, ...], list[Row]] = {}
+    for row in right.rows:
+        key = tuple(row[p] for p in right_positions)
+        buckets.setdefault(key, []).append(row)
+    header = left.header + right.header
+    joined: list[Row] = []
+    for row in left.rows:
+        key = tuple(row[p] for p in left_positions)
+        for match in buckets.get(key, ()):
+            joined.append(row + match)
+    return RowSet(header, joined)
+
+
+def union(left: RowSet, right: RowSet) -> RowSet:
+    """left ∪ right under set semantics; headers must match."""
+    if left.header != right.header:
+        raise SchemaError("union requires identical headers")
+    return RowSet(left.header, left.rows + right.rows).distinct()
+
+
+def difference(left: RowSet, right: RowSet) -> RowSet:
+    """left − right under set semantics; headers must match."""
+    if left.header != right.header:
+        raise SchemaError("difference requires identical headers")
+    right_rows = set(right.rows)
+    return RowSet(left.header, [row for row in left.rows if row not in right_rows]).distinct()
+
+
+def semijoin(
+    left: RowSet,
+    right: RowSet,
+    pairs: Sequence[tuple[Hashable, Hashable]],
+) -> RowSet:
+    """left ⋉ right: rows of ``left`` with at least one join partner in ``right``."""
+    if not pairs:
+        return RowSet(left.header, left.rows if len(right) else [])
+    left_positions = [left.position(l) for l, _ in pairs]
+    right_positions = [right.position(r) for _, r in pairs]
+    keys = {tuple(row[p] for p in right_positions) for row in right.rows}
+    kept = [row for row in left.rows if tuple(row[p] for p in left_positions) in keys]
+    return RowSet(left.header, kept)

@@ -1,0 +1,120 @@
+"""CSV import/export for relations and databases.
+
+The paper's real-life datasets (TFACC, MOT) are distributed as CSV files; this
+module gives the reproduction the same on-disk interchange format so users can
+load their own data, and so generated workloads can be persisted and reloaded
+without regenerating them.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..errors import SchemaError
+from .database import Database
+from .relation import Relation
+from .schema import DatabaseSchema, RelationSchema
+from .types import ANY, AttributeType, FLOAT, INT, STRING
+
+
+def _coerce(value: str, attribute_type: AttributeType) -> Any:
+    """Parse a CSV cell with the attribute's type, falling back to the raw string."""
+    if attribute_type is ANY:
+        # Untyped columns: try int, then float, then keep the string.
+        for caster in (int, float):
+            try:
+                return caster(value)
+            except ValueError:
+                continue
+        return value
+    try:
+        return attribute_type.parse(value)
+    except (ValueError, TypeError):
+        return value
+
+
+def write_relation_csv(relation: Relation, path: str | Path) -> Path:
+    """Write ``relation`` to ``path`` as a CSV file with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.attribute_names)
+        for row in relation.tuples():
+            writer.writerow(row)
+    return path
+
+
+def read_relation_csv(
+    schema: RelationSchema, path: str | Path, has_header: bool = True
+) -> Relation:
+    """Load a relation of ``schema`` from a CSV file.
+
+    When ``has_header`` is true, the header row must list exactly the schema's
+    attributes (in any order); columns are re-ordered to match the schema.
+    """
+    path = Path(path)
+    relation = Relation(schema)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        rows = iter(reader)
+        if has_header:
+            header = next(rows, None)
+            if header is None:
+                return relation
+            if set(header) != set(schema.attribute_names):
+                raise SchemaError(
+                    f"CSV header {header} does not match schema attributes "
+                    f"{list(schema.attribute_names)} for relation {schema.name!r}"
+                )
+            order = [header.index(a) for a in schema.attribute_names]
+        else:
+            order = list(range(schema.arity))
+        types = [attr.type for attr in schema.attributes]
+        for raw in rows:
+            if not raw:
+                continue
+            if len(raw) != schema.arity:
+                raise SchemaError(
+                    f"CSV row of length {len(raw)} does not match arity "
+                    f"{schema.arity} of relation {schema.name!r}"
+                )
+            reordered = [raw[i] for i in order]
+            relation.insert(tuple(_coerce(cell, t) for cell, t in zip(reordered, types)))
+    return relation
+
+
+def write_database_csv(database: Database, directory: str | Path) -> Path:
+    """Write every relation of ``database`` to ``<directory>/<relation>.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for relation in database:
+        write_relation_csv(relation, directory / f"{relation.name}.csv")
+    return directory
+
+
+def read_database_csv(schema: DatabaseSchema, directory: str | Path) -> Database:
+    """Load a database of ``schema`` from per-relation CSV files in ``directory``.
+
+    Missing files yield empty relations, so partially materialized datasets
+    load cleanly.
+    """
+    directory = Path(directory)
+    database = Database(schema)
+    for relation_schema in schema:
+        path = directory / f"{relation_schema.name}.csv"
+        if not path.exists():
+            continue
+        loaded = read_relation_csv(relation_schema, path)
+        database.relation(relation_schema.name).extend(loaded.tuples())
+    return database
+
+
+def relation_from_rows(
+    name: str, attributes: Iterable[str], rows: Iterable[tuple]
+) -> Relation:
+    """Small convenience for tests and examples: build a relation inline."""
+    schema = RelationSchema(name, list(attributes))
+    return Relation(schema, rows)

@@ -1,0 +1,164 @@
+"""Database instances: named relations plus an access counter and index catalog.
+
+A :class:`Database` is the paper's instance ``D`` of a relational schema
+``R``.  It owns the single :class:`~repro.relational.statistics.AccessCounter`
+that all scans and index probes charge, so one query execution produces one
+coherent access count regardless of how many relations it touches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from ..errors import SchemaError, UnknownRelationError
+from .indexes import HashIndex, IndexCatalog
+from .relation import Relation
+from .schema import DatabaseSchema, RelationSchema
+from .statistics import AccessCounter, AccessSnapshot
+
+
+class Database:
+    """An instance of a :class:`~repro.relational.schema.DatabaseSchema`."""
+
+    __slots__ = ("schema", "_relations", "counter", "indexes")
+
+    def __init__(self, schema: DatabaseSchema) -> None:
+        self.schema = schema
+        self.counter = AccessCounter()
+        self.indexes = IndexCatalog()
+        self._relations: dict[str, Relation] = {}
+        for relation_schema in schema:
+            relation = Relation(relation_schema, counter=self.counter)
+            relation.attach_counter(self.counter)
+            self._relations[relation_schema.name] = relation
+
+    # -- construction --------------------------------------------------------------
+
+    @classmethod
+    def from_relations(cls, relations: Iterable[Relation]) -> "Database":
+        """Build a database (and schema) from already-populated relations."""
+        relations = list(relations)
+        schema = DatabaseSchema(r.schema for r in relations)
+        database = cls(schema)
+        for relation in relations:
+            database._relations[relation.name] = relation
+            relation.attach_counter(database.counter)
+        return database
+
+    @classmethod
+    def from_dict(
+        cls,
+        schema: DatabaseSchema,
+        data: Mapping[str, Iterable[Sequence[Any]]],
+    ) -> "Database":
+        """Build a database from ``{relation_name: [tuple, ...]}``."""
+        database = cls(schema)
+        for name, rows in data.items():
+            database.relation(name).extend(rows)
+        return database
+
+    # -- relation access -----------------------------------------------------------
+
+    def relation(self, name: str) -> Relation:
+        """The relation named ``name``."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def relations(self) -> tuple[Relation, ...]:
+        return tuple(self._relations.values())
+
+    @property
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations (the paper's ``|D|``)."""
+        return sum(len(r) for r in self._relations.values())
+
+    def __repr__(self) -> str:
+        return f"Database({len(self._relations)} relations, {self.total_tuples} tuples)"
+
+    # -- mutation ------------------------------------------------------------------
+
+    def insert(self, relation_name: str, row: Sequence[Any]) -> None:
+        """Insert a tuple; any indexes on the relation become stale.
+
+        Indexes are rebuilt lazily by :meth:`build_index`, mirroring a bulk
+        load followed by index construction.  Workload generators populate
+        relations fully before indices are created.
+        """
+        self.relation(relation_name).insert(row)
+
+    def extend(self, relation_name: str, rows: Iterable[Sequence[Any]]) -> None:
+        """Insert several tuples into one relation."""
+        self.relation(relation_name).extend(rows)
+
+    # -- indexing ------------------------------------------------------------------
+
+    def build_index(
+        self,
+        relation_name: str,
+        key: Sequence[str],
+        value: Sequence[str] | None = None,
+    ) -> HashIndex:
+        """Build (or reuse) a hash index on ``relation_name`` keyed by ``key``.
+
+        The returned index charges its probes to this database's counter.
+        """
+        relation = self.relation(relation_name)
+        existing = self.indexes.find(relation_name, key, value)
+        if existing is not None:
+            return existing
+        index = HashIndex(relation, key, value, counter=self.counter)
+        return self.indexes.add(index)
+
+    def find_index(
+        self, relation_name: str, key: Sequence[str], value: Sequence[str] | None = None
+    ) -> HashIndex | None:
+        """Look up a previously built index, or ``None``."""
+        return self.indexes.find(relation_name, key, value)
+
+    # -- accounting ----------------------------------------------------------------
+
+    def reset_counter(self) -> None:
+        """Zero the shared access counter."""
+        self.counter.reset()
+
+    def access_snapshot(self) -> AccessSnapshot:
+        """Snapshot of the shared counter (for differencing around a query)."""
+        return self.counter.snapshot()
+
+    def accesses_since(self, snapshot: AccessSnapshot) -> AccessSnapshot:
+        """Counter deltas accumulated since ``snapshot``."""
+        return self.counter.since(snapshot)
+
+    # -- scaling -------------------------------------------------------------------
+
+    def scaled_copy(self, fraction: float, seed: int = 0) -> "Database":
+        """A new database containing roughly ``fraction`` of each relation.
+
+        Used by the Figure 5(a)/(e)/(i) experiments, which evaluate the same
+        queries on 2^-5 ... 1 scalings of a dataset.  Selection is a
+        deterministic stride-based subsample so repeated calls are stable; it
+        keeps the first tuples of each relation, which preserves referential
+        clustering produced by the generators.
+        """
+        if not 0 < fraction <= 1:
+            raise SchemaError(f"fraction must be in (0, 1], got {fraction}")
+        copy = Database(self.schema)
+        for relation in self:
+            keep = max(1, int(len(relation) * fraction)) if len(relation) else 0
+            copy.relation(relation.name).extend(relation.tuples()[:keep])
+        return copy
+
+    def summary(self) -> str:
+        """Human-readable per-relation cardinality summary."""
+        lines = [f"Database: {self.total_tuples} tuples in {len(self._relations)} relations"]
+        for relation in self:
+            lines.append(f"  {relation.name}: {len(relation)} tuples")
+        return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Hash indices over relations.
+
+An access constraint ``X -> (Y, N)`` is "a combination of a cardinality
+constraint and an index": given an ``X``-value it must be possible to retrieve
+the at most ``N`` corresponding ``Y``-values with a cost measured in ``N``,
+not in ``|D|``.  :class:`HashIndex` provides that retrieval primitive: an
+in-memory hash map from ``X``-values to the tuples carrying them, returning
+projections on demand.
+
+The index charges the tuples it returns to the relation's access counter via
+:meth:`HashIndex.probe`, so bounded plans are charged exactly for what they
+fetch (the paper's ``|D_Q|``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from .relation import Relation
+from .statistics import AccessCounter
+
+
+class HashIndex:
+    """A hash index on a set of key attributes of a relation.
+
+    Parameters
+    ----------
+    relation:
+        The indexed relation.
+    key:
+        Attribute names forming the lookup key ``X``.  An empty key is
+        allowed: all tuples then live under the single key ``()``, which is
+        how bounded-domain access constraints (empty ``X``) are served.
+    value:
+        Attribute names to return per match.  When omitted, probes return
+        whole tuples (the ``X -> (R, N)`` case of the paper).
+    """
+
+    __slots__ = ("relation", "key", "value", "_key_positions", "_value_positions", "_buckets", "_counter")
+
+    def __init__(
+        self,
+        relation: Relation,
+        key: Sequence[str],
+        value: Sequence[str] | None = None,
+        counter: AccessCounter | None = None,
+    ) -> None:
+        schema = relation.schema
+        self.relation = relation
+        self.key = tuple(key)
+        self.value = tuple(value) if value is not None else schema.attribute_names
+        self._key_positions = schema.positions(self.key)
+        self._value_positions = schema.positions(self.value)
+        self._counter = counter if counter is not None else relation._counter
+        self._buckets: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        buckets = self._buckets
+        key_positions = self._key_positions
+        for row in self.relation.tuples():
+            bucket_key = tuple(row[p] for p in key_positions)
+            buckets.setdefault(bucket_key, []).append(row)
+
+    # -- metadata -----------------------------------------------------------------
+
+    @property
+    def distinct_keys(self) -> int:
+        """Number of distinct key values present in the relation."""
+        return len(self._buckets)
+
+    @property
+    def max_bucket_size(self) -> int:
+        """Largest number of tuples sharing one key value (0 when empty).
+
+        For an index backing an access constraint ``X -> (Y, N)`` this is a
+        lower bound certificate: the data satisfies the constraint only if the
+        number of *distinct* ``Y``-values per bucket is at most ``N``.
+        """
+        if not self._buckets:
+            return 0
+        return max(len(rows) for rows in self._buckets.values())
+
+    def attach_counter(self, counter: AccessCounter | None) -> None:
+        self._counter = counter
+
+    # -- probes -------------------------------------------------------------------
+
+    def probe(self, key_value: Sequence[Any]) -> list[tuple[Any, ...]]:
+        """Return the ``value``-projections of tuples matching ``key_value`` (counted).
+
+        Matches are deduplicated on the value projection, reflecting the
+        paper's semantics where the index returns the at most ``N`` *distinct*
+        ``Y``-values for an ``X``-value.
+        """
+        rows = self._buckets.get(tuple(key_value), [])
+        seen: set[tuple[Any, ...]] = set()
+        result: list[tuple[Any, ...]] = []
+        for row in rows:
+            projected = tuple(row[p] for p in self._value_positions)
+            if projected not in seen:
+                seen.add(projected)
+                result.append(projected)
+        if self._counter is not None:
+            self._counter.record_probe(len(result))
+        return result
+
+    def probe_full(self, key_value: Sequence[Any]) -> list[tuple[Any, ...]]:
+        """Return full matching tuples without value-projection dedup (counted)."""
+        rows = self._buckets.get(tuple(key_value), [])
+        if self._counter is not None:
+            self._counter.record_probe(len(rows))
+        return list(rows)
+
+    def contains_key(self, key_value: Sequence[Any]) -> bool:
+        """Membership test on the key, charged as a single-tuple probe."""
+        present = tuple(key_value) in self._buckets
+        if self._counter is not None:
+            self._counter.record_probe(1 if present else 0)
+        return present
+
+    def probe_many(self, key_values: Iterable[Sequence[Any]]) -> list[tuple[Any, ...]]:
+        """Probe several key values and concatenate the (distinct) results."""
+        results: list[tuple[Any, ...]] = []
+        seen: set[tuple[Any, ...]] = set()
+        for key_value in key_values:
+            for projected in self.probe(key_value):
+                if projected not in seen:
+                    seen.add(projected)
+                    results.append(projected)
+        return results
+
+    def __repr__(self) -> str:
+        return (
+            f"HashIndex({self.relation.name}: {','.join(self.key)} -> "
+            f"{','.join(self.value)}, {self.distinct_keys} keys)"
+        )
+
+
+class IndexCatalog:
+    """All indices built over the relations of one database.
+
+    The catalog is keyed by ``(relation, key attributes)``; requesting an
+    index that covers a superset of value attributes reuses an existing
+    whole-tuple index when available.
+    """
+
+    __slots__ = ("_indexes",)
+
+    def __init__(self) -> None:
+        self._indexes: dict[tuple[str, tuple[str, ...], tuple[str, ...]], HashIndex] = {}
+
+    def add(self, index: HashIndex) -> HashIndex:
+        """Register ``index`` and return it (idempotent on identical specs)."""
+        spec = (index.relation.name, index.key, index.value)
+        self._indexes.setdefault(spec, index)
+        return self._indexes[spec]
+
+    def find(
+        self, relation: str, key: Sequence[str], value: Sequence[str] | None = None
+    ) -> HashIndex | None:
+        """Look up an index by exact key (and value projection when given).
+
+        With ``value=None`` any index on the key is acceptable and the one
+        with the widest value projection is preferred.
+        """
+        key = tuple(key)
+        if value is not None:
+            return self._indexes.get((relation, key, tuple(value)))
+        best: HashIndex | None = None
+        for (rel_name, idx_key, _idx_value), index in self._indexes.items():
+            if rel_name == relation and idx_key == key:
+                if best is None or len(index.value) > len(best.value):
+                    best = index
+        return best
+
+    def indexes_for(self, relation: str) -> list[HashIndex]:
+        """All indices built on ``relation``."""
+        return [idx for (rel, _k, _v), idx in self._indexes.items() if rel == relation]
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def __iter__(self):
+        return iter(self._indexes.values())

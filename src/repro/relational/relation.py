@@ -1,0 +1,172 @@
+"""In-memory relations (tables).
+
+A :class:`Relation` stores tuples as plain Python tuples aligned with its
+:class:`~repro.relational.schema.RelationSchema`.  Relations are append-only
+from the public API's point of view; workload generators build them once and
+queries never mutate them.
+
+Relations expose *counted* and *uncounted* access paths.  The counted paths
+(:meth:`Relation.scan`) report the tuples they touch to an
+:class:`~repro.relational.statistics.AccessCounter` when one is attached via
+the owning :class:`~repro.relational.database.Database`; the uncounted paths
+(:meth:`Relation.tuples`, iteration) are for test assertions and index builds,
+which the paper does not charge to query evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from ..errors import ArityError, SchemaError
+from .schema import RelationSchema
+from .statistics import AccessCounter, RelationStatistics
+
+
+class Relation:
+    """A named, schema-conforming multiset of tuples."""
+
+    __slots__ = ("schema", "_rows", "_counter")
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        rows: Iterable[Sequence[Any]] = (),
+        counter: AccessCounter | None = None,
+    ) -> None:
+        self.schema = schema
+        self._rows: list[tuple[Any, ...]] = []
+        self._counter = counter
+        for row in rows:
+            self.insert(row)
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def from_dicts(
+        cls, schema: RelationSchema, records: Iterable[Mapping[str, Any]]
+    ) -> "Relation":
+        """Build a relation from ``{attribute: value}`` mappings."""
+        relation = cls(schema)
+        for record in records:
+            relation.insert_dict(record)
+        return relation
+
+    def insert(self, row: Sequence[Any]) -> None:
+        """Append a tuple given in schema attribute order."""
+        values = tuple(row)
+        if len(values) != self.schema.arity:
+            raise ArityError(
+                f"relation {self.schema.name!r} expects arity {self.schema.arity}, "
+                f"got tuple of length {len(values)}"
+            )
+        self._rows.append(values)
+
+    def insert_dict(self, record: Mapping[str, Any]) -> None:
+        """Append a tuple given as an ``{attribute: value}`` mapping."""
+        missing = [a for a in self.schema.attribute_names if a not in record]
+        if missing:
+            raise SchemaError(
+                f"record for {self.schema.name!r} is missing attributes: {missing}"
+            )
+        self.insert(tuple(record[a] for a in self.schema.attribute_names))
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append many tuples."""
+        for row in rows:
+            self.insert(row)
+
+    # -- inspection (uncounted) ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def cardinality(self) -> int:
+        """Number of tuples."""
+        return len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self._rows)
+
+    def tuples(self) -> list[tuple[Any, ...]]:
+        """All tuples, without charging the access counter."""
+        return list(self._rows)
+
+    def row_dict(self, row: Sequence[Any]) -> dict[str, Any]:
+        """Convert a positional tuple to an ``{attribute: value}`` mapping."""
+        return dict(zip(self.schema.attribute_names, row))
+
+    def __contains__(self, row: Sequence[Any]) -> bool:
+        return tuple(row) in self._rows
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema.name}, {len(self._rows)} tuples)"
+
+    # -- counted access paths ------------------------------------------------------
+
+    def attach_counter(self, counter: AccessCounter | None) -> None:
+        """Attach (or detach) the access counter charged by counted scans."""
+        self._counter = counter
+
+    def scan(self) -> Iterator[tuple[Any, ...]]:
+        """Iterate over every tuple, charging a full scan to the counter.
+
+        This is the access path a conventional engine uses when no suitable
+        index exists; its cost grows linearly with the relation size.
+        """
+        if self._counter is not None:
+            self._counter.record_scan(len(self._rows))
+        return iter(list(self._rows))
+
+    def scan_filter(
+        self, predicate: Callable[[tuple[Any, ...]], bool]
+    ) -> list[tuple[Any, ...]]:
+        """Full scan returning only tuples satisfying ``predicate`` (counted)."""
+        if self._counter is not None:
+            self._counter.record_scan(len(self._rows))
+        return [row for row in self._rows if predicate(row)]
+
+    # -- derived values -------------------------------------------------------------
+
+    def project_values(self, attributes: Sequence[str]) -> list[tuple[Any, ...]]:
+        """Positional projection of every tuple onto ``attributes`` (uncounted)."""
+        positions = self.schema.positions(attributes)
+        return [tuple(row[p] for p in positions) for row in self._rows]
+
+    def distinct_values(self, attributes: Sequence[str]) -> set[tuple[Any, ...]]:
+        """Distinct combinations of ``attributes`` across the relation (uncounted)."""
+        positions = self.schema.positions(attributes)
+        return {tuple(row[p] for p in positions) for row in self._rows}
+
+    def statistics(self) -> RelationStatistics:
+        """Cardinality plus per-attribute distinct counts."""
+        stats = RelationStatistics(cardinality=len(self._rows))
+        for attribute in self.schema.attribute_names:
+            position = self.schema.position(attribute)
+            stats.distinct_counts[attribute] = len({row[position] for row in self._rows})
+        return stats
+
+    def sample(self, limit: int) -> list[tuple[Any, ...]]:
+        """The first ``limit`` tuples (deterministic; used for previews)."""
+        return self._rows[:limit]
+
+    def group_cardinality(self, on: Sequence[str], of: Sequence[str]) -> int:
+        """Maximum number of distinct ``of``-values per ``on``-value.
+
+        This is exactly the ``N`` of a candidate access constraint
+        ``on -> (of, N)``; constraint discovery uses it directly.
+        Returns 0 for an empty relation.
+        """
+        on_positions = self.schema.positions(on)
+        of_positions = self.schema.positions(of)
+        groups: dict[tuple[Any, ...], set[tuple[Any, ...]]] = {}
+        for row in self._rows:
+            key = tuple(row[p] for p in on_positions)
+            groups.setdefault(key, set()).add(tuple(row[p] for p in of_positions))
+        if not groups:
+            return 0
+        return max(len(values) for values in groups.values())

@@ -1,0 +1,209 @@
+"""Relation and database schemas.
+
+A :class:`RelationSchema` is an ordered list of named, typed attributes.  A
+:class:`DatabaseSchema` is a collection of relation schemas, mirroring the
+paper's relational schema ``R = (R1, ..., Rl)``.
+
+Schemas are immutable value objects: workload generators build them once and
+queries, access schemas and instances all reference the same objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..errors import SchemaError, UnknownAttributeError, UnknownRelationError
+from .types import ANY, AttributeType
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed attribute of a relation schema."""
+
+    name: str
+    type: AttributeType = ANY
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"attribute name must be a non-empty string, got {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class RelationSchema:
+    """An ordered collection of attributes under a relation name.
+
+    Parameters
+    ----------
+    name:
+        Relation name, unique within a :class:`DatabaseSchema`.
+    attributes:
+        Attribute declarations; each entry is either an :class:`Attribute`, a
+        bare attribute name (typed :data:`~repro.relational.types.ANY`), or a
+        ``(name, type)`` pair.
+    """
+
+    __slots__ = ("name", "attributes", "_positions")
+
+    def __init__(self, name: str, attributes: Iterable[object]) -> None:
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"relation name must be a non-empty string, got {name!r}")
+        parsed: list[Attribute] = []
+        for spec in attributes:
+            if isinstance(spec, Attribute):
+                parsed.append(spec)
+            elif isinstance(spec, str):
+                parsed.append(Attribute(spec))
+            elif isinstance(spec, tuple) and len(spec) == 2:
+                attr_name, attr_type = spec
+                parsed.append(Attribute(attr_name, attr_type))
+            else:
+                raise SchemaError(f"invalid attribute specification: {spec!r}")
+        if not parsed:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        names = [a.name for a in parsed]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"relation {name!r} has duplicate attribute names: {names}")
+        self.name = name
+        self.attributes = tuple(parsed)
+        self._positions = {a.name: i for i, a in enumerate(parsed)}
+
+    # -- basic container protocol -------------------------------------------------
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Attribute names in declaration order."""
+        return tuple(a.name for a in self.attributes)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._positions
+
+    def position(self, attribute: str) -> int:
+        """Index of ``attribute`` within a tuple of this schema."""
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise UnknownAttributeError(self.name, attribute) from None
+
+    def positions(self, attributes: Sequence[str]) -> tuple[int, ...]:
+        """Indices of several attributes, in the order given."""
+        return tuple(self.position(a) for a in attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """The :class:`Attribute` named ``name``."""
+        return self.attributes[self.position(name)]
+
+    def has_attributes(self, attributes: Iterable[str]) -> bool:
+        """Whether every name in ``attributes`` is an attribute of this schema."""
+        return all(a in self._positions for a in attributes)
+
+    # -- equality / hashing -------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return self.name == other.name and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(self.attribute_names)
+        return f"RelationSchema({self.name}({attrs}))"
+
+    # -- derivation ---------------------------------------------------------------
+
+    def project(self, attributes: Sequence[str], name: str | None = None) -> "RelationSchema":
+        """A new schema keeping only ``attributes`` (in the given order)."""
+        kept = [self.attribute(a) for a in attributes]
+        return RelationSchema(name or self.name, kept)
+
+    def rename(self, name: str) -> "RelationSchema":
+        """A copy of this schema under a different relation name."""
+        return RelationSchema(name, self.attributes)
+
+
+class DatabaseSchema:
+    """A collection of relation schemas, the paper's ``R = (R1, ..., Rl)``."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()) -> None:
+        self._relations: dict[str, RelationSchema] = {}
+        for rel in relations:
+            self.add(rel)
+
+    def add(self, relation: RelationSchema) -> None:
+        """Register ``relation``; names must be unique."""
+        if relation.name in self._relations:
+            raise SchemaError(f"duplicate relation name: {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> RelationSchema:
+        """Look up a relation schema by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def relations(self) -> tuple[RelationSchema, ...]:
+        return tuple(self._relations.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseSchema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __repr__(self) -> str:
+        return f"DatabaseSchema({', '.join(self.relation_names)})"
+
+    @property
+    def total_attributes(self) -> int:
+        """Total number of attributes across all relations (paper: 113 for TFACC)."""
+        return sum(r.arity for r in self._relations.values())
+
+    def describe(self) -> str:
+        """A human-readable multi-line summary of the schema."""
+        lines = [f"DatabaseSchema with {len(self)} relations, {self.total_attributes} attributes:"]
+        for rel in self:
+            lines.append(f"  {rel.name}({', '.join(rel.attribute_names)})")
+        return "\n".join(lines)
+
+
+def schema_from_mapping(spec: Mapping[str, Sequence[object]]) -> DatabaseSchema:
+    """Build a :class:`DatabaseSchema` from ``{relation: [attribute, ...]}``.
+
+    Convenience constructor used throughout the examples and tests::
+
+        schema = schema_from_mapping({
+            "friends": ["user_id", "friend_id"],
+            "in_album": ["photo_id", "album_id"],
+        })
+    """
+    return DatabaseSchema(RelationSchema(name, attrs) for name, attrs in spec.items())

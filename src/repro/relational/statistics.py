@@ -1,0 +1,119 @@
+"""Access accounting for relational operations.
+
+The central empirical claim of the paper is about *how much data a query
+touches*: ``evalDQ`` accesses a bounded number of tuples regardless of
+``|D|``, while a conventional engine's accesses grow with ``|D|``.  To measure
+that faithfully, every scan and every index probe in the substrate reports the
+number of tuples it touched to an :class:`AccessCounter` attached to the
+database.
+
+Counters are cheap (integer additions), can be nested via snapshots, and are
+the source of the ``|D_Q|`` series reported in Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AccessCounter:
+    """Counts tuple accesses by category.
+
+    Attributes
+    ----------
+    scanned:
+        Tuples read by full relation scans.
+    index_probed:
+        Tuples read through index lookups (the bounded-fetch path).
+    lookups:
+        Number of index lookup operations performed.
+    scans:
+        Number of full relation scans started.
+    """
+
+    scanned: int = 0
+    index_probed: int = 0
+    lookups: int = 0
+    scans: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total number of tuples accessed, scans plus index probes."""
+        return self.scanned + self.index_probed
+
+    def record_scan(self, tuples: int) -> None:
+        """Record a full scan that read ``tuples`` tuples."""
+        self.scans += 1
+        self.scanned += tuples
+
+    def record_probe(self, tuples: int) -> None:
+        """Record an index lookup that returned ``tuples`` tuples."""
+        self.lookups += 1
+        self.index_probed += tuples
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.scanned = 0
+        self.index_probed = 0
+        self.lookups = 0
+        self.scans = 0
+
+    def snapshot(self) -> "AccessSnapshot":
+        """Capture the current counter values for later differencing."""
+        return AccessSnapshot(
+            scanned=self.scanned,
+            index_probed=self.index_probed,
+            lookups=self.lookups,
+            scans=self.scans,
+        )
+
+    def since(self, snapshot: "AccessSnapshot") -> "AccessSnapshot":
+        """Counter deltas accumulated since ``snapshot`` was taken."""
+        return AccessSnapshot(
+            scanned=self.scanned - snapshot.scanned,
+            index_probed=self.index_probed - snapshot.index_probed,
+            lookups=self.lookups - snapshot.lookups,
+            scans=self.scans - snapshot.scans,
+        )
+
+    def merge(self, other: "AccessCounter | AccessSnapshot") -> None:
+        """Add another counter's totals into this one."""
+        self.scanned += other.scanned
+        self.index_probed += other.index_probed
+        self.lookups += other.lookups
+        self.scans += other.scans
+
+
+@dataclass(frozen=True)
+class AccessSnapshot:
+    """An immutable copy of counter values; returned by :meth:`AccessCounter.snapshot`."""
+
+    scanned: int = 0
+    index_probed: int = 0
+    lookups: int = 0
+    scans: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.scanned + self.index_probed
+
+
+@dataclass
+class RelationStatistics:
+    """Lightweight per-relation statistics used by planners and generators.
+
+    Attributes
+    ----------
+    cardinality:
+        Number of tuples in the relation.
+    distinct_counts:
+        ``{attribute: number of distinct values}``; filled lazily.
+    """
+
+    cardinality: int = 0
+    distinct_counts: dict[str, int] = field(default_factory=dict)
+
+    def distinct(self, attribute: str) -> int | None:
+        """Distinct-value count for ``attribute`` if it has been computed."""
+        return self.distinct_counts.get(attribute)

@@ -1,0 +1,194 @@
+"""Attribute types and typed domains for the relational substrate.
+
+The paper's development is type-agnostic (attributes carry opaque values that
+are only compared for equality), but a realistic substrate benefits from light
+typing: workload generators declare attribute types, constraint discovery uses
+domain sizes, and CSV I/O needs to parse values back into Python objects.
+
+Types are intentionally simple: every :class:`AttributeType` knows how to
+validate a value, parse it from text and describe its domain when the domain
+is bounded (which is exactly the situation that yields access constraints of
+the form ``X -> (B, N)`` for a bounded-domain attribute ``B``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+class AttributeType:
+    """Base class for attribute types.
+
+    Subclasses implement :meth:`validate` and :meth:`parse`; types with a
+    finite domain additionally report it through :attr:`domain_size` and
+    :meth:`domain_values`, which constraint discovery uses to derive
+    bounded-domain access constraints.
+    """
+
+    name: str = "any"
+
+    def validate(self, value: Any) -> bool:
+        """Return ``True`` when ``value`` belongs to this type."""
+        raise NotImplementedError
+
+    def parse(self, text: str) -> Any:
+        """Parse ``text`` into a value of this type."""
+        raise NotImplementedError
+
+    @property
+    def domain_size(self) -> int | None:
+        """Number of values in the domain, or ``None`` when unbounded."""
+        return None
+
+    def domain_values(self) -> Sequence[Any] | None:
+        """The domain itself when it is small enough to enumerate."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.__class__.__name__}()"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == getattr(other, "__dict__", None)
+
+    def __hash__(self) -> int:
+        return hash((type(self), tuple(sorted(self.__dict__.items(), key=lambda kv: kv[0]))))
+
+
+class AnyType(AttributeType):
+    """An untyped attribute; accepts every value and parses text verbatim."""
+
+    name = "any"
+
+    def validate(self, value: Any) -> bool:
+        return True
+
+    def parse(self, text: str) -> Any:
+        return text
+
+
+class IntType(AttributeType):
+    """Integer-valued attribute."""
+
+    name = "int"
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool)
+
+    def parse(self, text: str) -> int:
+        return int(text)
+
+
+class FloatType(AttributeType):
+    """Floating-point attribute."""
+
+    name = "float"
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+    def parse(self, text: str) -> float:
+        return float(text)
+
+
+class StringType(AttributeType):
+    """String-valued attribute."""
+
+    name = "str"
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, str)
+
+    def parse(self, text: str) -> str:
+        return text
+
+
+@dataclass(frozen=True)
+class BoundedIntType(AttributeType):
+    """Integer attribute restricted to the inclusive range [low, high].
+
+    Bounded-domain attributes matter for the paper: if an attribute ``B`` has
+    at most ``N`` distinct values then ``X -> (B, N)`` is an access constraint
+    for *any* attribute set ``X`` (Section 2, "attributes with bounded
+    domains").
+    """
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(f"empty bounded domain: [{self.low}, {self.high}]")
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"int[{self.low},{self.high}]"
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool) and self.low <= value <= self.high
+
+    def parse(self, text: str) -> int:
+        value = int(text)
+        if not self.validate(value):
+            raise ValueError(f"{value} outside bounded domain [{self.low}, {self.high}]")
+        return value
+
+    @property
+    def domain_size(self) -> int:
+        return self.high - self.low + 1
+
+    def domain_values(self) -> Sequence[int]:
+        return range(self.low, self.high + 1)
+
+
+@dataclass(frozen=True)
+class EnumType(AttributeType):
+    """Attribute drawn from an explicit finite set of values."""
+
+    values: tuple[Any, ...] = field(default_factory=tuple)
+
+    def __init__(self, values: Iterable[Any]) -> None:
+        object.__setattr__(self, "values", tuple(values))
+        if not self.values:
+            raise ValueError("EnumType requires at least one value")
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"enum[{len(self.values)}]"
+
+    def validate(self, value: Any) -> bool:
+        return value in self.values
+
+    def parse(self, text: str) -> Any:
+        if text in self.values:
+            return text
+        # Try integer enum members before giving up.
+        try:
+            as_int = int(text)
+        except ValueError:
+            as_int = None
+        if as_int is not None and as_int in self.values:
+            return as_int
+        raise ValueError(f"{text!r} is not a member of {self.values!r}")
+
+    @property
+    def domain_size(self) -> int:
+        return len(self.values)
+
+    def domain_values(self) -> Sequence[Any]:
+        return self.values
+
+
+#: Shared singleton instances for the common untyped/scalar cases.
+ANY = AnyType()
+INT = IntType()
+FLOAT = FloatType()
+STRING = StringType()
+
+
+def type_from_name(name: str) -> AttributeType:
+    """Resolve a type from its short textual name (used by the CSV loader)."""
+    simple = {"any": ANY, "int": INT, "float": FLOAT, "str": STRING, "string": STRING}
+    if name in simple:
+        return simple[name]
+    raise ValueError(f"unknown attribute type name: {name!r}")

@@ -1,0 +1,53 @@
+"""SPC (conjunctive) query model.
+
+Implements the query language of the paper: ``Q(Z) = π_Z σ_C (S1 × ... × Sn)``
+with a conjunctive equality selection condition, plus
+
+* the equality closure ``Σ_Q`` (:mod:`repro.spc.equivalence`),
+* a fluent builder and a SQL-like parser,
+* the Lemma 1 single-relation normalization,
+* parameterized query templates (Example 1(2) / Section 4.3).
+"""
+
+from .atoms import AttrEq, AttrRef, ConstEq, EqualityAtom, RelationAtom, condition_refs
+from .builder import SPCQueryBuilder, single_relation_query
+from .equivalence import EqualityClosure, MISSING
+from .normalize import (
+    PADDING,
+    TAG_ATTRIBUTE,
+    UniversalSchema,
+    normalize,
+    transform_database,
+    transform_query,
+    universal_schema,
+)
+from .parameters import Parameter, ParameterizedQuery, template_from_refs
+from .parser import format_query, parse_query
+from .query import SPCQuery, check_query_against_schema
+
+__all__ = [
+    "AttrEq",
+    "AttrRef",
+    "ConstEq",
+    "EqualityAtom",
+    "EqualityClosure",
+    "MISSING",
+    "PADDING",
+    "Parameter",
+    "ParameterizedQuery",
+    "RelationAtom",
+    "SPCQuery",
+    "SPCQueryBuilder",
+    "TAG_ATTRIBUTE",
+    "UniversalSchema",
+    "check_query_against_schema",
+    "condition_refs",
+    "format_query",
+    "normalize",
+    "parse_query",
+    "single_relation_query",
+    "template_from_refs",
+    "transform_database",
+    "transform_query",
+    "universal_schema",
+]

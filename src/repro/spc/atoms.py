@@ -1,0 +1,114 @@
+"""Attribute references, relation atoms and equality atoms of SPC queries.
+
+An SPC query ``Q(Z) = π_Z σ_C (S1 × ... × Sn)`` is built from
+
+* *relation atoms* ``S_i`` — occurrences (renamings) of relation schemas,
+* *attribute references* ``S_i[A]`` — an attribute of a particular occurrence,
+* *equality atoms* — the conjuncts of the selection condition ``C``, either
+  ``S_i[A] = S_j[B]`` or ``S_i[A] = c`` for a constant ``c``.
+
+The paper simplifies notation by renaming attributes apart; this implementation
+keeps occurrences explicit instead: an :class:`AttrRef` pairs the index of the
+occurrence with the attribute name, so two renamings of the same relation never
+collide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import QueryError
+from ..relational.schema import RelationSchema
+
+
+@dataclass(frozen=True)
+class RelationAtom:
+    """One occurrence ``S_i`` of a relation schema in an SPC query.
+
+    Attributes
+    ----------
+    schema:
+        The relation schema this occurrence renames.
+    alias:
+        A per-query unique alias for the occurrence (e.g. ``"t"`` for a
+        ``tagging`` occurrence).  Aliases are what users write in the builder
+        and parser; algorithms address occurrences by index.
+    """
+
+    schema: RelationSchema
+    alias: str
+
+    def __post_init__(self) -> None:
+        if not self.alias:
+            raise QueryError("relation atoms require a non-empty alias")
+
+    @property
+    def relation_name(self) -> str:
+        return self.schema.name
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return self.schema.attribute_names
+
+    def __str__(self) -> str:
+        return f"{self.schema.name} AS {self.alias}"
+
+
+@dataclass(frozen=True, order=True)
+class AttrRef:
+    """A reference ``S_i[A]``: attribute ``attribute`` of the ``atom``-th occurrence."""
+
+    atom: int
+    attribute: str
+
+    def __str__(self) -> str:
+        return f"S{self.atom}.{self.attribute}"
+
+    def pretty(self, atoms: tuple[RelationAtom, ...] | None = None) -> str:
+        """Render using the occurrence's alias when the atom list is available."""
+        if atoms is not None and 0 <= self.atom < len(atoms):
+            return f"{atoms[self.atom].alias}.{self.attribute}"
+        return str(self)
+
+
+class EqualityAtom:
+    """Base class for the two kinds of conjuncts in a selection condition."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class AttrEq(EqualityAtom):
+    """An equality between two attribute references: ``left = right``."""
+
+    left: AttrRef
+    right: AttrRef
+
+    def refs(self) -> tuple[AttrRef, AttrRef]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class ConstEq(EqualityAtom):
+    """An equality between an attribute reference and a constant: ``ref = value``."""
+
+    ref: AttrRef
+    value: Any
+
+    def refs(self) -> tuple[AttrRef]:
+        return (self.ref,)
+
+    def __str__(self) -> str:
+        return f"{self.ref} = {self.value!r}"
+
+
+def condition_refs(conditions: tuple[EqualityAtom, ...]) -> set[AttrRef]:
+    """All attribute references mentioned by a conjunction of equality atoms."""
+    refs: set[AttrRef] = set()
+    for atom in conditions:
+        refs.update(atom.refs())
+    return refs

@@ -1,0 +1,140 @@
+"""A fluent builder for SPC queries.
+
+The builder is the primary programmatic way to write queries::
+
+    query = (
+        SPCQueryBuilder(schema, name="Q0")
+        .add_atom("in_album", alias="ia")
+        .add_atom("friends", alias="f")
+        .add_atom("tagging", alias="t")
+        .where_const("ia.album_id", "a0")
+        .where_const("f.user_id", "u0")
+        .where_eq("ia.photo_id", "t.photo_id")
+        .where_eq("t.tagger_id", "f.friend_id")
+        .where_eq("t.taggee_id", "f.user_id")
+        .select("ia.photo_id")
+        .build()
+    )
+
+Attribute references are written ``"alias.attribute"``; when the query has a
+single occurrence the alias may be omitted.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import QueryError
+from ..relational.schema import DatabaseSchema, RelationSchema
+from .atoms import AttrEq, AttrRef, ConstEq, EqualityAtom, RelationAtom
+from .query import SPCQuery
+
+
+class SPCQueryBuilder:
+    """Accumulates atoms, conditions and output, then builds an :class:`SPCQuery`."""
+
+    def __init__(self, schema: DatabaseSchema, name: str = "Q") -> None:
+        self._schema = schema
+        self._name = name
+        self._atoms: list[RelationAtom] = []
+        self._conditions: list[EqualityAtom] = []
+        self._output: list[AttrRef] = []
+
+    # -- atoms ------------------------------------------------------------------------
+
+    def add_atom(self, relation: str, alias: str | None = None) -> "SPCQueryBuilder":
+        """Add an occurrence of ``relation``; the alias defaults to the relation name."""
+        relation_schema = self._schema.relation(relation)
+        alias = alias or relation
+        if any(atom.alias == alias for atom in self._atoms):
+            raise QueryError(f"duplicate alias {alias!r}; pass an explicit alias")
+        self._atoms.append(RelationAtom(relation_schema, alias))
+        return self
+
+    # -- reference resolution ------------------------------------------------------------
+
+    def _resolve(self, spec: str | AttrRef) -> AttrRef:
+        if isinstance(spec, AttrRef):
+            return spec
+        if "." in spec:
+            alias, attribute = spec.split(".", 1)
+            for index, atom in enumerate(self._atoms):
+                if atom.alias == alias:
+                    if attribute not in atom.schema:
+                        raise QueryError(
+                            f"{alias!r} ({atom.relation_name}) has no attribute {attribute!r}"
+                        )
+                    return AttrRef(index, attribute)
+            raise QueryError(f"unknown alias {alias!r} in reference {spec!r}")
+        # No alias given: the attribute must be unambiguous across atoms.
+        matches = [
+            (index, atom)
+            for index, atom in enumerate(self._atoms)
+            if spec in atom.schema
+        ]
+        if not matches:
+            raise QueryError(f"no relation atom has an attribute named {spec!r}")
+        if len(matches) > 1:
+            aliases = [atom.alias for _, atom in matches]
+            raise QueryError(
+                f"attribute {spec!r} is ambiguous (present in {aliases}); qualify it"
+            )
+        index, _atom = matches[0]
+        return AttrRef(index, spec)
+
+    # -- conditions ------------------------------------------------------------------------
+
+    def where_eq(self, left: str | AttrRef, right: str | AttrRef) -> "SPCQueryBuilder":
+        """Add an attribute-to-attribute equality conjunct."""
+        self._conditions.append(AttrEq(self._resolve(left), self._resolve(right)))
+        return self
+
+    def where_const(self, ref: str | AttrRef, value: Any) -> "SPCQueryBuilder":
+        """Add an attribute-to-constant equality conjunct."""
+        self._conditions.append(ConstEq(self._resolve(ref), value))
+        return self
+
+    def where(self, atom: EqualityAtom) -> "SPCQueryBuilder":
+        """Add an already-constructed equality atom."""
+        self._conditions.append(atom)
+        return self
+
+    # -- output ------------------------------------------------------------------------------
+
+    def select(self, *refs: str | AttrRef) -> "SPCQueryBuilder":
+        """Append references to the projection list ``Z``."""
+        for ref in refs:
+            self._output.append(self._resolve(ref))
+        return self
+
+    def boolean(self) -> "SPCQueryBuilder":
+        """Make the query Boolean (empty projection list)."""
+        self._output = []
+        return self
+
+    # -- build --------------------------------------------------------------------------------
+
+    def build(self) -> SPCQuery:
+        """Construct the immutable :class:`SPCQuery`."""
+        return SPCQuery(self._atoms, self._conditions, self._output, name=self._name)
+
+
+def single_relation_query(
+    relation: RelationSchema,
+    *,
+    equalities: dict[str, Any] | None = None,
+    output: list[str] | None = None,
+    name: str = "Q",
+) -> SPCQuery:
+    """Shorthand for a one-occurrence query over ``relation``.
+
+    ``equalities`` maps attribute names to constants; ``output`` lists output
+    attribute names (defaults to Boolean).
+    """
+    atom = RelationAtom(relation, relation.name)
+    conditions = [
+        ConstEq(AttrRef(0, attribute), value)
+        for attribute, value in (equalities or {}).items()
+    ]
+    out = [AttrRef(0, attribute) for attribute in (output or [])]
+    return SPCQuery([atom], conditions, out, name=name)

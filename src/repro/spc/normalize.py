@@ -1,0 +1,122 @@
+"""Lemma 1: reduction to a single relation schema.
+
+The paper simplifies its development by assuming queries are defined over a
+single relation schema ``R(A1, ..., Am)``, justified by Lemma 1: for any
+relational schema ``R`` there are a single relation schema ``R``, a linear-time
+instance transformation ``g_D`` and a linear-time query rewriting ``g_Q`` such
+that ``Q(D) = g_Q(Q)(g_D(D))``.
+
+This module implements the classical construction behind that lemma:
+
+* ``R`` has one tag attribute ``__rel`` plus, for every relation ``R_i`` of the
+  original schema, a copy of each of its attributes prefixed with the relation
+  name (``Ri__A``).
+* ``g_D`` maps a tuple ``t`` of ``R_i`` to a tuple of ``R`` whose tag is
+  ``R_i``, whose ``Ri__*`` columns carry ``t`` and whose other columns hold a
+  padding marker.
+* ``g_Q`` rewrites every occurrence of ``R_i`` in ``Q`` into an occurrence of
+  ``R`` with an added conjunct ``__rel = R_i`` and prefixed attribute
+  references.
+
+Access schemas translate the same way (each constraint ``X -> (Y, N)`` on
+``R_i`` becomes ``{__rel} ∪ X' -> (Y', N)`` on ``R``); that translation lives
+in :mod:`repro.access.schema` so the access machinery stays in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..relational.database import Database
+from ..relational.schema import DatabaseSchema, RelationSchema
+from .atoms import AttrEq, AttrRef, ConstEq, RelationAtom
+from .query import SPCQuery
+
+#: Name of the tag attribute identifying the originating relation.
+TAG_ATTRIBUTE = "__rel"
+
+#: Padding value used for columns that do not belong to a tuple's relation.
+PADDING = "__none__"
+
+
+def prefixed(relation: str, attribute: str) -> str:
+    """The column of the universal relation carrying ``relation.attribute``."""
+    return f"{relation}__{attribute}"
+
+
+@dataclass(frozen=True)
+class UniversalSchema:
+    """The single-relation schema produced by the Lemma 1 construction."""
+
+    original: DatabaseSchema
+    relation: RelationSchema
+
+    @property
+    def database_schema(self) -> DatabaseSchema:
+        return DatabaseSchema([self.relation])
+
+
+def universal_schema(schema: DatabaseSchema, name: str = "U") -> UniversalSchema:
+    """Build the single relation schema ``R`` for ``schema``."""
+    attributes: list[str] = [TAG_ATTRIBUTE]
+    for relation in schema:
+        attributes.extend(prefixed(relation.name, a) for a in relation.attribute_names)
+    return UniversalSchema(schema, RelationSchema(name, attributes))
+
+
+def transform_database(database: Database, universal: UniversalSchema | None = None) -> Database:
+    """``g_D``: encode every tuple of ``database`` as a tuple of the universal relation."""
+    universal = universal or universal_schema(database.schema)
+    target = Database(universal.database_schema)
+    target_relation = target.relation(universal.relation.name)
+    columns = universal.relation.attribute_names
+    for relation in database:
+        prefix_positions = {
+            prefixed(relation.name, attribute): position
+            for position, attribute in enumerate(relation.schema.attribute_names)
+        }
+        for row in relation.tuples():
+            encoded: list[Any] = []
+            for column in columns:
+                if column == TAG_ATTRIBUTE:
+                    encoded.append(relation.name)
+                elif column in prefix_positions:
+                    encoded.append(row[prefix_positions[column]])
+                else:
+                    encoded.append(PADDING)
+            target_relation.insert(tuple(encoded))
+    return target
+
+
+def transform_query(query: SPCQuery, universal: UniversalSchema) -> SPCQuery:
+    """``g_Q``: rewrite ``query`` to run over the universal relation.
+
+    Every occurrence keeps its position, so attribute references only change
+    their attribute name (to the prefixed column), never their atom index.
+    """
+    new_atoms = [
+        RelationAtom(universal.relation, atom.alias) for atom in query.atoms
+    ]
+
+    def rewrite(ref: AttrRef) -> AttrRef:
+        relation_name = query.atoms[ref.atom].relation_name
+        return AttrRef(ref.atom, prefixed(relation_name, ref.attribute))
+
+    new_conditions = []
+    for index, atom in enumerate(query.atoms):
+        new_conditions.append(ConstEq(AttrRef(index, TAG_ATTRIBUTE), atom.relation_name))
+    for condition in query.conditions:
+        if isinstance(condition, AttrEq):
+            new_conditions.append(AttrEq(rewrite(condition.left), rewrite(condition.right)))
+        else:
+            new_conditions.append(ConstEq(rewrite(condition.ref), condition.value))
+
+    new_output = [rewrite(ref) for ref in query.output]
+    return SPCQuery(new_atoms, new_conditions, new_output, name=f"{query.name}[universal]")
+
+
+def normalize(query: SPCQuery, database: Database) -> tuple[SPCQuery, Database]:
+    """Apply both halves of Lemma 1 and return ``(g_Q(Q), g_D(D))``."""
+    universal = universal_schema(database.schema)
+    return transform_query(query, universal), transform_database(database, universal)

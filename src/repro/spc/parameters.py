@@ -1,0 +1,130 @@
+"""Parameterized SPC queries.
+
+Example 1(2) of the paper introduces *parameterized queries*: templates whose
+parameters "can be substituted with constants when [the query] is executed",
+e.g. a social-search form where the user supplies an album id and a user id.
+The dominating-parameter machinery (Section 4.3) identifies which parameters
+must be supplied to make the template effectively bounded; this module provides
+the user-facing wrapper around that workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..errors import QueryError
+from .atoms import AttrRef
+from .query import SPCQuery
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A named placeholder bound to an attribute reference of the template."""
+
+    name: str
+    ref: AttrRef
+
+    def __str__(self) -> str:
+        return f"${self.name} -> {self.ref}"
+
+
+class ParameterizedQuery:
+    """An SPC query template plus a set of named parameters.
+
+    Parameters are attribute references that are *not yet* equated with a
+    constant; binding a parameter adds the ``ref = value`` conjunct, exactly
+    the paper's ``Q(X_P = ā)``.
+
+    Example
+    -------
+    >>> template = ParameterizedQuery(query, {"album": query.ref("ia", "album_id"),
+    ...                                        "user": query.ref("f", "user_id")})
+    >>> bound = template.bind(album="a0", user="u0")
+    """
+
+    def __init__(self, query: SPCQuery, parameters: Mapping[str, AttrRef]) -> None:
+        self.query = query
+        self._parameters: dict[str, Parameter] = {}
+        for name, ref in parameters.items():
+            if ref not in query.all_refs():
+                raise QueryError(f"parameter {name!r} refers to {ref}, not in the query")
+            if query.closure.has_constant(ref):
+                raise QueryError(
+                    f"parameter {name!r} refers to {ref}, which is already instantiated"
+                )
+            self._parameters[name] = Parameter(name, ref)
+
+    # -- inspection ----------------------------------------------------------------
+
+    @property
+    def parameter_names(self) -> tuple[str, ...]:
+        return tuple(self._parameters)
+
+    @property
+    def parameters(self) -> tuple[Parameter, ...]:
+        return tuple(self._parameters.values())
+
+    def parameter(self, name: str) -> Parameter:
+        try:
+            return self._parameters[name]
+        except KeyError:
+            raise QueryError(f"unknown parameter {name!r}") from None
+
+    def refs(self) -> frozenset[AttrRef]:
+        """The attribute references underlying the declared parameters."""
+        return frozenset(p.ref for p in self._parameters.values())
+
+    # -- binding -------------------------------------------------------------------
+
+    def bind(self, **values: Any) -> SPCQuery:
+        """Instantiate parameters by name; all declared parameters must be bound."""
+        missing = [name for name in self._parameters if name not in values]
+        if missing:
+            raise QueryError(f"missing values for parameters: {missing}")
+        unknown = [name for name in values if name not in self._parameters]
+        if unknown:
+            raise QueryError(f"unknown parameters: {unknown}")
+        bindings = {self._parameters[name].ref: value for name, value in values.items()}
+        return self.query.with_constants(bindings)
+
+    def bind_partial(self, **values: Any) -> "ParameterizedQuery":
+        """Bind a subset of parameters, returning a smaller template."""
+        unknown = [name for name in values if name not in self._parameters]
+        if unknown:
+            raise QueryError(f"unknown parameters: {unknown}")
+        bindings = {self._parameters[name].ref: value for name, value in values.items()}
+        remaining = {
+            name: parameter.ref
+            for name, parameter in self._parameters.items()
+            if name not in values
+        }
+        return ParameterizedQuery(self.query.with_constants(bindings), remaining)
+
+    def __repr__(self) -> str:
+        return (
+            f"ParameterizedQuery({self.query.name}, "
+            f"parameters={list(self._parameters)})"
+        )
+
+
+def template_from_refs(
+    query: SPCQuery, refs: Iterable[AttrRef], prefix: str = "p"
+) -> ParameterizedQuery:
+    """Wrap ``query`` as a template whose parameters are the given references.
+
+    Used to turn the output of the dominating-parameter algorithms (a set of
+    :class:`AttrRef`) into a user-facing template: parameter names are derived
+    from the references' aliases and attributes.
+    """
+    parameters: dict[str, AttrRef] = {}
+    for ref in sorted(set(refs)):
+        alias = query.atoms[ref.atom].alias
+        base = f"{alias}_{ref.attribute}"
+        name = base
+        suffix = 1
+        while name in parameters:
+            suffix += 1
+            name = f"{base}_{suffix}"
+        parameters[name] = ref
+    return ParameterizedQuery(query, parameters)

@@ -1,0 +1,211 @@
+"""A small SQL-like textual syntax for SPC queries.
+
+The grammar covers exactly the SPC fragment of the paper — projection,
+conjunctive equality selection, Cartesian product — in a familiar dress::
+
+    SELECT ia.photo_id
+    FROM in_album AS ia, friends AS f, tagging AS t
+    WHERE ia.album_id = 'a0'
+      AND f.user_id = 'u0'
+      AND ia.photo_id = t.photo_id
+      AND t.tagger_id = f.friend_id
+      AND t.taggee_id = f.user_id
+
+``SELECT *`` is not supported (SPC projections are explicit); ``SELECT`` with
+no columns — written ``SELECT BOOLEAN`` — denotes a Boolean query.  Constants
+are single-quoted strings, double-quoted strings, integers or floats.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from ..errors import ParseError
+from ..relational.schema import DatabaseSchema
+from .builder import SPCQueryBuilder
+from .query import SPCQuery
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'[^']*'|"[^"]*")
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<word>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)?)
+      | (?P<punct>[=,()])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "AS", "BOOLEAN"}
+
+
+def _tokenize(text: str) -> list[tuple[str, Any, int]]:
+    tokens: list[tuple[str, Any, int]] = []
+    position = 0
+    while position < len(text):
+        if text[position].isspace():
+            position += 1
+            continue
+        match = _TOKEN_RE.match(text, position)
+        if match is None or match.start() != position:
+            raise ParseError(f"unexpected character {text[position]!r}", position)
+        if match.group("string") is not None:
+            raw = match.group("string")
+            tokens.append(("const", raw[1:-1], position))
+        elif match.group("number") is not None:
+            raw = match.group("number")
+            value: Any = float(raw) if "." in raw else int(raw)
+            tokens.append(("const", value, position))
+        elif match.group("word") is not None:
+            word = match.group("word")
+            if word.upper() in _KEYWORDS and "." not in word:
+                tokens.append(("keyword", word.upper(), position))
+            else:
+                tokens.append(("name", word, position))
+        else:
+            tokens.append(("punct", match.group("punct"), position))
+        position = match.end()
+    tokens.append(("eof", None, len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[tuple[str, Any, int]], schema: DatabaseSchema, name: str) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._schema = schema
+        self._name = name
+
+    # -- token helpers ----------------------------------------------------------------
+
+    def _peek(self) -> tuple[str, Any, int]:
+        return self._tokens[self._index]
+
+    def _next(self) -> tuple[str, Any, int]:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        kind, value, position = self._next()
+        if kind != "keyword" or value != keyword:
+            raise ParseError(f"expected {keyword}, found {value!r}", position)
+
+    def _accept_keyword(self, keyword: str) -> bool:
+        kind, value, _ = self._peek()
+        if kind == "keyword" and value == keyword:
+            self._next()
+            return True
+        return False
+
+    def _accept_punct(self, punct: str) -> bool:
+        kind, value, _ = self._peek()
+        if kind == "punct" and value == punct:
+            self._next()
+            return True
+        return False
+
+    def _expect_name(self) -> str:
+        kind, value, position = self._next()
+        if kind != "name":
+            raise ParseError(f"expected an identifier, found {value!r}", position)
+        return value
+
+    # -- grammar -----------------------------------------------------------------------
+
+    def parse(self) -> SPCQuery:
+        self._expect_keyword("SELECT")
+        output_specs, boolean = self._parse_select_list()
+        self._expect_keyword("FROM")
+        atom_specs = self._parse_from_list()
+
+        builder = SPCQueryBuilder(self._schema, name=self._name)
+        for relation, alias in atom_specs:
+            builder.add_atom(relation, alias=alias)
+
+        if self._accept_keyword("WHERE"):
+            self._parse_conditions(builder)
+
+        kind, value, position = self._peek()
+        if kind != "eof":
+            raise ParseError(f"unexpected trailing input {value!r}", position)
+
+        if not boolean:
+            builder.select(*output_specs)
+        return builder.build()
+
+    def _parse_select_list(self) -> tuple[list[str], bool]:
+        if self._accept_keyword("BOOLEAN"):
+            return [], True
+        specs = [self._expect_name()]
+        while self._accept_punct(","):
+            specs.append(self._expect_name())
+        return specs, False
+
+    def _parse_from_list(self) -> list[tuple[str, str | None]]:
+        atoms = [self._parse_atom()]
+        while self._accept_punct(","):
+            atoms.append(self._parse_atom())
+        return atoms
+
+    def _parse_atom(self) -> tuple[str, str | None]:
+        relation = self._expect_name()
+        alias: str | None = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_name()
+        else:
+            kind, value, _ = self._peek()
+            if kind == "name" and "." not in value:
+                alias = value
+                self._next()
+        return relation, alias
+
+    def _parse_conditions(self, builder: SPCQueryBuilder) -> None:
+        self._parse_condition(builder)
+        while self._accept_keyword("AND"):
+            self._parse_condition(builder)
+
+    def _parse_condition(self, builder: SPCQueryBuilder) -> None:
+        left = self._expect_name()
+        kind, value, position = self._next()
+        if kind != "punct" or value != "=":
+            raise ParseError(f"expected '=', found {value!r}", position)
+        kind, value, position = self._next()
+        if kind == "const":
+            builder.where_const(left, value)
+        elif kind == "name":
+            builder.where_eq(left, value)
+        else:
+            raise ParseError(f"expected an attribute or constant, found {value!r}", position)
+
+
+def parse_query(text: str, schema: DatabaseSchema, name: str = "Q") -> SPCQuery:
+    """Parse the SQL-like SPC syntax into an :class:`~repro.spc.query.SPCQuery`."""
+    return _Parser(_tokenize(text), schema, name).parse()
+
+
+def format_query(query: SPCQuery) -> str:
+    """Render a query back into the textual syntax accepted by :func:`parse_query`."""
+    atoms = query.atoms
+    if query.is_boolean:
+        select_clause = "SELECT BOOLEAN"
+    else:
+        select_clause = "SELECT " + ", ".join(ref.pretty(atoms) for ref in query.output)
+    from_clause = "FROM " + ", ".join(f"{a.relation_name} AS {a.alias}" for a in atoms)
+    parts = [select_clause, from_clause]
+    if query.conditions:
+        rendered = []
+        for atom in query.conditions:
+            refs = atom.refs()
+            if len(refs) == 2:
+                rendered.append(f"{refs[0].pretty(atoms)} = {refs[1].pretty(atoms)}")
+            else:
+                value = atom.value  # type: ignore[attr-defined]
+                literal = f"'{value}'" if isinstance(value, str) else repr(value)
+                rendered.append(f"{refs[0].pretty(atoms)} = {literal}")
+        parts.append("WHERE " + " AND ".join(rendered))
+    return "\n".join(parts)

@@ -1,0 +1,257 @@
+"""The SPC query class.
+
+``SPCQuery`` represents ``Q(Z) = π_Z σ_C (S1 × ... × Sn)`` exactly as in the
+paper: a tuple of relation-atom occurrences, a conjunction of equality atoms,
+and an output list of attribute references.  The class is an immutable value
+object; algorithms derive everything else (``Σ_Q``, ``X_B``, ``X_C``,
+``X_Q^i``) from it on demand.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..errors import QueryError
+from ..relational.schema import DatabaseSchema, RelationSchema
+from .atoms import AttrEq, AttrRef, ConstEq, EqualityAtom, RelationAtom, condition_refs
+from .equivalence import EqualityClosure
+
+
+class SPCQuery:
+    """An SPC (conjunctive) query over a relational schema.
+
+    Parameters
+    ----------
+    atoms:
+        The occurrences ``S_1, ..., S_n``; order is significant because
+        attribute references address occurrences by index.
+    conditions:
+        The equality atoms of the selection condition ``C``.
+    output:
+        The projection list ``Z`` as attribute references.  An empty output
+        list denotes a Boolean query (Example 1(3) of the paper).
+    name:
+        Optional display name (used by workload generators and reports).
+    """
+
+    __slots__ = ("atoms", "conditions", "output", "name", "__dict__")
+
+    def __init__(
+        self,
+        atoms: Sequence[RelationAtom],
+        conditions: Sequence[EqualityAtom] = (),
+        output: Sequence[AttrRef] = (),
+        name: str = "Q",
+    ) -> None:
+        self.atoms: tuple[RelationAtom, ...] = tuple(atoms)
+        self.conditions: tuple[EqualityAtom, ...] = tuple(conditions)
+        self.output: tuple[AttrRef, ...] = tuple(output)
+        self.name = name
+        self._validate()
+
+    # -- validation -----------------------------------------------------------------
+
+    def _validate(self) -> None:
+        if not self.atoms:
+            raise QueryError("an SPC query needs at least one relation atom")
+        aliases = [atom.alias for atom in self.atoms]
+        if len(set(aliases)) != len(aliases):
+            raise QueryError(f"duplicate relation-atom aliases: {aliases}")
+        for ref in self.all_condition_refs | set(self.output):
+            self._validate_ref(ref)
+
+    def _validate_ref(self, ref: AttrRef) -> None:
+        if not 0 <= ref.atom < len(self.atoms):
+            raise QueryError(f"attribute reference {ref} addresses a missing atom")
+        schema = self.atoms[ref.atom].schema
+        if ref.attribute not in schema:
+            raise QueryError(
+                f"attribute reference {ref} names {ref.attribute!r}, which is not an "
+                f"attribute of {schema.name!r}"
+            )
+
+    # -- derived structure ------------------------------------------------------------
+
+    @cached_property
+    def closure(self) -> EqualityClosure:
+        """``Σ_Q``: the transitive closure of the condition's equality atoms."""
+        return EqualityClosure(self.conditions)
+
+    @property
+    def is_boolean(self) -> bool:
+        """Whether the query has an empty projection list."""
+        return not self.output
+
+    @property
+    def is_satisfiable(self) -> bool:
+        """Whether ``Σ_Q`` does not equate two distinct constants."""
+        return self.closure.is_satisfiable
+
+    @cached_property
+    def all_condition_refs(self) -> frozenset[AttrRef]:
+        """Attribute references appearing in the selection condition ``C``."""
+        return frozenset(condition_refs(self.conditions))
+
+    @cached_property
+    def parameters(self) -> frozenset[AttrRef]:
+        """The parameters of ``Q``: references appearing in ``Z`` or ``C``."""
+        return self.all_condition_refs | frozenset(self.output)
+
+    @cached_property
+    def constant_refs(self) -> frozenset[AttrRef]:
+        """``X_C``: parameters equated with a constant under ``Σ_Q``."""
+        return frozenset(ref for ref in self.parameters if self.closure.has_constant(ref))
+
+    @cached_property
+    def condition_only_refs(self) -> frozenset[AttrRef]:
+        """``X_B``: condition parameters not equivalent to any output attribute.
+
+        Following Example 4, references already instantiated with constants are
+        reported in ``X_C`` and excluded here; this makes no difference to the
+        characterizations (Theorems 3 and 4) because the two sets are always
+        used through their union with ``X_C``.
+        """
+        output = tuple(self.output)
+        result = set()
+        for ref in self.all_condition_refs:
+            if self.closure.has_constant(ref):
+                continue
+            if self.closure.equivalent_any(ref, output):
+                continue
+            result.add(ref)
+        return frozenset(result)
+
+    def atom_parameters(self, atom_index: int) -> frozenset[AttrRef]:
+        """``X_Q^i``: parameters of occurrence ``atom_index`` appearing in ``C`` or ``Z``."""
+        return frozenset(ref for ref in self.parameters if ref.atom == atom_index)
+
+    def atom_constants(self, atom_index: int) -> frozenset[AttrRef]:
+        """``X_C^i``: constant-equated attributes of occurrence ``atom_index``."""
+        return frozenset(ref for ref in self.constant_refs if ref.atom == atom_index)
+
+    def atom_refs(self, atom_index: int) -> frozenset[AttrRef]:
+        """All attribute references of one occurrence (its full schema)."""
+        schema = self.atoms[atom_index].schema
+        return frozenset(AttrRef(atom_index, a) for a in schema.attribute_names)
+
+    def all_refs(self) -> frozenset[AttrRef]:
+        """Every attribute reference of every occurrence."""
+        refs: set[AttrRef] = set()
+        for index in range(len(self.atoms)):
+            refs |= self.atom_refs(index)
+        return frozenset(refs)
+
+    # -- size and structural measures ----------------------------------------------------
+
+    @property
+    def num_atoms(self) -> int:
+        """Number of relation occurrences ``n``."""
+        return len(self.atoms)
+
+    @property
+    def num_products(self) -> int:
+        """The paper's ``#-prod``: number of Cartesian products, i.e. ``n - 1``."""
+        return max(0, len(self.atoms) - 1)
+
+    @property
+    def num_selections(self) -> int:
+        """The paper's ``#-sel``: number of equality atoms in the condition."""
+        return len(self.conditions)
+
+    @property
+    def size(self) -> int:
+        """``|Q|``: atoms + condition conjuncts + output attributes."""
+        return len(self.atoms) + len(self.conditions) + len(self.output)
+
+    # -- transformation -----------------------------------------------------------------
+
+    def alias_index(self, alias: str) -> int:
+        """Index of the occurrence with the given alias."""
+        for index, atom in enumerate(self.atoms):
+            if atom.alias == alias:
+                return index
+        raise QueryError(f"no relation atom with alias {alias!r}")
+
+    def ref(self, alias: str, attribute: str) -> AttrRef:
+        """Construct (and validate) an attribute reference from an alias."""
+        reference = AttrRef(self.alias_index(alias), attribute)
+        self._validate_ref(reference)
+        return reference
+
+    def with_constants(self, bindings: Mapping[AttrRef, Any]) -> "SPCQuery":
+        """A new query with additional ``ref = constant`` conjuncts.
+
+        This is the paper's ``Q(X_P = ā)``: instantiating a set of parameters
+        with constants, e.g. after :func:`repro.core.dominating.find_dominating_parameters`
+        has suggested which parameters to bind.
+        """
+        extra = tuple(ConstEq(ref, value) for ref, value in bindings.items())
+        for atom in extra:
+            self._validate_ref(atom.ref)
+        return SPCQuery(
+            self.atoms,
+            self.conditions + extra,
+            self.output,
+            name=f"{self.name}[instantiated]" if extra else self.name,
+        )
+
+    def with_output(self, output: Sequence[AttrRef]) -> "SPCQuery":
+        """A copy of the query with a different projection list."""
+        return SPCQuery(self.atoms, self.conditions, output, name=self.name)
+
+    def boolean_version(self) -> "SPCQuery":
+        """The Boolean query with the same body (``Z = ∅``)."""
+        return SPCQuery(self.atoms, self.conditions, (), name=f"{self.name}[bool]")
+
+    # -- presentation ---------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """A multi-line, human-readable rendering of the query."""
+        lines = [f"{self.name}({', '.join(r.pretty(self.atoms) for r in self.output)}) ="]
+        lines.append("  FROM " + ", ".join(str(a) for a in self.atoms))
+        if self.conditions:
+            rendered = []
+            for atom in self.conditions:
+                if isinstance(atom, AttrEq):
+                    rendered.append(
+                        f"{atom.left.pretty(self.atoms)} = {atom.right.pretty(self.atoms)}"
+                    )
+                else:
+                    rendered.append(f"{atom.ref.pretty(self.atoms)} = {atom.value!r}")
+            lines.append("  WHERE " + " AND ".join(rendered))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"SPCQuery({self.name}: {self.num_atoms} atoms, "
+            f"{self.num_selections} conditions, {len(self.output)} output)"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SPCQuery):
+            return NotImplemented
+        return (
+            self.atoms == other.atoms
+            and self.conditions == other.conditions
+            and self.output == other.output
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.atoms, self.conditions, self.output))
+
+
+def check_query_against_schema(query: SPCQuery, schema: DatabaseSchema) -> None:
+    """Verify that every occurrence of ``query`` renames a relation of ``schema``."""
+    for atom in query.atoms:
+        if atom.relation_name not in schema:
+            raise QueryError(
+                f"query {query.name!r} uses relation {atom.relation_name!r} "
+                f"which is not in the database schema"
+            )
+        declared = schema.relation(atom.relation_name)
+        if declared != atom.schema:
+            raise QueryError(
+                f"occurrence {atom.alias!r} of {atom.relation_name!r} does not match "
+                f"the schema's declaration of that relation"
+            )

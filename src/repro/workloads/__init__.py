@@ -1,0 +1,82 @@
+"""Synthetic workloads reproducing the paper's experimental datasets.
+
+* :mod:`repro.workloads.social` — Example 1's photo-tagging scenario.
+* :mod:`repro.workloads.tfacc` — UK traffic accidents + NaPTAN (19 tables).
+* :mod:`repro.workloads.mot` — MOT vehicle tests (wide denormalized table).
+* :mod:`repro.workloads.tpch` — TPC-H dbgen-lite (8 relations).
+* :mod:`repro.workloads.querygen` — SPC query generation with ``#-sel`` /
+  ``#-prod`` knobs.
+"""
+
+from .base import Workload, rng, scaled
+from .mot import generate_mot_database, mot_access_schema, mot_queries, mot_schema, mot_workload
+from .querygen import (
+    ConstantSpec,
+    GeneratedQuery,
+    JoinEdge,
+    QueryGenSpec,
+    generate_query,
+    generate_query_set,
+)
+from .registry import PAPER_WORKLOADS, get_workload, paper_workloads, workload_names
+from .social import (
+    generate_social_database,
+    query_q0,
+    query_q1,
+    query_q2_boolean,
+    social_access_schema,
+    social_schema,
+    social_workload,
+)
+from .tfacc import (
+    generate_tfacc_database,
+    tfacc_access_schema,
+    tfacc_queries,
+    tfacc_schema,
+    tfacc_workload,
+)
+from .tpch import (
+    generate_tpch_database,
+    tpch_access_schema,
+    tpch_queries,
+    tpch_schema,
+    tpch_workload,
+)
+
+__all__ = [
+    "ConstantSpec",
+    "GeneratedQuery",
+    "JoinEdge",
+    "PAPER_WORKLOADS",
+    "QueryGenSpec",
+    "Workload",
+    "generate_mot_database",
+    "generate_query",
+    "generate_query_set",
+    "generate_social_database",
+    "generate_tfacc_database",
+    "generate_tpch_database",
+    "get_workload",
+    "mot_access_schema",
+    "mot_queries",
+    "mot_schema",
+    "mot_workload",
+    "paper_workloads",
+    "query_q0",
+    "query_q1",
+    "query_q2_boolean",
+    "rng",
+    "scaled",
+    "social_access_schema",
+    "social_schema",
+    "social_workload",
+    "tfacc_access_schema",
+    "tfacc_queries",
+    "tfacc_schema",
+    "tfacc_workload",
+    "tpch_access_schema",
+    "tpch_queries",
+    "tpch_schema",
+    "tpch_workload",
+    "workload_names",
+]

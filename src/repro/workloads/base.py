@@ -1,0 +1,68 @@
+"""Common infrastructure for workload definitions.
+
+A *workload* bundles everything one column of the paper's experimental matrix
+needs: a database schema, an access schema over it, a data generator with a
+scale knob, and a set of SPC queries.  The three workloads of Section 6
+(TFACC, MOT, TPCH) and the social-network example are all expressed as
+:class:`Workload` instances registered in :mod:`repro.workloads.registry`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..access.schema import AccessSchema
+from ..errors import WorkloadError
+from ..relational.database import Database
+from ..relational.schema import DatabaseSchema
+from ..spc.query import SPCQuery
+
+#: Signature of a data generator: (scale, seed) -> Database.
+DataGenerator = Callable[[float, int], Database]
+#: Signature of a query-set generator: (seed) -> list of SPC queries.
+QuerySetGenerator = Callable[[int], list[SPCQuery]]
+
+
+@dataclass
+class Workload:
+    """A named experimental workload: schema + access schema + data + queries."""
+
+    name: str
+    schema: DatabaseSchema
+    access_schema: AccessSchema
+    generate_data: DataGenerator
+    generate_queries: QuerySetGenerator
+    description: str = ""
+    #: Default scale at which benchmarks run this workload.
+    default_scale: float = 1.0
+
+    def database(self, scale: float | None = None, seed: int = 0) -> Database:
+        """Generate a database instance at the given scale."""
+        scale = self.default_scale if scale is None else scale
+        if scale <= 0:
+            raise WorkloadError(f"scale must be positive, got {scale}")
+        return self.generate_data(scale, seed)
+
+    def queries(self, seed: int = 0) -> list[SPCQuery]:
+        """The workload's query set (the paper uses 15 queries per dataset)."""
+        return self.generate_queries(seed)
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name!r}, {len(self.schema)} relations)"
+
+
+def rng(seed: int) -> random.Random:
+    """A deterministic random generator; all workload code goes through this."""
+    return random.Random(seed)
+
+
+def scaled(count: int, scale: float, minimum: int = 1) -> int:
+    """Scale a base cardinality, never below ``minimum``."""
+    return max(minimum, int(round(count * scale)))
+
+
+def pick_weighted(generator: random.Random, values: Sequence, weights: Sequence[float]):
+    """Weighted random choice (thin wrapper to keep call sites readable)."""
+    return generator.choices(list(values), weights=list(weights), k=1)[0]

@@ -1,0 +1,270 @@
+"""MOT: a synthetic stand-in for the UK Ministry of Transport test data.
+
+The paper pre-joins the five MOT tables into one wide relation of 36
+attributes (16.2 GB, 55 million tuples).  This module generates a synthetic
+``mot_test`` relation with the same shape: one row per test item outcome,
+carrying vehicle, test and failure-item attributes, plus a small ``garage``
+dimension table to give multi-occurrence queries something to join against.
+
+Access constraints come from keys (``test_item_id``), relationship fan-outs
+(``vehicle_id -> (test_id, 60)``: a vehicle is tested at most a few dozen
+times; ``test_id -> (test_item_id, 50)``: a test records a bounded number of
+item outcomes) and the many bounded-domain attributes (make, fuel type, test
+result, failure category, ...).
+"""
+
+from __future__ import annotations
+
+from ..access.constraint import AccessConstraint
+from ..access.schema import AccessSchema
+from ..relational.database import Database
+from ..relational.schema import DatabaseSchema, RelationSchema
+from ..spc.query import SPCQuery
+from .base import Workload, rng, scaled
+from .querygen import ConstantSpec, JoinEdge, QueryGenSpec, generate_query_set
+
+_MAKES = [
+    "ford", "vauxhall", "volkswagen", "bmw", "audi", "toyota", "peugeot", "renault",
+    "honda", "nissan", "mercedes", "citroen", "fiat", "mini", "mazda", "skoda",
+    "kia", "hyundai", "volvo", "seat", "land_rover", "jaguar", "suzuki", "mitsubishi",
+]
+_MODELS_PER_MAKE = 12
+_FUEL_TYPES = ["petrol", "diesel", "hybrid", "electric", "lpg", "other"]
+_TEST_RESULTS = ["pass", "fail", "pass_with_rectification", "abandoned", "aborted"]
+_TEST_TYPES = ["normal", "retest", "partial_retest", "appeal"]
+_TEST_CLASSES = ["1", "2", "3", "4", "4a", "5", "5a", "7"]
+_ITEM_CATEGORIES = [
+    "brakes", "lights", "steering", "suspension", "tyres", "body", "exhaust",
+    "fuel_system", "seat_belts", "visibility", "registration_plate", "other",
+]
+_ITEM_SEVERITIES = ["advisory", "minor", "major", "dangerous", "fail", "pass_after_rectification"]
+_COLOURS = ["white", "black", "silver", "grey", "blue", "red", "green", "yellow", "orange", "brown", "other"]
+_POSTCODE_AREAS = [f"area_{i:02d}" for i in range(60)]
+_REGIONS = ["north", "midlands", "london", "south_east", "south_west", "wales", "scotland", "ni"]
+
+TESTS_PER_VEHICLE = 60
+ITEMS_PER_TEST = 50
+
+
+def mot_schema() -> DatabaseSchema:
+    """The MOT schema: one 36-attribute wide relation plus a garage dimension."""
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "mot_test",
+                [
+                    # test-level attributes
+                    "test_item_id", "test_id", "vehicle_id", "test_date", "test_class",
+                    "test_type", "test_result", "test_mileage", "postcode_area",
+                    "garage_id",
+                    # vehicle attributes (denormalized, as in the paper's join)
+                    "make", "model", "colour", "fuel_type", "cylinder_capacity",
+                    "first_use_date", "vehicle_age_band", "doors", "transmission",
+                    "euro_status", "wheelplan", "weight_band",
+                    # failure-item attributes
+                    "item_category", "item_subcategory", "item_severity", "item_dangerous",
+                    "item_advisory_text", "rfr_id", "location_lateral", "location_longitudinal",
+                    "location_vertical", "inspection_manual_ref", "minor_defect_count",
+                    "major_defect_count", "dangerous_defect_count", "retest_flag",
+                ],
+            ),
+            RelationSchema(
+                "garage",
+                ["garage_id", "garage_name", "postcode_area", "region", "site_class"],
+            ),
+        ]
+    )
+
+
+def mot_access_schema() -> AccessSchema:
+    """The MOT access schema (27 constraints in the paper; 30 here)."""
+    wide = mot_schema().relation("mot_test").attribute_names
+    garage_attrs = mot_schema().relation("garage").attribute_names
+    constraints = [
+        AccessConstraint("mot_test", ["test_item_id"], wide, 1),
+        AccessConstraint("mot_test", ["test_id"], wide, ITEMS_PER_TEST),
+        AccessConstraint("mot_test", ["vehicle_id"], wide, TESTS_PER_VEHICLE * 4),
+        AccessConstraint("mot_test", ["vehicle_id"], ["make", "model", "colour", "fuel_type"], 1),
+        AccessConstraint("mot_test", ["vehicle_id", "test_date"], ["test_id"], 4),
+        AccessConstraint("garage", ["garage_id"], garage_attrs, 1),
+        AccessConstraint("garage", ["postcode_area"], garage_attrs, 40),
+        AccessConstraint("garage", ["region"], ["garage_id"], 300),
+        AccessConstraint("mot_test", ["garage_id", "test_date"], ["test_id"], 80),
+        AccessConstraint("mot_test", ["test_id"], ["vehicle_id", "test_date", "test_result", "test_class", "garage_id"], 1),
+    ]
+    domain_bounds = [
+        ("mot_test", "test_class", len(_TEST_CLASSES)),
+        ("mot_test", "test_type", len(_TEST_TYPES)),
+        ("mot_test", "test_result", len(_TEST_RESULTS)),
+        ("mot_test", "postcode_area", len(_POSTCODE_AREAS)),
+        ("mot_test", "make", len(_MAKES)),
+        ("mot_test", "colour", len(_COLOURS)),
+        ("mot_test", "fuel_type", len(_FUEL_TYPES)),
+        ("mot_test", "vehicle_age_band", 12),
+        ("mot_test", "doors", 6),
+        ("mot_test", "transmission", 4),
+        ("mot_test", "euro_status", 8),
+        ("mot_test", "wheelplan", 6),
+        ("mot_test", "weight_band", 8),
+        ("mot_test", "item_category", len(_ITEM_CATEGORIES)),
+        ("mot_test", "item_severity", len(_ITEM_SEVERITIES)),
+        ("mot_test", "item_dangerous", 2),
+        ("mot_test", "location_lateral", 4),
+        ("mot_test", "location_longitudinal", 4),
+        ("mot_test", "location_vertical", 4),
+        ("mot_test", "retest_flag", 2),
+        ("garage", "region", len(_REGIONS)),
+        ("garage", "site_class", 5),
+    ]
+    for relation, attribute, size in domain_bounds:
+        constraints.append(AccessConstraint(relation, (), [attribute], size))
+    return AccessSchema(constraints)
+
+
+def generate_mot_database(scale: float = 1.0, seed: int = 0) -> Database:
+    """Generate an MOT instance satisfying :func:`mot_access_schema`.
+
+    At scale 1.0: ~3 000 vehicles, ~9 000 tests, ~18 000 test-item rows and
+    ~250 garages.
+    """
+    generator = rng(seed)
+    database = Database(mot_schema())
+
+    garages = [f"g{i:04d}" for i in range(scaled(250, scale))]
+    database.extend(
+        "garage",
+        [
+            (
+                garage,
+                f"garage_{index}",
+                generator.choice(_POSTCODE_AREAS),
+                generator.choice(_REGIONS),
+                generator.randint(1, 5),
+            )
+            for index, garage in enumerate(garages)
+        ],
+    )
+
+    dates = [f"2013-{month:02d}-{day:02d}" for month in range(1, 13) for day in range(1, 29, 2)]
+    vehicle_count = scaled(3000, scale)
+    rows: list[tuple] = []
+    test_counter = 0
+    item_counter = 0
+    for vehicle_index in range(vehicle_count):
+        vehicle_id = f"v{vehicle_index:07d}"
+        make = generator.choice(_MAKES)
+        model = f"{make}_m{generator.randrange(_MODELS_PER_MAKE)}"
+        colour = generator.choice(_COLOURS)
+        fuel = generator.choice(_FUEL_TYPES)
+        capacity = generator.choice([999, 1199, 1399, 1599, 1799, 1999, 2499, 2999])
+        first_use = f"20{generator.randint(0, 12):02d}-{generator.randint(1, 12):02d}-01"
+        age_band = generator.randrange(12)
+        doors = generator.randint(2, 7)
+        transmission = generator.choice(["manual", "automatic", "semi", "cvt"])
+        euro = generator.randrange(8)
+        wheelplan = generator.randrange(6)
+        weight_band = generator.randrange(8)
+
+        tests_here = generator.randint(1, 3)
+        for _ in range(tests_here):
+            test_id = f"t{test_counter:08d}"
+            test_counter += 1
+            test_date = generator.choice(dates)
+            test_class = generator.choice(_TEST_CLASSES)
+            test_type = generator.choice(_TEST_TYPES)
+            test_result = generator.choices(_TEST_RESULTS, weights=[60, 25, 10, 3, 2])[0]
+            mileage = generator.randint(1000, 200000)
+            postcode = generator.choice(_POSTCODE_AREAS)
+            garage = generator.choice(garages)
+            items_here = generator.randint(1, 4)
+            for _ in range(items_here):
+                item_id = f"i{item_counter:09d}"
+                item_counter += 1
+                rows.append(
+                    (
+                        item_id, test_id, vehicle_id, test_date, test_class,
+                        test_type, test_result, mileage, postcode, garage,
+                        make, model, colour, fuel, capacity,
+                        first_use, age_band, doors, transmission,
+                        euro, wheelplan, weight_band,
+                        generator.choice(_ITEM_CATEGORIES),
+                        generator.randrange(20),
+                        generator.choice(_ITEM_SEVERITIES),
+                        generator.randrange(2),
+                        f"advisory_{generator.randrange(500)}",
+                        f"rfr_{generator.randrange(3000)}",
+                        generator.randrange(4),
+                        generator.randrange(4),
+                        generator.randrange(4),
+                        f"manual_{generator.randrange(200)}",
+                        generator.randrange(5),
+                        generator.randrange(4),
+                        generator.randrange(3),
+                        generator.randrange(2),
+                    )
+                )
+    database.extend("mot_test", rows)
+    return database
+
+
+def mot_querygen_spec() -> QueryGenSpec:
+    """Join edges, constant pools and outputs for MOT query generation."""
+    schema = mot_schema()
+    dates = [f"2013-{month:02d}-{day:02d}" for month in range(1, 13) for day in range(1, 29, 2)]
+    return QueryGenSpec(
+        schema=schema,
+        name_prefix="MOT",
+        join_edges=[
+            JoinEdge("mot_test", "garage_id", "garage", "garage_id"),
+            JoinEdge("mot_test", "postcode_area", "garage", "postcode_area"),
+            JoinEdge("mot_test", "test_id", "mot_test", "test_id"),
+            JoinEdge("mot_test", "vehicle_id", "mot_test", "vehicle_id"),
+        ],
+        constants=[
+            ConstantSpec("mot_test", "vehicle_id", tuple(f"v{i:07d}" for i in range(0, 500, 7)), anchored=True),
+            ConstantSpec("mot_test", "test_id", tuple(f"t{i:08d}" for i in range(0, 500, 11)), anchored=True),
+            ConstantSpec("mot_test", "test_item_id", tuple(f"i{i:09d}" for i in range(0, 500, 13)), anchored=True),
+            ConstantSpec("garage", "garage_id", tuple(f"g{i:04d}" for i in range(0, 200, 5)), anchored=True),
+            ConstantSpec("garage", "postcode_area", tuple(_POSTCODE_AREAS[:30]), anchored=True),
+            ConstantSpec("mot_test", "test_result", tuple(_TEST_RESULTS), anchored=False),
+            ConstantSpec("mot_test", "make", tuple(_MAKES[:10]), anchored=False),
+            ConstantSpec("mot_test", "fuel_type", tuple(_FUEL_TYPES), anchored=False),
+            ConstantSpec("mot_test", "item_category", tuple(_ITEM_CATEGORIES), anchored=False),
+            ConstantSpec("garage", "region", tuple(_REGIONS), anchored=False),
+        ],
+        output_attributes=[
+            ("mot_test", "test_id"),
+            ("mot_test", "vehicle_id"),
+            ("mot_test", "test_result"),
+            ("mot_test", "item_category"),
+            ("mot_test", "make"),
+            ("garage", "garage_name"),
+        ],
+    )
+
+
+def mot_queries(seed: int = 0, count: int = 15) -> list[SPCQuery]:
+    """The MOT query set, spanning the paper's ``#-sel`` / ``#-prod`` ranges.
+
+    The MOT schema is nearly a single wide table, so multi-occurrence queries
+    are self-joins (same vehicle or same test) and garage look-ups; ``#-prod``
+    is capped at 2 to keep self-join fan-out realistic.
+    """
+    return [
+        item.query
+        for item in generate_query_set(
+            mot_querygen_spec(), count=count, seed=seed, prod_range=(0, 2)
+        )
+    ]
+
+
+def mot_workload() -> Workload:
+    """MOT packaged for the registry and benchmarks."""
+    return Workload(
+        name="mot",
+        schema=mot_schema(),
+        access_schema=mot_access_schema(),
+        generate_data=generate_mot_database,
+        generate_queries=mot_queries,
+        description="UK MOT vehicle test results (synthetic stand-in, wide table)",
+    )

@@ -1,0 +1,45 @@
+"""Registry of the built-in workloads.
+
+Benchmarks and examples look workloads up by name (``"tfacc"``, ``"mot"``,
+``"tpch"``, ``"social"``), matching the dataset names of Section 6.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from .base import Workload
+from .mot import mot_workload
+from .social import social_workload
+from .tfacc import tfacc_workload
+from .tpch import tpch_workload
+
+_BUILDERS = {
+    "social": social_workload,
+    "tfacc": tfacc_workload,
+    "mot": mot_workload,
+    "tpch": tpch_workload,
+}
+
+#: The three workloads of the paper's experimental study (Section 6).
+PAPER_WORKLOADS = ("tfacc", "mot", "tpch")
+
+
+def workload_names() -> tuple[str, ...]:
+    """Names of every registered workload."""
+    return tuple(_BUILDERS)
+
+
+def get_workload(name: str) -> Workload:
+    """Build the named workload (fresh instance; workloads are cheap shells)."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {', '.join(_BUILDERS)}"
+        ) from None
+    return builder()
+
+
+def paper_workloads() -> list[Workload]:
+    """The TFACC, MOT and TPCH workloads used throughout Section 6."""
+    return [get_workload(name) for name in PAPER_WORKLOADS]

@@ -1,0 +1,175 @@
+"""The social-network workload of Example 1.
+
+Three relations — ``in_album``, ``friends`` and ``tagging`` — together with
+the access schema ``A_0`` built from Facebook-style limits: at most 1 000
+photos per album, at most 5 000 friends per user, and at most one tag per
+(photo, taggee) pair.  The generator produces data satisfying ``A_0`` and the
+query builders reproduce ``Q_0`` (effectively bounded), ``Q_1`` (its
+uninstantiated template) and ``Q_2`` (a Boolean query).
+"""
+
+from __future__ import annotations
+
+from ..access.schema import AccessSchema, access_schema_from_specs
+from ..relational.database import Database
+from ..relational.schema import DatabaseSchema, RelationSchema
+from ..spc.builder import SPCQueryBuilder
+from ..spc.query import SPCQuery
+from .base import Workload, rng, scaled
+
+#: Cardinality limits quoted in Example 1 (scaled down for laptop-size data).
+PHOTOS_PER_ALBUM = 1000
+FRIENDS_PER_USER = 5000
+TAGS_PER_PHOTO_PER_USER = 1
+
+
+def social_schema() -> DatabaseSchema:
+    """The three-relation schema of Example 1."""
+    return DatabaseSchema(
+        [
+            RelationSchema("in_album", ["photo_id", "album_id"]),
+            RelationSchema("friends", ["user_id", "friend_id"]),
+            RelationSchema("tagging", ["photo_id", "tagger_id", "taggee_id"]),
+        ]
+    )
+
+
+def social_access_schema(
+    photos_per_album: int = PHOTOS_PER_ALBUM,
+    friends_per_user: int = FRIENDS_PER_USER,
+) -> AccessSchema:
+    """The access schema ``A_0`` of Example 2."""
+    return access_schema_from_specs(
+        [
+            ("in_album", ["album_id"], ["photo_id"], photos_per_album),
+            ("friends", ["user_id"], ["friend_id"], friends_per_user),
+            ("tagging", ["photo_id", "taggee_id"], ["tagger_id"], TAGS_PER_PHOTO_PER_USER),
+        ]
+    )
+
+
+def generate_social_database(scale: float = 1.0, seed: int = 0) -> Database:
+    """A synthetic social network satisfying ``A_0``.
+
+    At scale 1.0: about 200 users, 80 albums, 4 000 photos, 6 000 friendship
+    edges and 5 000 tags.  Scaling multiplies those counts.
+    """
+    generator = rng(seed)
+    users = [f"u{i}" for i in range(scaled(200, scale))]
+    albums = [f"a{i}" for i in range(scaled(80, scale))]
+    photos = [f"p{i}" for i in range(scaled(4000, scale))]
+
+    database = Database(social_schema())
+
+    # Photos are assigned to albums round-robin with jitter, keeping every
+    # album far below the 1000-photo limit.
+    photos_per_album_cap = min(PHOTOS_PER_ALBUM, max(2, len(photos) // max(1, len(albums)) * 2))
+    album_load = {album: 0 for album in albums}
+    for photo in photos:
+        album = generator.choice(albums)
+        if album_load[album] >= photos_per_album_cap:
+            album = min(album_load, key=album_load.get)
+        album_load[album] += 1
+        database.insert("in_album", (photo, album))
+
+    # Friendships: each user gets a handful of friends (well under 5000).
+    friend_rows = set()
+    for user in users:
+        friend_count = generator.randint(3, 30)
+        for _ in range(friend_count):
+            friend = generator.choice(users)
+            if friend != user:
+                friend_rows.add((user, friend))
+    database.extend("friends", sorted(friend_rows))
+
+    # Tags: at most one tagger per (photo, taggee), tagger usually a friend.
+    friends_of: dict[str, list[str]] = {}
+    for user, friend in friend_rows:
+        friends_of.setdefault(user, []).append(friend)
+    tag_rows = {}
+    for _ in range(scaled(5000, scale)):
+        photo = generator.choice(photos)
+        taggee = generator.choice(users)
+        if (photo, taggee) in tag_rows:
+            continue
+        candidates = friends_of.get(taggee)
+        tagger = generator.choice(candidates) if candidates else generator.choice(users)
+        tag_rows[(photo, taggee)] = tagger
+    database.extend(
+        "tagging", sorted((photo, tagger, taggee) for (photo, taggee), tagger in tag_rows.items())
+    )
+    return database
+
+
+def query_q0(
+    schema: DatabaseSchema | None = None,
+    album_id: str = "a0",
+    user_id: str = "u0",
+) -> SPCQuery:
+    """``Q_0``: photos in ``album_id`` where ``user_id`` is tagged by a friend."""
+    schema = schema or social_schema()
+    return (
+        SPCQueryBuilder(schema, name="Q0")
+        .add_atom("in_album", alias="ia")
+        .add_atom("friends", alias="f")
+        .add_atom("tagging", alias="t")
+        .where_const("ia.album_id", album_id)
+        .where_const("f.user_id", user_id)
+        .where_eq("ia.photo_id", "t.photo_id")
+        .where_eq("t.tagger_id", "f.friend_id")
+        .where_eq("t.taggee_id", "f.user_id")
+        .select("ia.photo_id")
+        .build()
+    )
+
+
+def query_q1(schema: DatabaseSchema | None = None) -> SPCQuery:
+    """``Q_1``: the template of ``Q_0`` with album and user left uninstantiated."""
+    schema = schema or social_schema()
+    return (
+        SPCQueryBuilder(schema, name="Q1")
+        .add_atom("in_album", alias="ia")
+        .add_atom("friends", alias="f")
+        .add_atom("tagging", alias="t")
+        .where_eq("ia.photo_id", "t.photo_id")
+        .where_eq("t.tagger_id", "f.friend_id")
+        .where_eq("t.taggee_id", "f.user_id")
+        .select("ia.photo_id")
+        .build()
+    )
+
+
+def query_q2_boolean(
+    schema: DatabaseSchema | None = None,
+    album_id: str = "a0",
+    user_id: str = "u0",
+) -> SPCQuery:
+    """``Q_2``: a Boolean variant — is anyone tagged by a friend in this album?"""
+    return query_q0(schema, album_id, user_id).boolean_version()
+
+
+def social_queries(seed: int = 0) -> list[SPCQuery]:
+    """A small query set over the social schema (used by the registry)."""
+    generator = rng(seed)
+    queries = []
+    for index in range(5):
+        album = f"a{generator.randrange(0, 80)}"
+        user = f"u{generator.randrange(0, 200)}"
+        query = query_q0(album_id=album, user_id=user)
+        queries.append(
+            SPCQuery(query.atoms, query.conditions, query.output, name=f"Q0_{index}")
+        )
+    queries.append(query_q2_boolean())
+    return queries
+
+
+def social_workload() -> Workload:
+    """The Example 1 workload packaged for the registry and benchmarks."""
+    return Workload(
+        name="social",
+        schema=social_schema(),
+        access_schema=social_access_schema(),
+        generate_data=generate_social_database,
+        generate_queries=social_queries,
+        description="Example 1: photo tagging in a social network",
+    )

@@ -1,0 +1,513 @@
+"""TFACC: a synthetic stand-in for the UK traffic-accident dataset.
+
+The paper's TFACC dataset integrates the UK Road Safety Data (accidents,
+vehicles, casualties plus their code tables) with the NaPTAN public-transport
+access nodes through a fuzzy location join; the result has 19 tables, 113
+attributes and 89.7 million tuples (21.4 GB).  Neither dataset ships with this
+reproduction, so this module generates a synthetic database with
+
+* the same table/attribute structure (19 tables, 113 attributes),
+* the access constraints the paper quotes (e.g. ``date -> (accident_id, 610)``,
+  ``accident_id -> (vehicle_id, 192)``) plus keys, lookup-table FDs and
+  bounded-domain constraints, ~84 in total, and
+* tunable scale, so the Figure 5 experiments can sweep dataset size.
+
+Cardinalities are laptop-sized; the constraint *structure* (what is bounded by
+what) is what the algorithms consume, and that is preserved.
+"""
+
+from __future__ import annotations
+
+from ..access.constraint import AccessConstraint
+from ..access.schema import AccessSchema
+from ..relational.database import Database
+from ..relational.schema import DatabaseSchema, RelationSchema
+from ..spc.query import SPCQuery
+from .base import Workload, rng, scaled
+from .querygen import ConstantSpec, JoinEdge, QueryGenSpec, generate_query_set
+
+#: Cardinality bounds quoted in Section 6 of the paper.
+ACCIDENTS_PER_DAY = 610
+VEHICLES_PER_ACCIDENT = 192
+
+#: Code-table domains (label catalogues of the Road Safety data).
+_SEVERITIES = ["fatal", "serious", "slight"]
+_ROAD_CLASSES = ["motorway", "a(m)", "a", "b", "c", "unclassified"]
+_JUNCTION_DETAILS = [
+    "not_junction", "roundabout", "mini_roundabout", "t_junction", "slip_road",
+    "crossroads", "multiple_junction", "private_drive", "other_junction",
+]
+_JUNCTION_CONTROLS = ["authorised_person", "traffic_signal", "stop_sign", "give_way", "uncontrolled"]
+_LIGHT_CONDITIONS = [
+    "daylight", "dark_lit", "dark_unlit", "dark_no_lighting", "dark_lighting_unknown",
+    "dusk", "dawn",
+]
+_WEATHER = [
+    "fine", "rain", "snow", "fine_high_winds", "rain_high_winds", "snow_high_winds",
+    "fog", "other", "unknown",
+]
+_ROAD_SURFACES = ["dry", "wet", "snow", "frost", "flood", "oil", "mud"]
+_VEHICLE_TYPES = [
+    "pedal_cycle", "motorcycle_50cc", "motorcycle_125cc", "motorcycle_500cc",
+    "motorcycle_over_500cc", "taxi", "car", "minibus", "bus", "ridden_horse",
+    "agricultural", "tram", "van", "goods_7.5t", "goods_over_7.5t", "mobility_scooter",
+    "electric_motorcycle", "other", "missing", "unknown",
+]
+_MANOEUVRES = [
+    "reversing", "parked", "waiting", "slowing", "moving_off", "u_turn", "turning_left",
+    "waiting_turn_left", "turning_right", "waiting_turn_right", "changing_lane_left",
+    "changing_lane_right", "overtaking_moving", "overtaking_static", "overtaking_nearside",
+    "held_up", "going_ahead_bend", "going_ahead_other",
+]
+_AGE_BANDS = ["0-5", "6-10", "11-15", "16-20", "21-25", "26-35", "36-45", "46-55", "56-65", "66-75", "75+"]
+_CASUALTY_TYPES = [
+    "pedestrian", "cyclist", "motorcycle_50cc", "motorcycle_125cc", "motorcycle_500cc",
+    "motorcycle_over_500cc", "taxi_occupant", "car_occupant", "minibus_occupant",
+    "bus_occupant", "horse_rider", "agricultural_occupant", "tram_occupant", "van_occupant",
+    "goods_7.5t_occupant", "goods_over_7.5t_occupant", "mobility_scooter_rider",
+    "electric_motorcycle_rider", "other_occupant", "missing", "unknown",
+]
+_POLICE_FORCES = [f"force_{i:02d}" for i in range(1, 52)]
+_STOP_TYPES = ["bus", "rail", "metro", "tram", "ferry", "taxi", "air"]
+_REGIONS = ["north_east", "north_west", "yorkshire", "east_midlands", "west_midlands",
+            "east", "london", "south_east", "south_west", "wales", "scotland"]
+_SPEED_LIMITS = [20, 30, 40, 50, 60, 70]
+_URBAN_RURAL = ["urban", "rural", "unallocated"]
+_DISTANCE_BANDS = ["0-50m", "50-100m", "100-250m", "250-500m", "500m+"]
+_JOURNEY_PURPOSES = ["work", "commuting", "school", "school_pupil", "other", "unknown"]
+
+
+def tfacc_schema() -> DatabaseSchema:
+    """The 19-table, 113-attribute TFACC schema."""
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "accident",
+                [
+                    "accident_id", "date", "time_band", "police_force", "severity",
+                    "num_vehicles", "num_casualties", "road_class", "road_number",
+                    "second_road_class", "second_road_number", "speed_limit",
+                    "junction_detail", "junction_control", "crossing_control",
+                    "light_conditions", "weather", "road_surface", "special_conditions",
+                    "carriageway_hazards", "latitude", "longitude", "urban_rural",
+                    "did_police_attend", "lsoa",
+                ],
+            ),
+            RelationSchema(
+                "vehicle",
+                [
+                    "vehicle_id", "accident_id", "vehicle_type", "towing", "manoeuvre",
+                    "vehicle_location", "junction_location", "skidding",
+                    "hit_object_in_carriageway", "leaving_carriageway",
+                    "hit_object_off_carriageway", "first_point_of_impact",
+                    "journey_purpose", "driver_sex", "driver_age_band",
+                    "engine_capacity", "propulsion", "vehicle_age", "driver_imd",
+                ],
+            ),
+            RelationSchema(
+                "casualty",
+                [
+                    "casualty_id", "accident_id", "vehicle_id", "casualty_class",
+                    "sex", "age_band", "severity", "pedestrian_location",
+                    "pedestrian_movement", "car_passenger", "bus_passenger",
+                    "pedestrian_maintenance_worker", "casualty_type", "casualty_imd",
+                ],
+            ),
+            RelationSchema(
+                "naptan_stop",
+                [
+                    "stop_id", "atco_code", "common_name", "street", "indicator",
+                    "bearing", "latitude", "longitude", "stop_type", "locality_id",
+                    "admin_area", "status", "naptan_code", "landmark", "notes",
+                ],
+            ),
+            RelationSchema("accident_stop", ["accident_id", "stop_id", "distance_band", "bearing_band"]),
+            RelationSchema("police_force", ["force_id", "force_name", "region"]),
+            RelationSchema("severity_code", ["severity_id", "severity_label", "severity_rank"]),
+            RelationSchema("road_class_code", ["road_class_id", "road_class_label"]),
+            RelationSchema("junction_detail_code", ["junction_detail_id", "junction_detail_label"]),
+            RelationSchema("junction_control_code", ["junction_control_id", "junction_control_label"]),
+            RelationSchema("light_conditions_code", ["light_id", "light_label"]),
+            RelationSchema("weather_code", ["weather_id", "weather_label"]),
+            RelationSchema("road_surface_code", ["surface_id", "surface_label"]),
+            RelationSchema("vehicle_type_code", ["vehicle_type_id", "vehicle_type_label"]),
+            RelationSchema("manoeuvre_code", ["manoeuvre_id", "manoeuvre_label"]),
+            RelationSchema("age_band_code", ["age_band_id", "age_band_label"]),
+            RelationSchema("casualty_type_code", ["casualty_type_id", "casualty_type_label"]),
+            RelationSchema("locality", ["locality_id", "locality_name", "district_id", "region", "easting", "northing"]),
+            RelationSchema("district", ["district_id", "district_name", "region", "population_band"]),
+        ]
+    )
+
+
+def tfacc_access_schema() -> AccessSchema:
+    """The TFACC access schema (~84 constraints).
+
+    Ordered so that a prefix (``AccessSchema.restricted``) keeps the
+    load-bearing constraints first — the ``||A||`` sweep of Figure 5(b) uses
+    prefixes of this list.
+    """
+    constraints: list[AccessConstraint] = [
+        # -- the constraints quoted in the paper -------------------------------------
+        AccessConstraint("accident", ["date"], ["accident_id"], ACCIDENTS_PER_DAY),
+        AccessConstraint("vehicle", ["accident_id"], ["vehicle_id"], VEHICLES_PER_ACCIDENT),
+        # -- keys of the core tables ---------------------------------------------------
+        AccessConstraint("accident", ["accident_id"], tfacc_schema().relation("accident").attribute_names, 1),
+        AccessConstraint("vehicle", ["vehicle_id"], tfacc_schema().relation("vehicle").attribute_names, 1),
+        AccessConstraint("casualty", ["casualty_id"], tfacc_schema().relation("casualty").attribute_names, 1),
+        AccessConstraint("naptan_stop", ["stop_id"], tfacc_schema().relation("naptan_stop").attribute_names, 1),
+        # -- relationship fan-outs -------------------------------------------------------
+        AccessConstraint("casualty", ["accident_id"], ["casualty_id"], 90),
+        AccessConstraint("casualty", ["vehicle_id"], ["casualty_id"], 64),
+        AccessConstraint("accident_stop", ["accident_id"], ["stop_id", "distance_band", "bearing_band"], 8),
+        AccessConstraint("accident_stop", ["stop_id"], ["accident_id"], 400),
+        AccessConstraint("naptan_stop", ["locality_id"], ["stop_id"], 300),
+        AccessConstraint("accident", ["police_force", "date"], ["accident_id"], 40),
+        # -- lookup-table keys -------------------------------------------------------------
+        AccessConstraint("police_force", ["force_id"], ["force_name", "region"], 1),
+        AccessConstraint("severity_code", ["severity_id"], ["severity_label", "severity_rank"], 1),
+        AccessConstraint("road_class_code", ["road_class_id"], ["road_class_label"], 1),
+        AccessConstraint("junction_detail_code", ["junction_detail_id"], ["junction_detail_label"], 1),
+        AccessConstraint("junction_control_code", ["junction_control_id"], ["junction_control_label"], 1),
+        AccessConstraint("light_conditions_code", ["light_id"], ["light_label"], 1),
+        AccessConstraint("weather_code", ["weather_id"], ["weather_label"], 1),
+        AccessConstraint("road_surface_code", ["surface_id"], ["surface_label"], 1),
+        AccessConstraint("vehicle_type_code", ["vehicle_type_id"], ["vehicle_type_label"], 1),
+        AccessConstraint("manoeuvre_code", ["manoeuvre_id"], ["manoeuvre_label"], 1),
+        AccessConstraint("age_band_code", ["age_band_id"], ["age_band_label"], 1),
+        AccessConstraint("casualty_type_code", ["casualty_type_id"], ["casualty_type_label"], 1),
+        AccessConstraint("locality", ["locality_id"], ["locality_name", "district_id", "region", "easting", "northing"], 1),
+        AccessConstraint("district", ["district_id"], ["district_name", "region", "population_band"], 1),
+        AccessConstraint("locality", ["district_id"], ["locality_id"], 200),
+        AccessConstraint("district", ["region"], ["district_id"], 60),
+        AccessConstraint("police_force", ["region"], ["force_id"], 15),
+    ]
+
+    # -- bounded-domain constraints (the "active domain" route of Section 6) ------------
+    domain_bounds: list[tuple[str, str, int]] = [
+        ("accident", "severity", len(_SEVERITIES)),
+        ("accident", "road_class", len(_ROAD_CLASSES)),
+        ("accident", "second_road_class", len(_ROAD_CLASSES) + 1),
+        ("accident", "speed_limit", len(_SPEED_LIMITS)),
+        ("accident", "junction_detail", len(_JUNCTION_DETAILS)),
+        ("accident", "junction_control", len(_JUNCTION_CONTROLS)),
+        ("accident", "crossing_control", 5),
+        ("accident", "light_conditions", len(_LIGHT_CONDITIONS)),
+        ("accident", "weather", len(_WEATHER)),
+        ("accident", "road_surface", len(_ROAD_SURFACES)),
+        ("accident", "special_conditions", 9),
+        ("accident", "carriageway_hazards", 7),
+        ("accident", "urban_rural", len(_URBAN_RURAL)),
+        ("accident", "did_police_attend", 3),
+        ("accident", "time_band", 24),
+        ("accident", "police_force", len(_POLICE_FORCES)),
+        ("accident", "num_vehicles", VEHICLES_PER_ACCIDENT),
+        ("accident", "num_casualties", 90),
+        ("vehicle", "vehicle_type", len(_VEHICLE_TYPES)),
+        ("vehicle", "towing", 6),
+        ("vehicle", "manoeuvre", len(_MANOEUVRES)),
+        ("vehicle", "vehicle_location", 10),
+        ("vehicle", "junction_location", 9),
+        ("vehicle", "skidding", 6),
+        ("vehicle", "hit_object_in_carriageway", 12),
+        ("vehicle", "leaving_carriageway", 9),
+        ("vehicle", "hit_object_off_carriageway", 12),
+        ("vehicle", "first_point_of_impact", 5),
+        ("vehicle", "journey_purpose", len(_JOURNEY_PURPOSES)),
+        ("vehicle", "driver_sex", 3),
+        ("vehicle", "driver_age_band", len(_AGE_BANDS)),
+        ("vehicle", "propulsion", 10),
+        ("vehicle", "vehicle_age", 40),
+        ("vehicle", "driver_imd", 10),
+        ("casualty", "casualty_class", 3),
+        ("casualty", "sex", 3),
+        ("casualty", "age_band", len(_AGE_BANDS)),
+        ("casualty", "severity", len(_SEVERITIES)),
+        ("casualty", "pedestrian_location", 10),
+        ("casualty", "pedestrian_movement", 9),
+        ("casualty", "car_passenger", 3),
+        ("casualty", "bus_passenger", 5),
+        ("casualty", "pedestrian_maintenance_worker", 3),
+        ("casualty", "casualty_type", len(_CASUALTY_TYPES)),
+        ("casualty", "casualty_imd", 10),
+        ("naptan_stop", "stop_type", len(_STOP_TYPES)),
+        ("naptan_stop", "bearing", 8),
+        ("naptan_stop", "status", 3),
+        ("naptan_stop", "admin_area", len(_REGIONS)),
+        ("accident_stop", "distance_band", len(_DISTANCE_BANDS)),
+        ("accident_stop", "bearing_band", 8),
+        ("police_force", "region", len(_REGIONS)),
+        ("locality", "region", len(_REGIONS)),
+        ("district", "region", len(_REGIONS)),
+        ("district", "population_band", 6),
+    ]
+    for relation, attribute, size in domain_bounds:
+        constraints.append(AccessConstraint(relation, (), [attribute], size))
+    return AccessSchema(constraints)
+
+
+def _lookup_rows(labels: list[str]) -> list[tuple]:
+    return [(index, label) for index, label in enumerate(labels)]
+
+
+def generate_tfacc_database(scale: float = 1.0, seed: int = 0) -> Database:
+    """Generate a TFACC instance satisfying :func:`tfacc_access_schema`.
+
+    At scale 1.0: ~240 days of accidents, ~4 800 accidents, ~8 500 vehicles,
+    ~6 500 casualties, ~1 200 NaPTAN stops — roughly 25 000 tuples in total.
+    """
+    generator = rng(seed)
+    database = Database(tfacc_schema())
+
+    # -- lookup tables (fixed, independent of scale) -------------------------------------
+    database.extend("severity_code", [(i, label, i + 1) for i, label in enumerate(_SEVERITIES)])
+    database.extend("road_class_code", _lookup_rows(_ROAD_CLASSES))
+    database.extend("junction_detail_code", _lookup_rows(_JUNCTION_DETAILS))
+    database.extend("junction_control_code", _lookup_rows(_JUNCTION_CONTROLS))
+    database.extend("light_conditions_code", _lookup_rows(_LIGHT_CONDITIONS))
+    database.extend("weather_code", _lookup_rows(_WEATHER))
+    database.extend("road_surface_code", _lookup_rows(_ROAD_SURFACES))
+    database.extend("vehicle_type_code", _lookup_rows(_VEHICLE_TYPES))
+    database.extend("manoeuvre_code", _lookup_rows(_MANOEUVRES))
+    database.extend("age_band_code", _lookup_rows(_AGE_BANDS))
+    database.extend("casualty_type_code", _lookup_rows(_CASUALTY_TYPES))
+    database.extend(
+        "police_force",
+        [(force, f"{force}_name", generator.choice(_REGIONS)) for force in _POLICE_FORCES],
+    )
+
+    districts = [f"d{i}" for i in range(scaled(40, scale))]
+    database.extend(
+        "district",
+        [
+            (district, f"{district}_name", generator.choice(_REGIONS), generator.randint(1, 6))
+            for district in districts
+        ],
+    )
+    localities = [f"loc{i}" for i in range(scaled(150, scale))]
+    database.extend(
+        "locality",
+        [
+            (
+                locality,
+                f"{locality}_name",
+                generator.choice(districts),
+                generator.choice(_REGIONS),
+                generator.randint(100000, 699999),
+                generator.randint(100000, 999999),
+            )
+            for locality in localities
+        ],
+    )
+
+    stops = [f"stop{i}" for i in range(scaled(1200, scale))]
+    database.extend(
+        "naptan_stop",
+        [
+            (
+                stop,
+                f"atco_{index:06d}",
+                f"stop_name_{index}",
+                f"street_{generator.randrange(400)}",
+                generator.choice(["opp", "adj", "o/s", "near"]),
+                generator.randrange(8),
+                round(49.0 + generator.random() * 10, 5),
+                round(-6.0 + generator.random() * 7, 5),
+                generator.choice(_STOP_TYPES),
+                generator.choice(localities),
+                generator.choice(_REGIONS),
+                generator.choice(["active", "inactive", "pending"]),
+                f"naptan_{index:06d}",
+                f"landmark_{generator.randrange(300)}",
+                f"note_{generator.randrange(100)}",
+            )
+            for index, stop in enumerate(stops)
+        ],
+    )
+
+    # -- accidents, vehicles, casualties ------------------------------------------------
+    days = [f"2004-{month:02d}-{day:02d}" for month in range(1, 13) for day in range(1, 21)]
+    accident_count = scaled(4800, scale)
+    per_day_cap = min(ACCIDENTS_PER_DAY, max(2, accident_count // max(1, len(days)) * 3))
+
+    accident_rows: list[tuple] = []
+    vehicle_rows: list[tuple] = []
+    casualty_rows: list[tuple] = []
+    accident_stop_rows: list[tuple] = []
+    day_load = {day: 0 for day in days}
+    vehicle_counter = 0
+    casualty_counter = 0
+
+    for accident_index in range(accident_count):
+        accident_id = f"acc{accident_index:07d}"
+        day = generator.choice(days)
+        if day_load[day] >= per_day_cap:
+            day = min(day_load, key=day_load.get)
+        day_load[day] += 1
+
+        vehicles_here = generator.randint(1, 3)
+        casualties_here = generator.randint(1, 3)
+        accident_rows.append(
+            (
+                accident_id,
+                day,
+                generator.randrange(24),
+                generator.choice(_POLICE_FORCES),
+                generator.choices(_SEVERITIES, weights=[1, 6, 20])[0],
+                vehicles_here,
+                casualties_here,
+                generator.choice(_ROAD_CLASSES),
+                generator.randrange(1, 999),
+                generator.choice(_ROAD_CLASSES + ["none"]),
+                generator.randrange(0, 999),
+                generator.choice(_SPEED_LIMITS),
+                generator.choice(_JUNCTION_DETAILS),
+                generator.choice(_JUNCTION_CONTROLS),
+                generator.randrange(5),
+                generator.choice(_LIGHT_CONDITIONS),
+                generator.choice(_WEATHER),
+                generator.choice(_ROAD_SURFACES),
+                generator.randrange(9),
+                generator.randrange(7),
+                round(49.0 + generator.random() * 10, 5),
+                round(-6.0 + generator.random() * 7, 5),
+                generator.choice(_URBAN_RURAL),
+                generator.randrange(3),
+                f"lsoa_{generator.randrange(2000):05d}",
+            )
+        )
+
+        accident_vehicle_ids = []
+        for _ in range(vehicles_here):
+            vehicle_id = f"veh{vehicle_counter:08d}"
+            vehicle_counter += 1
+            accident_vehicle_ids.append(vehicle_id)
+            vehicle_rows.append(
+                (
+                    vehicle_id,
+                    accident_id,
+                    generator.choice(_VEHICLE_TYPES),
+                    generator.randrange(6),
+                    generator.choice(_MANOEUVRES),
+                    generator.randrange(10),
+                    generator.randrange(9),
+                    generator.randrange(6),
+                    generator.randrange(12),
+                    generator.randrange(9),
+                    generator.randrange(12),
+                    generator.randrange(5),
+                    generator.choice(_JOURNEY_PURPOSES),
+                    generator.choice(["male", "female", "unknown"]),
+                    generator.choice(_AGE_BANDS),
+                    generator.choice([0, 125, 500, 1000, 1600, 2000, 3000]),
+                    generator.randrange(10),
+                    generator.randrange(40),
+                    generator.randrange(1, 11),
+                )
+            )
+
+        for _ in range(casualties_here):
+            casualty_id = f"cas{casualty_counter:08d}"
+            casualty_counter += 1
+            casualty_rows.append(
+                (
+                    casualty_id,
+                    accident_id,
+                    generator.choice(accident_vehicle_ids),
+                    generator.randrange(1, 4),
+                    generator.choice(["male", "female", "unknown"]),
+                    generator.choice(_AGE_BANDS),
+                    generator.choices(_SEVERITIES, weights=[1, 6, 20])[0],
+                    generator.randrange(10),
+                    generator.randrange(9),
+                    generator.randrange(3),
+                    generator.randrange(5),
+                    generator.randrange(3),
+                    generator.choice(_CASUALTY_TYPES),
+                    generator.randrange(1, 11),
+                )
+            )
+
+        # The fuzzy NaPTAN join: a few nearby stops per accident.
+        for stop in generator.sample(stops, k=min(len(stops), generator.randint(0, 3))):
+            accident_stop_rows.append(
+                (
+                    accident_id,
+                    stop,
+                    generator.choice(_DISTANCE_BANDS),
+                    generator.randrange(8),
+                )
+            )
+
+    database.extend("accident", accident_rows)
+    database.extend("vehicle", vehicle_rows)
+    database.extend("casualty", casualty_rows)
+    database.extend("accident_stop", accident_stop_rows)
+    return database
+
+
+def tfacc_querygen_spec() -> QueryGenSpec:
+    """Join edges, constant pools and output attributes for TFACC query generation."""
+    schema = tfacc_schema()
+    days = [f"2004-{month:02d}-{day:02d}" for month in range(1, 13) for day in range(1, 21)]
+    return QueryGenSpec(
+        schema=schema,
+        name_prefix="TF",
+        join_edges=[
+            JoinEdge("accident", "accident_id", "vehicle", "accident_id"),
+            JoinEdge("accident", "accident_id", "casualty", "accident_id"),
+            JoinEdge("vehicle", "vehicle_id", "casualty", "vehicle_id"),
+            JoinEdge("accident", "accident_id", "accident_stop", "accident_id"),
+            JoinEdge("accident_stop", "stop_id", "naptan_stop", "stop_id"),
+            JoinEdge("naptan_stop", "locality_id", "locality", "locality_id"),
+            JoinEdge("locality", "district_id", "district", "district_id"),
+            JoinEdge("accident", "police_force", "police_force", "force_id"),
+            JoinEdge("accident", "severity", "severity_code", "severity_label"),
+            JoinEdge("vehicle", "vehicle_type", "vehicle_type_code", "vehicle_type_label"),
+            JoinEdge("casualty", "casualty_type", "casualty_type_code", "casualty_type_label"),
+        ],
+        constants=[
+            ConstantSpec("accident", "date", tuple(days[:60]), anchored=True),
+            ConstantSpec("accident", "accident_id", tuple(f"acc{i:07d}" for i in range(0, 200, 7)), anchored=True),
+            ConstantSpec("vehicle", "accident_id", tuple(f"acc{i:07d}" for i in range(0, 200, 11)), anchored=True),
+            ConstantSpec("casualty", "accident_id", tuple(f"acc{i:07d}" for i in range(0, 200, 13)), anchored=True),
+            ConstantSpec("naptan_stop", "stop_id", tuple(f"stop{i}" for i in range(0, 200, 9)), anchored=True),
+            ConstantSpec("accident_stop", "accident_id", tuple(f"acc{i:07d}" for i in range(0, 200, 17)), anchored=True),
+            ConstantSpec("police_force", "force_id", tuple(_POLICE_FORCES[:20]), anchored=True),
+            ConstantSpec("locality", "locality_id", tuple(f"loc{i}" for i in range(0, 100, 5)), anchored=True),
+            ConstantSpec("district", "district_id", tuple(f"d{i}" for i in range(0, 30, 3)), anchored=True),
+            ConstantSpec("accident", "severity", tuple(_SEVERITIES), anchored=False),
+            ConstantSpec("accident", "weather", tuple(_WEATHER), anchored=False),
+            ConstantSpec("vehicle", "vehicle_type", tuple(_VEHICLE_TYPES[:8]), anchored=False),
+            ConstantSpec("casualty", "age_band", tuple(_AGE_BANDS), anchored=False),
+            ConstantSpec("naptan_stop", "stop_type", tuple(_STOP_TYPES), anchored=False),
+        ],
+        output_attributes=[
+            ("accident", "accident_id"),
+            ("accident", "severity"),
+            ("vehicle", "vehicle_id"),
+            ("vehicle", "vehicle_type"),
+            ("casualty", "casualty_id"),
+            ("naptan_stop", "common_name"),
+            ("accident_stop", "stop_id"),
+            ("locality", "locality_name"),
+            ("district", "district_name"),
+        ],
+    )
+
+
+def tfacc_queries(seed: int = 0, count: int = 15) -> list[SPCQuery]:
+    """The TFACC query set (15 queries spanning ``#-sel`` 4–8, ``#-prod`` 0–4)."""
+    return [item.query for item in generate_query_set(tfacc_querygen_spec(), count=count, seed=seed)]
+
+
+def tfacc_workload() -> Workload:
+    """TFACC packaged for the registry and benchmarks."""
+    return Workload(
+        name="tfacc",
+        schema=tfacc_schema(),
+        access_schema=tfacc_access_schema(),
+        generate_data=generate_tfacc_database,
+        generate_queries=tfacc_queries,
+        description="UK traffic accidents + NaPTAN stops (synthetic stand-in, 19 tables)",
+    )

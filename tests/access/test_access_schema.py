@@ -1,0 +1,174 @@
+"""Unit tests for access constraints, access schemas and D |= A checking."""
+
+import pytest
+
+from repro.access import (
+    AccessConstraint,
+    AccessSchema,
+    Violation,
+    access_schema_from_specs,
+    build_access_indexes,
+    check_constraint,
+    domain_bound,
+    find_violations,
+    functional_dependency,
+    key_constraint,
+    require_satisfies,
+    satisfies,
+    tighten_bounds,
+)
+from repro.errors import AccessSchemaError, ConstraintViolationError
+from repro.relational import Database, RelationSchema, schema_from_mapping
+from repro.spc.normalize import universal_schema
+from repro.workloads import generate_social_database
+
+
+class TestAccessConstraint:
+    def test_construction_normalizes_attribute_order(self):
+        constraint = AccessConstraint("r", ["b", "a"], ["d", "c"], 5)
+        assert constraint.x == ("a", "b") and constraint.y == ("c", "d")
+        assert constraint.covered == {"a", "b", "c", "d"}
+        assert constraint.size == 4
+
+    def test_fetch_attributes_order(self):
+        constraint = AccessConstraint("r", ["a"], ["a", "b"], 3)
+        assert constraint.fetch_attributes == ("a", "b")
+
+    def test_invalid_bound_and_empty_y(self):
+        with pytest.raises(AccessSchemaError):
+            AccessConstraint("r", ["a"], ["b"], 0)
+        with pytest.raises(AccessSchemaError):
+            AccessConstraint("r", ["a"], [], 1)
+
+    def test_fd_and_key_and_domain_helpers(self):
+        schema = RelationSchema("r", ["a", "b", "c"])
+        fd = functional_dependency("r", ["a"], ["b"])
+        assert fd.is_functional_dependency and fd.bound == 1
+        key = key_constraint(schema, ["a"])
+        assert set(key.y) == {"b", "c"} and key.bound == 1
+        bound = domain_bound("r", "c", 12)
+        assert bound.is_domain_bound and bound.bound == 12
+
+    def test_validate_against_schema(self):
+        schema = RelationSchema("r", ["a", "b"])
+        AccessConstraint("r", ["a"], ["b"], 2).validate_against(schema)
+        with pytest.raises(AccessSchemaError):
+            AccessConstraint("r", ["a"], ["z"], 2).validate_against(schema)
+        with pytest.raises(AccessSchemaError):
+            AccessConstraint("s", ["a"], ["b"], 2).validate_against(schema)
+
+    def test_str_rendering(self):
+        constraint = AccessConstraint("r", ["a"], ["b"], 7)
+        assert "r" in str(constraint) and "7" in str(constraint)
+
+
+class TestAccessSchema:
+    def test_sizes_and_lookup(self, access_schema):
+        assert access_schema.cardinality == 3
+        assert access_schema.size == sum(c.size for c in access_schema)
+        assert len(access_schema.for_relation("friends")) == 1
+        assert access_schema.for_relation("unknown") == ()
+
+    def test_duplicates_ignored(self):
+        constraint = AccessConstraint("r", ["a"], ["b"], 2)
+        schema = AccessSchema([constraint, constraint])
+        assert schema.cardinality == 1
+
+    def test_restricted_and_without_and_merged(self, access_schema):
+        assert access_schema.restricted(2).cardinality == 2
+        with pytest.raises(AccessSchemaError):
+            access_schema.restricted(-1)
+        removed = access_schema.without(access_schema.constraints()[0])
+        assert removed.cardinality == 2
+        merged = removed.merged(access_schema)
+        assert merged.cardinality == 3
+
+    def test_validate_against_database_schema(self, schema, access_schema):
+        access_schema.validate_against(schema)
+        bad = AccessSchema([AccessConstraint("nonexistent", ["a"], ["b"], 1)])
+        with pytest.raises(AccessSchemaError):
+            bad.validate_against(schema)
+
+    def test_to_universal_translation(self, schema, access_schema):
+        universal = universal_schema(schema)
+        translated = access_schema.to_universal(universal)
+        assert translated.cardinality == access_schema.cardinality
+        for constraint in translated:
+            assert constraint.relation == universal.relation.name
+            assert "__rel" in constraint.x
+
+    def test_describe_lists_constraints(self, access_schema):
+        assert "in_album" in access_schema.describe()
+
+
+class TestSatisfaction:
+    def test_satisfying_instance(self, small_social_db, access_schema):
+        assert satisfies(small_social_db, access_schema)
+        assert find_violations(small_social_db, access_schema) == []
+        require_satisfies(small_social_db, access_schema)
+
+    def test_violation_detection(self, schema):
+        database = Database(schema)
+        database.extend("tagging", [("p1", "u1", "u0"), ("p1", "u2", "u0")])
+        constraint = AccessConstraint("tagging", ["photo_id", "taggee_id"], ["tagger_id"], 1)
+        violations = check_constraint(database, constraint)
+        assert len(violations) == 1
+        assert isinstance(violations[0], Violation)
+        assert violations[0].distinct_y == 2
+        with pytest.raises(ConstraintViolationError):
+            require_satisfies(database, AccessSchema([constraint]))
+
+    def test_constraints_on_missing_relations_skipped(self, small_social_db):
+        schema = AccessSchema([AccessConstraint("not_there", ["a"], ["b"], 1)])
+        assert satisfies(small_social_db, schema)
+
+    def test_tighten_bounds(self, small_social_db, access_schema):
+        tightened = tighten_bounds(small_social_db, access_schema)
+        by_relation = {c.relation: c for c in tightened}
+        assert by_relation["in_album"].bound == 2  # album a0 holds two photos
+        assert by_relation["friends"].bound == 2
+        assert by_relation["tagging"].bound == 1
+
+    def test_generated_workload_satisfies_schema(self, access_schema):
+        database = generate_social_database(scale=0.5, seed=3)
+        assert satisfies(database, access_schema)
+
+
+class TestConstraintIndexes:
+    def test_fetch_through_constraint_index(self, small_social_db, access_schema):
+        indexes = build_access_indexes(small_social_db, access_schema)
+        constraint = access_schema.for_relation("in_album")[0]
+        index = indexes.for_constraint(constraint)
+        rows = index.fetch(("a0",))
+        assert set(rows) == {("a0", "p1"), ("a0", "p2")}
+        assert index.contains(("a1",)) and not index.contains(("a9",))
+
+    def test_fetch_counts_tuples(self, small_social_db, access_schema):
+        indexes = build_access_indexes(small_social_db, access_schema)
+        constraint = access_schema.for_relation("friends")[0]
+        before = small_social_db.access_snapshot()
+        indexes.for_constraint(constraint).fetch(("u0",))
+        assert small_social_db.accesses_since(before).index_probed == 2
+
+    def test_bound_enforcement(self, schema):
+        database = Database(schema)
+        database.extend("friends", [("u0", f"u{i}") for i in range(1, 6)])
+        tight = AccessSchema([AccessConstraint("friends", ["user_id"], ["friend_id"], 2)])
+        indexes = build_access_indexes(database, tight, enforce_bounds=True)
+        with pytest.raises(ConstraintViolationError):
+            indexes.for_constraint(tight.constraints()[0]).fetch(("u0",))
+        relaxed = build_access_indexes(database, tight, enforce_bounds=False)
+        assert len(relaxed.for_constraint(tight.constraints()[0]).fetch(("u0",))) == 5
+
+    def test_missing_index_raises(self, access_schema):
+        from repro.access.indexes import AccessIndexes
+
+        empty = AccessIndexes()
+        with pytest.raises(ConstraintViolationError):
+            empty.for_constraint(access_schema.constraints()[0])
+
+    def test_fetch_many_deduplicates(self, small_social_db, access_schema):
+        indexes = build_access_indexes(small_social_db, access_schema)
+        constraint = access_schema.for_relation("in_album")[0]
+        rows = indexes.for_constraint(constraint).fetch_many([("a0",), ("a0",), ("a1",)])
+        assert len(rows) == 3

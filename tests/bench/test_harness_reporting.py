@@ -1,0 +1,85 @@
+"""Unit tests for the experiment harness and its paper-style reports."""
+
+from repro.bench import (
+    AlgorithmTimes,
+    ComparisonPoint,
+    ComparisonSeries,
+    CoverageResult,
+    ScalingPoint,
+    experiment_checker_scaling,
+    experiment_vary_access,
+    format_algorithm_times,
+    format_comparison,
+    format_complexity_table,
+    format_coverage,
+    format_scaling,
+)
+from repro.workloads import get_workload
+
+
+class TestResultRecords:
+    def test_speedup(self):
+        point = ComparisonPoint("x", evaldq_seconds=0.001, naive_seconds=0.01,
+                                dq_tuples=10, naive_tuples=100, queries=3)
+        assert point.speedup == 10
+        zero = ComparisonPoint("x", 0.0, 0.01, 1, 2, 1)
+        assert zero.speedup == float("inf")
+
+    def test_coverage_fraction(self):
+        result = CoverageResult("w", total=10, bounded=10, effectively_bounded=8)
+        assert result.fraction == 0.8
+        assert CoverageResult("w", 0, 0, 0).fraction == 0.0
+
+    def test_series_add(self):
+        series = ComparisonSeries("w", "|D|")
+        series.add(ComparisonPoint("1", 0.1, 0.2, 1, 2, 1))
+        assert len(series.points) == 1
+
+
+class TestFormatting:
+    def test_format_comparison_alignment(self):
+        series = ComparisonSeries("tfacc", "|D|")
+        series.add(ComparisonPoint("0.5", 0.001, 0.05, 100, 5000, 10))
+        text = format_comparison(series, title="panel")
+        lines = text.splitlines()
+        assert lines[0] == "panel"
+        assert "speedup" in lines[1] and "50.0x" in text
+
+    def test_format_algorithm_times(self):
+        rows = [AlgorithmTimes("tfacc", 0.001, 0.001, 0.002, 0.003)]
+        text = format_algorithm_times(rows)
+        assert "TFACC" in text and "findDPh" in text and "ms" in text
+
+    def test_format_coverage_totals(self):
+        text = format_coverage(
+            [
+                CoverageResult("a", 15, 15, 12),
+                CoverageResult("b", 15, 14, 10),
+            ]
+        )
+        assert "TOTAL" in text and "30" in text and "73%" in text
+
+    def test_format_scaling(self):
+        points = [ScalingPoint(10, 100, 1100, 0.001), ScalingPoint(20, 100, 2400, 0.002)]
+        text = format_scaling(points)
+        assert "|Q|(|A|+|Q|)" in text and "1100" in text
+
+    def test_format_complexity_table_static(self):
+        text = format_complexity_table()
+        assert "NP-complete" in text and "NPO-complete" in text and "EBnd" in text
+
+
+class TestHarnessFunctions:
+    def test_vary_access_uses_prefixes(self):
+        workload = get_workload("tpch")
+        series = experiment_vary_access(workload, counts=(12, 20), scale=0.08)
+        assert [p.label for p in series.points] == ["12", "20"]
+        # More constraints can only reduce the data the bounded plans touch.
+        assert series.points[-1].dq_tuples <= series.points[0].dq_tuples + 1e-9
+
+    def test_checker_scaling_points(self):
+        workload = get_workload("tfacc")
+        points = experiment_checker_scaling(workload, query_counts=(2, 4))
+        assert len(points) == 2
+        assert points[1].query_size > points[0].query_size
+        assert all(p.seconds >= 0 for p in points)

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite.
+
+The social-network scenario of Example 1 (schema, access schema A0, queries
+Q0/Q1, a tiny hand-written instance) is the workhorse of the unit tests
+because every claim the paper makes is illustrated on it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import Database
+from repro.workloads import (
+    query_q0,
+    query_q1,
+    query_q2_boolean,
+    social_access_schema,
+    social_schema,
+)
+
+
+@pytest.fixture()
+def schema():
+    """The Example 1 schema: in_album, friends, tagging."""
+    return social_schema()
+
+
+@pytest.fixture()
+def access_schema():
+    """The Example 2 access schema A0."""
+    return social_access_schema()
+
+
+@pytest.fixture()
+def q0():
+    """Q0: photos in album a0 where u0 is tagged by a friend (effectively bounded)."""
+    return query_q0(album_id="a0", user_id="u0")
+
+
+@pytest.fixture()
+def q1():
+    """Q1: the template of Q0 with album and user uninstantiated (not eff. bounded)."""
+    return query_q1()
+
+
+@pytest.fixture()
+def q2_boolean():
+    """Q2: a Boolean query (bounded even without an access schema)."""
+    return query_q2_boolean()
+
+
+@pytest.fixture()
+def small_social_db(schema):
+    """A hand-written instance where Q0's answer is exactly {('p1',)}.
+
+    * album a0 holds photos p1, p2; album a1 holds p3.
+    * u0's friends are u1 and u2; u1 is also friends with u0.
+    * p1 tags u0, tagged by friend u1 (a match);
+      p2 tags u0, tagged by non-friend u3 (no match);
+      p3 tags u0, tagged by friend u1, but p3 is not in album a0 (no match).
+    """
+    database = Database(schema)
+    database.extend("in_album", [("p1", "a0"), ("p2", "a0"), ("p3", "a1")])
+    database.extend("friends", [("u0", "u1"), ("u0", "u2"), ("u1", "u0")])
+    database.extend(
+        "tagging", [("p1", "u1", "u0"), ("p2", "u3", "u0"), ("p3", "u1", "u0")]
+    )
+    return database

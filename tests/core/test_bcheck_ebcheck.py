@@ -1,0 +1,166 @@
+"""Unit tests for BCheck (Theorem 3/5) and EBCheck (Theorem 4/6)."""
+
+import pytest
+
+from repro.access import AccessConstraint, AccessSchema
+from repro.core import bcheck, ebcheck, is_bounded, is_effectively_bounded
+from repro.errors import UnsatisfiableQueryError
+from repro.relational import schema_from_mapping
+from repro.spc import SPCQueryBuilder
+
+
+class TestBCheck:
+    def test_q0_is_bounded(self, q0, access_schema):
+        result = bcheck(q0, access_schema)
+        assert result.bounded and bool(result)
+        assert not result.missing
+        assert "BOUNDED" in result.explain()
+
+    def test_boolean_queries_bounded_without_access_schema(self, q2_boolean):
+        """Example 1(3): every Boolean SPC query is bounded under A = ∅."""
+        assert is_bounded(q2_boolean, AccessSchema())
+
+    def test_q0_not_bounded_without_access_schema(self, q0):
+        result = bcheck(q0, AccessSchema())
+        assert not result.bounded
+        assert q0.ref("ia", "photo_id") in result.missing
+        assert "NOT bounded" in result.explain()
+
+    def test_q1_is_bounded_but_only_through_joins(self, q1, access_schema):
+        # Q1 has no constants; its only required parameters are X_B ∪ Z, and
+        # Z = {photo_id} is not derivable from X_B alone, so Q1 is unbounded.
+        result = bcheck(q1, access_schema)
+        assert not result.bounded
+
+    def test_required_set_is_xb_union_z(self, q0, access_schema):
+        result = bcheck(q0, access_schema)
+        assert result.required == q0.condition_only_refs | frozenset(q0.output)
+
+    def test_proof_available_for_covered_parameters(self, q0, access_schema):
+        result = bcheck(q0, access_schema)
+        proof = result.proof_of(q0.output[0])
+        assert len(proof) >= 1
+
+    def test_unsatisfiable_query_rejected(self, schema, access_schema):
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("friends", alias="f")
+            .where_const("f.user_id", "u0")
+            .where_const("f.user_id", "u1")
+            .select("f.friend_id")
+            .build()
+        )
+        with pytest.raises(UnsatisfiableQueryError):
+            bcheck(query, access_schema)
+
+    def test_bounded_single_relation_lookup(self, schema, access_schema):
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("friends", alias="f")
+            .where_const("f.user_id", "u0")
+            .select("f.friend_id")
+            .build()
+        )
+        assert is_bounded(query, access_schema)
+
+
+class TestEBCheck:
+    def test_q0_is_effectively_bounded(self, q0, access_schema):
+        result = ebcheck(q0, access_schema)
+        assert result.effectively_bounded and bool(result)
+        assert not result.uncovered and not result.unindexed_atoms
+        assert "EFFECTIVELY BOUNDED" in result.explain()
+
+    def test_q1_is_not_effectively_bounded(self, q1, access_schema):
+        result = ebcheck(q1, access_schema)
+        assert not result.effectively_bounded
+        assert result.uncovered  # nothing is derivable without constants
+        assert "NOT effectively bounded" in result.explain()
+
+    def test_example8_no_tagging_index(self, q0, access_schema):
+        """Example 8: dropping (photo_id, taggee_id) -> (tagger_id, 1) breaks Q0."""
+        tagging_constraint = access_schema.for_relation("tagging")[0]
+        weakened = access_schema.without(tagging_constraint)
+        result = ebcheck(q0, weakened)
+        assert not result.effectively_bounded
+        assert 2 in result.unindexed_atoms  # the tagging occurrence
+
+    def test_boolean_query_not_effectively_bounded_without_indices(self, q2_boolean):
+        """Proposition 2's separation: bounded but not effectively bounded."""
+        empty = AccessSchema()
+        assert is_bounded(q2_boolean, empty)
+        assert not is_effectively_bounded(q2_boolean, empty)
+
+    def test_effectively_bounded_implies_bounded(self, access_schema, q0, q1, q2_boolean):
+        for query in (q0, q1, q2_boolean):
+            if is_effectively_bounded(query, access_schema):
+                assert is_bounded(query, access_schema)
+
+    def test_parameterless_occurrence_needs_domain_constraint(self, schema, access_schema):
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("friends", alias="f")
+            .add_atom("in_album", alias="ia")
+            .where_const("f.user_id", "u0")
+            .select("f.friend_id")
+            .build()
+        )
+        assert not is_effectively_bounded(query, access_schema)
+        with_domain = access_schema.merged(
+            AccessSchema([AccessConstraint("in_album", [], ["album_id"], 100)])
+        )
+        assert is_effectively_bounded(query, with_domain)
+
+    def test_constant_only_membership_query(self, schema, access_schema):
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("in_album", alias="ia")
+            .where_const("ia.album_id", "a0")
+            .boolean()
+            .build()
+        )
+        assert is_effectively_bounded(query, access_schema)
+
+    def test_output_not_covered_by_any_index(self, schema, access_schema):
+        # photo_id -> album_id is not covered by any constraint: the query
+        # selects the album of a given photo, but the only in_album index is
+        # keyed on album_id.
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("in_album", alias="ia")
+            .where_const("ia.photo_id", "p1")
+            .select("ia.album_id")
+            .build()
+        )
+        assert not is_effectively_bounded(query, access_schema)
+
+    def test_unsatisfiable_query_rejected(self, schema, access_schema):
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("in_album", alias="ia")
+            .where_const("ia.album_id", "a0")
+            .where_const("ia.album_id", "a1")
+            .select("ia.photo_id")
+            .build()
+        )
+        with pytest.raises(UnsatisfiableQueryError):
+            ebcheck(query, access_schema)
+
+
+class TestSeparationOfClasses:
+    def test_spc_eb_strictly_contained_in_spc_b(self, schema):
+        """Proposition 2: SPC_eb ⊊ SPC_b under the same access schema."""
+        access = AccessSchema(
+            [AccessConstraint("in_album", ["album_id"], ["photo_id"], 10)]
+        )
+        # Boolean query over friends: bounded (a witness suffices) but not
+        # effectively bounded (no index on friends at all).
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("friends", alias="f")
+            .where_const("f.user_id", "u0")
+            .boolean()
+            .build()
+        )
+        assert is_bounded(query, access)
+        assert not is_effectively_bounded(query, access)

@@ -1,0 +1,181 @@
+"""Unit tests for actualization, the access-closure engine and the rule systems."""
+
+import pytest
+
+from repro.access import AccessConstraint, AccessSchema
+from repro.core import (
+    actualize,
+    compute_closure,
+    ib_derives,
+    ie_derives,
+    indexed_per_atom,
+    is_indexed,
+)
+from repro.relational import schema_from_mapping
+from repro.spc import AttrRef, SPCQueryBuilder
+
+
+class TestActualize:
+    def test_constraints_applied_per_occurrence(self, q0, access_schema):
+        gamma = actualize(q0, access_schema)
+        # One constraint per relation, each relation occurs once in Q0.
+        assert len(gamma) == 3
+        by_atom = {item.atom for item in gamma}
+        assert by_atom == {0, 1, 2}
+
+    def test_renamed_occurrences_each_get_constraints(self, schema, access_schema):
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("friends", alias="f1")
+            .add_atom("friends", alias="f2")
+            .where_const("f1.user_id", "u0")
+            .where_eq("f1.friend_id", "f2.user_id")
+            .select("f2.friend_id")
+            .build()
+        )
+        gamma = actualize(query, access_schema)
+        friends_items = [item for item in gamma if item.constraint.relation == "friends"]
+        assert {item.atom for item in friends_items} == {0, 1}
+
+    def test_incompatible_shape_skipped(self, q0):
+        weird = AccessSchema([AccessConstraint("friends", ["not_an_attr"], ["friend_id"], 1)])
+        assert actualize(q0, weird) == []
+
+
+class TestClosureEngine:
+    def test_seeds_and_equivalents_enter_closure(self, q0, access_schema):
+        closure = compute_closure(q0, access_schema, [q0.ref("ia", "album_id")])
+        assert q0.ref("ia", "album_id") in closure.attributes
+        # album_id -> photo_id fires, and photo_id = t.photo_id via Σ_Q.
+        assert q0.ref("ia", "photo_id") in closure.attributes
+        assert q0.ref("t", "photo_id") in closure.attributes
+
+    def test_bounds_multiply_along_chains(self, q0, access_schema):
+        closure = compute_closure(q0, access_schema, q0.constant_refs)
+        assert closure.bound_of(q0.ref("ia", "album_id")) == 1
+        assert closure.bound_of(q0.ref("ia", "photo_id")) == 1000
+        # tagger_id is reached through (photo_id, taggee_id) -> (tagger_id, 1):
+        # 1000 candidate photos times bound 1.
+        assert closure.bound_of(q0.ref("t", "tagger_id")) == 1000
+
+    def test_unreachable_attribute_not_in_closure(self, q1, access_schema):
+        closure = compute_closure(q1, access_schema, q1.constant_refs)
+        assert q1.ref("ia", "photo_id") not in closure.attributes
+        assert closure.missing([q1.ref("ia", "photo_id")])
+
+    def test_empty_key_constraints_fire_immediately(self, schema):
+        access = AccessSchema([AccessConstraint("friends", [], ["user_id"], 50)])
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("friends", alias="f")
+            .select("f.user_id")
+            .build()
+        )
+        closure = compute_closure(query, access, [])
+        assert query.ref("f", "user_id") in closure.attributes
+        assert closure.bound_of(query.ref("f", "user_id")) == 50
+
+    def test_provenance_and_proof_reconstruction(self, q0, access_schema):
+        closure = compute_closure(q0, access_schema, q0.constant_refs)
+        proof = closure.proof_of(q0.ref("t", "tagger_id"))
+        rules_used = {step.rule for step in proof}
+        assert "Actualization" in rules_used and "Transitivity" in rules_used
+        # tagger_id can be reached through the tagging constraint or, via the
+        # Σ_Q equality tagger_id = friend_id, through the friends constraint.
+        assert "S2.tagger_id" in proof.describe()
+        assert any(
+            step.constraint is not None
+            and step.constraint.constraint.relation in {"tagging", "friends"}
+            for step in proof
+        )
+
+    def test_proof_of_seed_is_reflexivity(self, q0, access_schema):
+        closure = compute_closure(q0, access_schema, q0.constant_refs)
+        proof = closure.proof_of(q0.ref("f", "user_id"))
+        assert proof.steps[0].rule == "Reflexivity"
+
+
+class TestIndexedness:
+    def test_is_indexed_positive(self, q0, access_schema):
+        refs = [q0.ref("ia", "album_id"), q0.ref("ia", "photo_id")]
+        assert is_indexed(q0, access_schema, refs)
+
+    def test_is_indexed_negative_when_key_outside_set(self, q0, access_schema):
+        # {photo_id} alone: the only in_album constraint is keyed on album_id,
+        # which is not inside the set, so the set is not indexed.
+        assert not is_indexed(q0, access_schema, [q0.ref("ia", "photo_id")])
+
+    def test_is_indexed_requires_single_atom(self, q0, access_schema):
+        with pytest.raises(ValueError):
+            is_indexed(q0, access_schema, [q0.ref("ia", "photo_id"), q0.ref("f", "user_id")])
+
+    def test_indexed_per_atom_parameterless_occurrence(self, schema, access_schema):
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("friends", alias="f")
+            .add_atom("in_album", alias="ia")
+            .where_const("f.user_id", "u0")
+            .select("f.friend_id")
+            .build()
+        )
+        verdicts = indexed_per_atom(query, access_schema, query.parameters)
+        assert verdicts[0] is True
+        # in_album contributes no parameters and has no empty-key constraint.
+        assert verdicts[1] is False
+        with_domain = access_schema.merged(
+            AccessSchema([AccessConstraint("in_album", [], ["album_id"], 100)])
+        )
+        assert indexed_per_atom(query, with_domain, query.parameters)[1] is True
+
+
+class TestRuleInterfaces:
+    def test_example3_ib_derivation(self, q0, access_schema):
+        """Example 3: X0 = (aid, uid, tid2, fid, tid1) derives every parameter."""
+        x0 = {
+            q0.ref("ia", "album_id"),
+            q0.ref("f", "user_id"),
+            q0.ref("t", "taggee_id"),
+            q0.ref("f", "friend_id"),
+            q0.ref("t", "tagger_id"),
+        }
+        for target in q0.parameters:
+            derivation = ib_derives(q0, access_schema, x0, [target])
+            assert derivation.derivable, f"{target} should be derivable from X0"
+        # aid alone derives pid2 with bound 1000 (step (3) of Example 3).
+        derivation = ib_derives(
+            q0, access_schema, [q0.ref("ia", "album_id")], [q0.ref("t", "photo_id")]
+        )
+        assert derivation.derivable and derivation.bound == 1000
+
+    def test_ib_not_derivable_without_seeds(self, q1, access_schema):
+        derivation = ib_derives(q1, access_schema, [], [q1.ref("ia", "photo_id")])
+        assert not derivation.derivable and derivation.bound is None
+
+    def test_example5_ie_derivation(self, q0, access_schema):
+        """Example 5: (aid, uid) ↦_IE the parameters of each occurrence."""
+        seeds = [q0.ref("ia", "album_id"), q0.ref("f", "user_id"), q0.ref("t", "taggee_id")]
+        tagging_params = q0.atom_parameters(2)
+        derivation = ie_derives(q0, access_schema, seeds, tagging_params)
+        assert derivation.derivable
+        assert derivation.proofs
+
+    def test_ie_rejects_unindexed_targets(self, schema, access_schema):
+        # friends(friend_id) joined from in_album side is derivable but the
+        # occurrence's parameters are only indexed through user_id; remove the
+        # friends constraint and I_E must reject what I_B would still accept.
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("friends", alias="f")
+            .where_const("f.user_id", "u0")
+            .select("f.friend_id")
+            .build()
+        )
+        no_friends_index = AccessSchema(
+            [c for c in access_schema if c.relation != "friends"]
+        )
+        ib = ib_derives(query, no_friends_index, query.constant_refs, query.parameters)
+        ie = ie_derives(query, no_friends_index, query.constant_refs, query.parameters)
+        assert not ie.derivable
+        assert not ib.derivable  # nothing derives friend_id without the constraint
+        with_index = ie_derives(query, access_schema, query.constant_refs, query.parameters)
+        assert with_index.derivable

@@ -1,0 +1,120 @@
+"""Regression tests replaying every worked example of the paper.
+
+Each test cites the example it reproduces; together they form an executable
+summary of Sections 1–5:
+
+* Example 1/2 — Q0, Q1, Q2 and the access schema A0.
+* Example 3/4 — the I_B derivation and Theorem 3 verdicts.
+* Example 5/7 — the I_E derivation and Theorem 4 verdicts.
+* Example 6 — what BCheck computes for Q0.
+* Example 8 — an access schema under which no dominating set exists.
+* Example 9 — findDPh's dominating parameters for Q1.
+* Example 10 — the query plan for Q0 and its 7000-tuple bound.
+"""
+
+from repro.access import AccessSchema
+from repro.core import (
+    bcheck,
+    compute_closure,
+    ebcheck,
+    find_dominating_parameters,
+    ib_derives,
+    is_bounded,
+    is_effectively_bounded,
+)
+from repro.execution import NaiveExecutor, eval_dq
+from repro.planning import qplan
+from repro.workloads import generate_social_database, query_q0, query_q1
+
+
+class TestExample1And2:
+    def test_q0_effectively_bounded_under_a0(self, q0, access_schema):
+        assert is_bounded(q0, access_schema)
+        assert is_effectively_bounded(q0, access_schema)
+
+    def test_q0_not_bounded_without_constraints(self, q0):
+        assert not is_bounded(q0, AccessSchema())
+
+    def test_q1_not_bounded_even_under_a0(self, q1, access_schema):
+        assert not is_bounded(q1, access_schema)
+        assert not is_effectively_bounded(q1, access_schema)
+
+    def test_q2_boolean_bounded_without_access_schema(self, q2_boolean):
+        assert is_bounded(q2_boolean, AccessSchema())
+
+    def test_access_schema_a0_contents(self, access_schema):
+        bounds = {c.relation: c.bound for c in access_schema}
+        assert bounds == {"in_album": 1000, "friends": 5000, "tagging": 1}
+
+
+class TestExample3And4:
+    def test_x0_derives_every_parameter(self, q0, access_schema):
+        x0 = q0.condition_only_refs | q0.constant_refs
+        for parameter in q0.condition_only_refs | frozenset(q0.output):
+            assert ib_derives(q0, access_schema, x0, [parameter]).derivable
+
+    def test_aid_derives_pid2_with_bound_1000(self, q0, access_schema):
+        derivation = ib_derives(
+            q0, access_schema, [q0.ref("ia", "album_id")], [q0.ref("t", "photo_id")]
+        )
+        assert derivation.derivable and derivation.bound == 1000
+
+    def test_theorem3_verdict_for_q0(self, q0, access_schema):
+        assert bcheck(q0, access_schema).bounded
+
+    def test_boolean_query_bounded_via_reflexivity(self, q2_boolean):
+        result = bcheck(q2_boolean, AccessSchema())
+        assert result.bounded
+        # Every required parameter is a seed, so the closure equals the seeds.
+        assert result.required <= result.closure.attributes
+
+
+class TestExample5And7:
+    def test_xc_closure_covers_all_parameters(self, q0, access_schema):
+        closure = compute_closure(q0, access_schema, q0.constant_refs)
+        for atom_index in range(q0.num_atoms):
+            assert q0.atom_parameters(atom_index) <= closure.attributes
+
+    def test_theorem4_verdict_for_q0(self, q0, access_schema):
+        result = ebcheck(q0, access_schema)
+        assert result.effectively_bounded
+        assert not result.unindexed_atoms
+
+
+class TestExample6:
+    def test_bcheck_closure_contains_photo_ids(self, q0, access_schema):
+        result = bcheck(q0, access_schema)
+        assert q0.ref("ia", "photo_id") in result.closure.attributes
+        assert q0.ref("t", "photo_id") in result.closure.attributes
+
+
+class TestExample8:
+    def test_no_dominating_parameters_without_tagging_index(self, q1, access_schema):
+        weakened = access_schema.without(access_schema.for_relation("tagging")[0])
+        assert not is_effectively_bounded(q1, weakened)
+        assert not find_dominating_parameters(q1, weakened).found
+
+
+class TestExample9:
+    def test_finddp_returns_aid_uid_tid2(self, q1, access_schema):
+        result = find_dominating_parameters(q1, access_schema, alpha=3 / 7)
+        assert result.found
+        assert {r.pretty(q1.atoms) for r in result.parameters} == {
+            "ia.album_id",
+            "f.user_id",
+            "t.taggee_id",
+        }
+
+
+class TestExample10:
+    def test_plan_bound_is_7000(self, q0, access_schema):
+        assert qplan(q0, access_schema).total_bound == 7000
+
+    def test_plan_execution_matches_direct_evaluation(self, q0, access_schema):
+        database = generate_social_database(scale=0.8, seed=13)
+        plan = qplan(q0, access_schema)
+        bounded = eval_dq(plan, database)
+        naive = NaiveExecutor().execute(q0, database)
+        assert bounded.as_set == naive.as_set
+        assert bounded.stats.tuples_accessed <= 7000
+        assert bounded.stats.tuples_accessed < naive.stats.tuples_accessed

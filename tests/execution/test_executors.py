@@ -1,0 +1,187 @@
+"""Unit tests for evalDQ, the baseline executors and the BoundedEngine."""
+
+import pytest
+
+from repro.access import AccessConstraint, AccessSchema, build_access_indexes
+from repro.core import ebcheck
+from repro.errors import ConstraintViolationError, NotEffectivelyBoundedError
+from repro.execution import (
+    BoundedEngine,
+    BoundedExecutor,
+    NaiveExecutor,
+    NestedLoopExecutor,
+    eval_dq,
+)
+from repro.planning import qplan
+from repro.relational import Database
+from repro.spc import SPCQueryBuilder
+from repro.workloads import generate_social_database, query_q0
+
+
+class TestEvalDQ:
+    def test_q0_answer_on_small_instance(self, q0, access_schema, small_social_db):
+        plan = qplan(q0, access_schema)
+        result = eval_dq(plan, small_social_db)
+        assert result.as_set == {("p1",)}
+        assert result.stats.strategy == "bounded"
+        assert result.stats.plan_bound == 7000
+
+    def test_access_stays_within_plan_bound(self, q0, access_schema):
+        database = generate_social_database(scale=1.0, seed=3)
+        plan = qplan(q0, access_schema)
+        result = eval_dq(plan, database)
+        assert result.stats.tuples_accessed <= plan.total_bound
+        assert result.stats.index_probed == result.stats.tuples_accessed
+        assert result.stats.scanned == 0  # evalDQ never scans
+
+    def test_matches_naive_and_nested_loop(self, q0, access_schema, small_social_db):
+        plan = qplan(q0, access_schema)
+        bounded = eval_dq(plan, small_social_db)
+        naive = NaiveExecutor().execute(q0, small_social_db)
+        nested = NestedLoopExecutor().execute(q0, small_social_db)
+        assert bounded.as_set == naive.as_set == nested.as_set
+
+    def test_empty_answer_when_constants_missing(self, access_schema, small_social_db):
+        query = query_q0(album_id="a_nonexistent", user_id="u0")
+        plan = qplan(query, access_schema)
+        result = eval_dq(plan, small_social_db)
+        assert result.is_empty
+
+    def test_boolean_query_execution(self, q2_boolean, access_schema, small_social_db):
+        plan = qplan(q2_boolean, access_schema)
+        result = eval_dq(plan, small_social_db)
+        assert result.boolean_value is True
+        negative = query_q0(album_id="a1", user_id="u2").boolean_version()
+        result = eval_dq(qplan(negative, access_schema), small_social_db)
+        assert result.boolean_value is False
+
+    def test_bound_enforcement_detects_violating_database(self, q0, access_schema, schema):
+        database = Database(schema)
+        database.extend("in_album", [("p1", "a0")])
+        database.extend("friends", [("u0", "u1")])
+        # Two taggers for the same (photo, taggee) violate the bound of 1.
+        database.extend("tagging", [("p1", "u1", "u0"), ("p1", "u2", "u0")])
+        plan = qplan(q0, access_schema)
+        with pytest.raises(ConstraintViolationError):
+            eval_dq(plan, database, enforce_bounds=True)
+        result = eval_dq(plan, database, enforce_bounds=False)
+        assert result.as_set == {("p1",)}
+
+    def test_executor_reuses_prepared_indexes(self, q0, access_schema, small_social_db):
+        executor = BoundedExecutor()
+        indexes = executor.prepare(small_social_db, access_schema)
+        again = executor.prepare(small_social_db, access_schema)
+        assert len(indexes) == len(again)
+        plan = qplan(q0, access_schema)
+        result = executor.execute(plan, small_social_db, indexes)
+        assert result.as_set == {("p1",)}
+
+    def test_step_sizes_recorded(self, q0, access_schema, small_social_db):
+        plan = qplan(q0, access_schema)
+        result = eval_dq(plan, small_social_db)
+        assert len(result.details["step_sizes"]) == plan.num_steps
+
+    def test_parameterless_witness_occurrence(self, schema, access_schema, small_social_db):
+        with_domain = access_schema.merged(
+            AccessSchema([AccessConstraint("in_album", [], ["album_id"], 100)])
+        )
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("friends", alias="f")
+            .add_atom("in_album", alias="ia")
+            .where_const("f.user_id", "u0")
+            .select("f.friend_id")
+            .build()
+        )
+        plan = qplan(query, with_domain)
+        indexes = build_access_indexes(small_social_db, with_domain)
+        result = BoundedExecutor().execute(plan, small_social_db, indexes)
+        naive = NaiveExecutor().execute(query, small_social_db)
+        assert result.as_set == naive.as_set == {("u1",), ("u2",)}
+        # With an empty in_album the witness fails and the answer is empty.
+        empty_album = Database(schema)
+        empty_album.extend("friends", [("u0", "u1")])
+        result = eval_dq(qplan(query, with_domain), empty_album)
+        assert result.is_empty
+
+
+class TestNaiveExecutors:
+    def test_naive_scans_everything(self, q0, access_schema, small_social_db):
+        result = NaiveExecutor().execute(q0, small_social_db)
+        assert result.stats.scanned == small_social_db.total_tuples
+        assert result.stats.strategy == "naive"
+
+    def test_nested_loop_matches_naive(self, access_schema, small_social_db, schema):
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("friends", alias="f")
+            .add_atom("tagging", alias="t")
+            .where_eq("f.friend_id", "t.tagger_id")
+            .select("f.user_id", "t.photo_id")
+            .build()
+        )
+        naive = NaiveExecutor().execute(query, small_social_db)
+        nested = NestedLoopExecutor().execute(query, small_social_db)
+        assert naive.as_set == nested.as_set
+
+    def test_pure_product_query(self, schema, small_social_db):
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("friends", alias="f")
+            .add_atom("in_album", alias="ia")
+            .select("f.user_id", "ia.album_id")
+            .build()
+        )
+        naive = NaiveExecutor().execute(query, small_social_db)
+        assert len(naive) == 2 * 2  # distinct user_ids {u0, u1} x albums {a0, a1}
+
+
+class TestBoundedEngine:
+    def test_check_reports_plan_for_eb_query(self, q0, access_schema):
+        engine = BoundedEngine(access_schema)
+        report = engine.check(q0)
+        assert report.bounded and report.effectively_bounded
+        assert report.access_bound == 7000
+        assert report.suggested_parameters is None
+        assert "7000" in report.describe()
+
+    def test_check_suggests_parameters_for_non_eb_query(self, q1, access_schema):
+        engine = BoundedEngine(access_schema)
+        report = engine.check(q1)
+        assert not report.effectively_bounded
+        assert report.suggested_parameters
+        assert {r.attribute for r in report.suggested_parameters} >= {"album_id", "user_id"}
+
+    def test_execute_uses_bounded_plan_when_possible(self, q0, access_schema, small_social_db):
+        engine = BoundedEngine(access_schema)
+        engine.prepare(small_social_db)
+        result = engine.execute(q0, small_social_db)
+        assert result.stats.strategy == "bounded"
+        assert result.as_set == {("p1",)}
+
+    def test_execute_falls_back_to_naive(self, q1, access_schema, small_social_db):
+        engine = BoundedEngine(access_schema, fallback_to_naive=True)
+        result = engine.execute(q1, small_social_db)
+        assert result.stats.strategy == "naive"
+        strict = BoundedEngine(access_schema, fallback_to_naive=False)
+        with pytest.raises(NotEffectivelyBoundedError):
+            strict.execute(q1, small_social_db)
+
+    def test_plan_cache_returns_same_object(self, q0, access_schema):
+        engine = BoundedEngine(access_schema)
+        assert engine.plan(q0) is engine.plan(q0)
+
+    def test_execute_naive_for_comparison(self, q0, access_schema, small_social_db):
+        engine = BoundedEngine(access_schema)
+        engine.prepare(small_social_db)
+        bounded = engine.execute(q0, small_social_db)
+        baseline = engine.execute_naive(q0, small_social_db)
+        assert bounded.as_set == baseline.as_set
+        assert baseline.stats.tuples_accessed >= bounded.stats.tuples_accessed
+
+    def test_engine_consistent_with_ebcheck(self, access_schema, q0, q1, q2_boolean):
+        engine = BoundedEngine(access_schema)
+        for query in (q0, q1, q2_boolean):
+            assert engine.is_effectively_bounded(query) == ebcheck(
+                query, access_schema
+            ).effectively_bounded

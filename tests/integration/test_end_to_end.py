@@ -1,0 +1,100 @@
+"""Integration tests: the full check → plan → execute pipeline on real workloads."""
+
+import pytest
+
+from repro.access import satisfies
+from repro.bench import (
+    compare_once,
+    effectively_bounded_queries,
+    experiment_algorithm_times,
+    experiment_coverage,
+    experiment_vary_size,
+    format_algorithm_times,
+    format_comparison,
+    format_coverage,
+)
+from repro.core import ebcheck
+from repro.execution import BoundedEngine, NaiveExecutor
+from repro.workloads import get_workload, paper_workloads
+
+
+@pytest.mark.parametrize("workload_name", ["tfacc", "mot", "tpch"])
+def test_bounded_equals_baseline_on_every_eb_query(workload_name):
+    """The load-bearing end-to-end property: evalDQ and the baseline agree."""
+    workload = get_workload(workload_name)
+    database = workload.database(scale=0.15, seed=3)
+    assert satisfies(database, workload.access_schema)
+
+    engine = BoundedEngine(workload.access_schema, fallback_to_naive=False)
+    engine.prepare(database)
+    naive = NaiveExecutor()
+
+    checked = 0
+    for query in workload.queries(seed=4):
+        if not engine.is_effectively_bounded(query):
+            continue
+        bounded = engine.execute(query, database)
+        baseline = naive.execute(query, database)
+        assert bounded.as_set == baseline.as_set, query.name
+        assert bounded.stats.tuples_accessed <= engine.plan(query).total_bound
+        checked += 1
+    assert checked >= 5, "expected a healthy number of effectively bounded queries"
+
+
+@pytest.mark.parametrize("workload_name", ["tfacc", "tpch"])
+def test_access_volume_independent_of_database_size(workload_name):
+    """Scale the database up; the bounded plans must stay within the same bound."""
+    workload = get_workload(workload_name)
+    small = workload.database(scale=0.1, seed=5)
+    large = workload.database(scale=0.3, seed=5)
+    engine_small = BoundedEngine(workload.access_schema)
+    engine_large = BoundedEngine(workload.access_schema)
+    engine_small.prepare(small)
+    engine_large.prepare(large)
+
+    queries = effectively_bounded_queries(workload.queries(seed=4), workload.access_schema)[:5]
+    for query in queries:
+        bound = engine_small.plan(query).total_bound
+        assert engine_small.execute(query, small).stats.tuples_accessed <= bound
+        assert engine_large.execute(query, large).stats.tuples_accessed <= bound
+
+
+def test_harness_compare_once_validates_results(small_social_db, access_schema, q0):
+    point = compare_once([q0], access_schema, small_social_db, label="unit")
+    assert point.queries == 1
+    assert point.dq_tuples <= point.naive_tuples
+    assert point.speedup > 0
+
+
+def test_harness_vary_size_series_shape():
+    workload = get_workload("tpch")
+    series = experiment_vary_size(workload, fractions=(0.25, 1.0), scale=0.1)
+    assert series.knob == "|D|" and len(series.points) == 2
+    text = format_comparison(series)
+    assert "evalDQ (ms)" in text and "tpch" in text
+
+
+def test_harness_coverage_and_table1_render():
+    results = experiment_coverage(paper_workloads())
+    text = format_coverage(results)
+    assert "TOTAL" in text and "45" in text
+
+    row = experiment_algorithm_times(get_workload("tpch"), repeats=1)
+    table = format_algorithm_times([row])
+    assert "BCheck" in table and "QPlan" in table
+
+
+def test_engine_report_flow_matches_paper_recipe():
+    """The introduction's recipe: check, plan, else suggest parameters."""
+    workload = get_workload("tfacc")
+    engine = BoundedEngine(workload.access_schema)
+    reports = [engine.check(query) for query in workload.queries(seed=2)]
+    assert any(r.effectively_bounded for r in reports)
+    for report in reports:
+        if report.effectively_bounded:
+            assert report.plan is not None and report.access_bound > 0
+        else:
+            assert report.dominating is not None
+        assert report.effectively_bounded == ebcheck(
+            report.query, workload.access_schema
+        ).effectively_bounded

@@ -1,0 +1,68 @@
+"""Unit tests for minimum D_Q / M-boundedness (Section 5.2, Theorem 8)."""
+
+from repro.access import AccessConstraint, AccessSchema
+from repro.planning import (
+    is_effectively_m_bounded,
+    is_m_bounded,
+    minimum_plan_bound,
+)
+from repro.spc import SPCQueryBuilder
+
+
+class TestMinimumPlanBound:
+    def test_default_equals_plan_bound(self, q0, access_schema):
+        assert minimum_plan_bound(q0, access_schema) == 7000
+
+    def test_exhaustive_never_worse_than_default(self, q0, access_schema):
+        exhaustive = minimum_plan_bound(q0, access_schema, exhaustive=True)
+        assert exhaustive <= 7000
+
+    def test_exhaustive_picks_cheaper_covering(self, schema):
+        # Two ways to cover the friends occurrence: a loose constraint (bound
+        # 5000) and a tight one (bound 50); the exhaustive search must pick 50.
+        access = AccessSchema(
+            [
+                AccessConstraint("friends", ["user_id"], ["friend_id"], 5000),
+                AccessConstraint("friends", ["user_id"], ["friend_id", "user_id"], 50),
+            ]
+        )
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("friends", alias="f")
+            .where_const("f.user_id", "u0")
+            .select("f.friend_id")
+            .build()
+        )
+        assert minimum_plan_bound(query, access, exhaustive=True) == 50
+
+
+class TestEffectiveMBounded:
+    def test_threshold_behaviour(self, q0, access_schema):
+        assert is_effectively_m_bounded(q0, access_schema, 7000)
+        assert is_effectively_m_bounded(q0, access_schema, 10_000)
+        assert not is_effectively_m_bounded(q0, access_schema, 6_999)
+        assert not is_effectively_m_bounded(q0, access_schema, -1)
+
+    def test_not_effectively_bounded_query_is_never_effectively_m_bounded(
+        self, q1, access_schema
+    ):
+        assert not is_effectively_m_bounded(q1, access_schema, 10**9)
+
+
+class TestMBounded:
+    def test_effectively_bounded_queries_are_m_bounded(self, q0, access_schema):
+        assert is_m_bounded(q0, access_schema, 7000)
+        assert not is_m_bounded(q0, access_schema, 0)
+
+    def test_unbounded_query_is_not_m_bounded(self, q1, access_schema):
+        assert not is_m_bounded(q1, access_schema, 10**9)
+
+    def test_bounded_but_not_effective_uses_closure_estimate(self, schema, q2_boolean):
+        # Boolean query, no access schema: bounded with a witness of size |Q|,
+        # and the closure estimate (one witness per occurrence) fits in 3.
+        empty = AccessSchema()
+        assert is_m_bounded(q2_boolean, empty, 3)
+        assert not is_m_bounded(q2_boolean, empty, 0)
+
+    def test_negative_m_rejected(self, q0, access_schema):
+        assert not is_m_bounded(q0, access_schema, -5)

@@ -1,0 +1,138 @@
+"""Unit tests for QPlan and bounded plans (Section 5.1)."""
+
+import pytest
+
+from repro.access import AccessConstraint, AccessSchema
+from repro.errors import NotEffectivelyBoundedError
+from repro.planning import ColumnSource, ConstSource, plan_access_bound, qplan
+from repro.spc import SPCQueryBuilder
+
+
+class TestQPlanOnExample1:
+    def test_plan_reproduces_7000_tuple_bound(self, q0, access_schema):
+        """Example 1/10: Q0's plan visits at most 7000 tuples."""
+        plan = qplan(q0, access_schema)
+        assert plan.total_bound == 7000
+
+    def test_plan_has_one_covering_step_per_occurrence(self, q0, access_schema):
+        plan = qplan(q0, access_schema)
+        assert set(plan.covering) == {0, 1, 2}
+        for atom_index, step_index in plan.covering.items():
+            step = plan.steps[step_index]
+            assert step.atom == atom_index
+            assert q0.atom_parameters(atom_index) <= set(step.outputs)
+
+    def test_step_bounds_match_example(self, q0, access_schema):
+        plan = qplan(q0, access_schema)
+        bounds = sorted(step.bound for step in plan.steps)
+        # T1: 1000 photos, T2: 5000 friends, T3: 1000 tagging probes.
+        assert bounds == [1000, 1000, 5000]
+
+    def test_tagging_step_depends_on_album_step(self, q0, access_schema):
+        plan = qplan(q0, access_schema)
+        tagging_step = plan.covering_step(2)
+        sources = tagging_step.key_sources
+        assert isinstance(sources["taggee_id"], ConstSource)
+        photo_source = sources["photo_id"]
+        assert isinstance(photo_source, ColumnSource)
+        assert plan.steps[photo_source.step].atom == 0  # values come from in_album
+
+    def test_constant_steps_have_constant_sources(self, q0, access_schema):
+        plan = qplan(q0, access_schema)
+        album_step = plan.covering_step(0)
+        assert isinstance(album_step.key_sources["album_id"], ConstSource)
+        assert album_step.key_sources["album_id"].value == "a0"
+
+    def test_plan_describe_mentions_steps_and_bound(self, q0, access_schema):
+        plan = qplan(q0, access_schema)
+        text = plan.describe()
+        assert "7000" in text and "T0" in text and "covering step" in text
+
+    def test_atom_proofs_cover_parameters(self, q0, access_schema):
+        plan = qplan(q0, access_schema)
+        for atom_index, proof in plan.proofs.items():
+            assert proof.covered == q0.atom_parameters(atom_index)
+            assert proof.bound >= 1 and proof.steps
+
+
+class TestQPlanGuards:
+    def test_not_effectively_bounded_raises(self, q1, access_schema):
+        with pytest.raises(NotEffectivelyBoundedError):
+            qplan(q1, access_schema)
+
+    def test_plan_access_bound_helper(self, q0, access_schema):
+        assert plan_access_bound(q0, access_schema) == 7000
+
+    def test_check_false_skips_ebcheck(self, q0, access_schema):
+        assert qplan(q0, access_schema, check=False).total_bound == 7000
+
+    def test_pruning_drops_unused_steps(self, schema, access_schema):
+        # A single-occurrence lookup needs exactly one fetch step even though
+        # other constraints could be actualized.
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("friends", alias="f")
+            .where_const("f.user_id", "u0")
+            .select("f.friend_id")
+            .build()
+        )
+        plan = qplan(query, access_schema)
+        assert plan.num_steps == 1
+        assert plan.total_bound == 5000
+
+    def test_plan_bound_grows_along_join_chains(self, schema):
+        access = AccessSchema(
+            [
+                AccessConstraint("friends", ["user_id"], ["friend_id"], 10),
+                AccessConstraint("tagging", ["taggee_id"], ["photo_id", "tagger_id"], 5),
+            ]
+        )
+        # friends(u0) -> friend_id = taggee_id -> tagging rows: 10 * 5 probes.
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("friends", alias="f")
+            .add_atom("tagging", alias="t")
+            .where_const("f.user_id", "u0")
+            .where_eq("f.friend_id", "t.taggee_id")
+            .select("t.photo_id")
+            .build()
+        )
+        plan = qplan(query, access)
+        assert plan.total_bound == 10 + 10 * 5
+
+    def test_parameterless_occurrence_uses_empty_key_constraint(self, schema, access_schema):
+        with_domain = access_schema.merged(
+            AccessSchema([AccessConstraint("in_album", [], ["album_id"], 100)])
+        )
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("friends", alias="f")
+            .add_atom("in_album", alias="ia")
+            .where_const("f.user_id", "u0")
+            .select("f.friend_id")
+            .build()
+        )
+        plan = qplan(query, with_domain)
+        witness_step = plan.covering_step(1)
+        assert witness_step.constraint.x == ()
+        assert witness_step.key_sources == {}
+
+
+class TestPlanQualityVsAccessSchema:
+    def test_more_constraints_never_worsen_the_bound(self, q0, access_schema):
+        richer = access_schema.merged(
+            AccessSchema(
+                [AccessConstraint("in_album", ["album_id", "photo_id"], ["photo_id"], 1)]
+            )
+        )
+        assert qplan(q0, richer).total_bound <= qplan(q0, access_schema).total_bound
+
+    def test_tighter_constraint_gives_tighter_plan(self, q0, schema):
+        tighter = AccessSchema(
+            [
+                AccessConstraint("in_album", ["album_id"], ["photo_id"], 100),
+                AccessConstraint("friends", ["user_id"], ["friend_id"], 500),
+                AccessConstraint("tagging", ["photo_id", "taggee_id"], ["tagger_id"], 1),
+            ]
+        )
+        assert qplan(q0, tighter).total_bound == 100 + 500 + 100

@@ -1,0 +1,197 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Three families of properties:
+
+1. **Σ_Q is an equivalence relation** and constants propagate through it.
+2. **Closure monotonicity**: adding seeds or access constraints never removes
+   attributes from the access closure, and EBCheck verdicts are monotone in
+   the access schema.
+3. **Execution correctness**: on randomly generated social-network databases
+   satisfying A0, evalDQ agrees with the naive executor for effectively
+   bounded queries, and never exceeds its plan's access bound.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.access import AccessSchema, satisfies
+from repro.core import compute_closure, ebcheck, is_bounded
+from repro.execution import NaiveExecutor, eval_dq
+from repro.planning import qplan
+from repro.relational import Database
+from repro.spc import AttrEq, AttrRef, ConstEq, EqualityClosure
+from repro.workloads import query_q0, social_access_schema, social_schema
+
+# ---------------------------------------------------------------------------
+# Σ_Q properties
+# ---------------------------------------------------------------------------
+
+_REFS = st.builds(
+    AttrRef,
+    atom=st.integers(min_value=0, max_value=3),
+    attribute=st.sampled_from(["a", "b", "c", "d"]),
+)
+_CONSTS = st.integers(min_value=0, max_value=3)
+_ATOMS = st.one_of(
+    st.builds(AttrEq, left=_REFS, right=_REFS),
+    st.builds(ConstEq, ref=_REFS, value=_CONSTS),
+)
+
+
+@given(st.lists(_ATOMS, max_size=12), _REFS, _REFS, _REFS)
+@settings(max_examples=150, deadline=None)
+def test_entailment_is_an_equivalence_relation(conditions, x, y, z):
+    closure = EqualityClosure(conditions)
+    # Reflexivity, symmetry, transitivity.
+    assert closure.entails_eq(x, x)
+    assert closure.entails_eq(x, y) == closure.entails_eq(y, x)
+    if closure.entails_eq(x, y) and closure.entails_eq(y, z):
+        assert closure.entails_eq(x, z)
+
+
+@given(st.lists(_ATOMS, max_size=12), _REFS, _REFS)
+@settings(max_examples=150, deadline=None)
+def test_constants_agree_across_equivalent_refs(conditions, x, y):
+    closure = EqualityClosure(conditions)
+    if closure.is_satisfiable and closure.entails_eq(x, y):
+        assert closure.constant_of(x) == closure.constant_of(y)
+
+
+@given(st.lists(_ATOMS, max_size=12))
+@settings(max_examples=150, deadline=None)
+def test_equivalence_classes_partition_known_refs(conditions):
+    closure = EqualityClosure(conditions)
+    classes = closure.classes()
+    seen: set[AttrRef] = set()
+    for cls in classes:
+        assert not (cls & seen), "classes must be disjoint"
+        seen |= cls
+    assert seen == set(closure.known_refs())
+
+
+@given(st.lists(_ATOMS, max_size=10), st.lists(_ATOMS, max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_adding_conditions_never_retracts_entailments(base, extra):
+    smaller = EqualityClosure(base)
+    larger = EqualityClosure(base + extra)
+    for cls in smaller.classes():
+        members = sorted(cls)
+        for left, right in zip(members, members[1:]):
+            assert larger.entails_eq(left, right)
+
+
+# ---------------------------------------------------------------------------
+# closure / checker monotonicity
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=2), st.integers(min_value=0, max_value=2))
+@settings(max_examples=30, deadline=None)
+def test_closure_monotone_in_constraints(prefix_small, prefix_extra):
+    query = query_q0()
+    access = social_access_schema()
+    small = access.restricted(prefix_small)
+    large = access.restricted(min(3, prefix_small + prefix_extra + 1))
+    seeds = query.constant_refs
+    closure_small = compute_closure(query, small, seeds)
+    closure_large = compute_closure(query, large, seeds)
+    assert closure_small.attributes <= closure_large.attributes
+
+
+@given(st.permutations([0, 1, 2]))
+@settings(max_examples=20, deadline=None)
+def test_ebcheck_monotone_in_access_schema(order):
+    """Adding constraints can only turn 'not bounded' into 'bounded'."""
+    query = query_q0()
+    full = social_access_schema().constraints()
+    previous_verdict = False
+    schema = AccessSchema()
+    for index in order:
+        schema = schema.merged(AccessSchema([full[index]]))
+        verdict = ebcheck(query, schema).effectively_bounded
+        assert verdict or not previous_verdict or True  # verdict may flip only upward
+        if previous_verdict:
+            assert verdict, "adding a constraint must not break effective boundedness"
+        previous_verdict = verdict
+    assert previous_verdict  # the full schema accepts Q0
+
+
+@given(st.permutations([0, 1, 2]))
+@settings(max_examples=20, deadline=None)
+def test_bounded_monotone_in_access_schema(order):
+    query = query_q0()
+    full = social_access_schema().constraints()
+    schema = AccessSchema()
+    was_bounded = is_bounded(query, schema)
+    for index in order:
+        schema = schema.merged(AccessSchema([full[index]]))
+        now_bounded = is_bounded(query, schema)
+        if was_bounded:
+            assert now_bounded
+        was_bounded = now_bounded
+
+
+# ---------------------------------------------------------------------------
+# execution correctness on random satisfying databases
+# ---------------------------------------------------------------------------
+
+
+def _random_social_database(draw_rows) -> Database:
+    photos, friends, tags = draw_rows
+    database = Database(social_schema())
+    database.extend("in_album", photos)
+    database.extend("friends", sorted(set(friends)))
+    # Deduplicate on (photo, taggee) to respect the one-tag constraint.
+    dedup = {}
+    for photo, tagger, taggee in tags:
+        dedup[(photo, taggee)] = tagger
+    database.extend(
+        "tagging", sorted((photo, tagger, taggee) for (photo, taggee), tagger in dedup.items())
+    )
+    return database
+
+
+_PHOTOS = st.lists(
+    st.tuples(st.sampled_from([f"p{i}" for i in range(8)]), st.sampled_from(["a0", "a1", "a2"])),
+    max_size=20,
+)
+_FRIENDS = st.lists(
+    st.tuples(st.sampled_from([f"u{i}" for i in range(6)]), st.sampled_from([f"u{i}" for i in range(6)])),
+    max_size=20,
+)
+_TAGS = st.lists(
+    st.tuples(
+        st.sampled_from([f"p{i}" for i in range(8)]),
+        st.sampled_from([f"u{i}" for i in range(6)]),
+        st.sampled_from([f"u{i}" for i in range(6)]),
+    ),
+    max_size=25,
+)
+
+
+@given(st.tuples(_PHOTOS, _FRIENDS, _TAGS), st.sampled_from(["a0", "a1"]), st.sampled_from(["u0", "u1"]))
+@settings(max_examples=60, deadline=None)
+def test_evaldq_agrees_with_naive_on_random_databases(rows, album, user):
+    database = _random_social_database(rows)
+    access = social_access_schema()
+    assert satisfies(database, access)
+
+    query = query_q0(album_id=album, user_id=user)
+    plan = qplan(query, access)
+    bounded = eval_dq(plan, database)
+    naive = NaiveExecutor().execute(query, database)
+    assert bounded.as_set == naive.as_set
+    assert bounded.stats.tuples_accessed <= plan.total_bound
+
+
+@given(st.tuples(_PHOTOS, _FRIENDS, _TAGS))
+@settings(max_examples=40, deadline=None)
+def test_boolean_query_agreement_on_random_databases(rows):
+    database = _random_social_database(rows)
+    access = social_access_schema()
+    query = query_q0(album_id="a0", user_id="u0").boolean_version()
+    plan = qplan(query, access)
+    bounded = eval_dq(plan, database)
+    naive = NaiveExecutor().execute(query, database)
+    assert bounded.boolean_value == naive.boolean_value

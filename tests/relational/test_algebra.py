@@ -1,0 +1,112 @@
+"""Unit tests for the materialized relational-algebra operators."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import (
+    RowSet,
+    difference,
+    hash_join,
+    product,
+    project,
+    rename,
+    select,
+    select_attr_eq,
+    select_eq,
+    semijoin,
+    union,
+)
+
+
+@pytest.fixture()
+def left():
+    return RowSet(("a", "b"), [(1, "x"), (2, "y"), (3, "x")])
+
+
+@pytest.fixture()
+def right():
+    return RowSet(("c", "d"), [(1, "p"), (1, "q"), (4, "r")])
+
+
+class TestRowSet:
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(SchemaError):
+            RowSet(("a", "a"), [])
+
+    def test_position_lookup(self, left):
+        assert left.position("b") == 1
+        with pytest.raises(SchemaError):
+            left.position("z")
+
+    def test_distinct(self):
+        rows = RowSet(("a",), [(1,), (1,), (2,)]).distinct()
+        assert rows.rows == [(1,), (2,)]
+
+
+class TestSelection:
+    def test_select_predicate(self, left):
+        result = select(left, lambda row: row[0] > 1)
+        assert result.rows == [(2, "y"), (3, "x")]
+
+    def test_select_eq(self, left):
+        assert select_eq(left, "b", "x").rows == [(1, "x"), (3, "x")]
+
+    def test_select_attr_eq(self):
+        rows = RowSet(("a", "b"), [(1, 1), (1, 2)])
+        assert select_attr_eq(rows, "a", "b").rows == [(1, 1)]
+
+
+class TestProjection:
+    def test_project_distinct_by_default(self, left):
+        result = project(left, ["b"])
+        assert result.header == ("b",) and sorted(result.rows) == [("x",), ("y",)]
+
+    def test_project_keep_duplicates(self, left):
+        result = project(left, ["b"], distinct=False)
+        assert len(result.rows) == 3
+
+    def test_project_empty_columns_is_boolean(self, left):
+        assert project(left, []).rows == [()]
+        assert project(RowSet(("a",), []), []).rows == []
+
+
+class TestProductAndJoin:
+    def test_product(self, left, right):
+        result = product(left, right)
+        assert len(result.rows) == 9 and result.header == ("a", "b", "c", "d")
+
+    def test_product_overlap_rejected(self, left):
+        with pytest.raises(SchemaError):
+            product(left, RowSet(("a",), [(1,)]))
+
+    def test_hash_join(self, left, right):
+        result = hash_join(left, right, [("a", "c")])
+        assert sorted(result.rows) == [(1, "x", 1, "p"), (1, "x", 1, "q")]
+
+    def test_hash_join_no_pairs_is_product(self, left, right):
+        assert len(hash_join(left, right, []).rows) == 9
+
+    def test_semijoin(self, left, right):
+        result = semijoin(left, right, [("a", "c")])
+        assert result.rows == [(1, "x")]
+        assert semijoin(left, RowSet(("c",), []), []).rows == []
+
+
+class TestSetOperators:
+    def test_union(self):
+        first = RowSet(("a",), [(1,), (2,)])
+        second = RowSet(("a",), [(2,), (3,)])
+        assert sorted(union(first, second).rows) == [(1,), (2,), (3,)]
+
+    def test_union_header_mismatch(self):
+        with pytest.raises(SchemaError):
+            union(RowSet(("a",), []), RowSet(("b",), []))
+
+    def test_difference(self):
+        first = RowSet(("a",), [(1,), (2,), (3,)])
+        second = RowSet(("a",), [(2,)])
+        assert sorted(difference(first, second).rows) == [(1,), (3,)]
+
+    def test_rename(self, left):
+        renamed = rename(left, {"a": "x1"})
+        assert renamed.header == ("x1", "b") and renamed.rows == left.rows

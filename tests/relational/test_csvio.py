@@ -1,0 +1,77 @@
+"""Unit tests for CSV import/export of relations and databases."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import (
+    Database,
+    INT,
+    RelationSchema,
+    read_database_csv,
+    read_relation_csv,
+    relation_from_rows,
+    schema_from_mapping,
+    write_database_csv,
+    write_relation_csv,
+)
+
+
+class TestRelationCsv:
+    def test_round_trip(self, tmp_path):
+        relation = relation_from_rows("r", ["a", "b"], [(1, "x"), (2, "y")])
+        path = write_relation_csv(relation, tmp_path / "r.csv")
+        loaded = read_relation_csv(relation.schema, path)
+        assert loaded.tuples() == [(1, "x"), (2, "y")]
+
+    def test_header_reordering(self, tmp_path):
+        schema = RelationSchema("r", ["a", "b"])
+        path = tmp_path / "r.csv"
+        path.write_text("b,a\nx,1\n")
+        loaded = read_relation_csv(schema, path)
+        assert loaded.tuples() == [(1, "x")]
+
+    def test_header_mismatch_raises(self, tmp_path):
+        schema = RelationSchema("r", ["a", "b"])
+        path = tmp_path / "r.csv"
+        path.write_text("a,c\n1,2\n")
+        with pytest.raises(SchemaError):
+            read_relation_csv(schema, path)
+
+    def test_arity_mismatch_raises(self, tmp_path):
+        schema = RelationSchema("r", ["a", "b"])
+        path = tmp_path / "r.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(SchemaError):
+            read_relation_csv(schema, path)
+
+    def test_typed_parsing(self, tmp_path):
+        schema = RelationSchema("r", [("a", INT), "b"])
+        path = tmp_path / "r.csv"
+        path.write_text("a,b\n7,3.5\n8,hello\n")
+        loaded = read_relation_csv(schema, path)
+        assert loaded.tuples() == [(7, 3.5), (8, "hello")]
+
+    def test_no_header_mode(self, tmp_path):
+        schema = RelationSchema("r", ["a", "b"])
+        path = tmp_path / "r.csv"
+        path.write_text("1,x\n2,y\n")
+        loaded = read_relation_csv(schema, path, has_header=False)
+        assert len(loaded) == 2
+
+
+class TestDatabaseCsv:
+    def test_round_trip(self, tmp_path):
+        schema = schema_from_mapping({"r": ["a"], "s": ["b", "c"]})
+        database = Database.from_dict(schema, {"r": [(1,)], "s": [(2, "x")]})
+        directory = write_database_csv(database, tmp_path / "db")
+        loaded = read_database_csv(schema, directory)
+        assert loaded.total_tuples == 2
+        assert loaded.relation("s").tuples() == [(2, "x")]
+
+    def test_missing_files_yield_empty_relations(self, tmp_path):
+        schema = schema_from_mapping({"r": ["a"], "s": ["b"]})
+        database = Database.from_dict(schema, {"r": [(1,)]})
+        directory = write_database_csv(database, tmp_path / "db")
+        (directory / "s.csv").unlink()
+        loaded = read_database_csv(schema, directory)
+        assert len(loaded.relation("s")) == 0 and len(loaded.relation("r")) == 1

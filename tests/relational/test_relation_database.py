@@ -1,0 +1,168 @@
+"""Unit tests for relations, databases, indexes and access accounting."""
+
+import pytest
+
+from repro.errors import ArityError, SchemaError, UnknownRelationError
+from repro.relational import (
+    AccessCounter,
+    Database,
+    HashIndex,
+    Relation,
+    RelationSchema,
+    schema_from_mapping,
+)
+
+
+@pytest.fixture()
+def people():
+    schema = RelationSchema("people", ["id", "city", "age"])
+    return Relation(
+        schema,
+        [(1, "rome", 30), (2, "rome", 41), (3, "oslo", 30), (4, "lima", 25)],
+    )
+
+
+class TestRelation:
+    def test_insert_and_len(self, people):
+        assert len(people) == 4 and people.cardinality == 4
+
+    def test_arity_mismatch_raises(self, people):
+        with pytest.raises(ArityError):
+            people.insert((5, "paris"))
+
+    def test_insert_dict(self):
+        schema = RelationSchema("r", ["a", "b"])
+        relation = Relation(schema)
+        relation.insert_dict({"b": 2, "a": 1})
+        assert relation.tuples() == [(1, 2)]
+        with pytest.raises(SchemaError):
+            relation.insert_dict({"a": 1})
+
+    def test_from_dicts(self):
+        schema = RelationSchema("r", ["a", "b"])
+        relation = Relation.from_dicts(schema, [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert len(relation) == 2
+
+    def test_project_and_distinct_values(self, people):
+        cities = people.distinct_values(["city"])
+        assert cities == {("rome",), ("oslo",), ("lima",)}
+        pairs = people.project_values(["city", "age"])
+        assert ("rome", 30) in pairs and len(pairs) == 4
+
+    def test_row_dict(self, people):
+        assert people.row_dict((1, "rome", 30)) == {"id": 1, "city": "rome", "age": 30}
+
+    def test_statistics(self, people):
+        stats = people.statistics()
+        assert stats.cardinality == 4
+        assert stats.distinct("city") == 3 and stats.distinct("id") == 4
+
+    def test_group_cardinality(self, people):
+        assert people.group_cardinality(["city"], ["id"]) == 2
+        assert people.group_cardinality(["id"], ["city"]) == 1
+        empty = Relation(people.schema)
+        assert empty.group_cardinality(["city"], ["id"]) == 0
+
+    def test_scan_charges_counter(self, people):
+        counter = AccessCounter()
+        people.attach_counter(counter)
+        list(people.scan())
+        assert counter.scanned == 4 and counter.scans == 1
+        people.scan_filter(lambda row: row[1] == "rome")
+        assert counter.scanned == 8
+
+    def test_uncounted_paths_do_not_charge(self, people):
+        counter = AccessCounter()
+        people.attach_counter(counter)
+        people.tuples()
+        people.distinct_values(["city"])
+        assert counter.total == 0
+
+
+class TestHashIndex:
+    def test_probe_returns_distinct_projections(self, people):
+        index = HashIndex(people, key=["city"], value=["city", "age"])
+        rows = index.probe(("rome",))
+        assert set(rows) == {("rome", 30), ("rome", 41)}
+        assert index.probe(("nowhere",)) == []
+
+    def test_probe_counts_accesses(self, people):
+        counter = AccessCounter()
+        index = HashIndex(people, key=["city"], value=["age"], counter=counter)
+        index.probe(("rome",))
+        assert counter.index_probed == 2 and counter.lookups == 1
+
+    def test_probe_full_returns_whole_tuples(self, people):
+        index = HashIndex(people, key=["age"])
+        assert set(index.probe_full((30,))) == {(1, "rome", 30), (3, "oslo", 30)}
+
+    def test_contains_key(self, people):
+        index = HashIndex(people, key=["city"])
+        assert index.contains_key(("oslo",)) and not index.contains_key(("paris",))
+
+    def test_empty_key_index(self, people):
+        index = HashIndex(people, key=[], value=["city"])
+        assert set(index.probe(())) == {("rome",), ("oslo",), ("lima",)}
+
+    def test_metadata(self, people):
+        index = HashIndex(people, key=["city"])
+        assert index.distinct_keys == 3 and index.max_bucket_size == 2
+
+    def test_probe_many_deduplicates(self, people):
+        index = HashIndex(people, key=["city"], value=["age"])
+        rows = index.probe_many([("rome",), ("oslo",), ("rome",)])
+        assert sorted(rows) == [(30,), (41,)]
+
+
+class TestDatabase:
+    def test_build_and_insert(self):
+        schema = schema_from_mapping({"r": ["a", "b"], "s": ["c"]})
+        database = Database(schema)
+        database.insert("r", (1, 2))
+        database.extend("s", [(1,), (2,)])
+        assert database.total_tuples == 3
+        assert len(database.relation("r")) == 1
+
+    def test_unknown_relation(self):
+        database = Database(schema_from_mapping({"r": ["a"]}))
+        with pytest.raises(UnknownRelationError):
+            database.relation("missing")
+
+    def test_from_dict_and_from_relations(self):
+        schema = schema_from_mapping({"r": ["a"]})
+        database = Database.from_dict(schema, {"r": [(1,), (2,)]})
+        assert database.total_tuples == 2
+        rebuilt = Database.from_relations(database.relations())
+        assert rebuilt.total_tuples == 2
+
+    def test_counter_shared_across_relations(self):
+        schema = schema_from_mapping({"r": ["a"], "s": ["b"]})
+        database = Database.from_dict(schema, {"r": [(1,)], "s": [(2,), (3,)]})
+        list(database.relation("r").scan())
+        list(database.relation("s").scan())
+        assert database.counter.total == 3
+        snapshot = database.access_snapshot()
+        list(database.relation("s").scan())
+        assert database.accesses_since(snapshot).scanned == 2
+
+    def test_build_index_reuse(self):
+        schema = schema_from_mapping({"r": ["a", "b"]})
+        database = Database.from_dict(schema, {"r": [(1, 2), (1, 3)]})
+        first = database.build_index("r", key=["a"], value=["a", "b"])
+        second = database.build_index("r", key=["a"], value=["a", "b"])
+        assert first is second
+        assert database.find_index("r", ["a"]) is first
+        assert database.find_index("r", ["b"]) is None
+
+    def test_scaled_copy(self):
+        schema = schema_from_mapping({"r": ["a"]})
+        database = Database.from_dict(schema, {"r": [(i,) for i in range(100)]})
+        half = database.scaled_copy(0.5)
+        assert len(half.relation("r")) == 50
+        with pytest.raises(SchemaError):
+            database.scaled_copy(0.0)
+
+    def test_summary_lists_relations(self):
+        schema = schema_from_mapping({"r": ["a"]})
+        database = Database.from_dict(schema, {"r": [(1,)]})
+        assert "r: 1 tuples" in database.summary()

@@ -1,0 +1,138 @@
+"""Unit tests for relation/database schemas and attribute types."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownAttributeError, UnknownRelationError
+from repro.relational import (
+    Attribute,
+    BoundedIntType,
+    DatabaseSchema,
+    EnumType,
+    INT,
+    RelationSchema,
+    STRING,
+    schema_from_mapping,
+    type_from_name,
+)
+from repro.relational.types import ANY, FLOAT
+
+
+class TestAttributeTypes:
+    def test_any_accepts_everything(self):
+        assert ANY.validate(1) and ANY.validate("x") and ANY.validate(None)
+
+    def test_int_type_validation(self):
+        assert INT.validate(3)
+        assert not INT.validate(3.5)
+        assert not INT.validate(True)  # bools are not ints for schema purposes
+
+    def test_int_type_parse(self):
+        assert INT.parse("42") == 42
+
+    def test_float_type(self):
+        assert FLOAT.validate(3.5) and FLOAT.validate(2)
+        assert FLOAT.parse("2.5") == 2.5
+
+    def test_string_type(self):
+        assert STRING.validate("abc") and not STRING.validate(5)
+
+    def test_bounded_int_domain(self):
+        months = BoundedIntType(1, 12)
+        assert months.domain_size == 12
+        assert months.validate(12) and not months.validate(13)
+        assert list(months.domain_values()) == list(range(1, 13))
+
+    def test_bounded_int_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            BoundedIntType(5, 4)
+
+    def test_bounded_int_parse_out_of_range(self):
+        with pytest.raises(ValueError):
+            BoundedIntType(1, 12).parse("13")
+
+    def test_enum_type(self):
+        status = EnumType(["open", "closed"])
+        assert status.domain_size == 2
+        assert status.validate("open") and not status.validate("pending")
+        assert status.parse("closed") == "closed"
+
+    def test_enum_requires_values(self):
+        with pytest.raises(ValueError):
+            EnumType([])
+
+    def test_type_from_name(self):
+        assert type_from_name("int") is INT
+        assert type_from_name("str") is STRING
+        with pytest.raises(ValueError):
+            type_from_name("decimal")
+
+
+class TestRelationSchema:
+    def test_basic_construction(self):
+        schema = RelationSchema("r", ["a", "b", "c"])
+        assert schema.arity == 3
+        assert schema.attribute_names == ("a", "b", "c")
+        assert "b" in schema and "z" not in schema
+
+    def test_typed_attributes(self):
+        schema = RelationSchema("r", [("a", INT), Attribute("b", STRING), "c"])
+        assert schema.attribute("a").type is INT
+        assert schema.attribute("c").type is ANY
+
+    def test_positions(self):
+        schema = RelationSchema("r", ["a", "b", "c"])
+        assert schema.position("c") == 2
+        assert schema.positions(["c", "a"]) == (2, 0)
+
+    def test_unknown_attribute_raises(self):
+        schema = RelationSchema("r", ["a"])
+        with pytest.raises(UnknownAttributeError):
+            schema.position("b")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", ["a", "a"])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", [])
+
+    def test_project_and_rename(self):
+        schema = RelationSchema("r", ["a", "b", "c"])
+        projected = schema.project(["c", "a"], name="s")
+        assert projected.name == "s" and projected.attribute_names == ("c", "a")
+        renamed = schema.rename("t")
+        assert renamed.name == "t" and renamed.attribute_names == schema.attribute_names
+
+    def test_equality_and_hash(self):
+        first = RelationSchema("r", ["a", "b"])
+        second = RelationSchema("r", ["a", "b"])
+        assert first == second and hash(first) == hash(second)
+        assert first != RelationSchema("r", ["a"])
+
+
+class TestDatabaseSchema:
+    def test_construction_and_lookup(self):
+        schema = schema_from_mapping({"r": ["a", "b"], "s": ["c"]})
+        assert len(schema) == 2
+        assert schema.relation("r").arity == 2
+        assert "s" in schema and "t" not in schema
+
+    def test_unknown_relation_raises(self):
+        schema = DatabaseSchema()
+        with pytest.raises(UnknownRelationError):
+            schema.relation("missing")
+
+    def test_duplicate_relation_rejected(self):
+        schema = schema_from_mapping({"r": ["a"]})
+        with pytest.raises(SchemaError):
+            schema.add(RelationSchema("r", ["b"]))
+
+    def test_total_attributes(self):
+        schema = schema_from_mapping({"r": ["a", "b"], "s": ["c", "d", "e"]})
+        assert schema.total_attributes == 5
+
+    def test_describe_mentions_relations(self):
+        schema = schema_from_mapping({"r": ["a"], "s": ["b"]})
+        text = schema.describe()
+        assert "r(a)" in text and "s(b)" in text

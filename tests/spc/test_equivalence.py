@@ -1,0 +1,116 @@
+"""Unit tests for the equality closure Σ_Q (union–find over the condition)."""
+
+import pytest
+
+from repro.errors import UnsatisfiableQueryError
+from repro.spc import AttrEq, AttrRef, ConstEq, EqualityClosure, MISSING
+
+
+def ref(atom, attr):
+    return AttrRef(atom, attr)
+
+
+class TestEntailment:
+    def test_direct_equality(self):
+        closure = EqualityClosure([AttrEq(ref(0, "a"), ref(1, "b"))])
+        assert closure.entails_eq(ref(0, "a"), ref(1, "b"))
+        assert closure.entails_eq(ref(1, "b"), ref(0, "a"))
+
+    def test_transitivity(self):
+        closure = EqualityClosure(
+            [AttrEq(ref(0, "a"), ref(1, "b")), AttrEq(ref(1, "b"), ref(2, "c"))]
+        )
+        assert closure.entails_eq(ref(0, "a"), ref(2, "c"))
+
+    def test_reflexivity_for_unknown_refs(self):
+        closure = EqualityClosure()
+        assert closure.entails_eq(ref(0, "a"), ref(0, "a"))
+        assert not closure.entails_eq(ref(0, "a"), ref(0, "b"))
+
+    def test_unrelated_refs_not_entailed(self):
+        closure = EqualityClosure([AttrEq(ref(0, "a"), ref(1, "b"))])
+        assert not closure.entails_eq(ref(0, "a"), ref(2, "c"))
+
+    def test_q0_example_entailment(self, q0):
+        closure = q0.closure
+        assert closure.entails_eq(q0.ref("ia", "photo_id"), q0.ref("t", "photo_id"))
+        assert closure.entails_eq(q0.ref("t", "taggee_id"), q0.ref("f", "user_id"))
+
+
+class TestConstants:
+    def test_constant_propagates_through_equalities(self):
+        closure = EqualityClosure(
+            [ConstEq(ref(0, "a"), 5), AttrEq(ref(0, "a"), ref(1, "b"))]
+        )
+        assert closure.constant_of(ref(1, "b")) == 5
+        assert closure.has_constant(ref(1, "b"))
+
+    def test_missing_sentinel_distinguishes_none(self):
+        closure = EqualityClosure([ConstEq(ref(0, "a"), None)])
+        assert closure.constant_of(ref(0, "a")) is None
+        assert closure.constant_of(ref(0, "b")) is MISSING
+
+    def test_constant_refs(self):
+        closure = EqualityClosure(
+            [ConstEq(ref(0, "a"), 1), AttrEq(ref(0, "a"), ref(1, "b")), AttrEq(ref(2, "c"), ref(3, "d"))]
+        )
+        assert closure.constant_refs() == frozenset({ref(0, "a"), ref(1, "b")})
+
+    def test_same_constant_twice_is_satisfiable(self):
+        closure = EqualityClosure([ConstEq(ref(0, "a"), 1), ConstEq(ref(0, "a"), 1)])
+        assert closure.is_satisfiable
+
+
+class TestSatisfiability:
+    def test_direct_conflict(self):
+        closure = EqualityClosure([ConstEq(ref(0, "a"), 1), ConstEq(ref(0, "a"), 2)])
+        assert not closure.is_satisfiable
+        assert set(closure.conflict()) == {1, 2}
+        with pytest.raises(UnsatisfiableQueryError):
+            closure.require_satisfiable()
+
+    def test_conflict_through_equality_chain(self):
+        closure = EqualityClosure(
+            [
+                ConstEq(ref(0, "a"), 1),
+                AttrEq(ref(0, "a"), ref(1, "b")),
+                ConstEq(ref(1, "b"), 2),
+            ]
+        )
+        assert not closure.is_satisfiable
+
+    def test_satisfiable_query_passes(self, q0):
+        q0.closure.require_satisfiable()
+
+
+class TestClassQueries:
+    def test_equivalent_refs_contains_self(self):
+        closure = EqualityClosure()
+        assert closure.equivalent_refs(ref(0, "a")) == frozenset({ref(0, "a")})
+
+    def test_equivalent_refs_full_class(self):
+        closure = EqualityClosure(
+            [AttrEq(ref(0, "a"), ref(1, "b")), AttrEq(ref(1, "b"), ref(2, "c"))]
+        )
+        assert closure.equivalent_refs(ref(2, "c")) == frozenset(
+            {ref(0, "a"), ref(1, "b"), ref(2, "c")}
+        )
+
+    def test_classes_and_known_refs(self):
+        closure = EqualityClosure(
+            [AttrEq(ref(0, "a"), ref(1, "b")), ConstEq(ref(2, "c"), 9)]
+        )
+        assert closure.known_refs() == frozenset({ref(0, "a"), ref(1, "b"), ref(2, "c")})
+        classes = {frozenset(c) for c in closure.classes()}
+        assert frozenset({ref(0, "a"), ref(1, "b")}) in classes
+
+    def test_equivalent_any(self):
+        closure = EqualityClosure([AttrEq(ref(0, "a"), ref(1, "b"))])
+        assert closure.equivalent_any(ref(0, "a"), [ref(1, "b"), ref(2, "c")])
+        assert not closure.equivalent_any(ref(0, "a"), [ref(2, "c")])
+
+    def test_incremental_add(self):
+        closure = EqualityClosure()
+        closure.add(AttrEq(ref(0, "a"), ref(1, "b")))
+        closure.add(ConstEq(ref(1, "b"), "v"))
+        assert closure.constant_of(ref(0, "a")) == "v"

@@ -1,0 +1,154 @@
+"""Unit tests for the SQL-like parser, Lemma 1 normalization and templates."""
+
+import pytest
+
+from repro.errors import ParseError, QueryError
+from repro.execution import NaiveExecutor
+from repro.relational import Database
+from repro.spc import (
+    ParameterizedQuery,
+    format_query,
+    normalize,
+    parse_query,
+    template_from_refs,
+    transform_database,
+    transform_query,
+    universal_schema,
+)
+from repro.spc.normalize import PADDING, TAG_ATTRIBUTE
+
+
+class TestParser:
+    def test_parse_q0_equivalent(self, schema, q0):
+        text = """
+            SELECT ia.photo_id
+            FROM in_album AS ia, friends AS f, tagging AS t
+            WHERE ia.album_id = 'a0' AND f.user_id = 'u0'
+              AND ia.photo_id = t.photo_id
+              AND t.tagger_id = f.friend_id
+              AND t.taggee_id = f.user_id
+        """
+        parsed = parse_query(text, schema, name="Q0")
+        assert parsed == q0
+
+    def test_parse_numbers_and_strings(self, schema):
+        query = parse_query(
+            "SELECT f.friend_id FROM friends AS f WHERE f.user_id = 42", schema
+        )
+        assert list(query.constant_refs)
+        assert query.closure.constant_of(query.ref("f", "user_id")) == 42
+
+    def test_parse_boolean_query(self, schema):
+        query = parse_query("SELECT BOOLEAN FROM friends AS f WHERE f.user_id = 'u0'", schema)
+        assert query.is_boolean
+
+    def test_implicit_alias(self, schema):
+        query = parse_query("SELECT f.friend_id FROM friends f", schema)
+        assert query.atoms[0].alias == "f"
+
+    def test_default_alias_is_relation_name(self, schema):
+        query = parse_query("SELECT friends.friend_id FROM friends", schema)
+        assert query.atoms[0].alias == "friends"
+
+    def test_parse_errors(self, schema):
+        with pytest.raises(ParseError):
+            parse_query("FROM friends AS f", schema)
+        with pytest.raises(ParseError):
+            parse_query("SELECT f.friend_id FROM friends AS f WHERE f.user_id >", schema)
+        with pytest.raises(ParseError):
+            parse_query("SELECT f.friend_id FROM friends AS f extra", schema)
+
+    def test_unknown_relation_or_attribute(self, schema):
+        from repro.errors import UnknownRelationError
+
+        with pytest.raises(UnknownRelationError):
+            parse_query("SELECT x.a FROM missing AS x", schema)
+        with pytest.raises(QueryError):
+            parse_query("SELECT f.bogus FROM friends AS f", schema)
+
+    def test_format_round_trip(self, schema, q0):
+        reparsed = parse_query(format_query(q0), schema, name="Q0")
+        assert reparsed == q0
+
+    def test_format_boolean_round_trip(self, schema, q2_boolean):
+        reparsed = parse_query(format_query(q2_boolean), schema, name=q2_boolean.name)
+        assert reparsed == q2_boolean
+
+
+class TestLemma1:
+    def test_universal_schema_shape(self, schema):
+        universal = universal_schema(schema)
+        assert TAG_ATTRIBUTE in universal.relation
+        assert universal.relation.arity == 1 + schema.total_attributes
+
+    def test_transform_database_tags_and_pads(self, schema, small_social_db):
+        universal = universal_schema(schema)
+        encoded = transform_database(small_social_db, universal)
+        relation = encoded.relation(universal.relation.name)
+        assert len(relation) == small_social_db.total_tuples
+        tags = {row[0] for row in relation.tuples()}
+        assert tags == {"in_album", "friends", "tagging"}
+        assert any(PADDING in row for row in relation.tuples())
+
+    def test_lemma1_preserves_answers(self, schema, q0, small_social_db):
+        """Q(D) = g_Q(Q)(g_D(D)) — the statement of Lemma 1."""
+        original = NaiveExecutor().execute(q0, small_social_db)
+        rewritten_query, encoded = normalize(q0, small_social_db)
+        rewritten = NaiveExecutor().execute(rewritten_query, encoded)
+        assert original.as_set == rewritten.as_set == {("p1",)}
+
+    def test_lemma1_on_boolean_query(self, schema, q2_boolean, small_social_db):
+        original = NaiveExecutor().execute(q2_boolean, small_social_db)
+        rewritten_query, encoded = normalize(q2_boolean, small_social_db)
+        rewritten = NaiveExecutor().execute(rewritten_query, encoded)
+        assert original.boolean_value == rewritten.boolean_value is True
+
+    def test_transform_query_keeps_atom_count(self, schema, q0):
+        universal = universal_schema(schema)
+        rewritten = transform_query(q0, universal)
+        assert rewritten.num_atoms == q0.num_atoms
+        # One extra tag condition per occurrence.
+        assert rewritten.num_selections == q0.num_selections + q0.num_atoms
+
+
+class TestParameterizedQuery:
+    def test_bind_all_parameters(self, q1, access_schema):
+        from repro.core import ebcheck
+
+        template = ParameterizedQuery(
+            q1, {"album": q1.ref("ia", "album_id"), "user": q1.ref("f", "user_id")}
+        )
+        bound = template.bind(album="a0", user="u0")
+        assert ebcheck(bound, access_schema).effectively_bounded
+
+    def test_bind_missing_or_unknown(self, q1):
+        template = ParameterizedQuery(q1, {"album": q1.ref("ia", "album_id")})
+        with pytest.raises(QueryError):
+            template.bind()
+        with pytest.raises(QueryError):
+            template.bind(album="a0", bogus=1)
+
+    def test_bind_partial(self, q1):
+        template = ParameterizedQuery(
+            q1, {"album": q1.ref("ia", "album_id"), "user": q1.ref("f", "user_id")}
+        )
+        smaller = template.bind_partial(album="a0")
+        assert smaller.parameter_names == ("user",)
+        final = smaller.bind(user="u0")
+        assert len(final.constant_refs) >= 2
+
+    def test_already_instantiated_parameter_rejected(self, q0):
+        with pytest.raises(QueryError):
+            ParameterizedQuery(q0, {"album": q0.ref("ia", "album_id")})
+
+    def test_unknown_ref_rejected(self, q1):
+        from repro.spc import AttrRef
+
+        with pytest.raises(QueryError):
+            ParameterizedQuery(q1, {"x": AttrRef(7, "nope")})
+
+    def test_template_from_refs_names(self, q1):
+        refs = {q1.ref("ia", "album_id"), q1.ref("f", "user_id")}
+        template = template_from_refs(q1, refs)
+        assert set(template.parameter_names) == {"ia_album_id", "f_user_id"}
+        assert template.refs() == frozenset(refs)

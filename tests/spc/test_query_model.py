@@ -1,0 +1,165 @@
+"""Unit tests for the SPC query AST, builder and derived parameter sets."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.spc import (
+    AttrEq,
+    AttrRef,
+    ConstEq,
+    RelationAtom,
+    SPCQuery,
+    SPCQueryBuilder,
+    single_relation_query,
+)
+from repro.spc.query import check_query_against_schema
+
+
+class TestAttrRef:
+    def test_ordering_and_pretty(self, q0):
+        ref = AttrRef(0, "photo_id")
+        assert str(ref) == "S0.photo_id"
+        assert ref.pretty(q0.atoms) == "ia.photo_id"
+        assert AttrRef(0, "a") < AttrRef(1, "a")
+
+
+class TestQueryConstruction:
+    def test_q0_structure(self, q0):
+        assert q0.num_atoms == 3
+        assert q0.num_products == 2
+        assert q0.num_selections == 5
+        assert q0.size == 3 + 5 + 1
+        assert not q0.is_boolean
+
+    def test_alias_lookup_and_ref(self, q0):
+        assert q0.alias_index("t") == 2
+        ref = q0.ref("t", "tagger_id")
+        assert ref == AttrRef(2, "tagger_id")
+        with pytest.raises(QueryError):
+            q0.ref("t", "nonexistent")
+        with pytest.raises(QueryError):
+            q0.alias_index("zz")
+
+    def test_duplicate_alias_rejected(self, schema):
+        builder = SPCQueryBuilder(schema).add_atom("friends", alias="f")
+        with pytest.raises(QueryError):
+            builder.add_atom("tagging", alias="f")
+
+    def test_invalid_ref_rejected(self, schema):
+        atom = RelationAtom(schema.relation("friends"), "f")
+        with pytest.raises(QueryError):
+            SPCQuery([atom], output=[AttrRef(0, "missing")])
+        with pytest.raises(QueryError):
+            SPCQuery([atom], output=[AttrRef(5, "user_id")])
+
+    def test_at_least_one_atom(self):
+        with pytest.raises(QueryError):
+            SPCQuery([])
+
+    def test_boolean_version(self, q0):
+        boolean = q0.boolean_version()
+        assert boolean.is_boolean and boolean.conditions == q0.conditions
+
+
+class TestDerivedSets:
+    def test_constant_refs_xc(self, q0):
+        pretty = {ref.pretty(q0.atoms) for ref in q0.constant_refs}
+        # Example 4: X_C = {uid, aid, tid2} (taggee_id = user_id = u0 transitively).
+        assert pretty == {"ia.album_id", "f.user_id", "t.taggee_id"}
+
+    def test_condition_only_refs_xb(self, q0):
+        pretty = {ref.pretty(q0.atoms) for ref in q0.condition_only_refs}
+        # Example 4: X_B = {tid1, fid}.
+        assert pretty == {"t.tagger_id", "f.friend_id"}
+
+    def test_parameters_include_output(self, q0):
+        assert set(q0.output) <= q0.parameters
+
+    def test_atom_parameters(self, q0):
+        tagging_params = {r.attribute for r in q0.atom_parameters(2)}
+        assert tagging_params == {"photo_id", "tagger_id", "taggee_id"}
+        album_constants = {r.attribute for r in q0.atom_constants(0)}
+        assert album_constants == {"album_id"}
+
+    def test_all_refs_covers_schema(self, q0):
+        assert len(q0.all_refs()) == 2 + 2 + 3
+
+    def test_q1_has_no_constants(self, q1):
+        assert not q1.constant_refs
+
+
+class TestTransformations:
+    def test_with_constants(self, q1):
+        ref = q1.ref("ia", "album_id")
+        bound = q1.with_constants({ref: "a0"})
+        assert ref in bound.constant_refs
+        assert bound.num_selections == q1.num_selections + 1
+        # The original query is unchanged (immutability).
+        assert ref not in q1.constant_refs
+
+    def test_with_output(self, q0):
+        new_output = (q0.ref("f", "friend_id"),)
+        changed = q0.with_output(new_output)
+        assert changed.output == new_output and q0.output != new_output
+
+    def test_equality_and_hash(self, schema):
+        first = single_relation_query(schema.relation("friends"), equalities={"user_id": "u0"}, output=["friend_id"])
+        second = single_relation_query(schema.relation("friends"), equalities={"user_id": "u0"}, output=["friend_id"])
+        assert first == second and hash(first) == hash(second)
+
+    def test_describe_mentions_aliases(self, q0):
+        text = q0.describe()
+        assert "ia.album_id" in text and "FROM" in text and "WHERE" in text
+
+
+class TestBuilder:
+    def test_unqualified_reference_resolution(self, schema):
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("in_album")
+            .where_const("album_id", "a0")
+            .select("photo_id")
+            .build()
+        )
+        assert query.output == (AttrRef(0, "photo_id"),)
+
+    def test_ambiguous_reference_rejected(self, schema):
+        builder = (
+            SPCQueryBuilder(schema).add_atom("in_album", alias="x").add_atom("tagging", alias="y")
+        )
+        with pytest.raises(QueryError):
+            builder.select("photo_id")
+
+    def test_unknown_alias_rejected(self, schema):
+        builder = SPCQueryBuilder(schema).add_atom("friends", alias="f")
+        with pytest.raises(QueryError):
+            builder.where_const("g.user_id", "u0")
+
+    def test_where_accepts_prebuilt_atoms(self, schema):
+        query = (
+            SPCQueryBuilder(schema)
+            .add_atom("friends", alias="f")
+            .where(ConstEq(AttrRef(0, "user_id"), "u0"))
+            .where(AttrEq(AttrRef(0, "user_id"), AttrRef(0, "friend_id")))
+            .boolean()
+            .build()
+        )
+        assert query.num_selections == 2 and query.is_boolean
+
+    def test_single_relation_query_helper(self, schema):
+        query = single_relation_query(
+            schema.relation("friends"), equalities={"user_id": "u0"}, output=["friend_id"]
+        )
+        assert query.num_atoms == 1 and query.output[0].attribute == "friend_id"
+
+
+class TestSchemaCheck:
+    def test_check_query_against_schema(self, q0, schema):
+        check_query_against_schema(q0, schema)  # should not raise
+
+    def test_check_rejects_foreign_relation(self, q0):
+        from repro.relational import schema_from_mapping
+
+        other = schema_from_mapping({"unrelated": ["x"]})
+        with pytest.raises(QueryError):
+            check_query_against_schema(q0, other)

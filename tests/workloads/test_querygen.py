@@ -1,0 +1,93 @@
+"""Tests for the SPC query generator (the #-sel / #-prod knobs of Section 6)."""
+
+import pytest
+
+from repro.core import bcheck
+from repro.workloads import generate_query, generate_query_set
+from repro.workloads.tfacc import tfacc_access_schema, tfacc_querygen_spec
+from repro.workloads.tpch import tpch_access_schema, tpch_querygen_spec
+
+
+@pytest.fixture(scope="module")
+def tfacc_spec():
+    return tfacc_querygen_spec()
+
+
+@pytest.fixture(scope="module")
+def tpch_spec():
+    return tpch_querygen_spec()
+
+
+class TestGenerateQuery:
+    def test_requested_products(self, tfacc_spec):
+        for num_products in range(0, 5):
+            generated = generate_query(tfacc_spec, num_products=num_products, num_selections=6, seed=11)
+            assert generated.query.num_products == num_products
+
+    def test_selections_reach_target_when_pool_allows(self, tfacc_spec):
+        generated = generate_query(tfacc_spec, num_products=2, num_selections=7, seed=3)
+        assert generated.query.num_selections >= 2  # at least the join conjuncts
+        assert generated.query.num_selections <= 7 + 2
+
+    def test_queries_are_satisfiable(self, tfacc_spec):
+        for seed in range(20):
+            generated = generate_query(tfacc_spec, num_products=2, num_selections=6, seed=seed)
+            assert generated.query.is_satisfiable
+
+    def test_queries_have_output(self, tpch_spec):
+        for seed in range(10):
+            generated = generate_query(tpch_spec, num_products=1, num_selections=5, seed=seed)
+            assert generated.query.output
+
+    def test_determinism(self, tfacc_spec):
+        first = generate_query(tfacc_spec, num_products=2, num_selections=6, seed=42)
+        second = generate_query(tfacc_spec, num_products=2, num_selections=6, seed=42)
+        assert first.query == second.query
+
+    def test_join_conjuncts_connect_occurrences(self, tpch_spec):
+        generated = generate_query(tpch_spec, num_products=3, num_selections=8, seed=5)
+        query = generated.query
+        # Every occurrence beyond the first should be reachable through at
+        # least one cross-occurrence equality (no accidental pure products
+        # when the join graph is dense enough).
+        from repro.spc import AttrEq
+
+        touched = {0}
+        for condition in query.conditions:
+            if isinstance(condition, AttrEq) and condition.left.atom != condition.right.atom:
+                touched.add(condition.left.atom)
+                touched.add(condition.right.atom)
+        assert touched == set(range(query.num_atoms))
+
+
+class TestGenerateQuerySet:
+    def test_count_and_knob_ranges(self, tfacc_spec):
+        generated = generate_query_set(tfacc_spec, count=15, seed=7)
+        assert len(generated) == 15
+        assert {g.query.num_products for g in generated} <= set(range(0, 5))
+        assert all(g.query.num_selections >= 1 for g in generated)
+
+    def test_most_generated_queries_are_bounded(self, tfacc_spec):
+        access_schema = tfacc_access_schema()
+        generated = generate_query_set(tfacc_spec, count=15, seed=7)
+        bounded = sum(1 for g in generated if bcheck(g.query, access_schema).bounded)
+        assert bounded / len(generated) >= 0.6
+
+    def test_bounded_fraction_controls_anchoring(self, tpch_spec):
+        from repro.core import ebcheck
+
+        access_schema = tpch_access_schema()
+        anchored = generate_query_set(tpch_spec, count=12, seed=3, bounded_fraction=1.0)
+        unanchored = generate_query_set(tpch_spec, count=12, seed=3, bounded_fraction=0.0)
+        eb_anchored = sum(
+            1 for g in anchored if ebcheck(g.query, access_schema).effectively_bounded
+        )
+        eb_unanchored = sum(
+            1 for g in unanchored if ebcheck(g.query, access_schema).effectively_bounded
+        )
+        assert eb_anchored >= eb_unanchored
+
+    def test_names_are_unique(self, tfacc_spec):
+        generated = generate_query_set(tfacc_spec, count=15, seed=1)
+        names = [g.query.name for g in generated]
+        assert len(set(names)) == len(names)

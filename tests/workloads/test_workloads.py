@@ -1,0 +1,134 @@
+"""Tests for the workload generators: schemas, constraints, data and queries."""
+
+import pytest
+
+from repro.access import satisfies
+from repro.core import bcheck, ebcheck
+from repro.errors import WorkloadError
+from repro.workloads import (
+    PAPER_WORKLOADS,
+    generate_social_database,
+    get_workload,
+    paper_workloads,
+    query_q0,
+    social_access_schema,
+    tfacc_schema,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_registered_names(self):
+        assert set(workload_names()) == {"social", "tfacc", "mot", "tpch"}
+        assert PAPER_WORKLOADS == ("tfacc", "mot", "tpch")
+        assert len(paper_workloads()) == 3
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            get_workload("nope")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("social").database(scale=0)
+
+
+class TestSocialWorkload:
+    def test_schema_matches_example1(self):
+        workload = get_workload("social")
+        assert set(workload.schema.relation_names) == {"in_album", "friends", "tagging"}
+        assert workload.access_schema.cardinality == 3
+
+    def test_generated_data_satisfies_a0(self):
+        database = generate_social_database(scale=0.5, seed=9)
+        assert satisfies(database, social_access_schema())
+
+    def test_generation_is_deterministic(self):
+        first = generate_social_database(scale=0.2, seed=4)
+        second = generate_social_database(scale=0.2, seed=4)
+        assert first.relation("friends").tuples() == second.relation("friends").tuples()
+        different = generate_social_database(scale=0.2, seed=5)
+        assert first.relation("friends").tuples() != different.relation("friends").tuples()
+
+    def test_queries_are_valid_and_bounded(self):
+        workload = get_workload("social")
+        for query in workload.queries(seed=1):
+            assert bcheck(query, workload.access_schema).bounded
+
+
+class TestTfaccWorkload:
+    def test_paper_scale_structure(self):
+        schema = tfacc_schema()
+        assert len(schema) == 19, "the paper's TFACC has 19 tables"
+        assert schema.total_attributes == 113, "the paper's TFACC has 113 attributes"
+        workload = get_workload("tfacc")
+        assert workload.access_schema.cardinality == 84, "the paper extracted 84 constraints"
+
+    def test_generated_data_satisfies_constraints(self):
+        workload = get_workload("tfacc")
+        database = workload.database(scale=0.15, seed=2)
+        assert satisfies(database, workload.access_schema)
+        assert database.total_tuples > 1000
+
+    def test_access_schema_validates_against_schema(self):
+        workload = get_workload("tfacc")
+        workload.access_schema.validate_against(workload.schema)
+
+    def test_quoted_constraints_present(self):
+        workload = get_workload("tfacc")
+        rendered = {str(c) for c in workload.access_schema}
+        assert any("date" in c and "610" in c for c in rendered)
+        assert any("accident_id" in c and "192" in c for c in rendered)
+
+
+@pytest.mark.parametrize("name,expected_relations", [("mot", 2), ("tpch", 8)])
+class TestOtherPaperWorkloads:
+    def test_structure_and_satisfaction(self, name, expected_relations):
+        workload = get_workload(name)
+        assert len(workload.schema) == expected_relations
+        workload.access_schema.validate_against(workload.schema)
+        database = workload.database(scale=0.15, seed=2)
+        assert satisfies(database, workload.access_schema)
+
+    def test_query_sets_have_fifteen_queries(self, name, expected_relations):
+        workload = get_workload(name)
+        queries = workload.queries(seed=2)
+        assert len(queries) == 15
+        for query in queries:
+            assert query.is_satisfiable
+            assert bcheck(query, workload.access_schema).bounded
+
+
+class TestMotSpecifics:
+    def test_wide_table_has_36_attributes(self):
+        workload = get_workload("mot")
+        assert workload.schema.relation("mot_test").arity == 36
+
+
+class TestTpchSpecifics:
+    def test_scale_factor_grows_data(self):
+        workload = get_workload("tpch")
+        small = workload.database(scale=0.1, seed=1)
+        large = workload.database(scale=0.3, seed=1)
+        assert large.total_tuples > small.total_tuples * 2
+
+    def test_majority_of_queries_effectively_bounded(self):
+        workload = get_workload("tpch")
+        queries = workload.queries(seed=2)
+        effective = sum(
+            1 for q in queries if ebcheck(q, workload.access_schema).effectively_bounded
+        )
+        assert effective / len(queries) >= 0.6
+
+
+class TestCrossWorkloadCoverage:
+    def test_overall_effectively_bounded_fraction_matches_paper_ballpark(self):
+        """Exp-1: the paper reports 35/45 (>77%) effectively bounded queries."""
+        total = effective = 0
+        for workload in paper_workloads():
+            queries = workload.queries(seed=2)
+            total += len(queries)
+            effective += sum(
+                1 for q in queries if ebcheck(q, workload.access_schema).effectively_bounded
+            )
+        assert total == 45
+        assert effective / total >= 0.6
