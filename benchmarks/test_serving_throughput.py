@@ -1,0 +1,200 @@
+"""Serving throughput: prepared plans vs per-request re-planning.
+
+The paper's motivating scenario (Example 1) is a parameterized form query
+served over and over with different user-supplied constants.  This benchmark
+replays that workload — one TFACC form template ("all vehicles involved in
+accidents on date $date"), 1 000 distinct bindings — down three paths:
+
+* **re-plan**: ``engine.execute(template.bind(...))`` — every binding is a
+  structurally new query, so the engine misses its plan cache and re-runs
+  EBCheck + QPlan per request;
+* **cached-plan**: the same bound query repeatedly — a plan-cache hit per
+  request, the floor for how fast the engine can answer;
+* **prepared**: ``prepared.execute(db, **binding)`` — the template compiled
+  once, slots substituted per request.
+
+Asserts the PR's acceptance criteria: the prepared path stays within 2× of
+the cached-plan floor, beats per-request re-planning by ≥ 4×, and accesses
+exactly the same tuples as the unprepared bounded execution.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.execution import BoundedEngine
+from repro.spc import ParameterizedQuery
+from repro.spc.builder import SPCQueryBuilder
+from repro.workloads import tfacc_access_schema, tfacc_schema
+
+#: The serving loop replays this many distinct bindings.
+NUM_BINDINGS = 1000
+
+#: Acceptance thresholds (see ISSUE; generous against timer noise the
+#: measured ratios are ~5-6x and ~1.2x respectively).
+MIN_SPEEDUP_VS_REPLAN = 4.0
+MAX_SLOWDOWN_VS_CACHED = 2.0
+
+
+def _form_template() -> ParameterizedQuery:
+    """Example-1-shaped form query: vehicles in a force's accidents on a date.
+
+    Served through the paper's ``(police_force, date) -> (accident_id, 40)``
+    constraint; the (date, force) product gives well over 1 000 genuinely
+    distinct bindings, so the re-planning baseline can never amortize its
+    per-binding plan across requests.
+    """
+    schema = tfacc_schema()
+    query = (
+        SPCQueryBuilder(schema, name="force_vehicles_on_date")
+        .add_atom("accident", alias="a")
+        .add_atom("vehicle", alias="v")
+        .where_eq("a.accident_id", "v.accident_id")
+        .select("a.accident_id")
+        .select("a.severity")
+        .select("v.vehicle_id")
+        .select("v.vehicle_type")
+        .build()
+    )
+    return ParameterizedQuery(
+        query,
+        {"date": query.ref("a", "date"), "force": query.ref("a", "police_force")},
+    )
+
+
+@pytest.fixture(scope="module")
+def serving_setup(workload_cache):
+    _, database = workload_cache("tfacc")
+    template = _form_template()
+    days = [f"2004-{month:02d}-{day:02d}" for month in range(1, 13) for day in range(1, 21)]
+    forces = [f"force_{i:02d}" for i in range(1, 52)]
+    # 240 days x 51 forces: the first 1000 (day, force) pairs are all distinct.
+    bindings = [
+        {"date": days[i % len(days)], "force": forces[i % len(forces)]}
+        for i in range(NUM_BINDINGS)
+    ]
+    assert len({tuple(sorted(b.items())) for b in bindings}) == NUM_BINDINGS
+    return database, template, bindings
+
+
+def _per_request(total_seconds: float, requests: int) -> float:
+    return total_seconds / requests
+
+
+@pytest.fixture(scope="module")
+def serving_measurements(serving_setup):
+    """One warm measurement of all three paths over the full binding list."""
+    database, template, bindings = serving_setup
+    access = tfacc_access_schema()
+
+    engine = BoundedEngine(access)
+    engine.prepare(database)
+
+    # -- re-planning path: every binding is a fresh SPCQuery --------------------
+    engine.execute(template.bind(**bindings[0]), database)  # warm indexes/imports
+    started = time.perf_counter()
+    for binding in bindings:
+        engine.execute(template.bind(**binding), database)
+    replan = _per_request(time.perf_counter() - started, len(bindings))
+
+    # -- cached-plan floor: one bound query, plan-cache hit per request ---------
+    fixed = template.bind(**bindings[0])
+    engine.execute(fixed, database)
+    started = time.perf_counter()
+    for _ in range(len(bindings)):
+        engine.execute(fixed, database)
+    cached = _per_request(time.perf_counter() - started, len(bindings))
+
+    # -- prepared path ----------------------------------------------------------
+    prepared = engine.prepare_query(template)
+    prepared.warm(database)
+    prepared.execute(database, **bindings[0])
+    started = time.perf_counter()
+    for binding in bindings:
+        prepared.execute(database, **binding)
+    prep = _per_request(time.perf_counter() - started, len(bindings))
+
+    return {
+        "replan_ms": replan * 1000,
+        "cached_ms": cached * 1000,
+        "prepared_ms": prep * 1000,
+        "engine": engine,
+        "prepared_query": prepared,
+    }
+
+
+@pytest.mark.benchmark(group="serving-report")
+def test_serving_throughput_report(serving_measurements, record_result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    replan = serving_measurements["replan_ms"]
+    cached = serving_measurements["cached_ms"]
+    prep = serving_measurements["prepared_ms"]
+    speedup = replan / prep
+    vs_cached = prep / cached
+    lines = [
+        "Serving throughput: one TFACC form template, "
+        f"{NUM_BINDINGS} distinct bindings",
+        f"  re-plan per request   : {replan:8.3f} ms  ({1000 / replan:8.0f} QPS)",
+        f"  cached-plan floor     : {cached:8.3f} ms  ({1000 / cached:8.0f} QPS)",
+        f"  prepared.execute      : {prep:8.3f} ms  ({1000 / prep:8.0f} QPS)",
+        f"  prepared vs re-plan   : {speedup:.1f}x faster",
+        f"  prepared vs floor     : {vs_cached:.2f}x of the cached-plan cost",
+    ]
+    record_result("serving_throughput", "\n".join(lines))
+
+    if benchmark.disabled:
+        # --benchmark-disable (CI): correctness-only run; wall-clock ratios
+        # are not judged on shared, noisy runners.
+        return
+    assert speedup >= MIN_SPEEDUP_VS_REPLAN, (
+        f"prepared path only {speedup:.1f}x faster than re-planning "
+        f"(required >= {MIN_SPEEDUP_VS_REPLAN}x)"
+    )
+    assert vs_cached <= MAX_SLOWDOWN_VS_CACHED, (
+        f"prepared path {vs_cached:.2f}x the cached-plan floor "
+        f"(required <= {MAX_SLOWDOWN_VS_CACHED}x)"
+    )
+
+
+def test_prepared_accesses_identical_tuples(serving_setup):
+    """Per binding, the prepared path fetches exactly |D_Q| of the bound query."""
+    database, template, bindings = serving_setup
+    access = tfacc_access_schema()
+    engine = BoundedEngine(access)
+    engine.prepare(database)
+    prepared = engine.prepare_query(template)
+    for binding in bindings[:25]:
+        served = prepared.execute(database, **binding)
+        unprepared = engine.execute(template.bind(**binding), database)
+        assert served.as_set == unprepared.as_set
+        assert served.stats.tuples_accessed == unprepared.stats.tuples_accessed
+        assert served.stats.tuples_accessed <= prepared.total_bound
+
+
+@pytest.mark.benchmark(group="serving-prepared")
+def test_prepared_request_time(serving_setup, benchmark):
+    database, template, bindings = serving_setup
+    engine = BoundedEngine(tfacc_access_schema())
+    prepared = engine.prepare_query(template)
+    prepared.warm(database)
+    requests = iter(bindings * 50)
+
+    def serve():
+        prepared.execute(database, **next(requests))
+
+    benchmark(serve)
+
+
+@pytest.mark.benchmark(group="serving-replan")
+def test_replanning_request_time(serving_setup, benchmark):
+    database, template, bindings = serving_setup
+    engine = BoundedEngine(tfacc_access_schema())
+    engine.prepare(database)
+    requests = iter(bindings * 50)
+
+    def serve():
+        engine.execute(template.bind(**next(requests)), database)
+
+    benchmark(serve)

@@ -16,6 +16,24 @@ Typical use::
     report = engine.check(query)          # bounded? effectively bounded? plan?
     result = engine.execute(query, db)    # evalDQ when possible
 
+Serving parameterized templates (compile once, execute many)::
+
+    from repro import ParameterizedQuery
+
+    template = ParameterizedQuery(query, {"album": query.ref("ia", "album_id"),
+                                          "user": query.ref("f", "user_id")})
+    prepared = engine.prepare_query(template)   # EBCheck + QPlan run here, once
+    prepared.warm(db)                           # pre-build constraint indexes
+    result = prepared.execute(db, album="a0", user="u0")   # per request: no
+    result = prepared.execute(db, album="a7", user="u3")   # re-planning at all
+
+``repro.execution`` also exposes the pieces individually:
+:func:`repro.execution.prepare_query` compiles a template without an engine,
+:class:`repro.execution.PreparedQuery` is the compiled handle whose
+``total_bound`` states the per-request access bound up front, and
+``engine.cache_info()`` reports the serving-path cache counters (plan LRU,
+negative effective-boundedness verdicts, prepared templates).
+
 Package layout
 --------------
 ``repro.relational``
@@ -69,12 +87,15 @@ from .errors import (
 from .execution import (
     BoundedEngine,
     BoundedExecutor,
+    CacheStats,
     ExecutionResult,
     ExecutionStats,
     NaiveExecutor,
+    PreparedQuery,
     eval_dq,
+    prepare_query,
 )
-from .planning import BoundedPlan, plan_access_bound, qplan
+from .planning import BoundedPlan, PreparedPlan, plan_access_bound, prepare_plan, qplan
 from .relational import (
     Database,
     DatabaseSchema,
@@ -100,6 +121,7 @@ __all__ = [
     "BoundedEngine",
     "BoundedExecutor",
     "BoundedPlan",
+    "CacheStats",
     "ConstraintViolationError",
     "Database",
     "DatabaseSchema",
@@ -111,6 +133,8 @@ __all__ = [
     "ParameterizedQuery",
     "ParseError",
     "PlanningError",
+    "PreparedPlan",
+    "PreparedQuery",
     "QueryError",
     "Relation",
     "RelationSchema",
@@ -131,6 +155,8 @@ __all__ = [
     "is_effectively_bounded",
     "parse_query",
     "plan_access_bound",
+    "prepare_plan",
+    "prepare_query",
     "qplan",
     "satisfies",
     "schema_from_mapping",

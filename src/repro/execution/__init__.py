@@ -1,17 +1,23 @@
-"""Query execution: bounded (evalDQ), baselines, and the end-to-end engine."""
+"""Query execution: bounded (evalDQ), baselines, the engine, prepared queries."""
 
 from .bounded import BoundedExecutor, eval_dq
+from .cache import CacheStats, LRUCache
 from .engine import BoundedEngine, QueryReport
 from .metrics import ExecutionResult, ExecutionStats
 from .naive import NaiveExecutor, NestedLoopExecutor
+from .prepared import PreparedQuery, prepare_query
 
 __all__ = [
     "BoundedEngine",
     "BoundedExecutor",
+    "CacheStats",
     "ExecutionResult",
     "ExecutionStats",
+    "LRUCache",
     "NaiveExecutor",
     "NestedLoopExecutor",
+    "PreparedQuery",
     "QueryReport",
     "eval_dq",
+    "prepare_query",
 ]

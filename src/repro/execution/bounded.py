@@ -14,7 +14,8 @@ constraint indexes, so ``ExecutionStats.tuples_accessed`` is exactly the
 from __future__ import annotations
 
 import time
-from typing import Any, Sequence
+import weakref
+from typing import Any, Mapping, Sequence
 
 from ..access.indexes import AccessIndexes, ConstraintIndex, build_access_indexes
 from ..access.schema import AccessSchema
@@ -22,8 +23,9 @@ from ..errors import ExecutionError
 from ..relational.algebra import RowSet, hash_join, product, project
 from ..relational.database import Database
 from ..spc.atoms import AttrEq, AttrRef, ConstEq
+from ..spc.parameters import ParamToken
 from ..spc.query import SPCQuery
-from ..planning.plan import BoundedPlan, ColumnSource, ConstSource, FetchStep
+from ..planning.plan import BoundedPlan, ColumnSource, ConstSource, FetchStep, ParamSource
 from .metrics import ExecutionResult, ExecutionStats
 
 
@@ -40,16 +42,22 @@ class BoundedExecutor:
 
     def __init__(self, enforce_bounds: bool = True) -> None:
         self.enforce_bounds = enforce_bounds
-        self._index_cache: dict[int, AccessIndexes] = {}
+        # Weak keys: an entry dies with its database, so a collected Database
+        # can never hand its (recycled) identity to a new object and serve it
+        # stale indexes, and a long-lived executor never accumulates entries
+        # for databases that are gone.
+        self._index_cache: "weakref.WeakKeyDictionary[Database, AccessIndexes]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     # -- preparation -------------------------------------------------------------------
 
     def prepare(self, database: Database, access_schema: AccessSchema) -> AccessIndexes:
         """Build (and cache per database) the constraint indexes of ``access_schema``."""
-        cached = self._index_cache.get(id(database))
+        cached = self._index_cache.get(database)
         if cached is None:
             cached = build_access_indexes(database, access_schema, self.enforce_bounds)
-            self._index_cache[id(database)] = cached
+            self._index_cache[database] = cached
         else:
             for constraint in access_schema:
                 if constraint.relation in database.schema and constraint not in cached:
@@ -67,8 +75,13 @@ class BoundedExecutor:
         plan: BoundedPlan,
         database: Database,
         indexes: AccessIndexes | None = None,
+        params: Mapping[str, Any] | None = None,
     ) -> ExecutionResult:
-        """Run ``plan`` against ``database`` and return the answer with its cost."""
+        """Run ``plan`` against ``database`` and return the answer with its cost.
+
+        ``params`` supplies values for the named parameter slots of a prepared
+        plan (slot name -> value); plans without slots ignore it.
+        """
         query = plan.query
         if indexes is None:
             indexes = self.prepare(database, plan.access_schema)
@@ -79,11 +92,11 @@ class BoundedExecutor:
         fetched: list[RowSet] = []
         step_sizes: list[int] = []
         for step in plan.steps:
-            rowset = self._execute_step(step, fetched, indexes)
+            rowset = self._execute_step(step, fetched, indexes, params)
             fetched.append(rowset)
             step_sizes.append(len(rowset))
 
-        answer = self._assemble(query, plan, fetched)
+        answer = self._assemble(query, plan, fetched, params)
 
         elapsed = time.perf_counter() - started
         delta = database.accesses_since(before)
@@ -103,10 +116,11 @@ class BoundedExecutor:
         step: FetchStep,
         fetched: Sequence[RowSet],
         indexes: AccessIndexes,
+        params: Mapping[str, Any] | None = None,
     ) -> RowSet:
         index = self._constraint_index(step, indexes)
         key_order = index.key  # canonical X order of the constraint
-        candidates = self._candidate_keys(step, key_order, fetched)
+        candidates = self._candidate_keys(step, key_order, fetched, params)
         rows = index.fetch_many(candidates)
         return RowSet(step.outputs, rows)
 
@@ -123,6 +137,7 @@ class BoundedExecutor:
         step: FetchStep,
         key_order: Sequence[str],
         fetched: Sequence[RowSet],
+        params: Mapping[str, Any] | None = None,
     ) -> list[tuple[Any, ...]]:
         """Enumerate candidate ``X``-values for a fetch step.
 
@@ -140,6 +155,8 @@ class BoundedExecutor:
             source = step.key_sources[attribute]
             if isinstance(source, ConstSource):
                 constant_values[attribute] = source.value
+            elif isinstance(source, ParamSource):
+                constant_values[attribute] = self._param_value(source.name, params)
             elif isinstance(source, ColumnSource):
                 by_step.setdefault(source.step, []).append(attribute)
             else:  # pragma: no cover - defensive
@@ -163,6 +180,15 @@ class BoundedExecutor:
         keys = {tuple(assignment[a] for a in key_order) for assignment in assignments}
         return sorted(keys, key=repr)
 
+    @staticmethod
+    def _param_value(name: str, params: Mapping[str, Any] | None) -> Any:
+        if params is None or name not in params:
+            raise ExecutionError(
+                f"plan has an unbound parameter slot ${name}; execute it through "
+                f"a PreparedQuery (or pass params=...) to supply request values"
+            )
+        return params[name]
+
     # -- assembling the answer -----------------------------------------------------------------
 
     def _assemble(
@@ -170,6 +196,7 @@ class BoundedExecutor:
         query: SPCQuery,
         plan: BoundedPlan,
         fetched: Sequence[RowSet],
+        params: Mapping[str, Any] | None = None,
     ) -> RowSet:
         # Per-occurrence row sets: the covering step's output projected onto the
         # occurrence's parameters, with per-occurrence conditions applied.
@@ -185,7 +212,7 @@ class BoundedExecutor:
                 per_atom[atom_index] = None
                 continue
             rowset = project(covering, needed, distinct=True)
-            rowset = self._apply_local_conditions(query, atom_index, rowset)
+            rowset = self._apply_local_conditions(query, atom_index, rowset, params)
             per_atom[atom_index] = rowset
 
         if not witnesses_ok:
@@ -196,7 +223,11 @@ class BoundedExecutor:
         return project(joined, output_columns, distinct=True)
 
     def _apply_local_conditions(
-        self, query: SPCQuery, atom_index: int, rowset: RowSet
+        self,
+        query: SPCQuery,
+        atom_index: int,
+        rowset: RowSet,
+        params: Mapping[str, Any] | None = None,
     ) -> RowSet:
         """Apply constant and same-occurrence equality conditions to one row set."""
         rows = rowset.rows
@@ -206,7 +237,10 @@ class BoundedExecutor:
                 if condition.ref.atom != atom_index or condition.ref not in header:
                     continue
                 position = rowset.position(condition.ref)
-                rows = [row for row in rows if row[position] == condition.value]
+                value = condition.value
+                if isinstance(value, ParamToken):
+                    value = self._param_value(value.name, params)
+                rows = [row for row in rows if row[position] == value]
             elif isinstance(condition, AttrEq):
                 left, right = condition.left, condition.right
                 if left.atom != atom_index or right.atom != atom_index:

@@ -1,0 +1,108 @@
+"""Size-capped LRU caches with hit/miss accounting for the serving path.
+
+The engine keeps several caches keyed by queries (plans, prepared plans,
+negative effective-boundedness verdicts).  Under a serving workload every
+distinct bound constant produces a distinct :class:`~repro.spc.query.SPCQuery`
+key, so an uncapped dict grows without bound in a long-lived engine; this
+module provides the shared capped cache with :class:`ExecutionStats`-style
+counters the engine reports through :meth:`BoundedEngine.cache_info`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Generic, Hashable, TypeVar
+
+from ..errors import ExecutionError
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+#: Sentinel distinguishing "not cached" from a cached value of ``None``.
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache, in the style of :class:`ExecutionStats`."""
+
+    name: str = "cache"
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: hits={self.hits}, misses={self.misses}, "
+            f"hit_rate={self.hit_rate:.1%}, evictions={self.evictions}, "
+            f"size={self.size}/{self.capacity}"
+        )
+
+
+class LRUCache(Generic[K, V]):
+    """A dict with least-recently-used eviction and hit/miss counters."""
+
+    def __init__(self, capacity: int, name: str = "cache") -> None:
+        if capacity < 1:
+            raise ExecutionError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: K, default: Any = None) -> Any:
+        """Look up ``key``, refreshing its recency; counts a hit or a miss."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self._misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert or refresh an entry, evicting the oldest when over capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def __contains__(self, key: K) -> bool:
+        """Membership test; does not touch recency or the counters."""
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            name=self.name,
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            capacity=self.capacity,
+        )
+
+    def __repr__(self) -> str:
+        return f"LRUCache({self.stats.describe()})"

@@ -25,13 +25,22 @@ from ..core.dominating import DominatingParametersResult, find_dominating_parame
 from ..core.ebcheck import EffectiveBoundednessResult, ebcheck
 from ..errors import NotEffectivelyBoundedError
 from ..planning.plan import BoundedPlan
-from ..planning.qplan import qplan
+from ..planning.qplan import prepare_plan, qplan
 from ..relational.database import Database
 from ..spc.atoms import AttrRef
+from ..spc.parameters import ParameterizedQuery
 from ..spc.query import SPCQuery
 from .bounded import BoundedExecutor
+from .cache import CacheStats, LRUCache
 from .metrics import ExecutionResult
 from .naive import NaiveExecutor
+from .prepared import PreparedQuery
+
+#: Default capacity of the per-engine bounded-plan LRU cache.
+DEFAULT_PLAN_CACHE_SIZE = 256
+#: Default capacity of the negative (not-effectively-bounded) verdict cache.
+#: Entries are tiny (a shape key and a message), so it can be roomier.
+DEFAULT_NEGATIVE_CACHE_SIZE = 1024
 
 
 @dataclass
@@ -87,13 +96,29 @@ class BoundedEngine:
         fallback_to_naive: bool = True,
         enforce_bounds: bool = True,
         dominating_alpha: float | None = None,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        negative_cache_size: int = DEFAULT_NEGATIVE_CACHE_SIZE,
     ) -> None:
         self.access_schema = access_schema
         self.fallback_to_naive = fallback_to_naive
         self.dominating_alpha = dominating_alpha
         self._bounded_executor = BoundedExecutor(enforce_bounds=enforce_bounds)
         self._naive_executor = NaiveExecutor()
-        self._plan_cache: dict[SPCQuery, BoundedPlan] = {}
+        # Every distinct bound constant yields a structurally new SPCQuery, so
+        # under a serving workload these keys never repeat exactly; the caches
+        # are capped so a long-lived engine cannot grow without bound.
+        self._plan_cache: LRUCache[SPCQuery, BoundedPlan] = LRUCache(
+            plan_cache_size, name="plan-cache"
+        )
+        # Not-effectively-bounded verdicts are value-independent, so they are
+        # keyed by the query's *shape*: one classification covers every
+        # binding of a template.
+        self._negative_cache: LRUCache[tuple, str] = LRUCache(
+            negative_cache_size, name="negative-cache"
+        )
+        self._prepared_cache: LRUCache[tuple, PreparedQuery] = LRUCache(
+            plan_cache_size, name="prepared-cache"
+        )
 
     # -- analysis -----------------------------------------------------------------------
 
@@ -121,12 +146,54 @@ class BoundedEngine:
         return ebcheck(query, self.access_schema).effectively_bounded
 
     def plan(self, query: SPCQuery) -> BoundedPlan:
-        """The (cached) bounded plan for an effectively bounded query."""
+        """The (cached) bounded plan for an effectively bounded query.
+
+        Negative verdicts are cached by the query's value-independent shape,
+        so a template rejected by EBCheck once is rejected for every binding
+        without re-running the quadratic check.
+        """
         plan = self._plan_cache.get(query)
-        if plan is None:
+        if plan is not None:
+            return plan
+        # The shape cannot distinguish satisfiable bindings from unsatisfiable
+        # ones, so settle satisfiability (cheap, cached on the query) before
+        # trusting a shape-keyed verdict.
+        query.closure.require_satisfiable()
+        reason = self._negative_cache.get(query.plan_shape)
+        if reason is not None:
+            raise NotEffectivelyBoundedError(reason)
+        try:
             plan = qplan(query, self.access_schema)
-            self._plan_cache[query] = plan
+        except NotEffectivelyBoundedError as error:
+            self._negative_cache.put(query.plan_shape, str(error))
+            raise
+        self._plan_cache.put(query, plan)
         return plan
+
+    def prepare_query(self, template: ParameterizedQuery) -> PreparedQuery:
+        """Compile ``template`` once into a :class:`PreparedQuery` (cached).
+
+        The prepared query shares this engine's bounded executor, so its
+        per-database index cache is shared with :meth:`execute`.  Repeated
+        calls with an equivalent template return the cached compilation.
+        """
+        key = template.plan_key()
+        prepared = self._prepared_cache.get(key)
+        if prepared is None:
+            prepared = PreparedQuery(
+                prepare_plan(template, self.access_schema),
+                executor=self._bounded_executor,
+            )
+            self._prepared_cache.put(key, prepared)
+        return prepared
+
+    def cache_info(self) -> dict[str, CacheStats]:
+        """Hit/miss/eviction counters for the engine's serving-path caches."""
+        return {
+            "plan": self._plan_cache.stats,
+            "negative": self._negative_cache.stats,
+            "prepared": self._prepared_cache.stats,
+        }
 
     # -- execution ----------------------------------------------------------------------
 

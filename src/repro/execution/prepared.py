@@ -1,0 +1,117 @@
+"""Prepared queries: the compile-once / execute-many serving path.
+
+The paper's motivating scenario (Example 1) is a *form query*: one template,
+served over and over with different user-supplied constants.  Re-running
+EBCheck and QPlan per request costs several times the actual evaluation, so a
+serving engine must separate compile time from run time the way prepared
+statements do.  :class:`PreparedQuery` is that separation:
+
+* :func:`prepare_query` (or :meth:`BoundedEngine.prepare_query`) compiles a
+  :class:`~repro.spc.parameters.ParameterizedQuery` template once — EBCheck
+  proves effective boundedness, QPlan emits a plan whose parameter-dependent
+  constants are named :class:`~repro.planning.plan.ParamSource` slots;
+* :meth:`PreparedQuery.execute` binds the slots to request values and runs
+  the plan, touching no analysis code on the hot path.
+
+The per-binding access bound is stated up front (``prepared.total_bound``)
+and is identical for every binding, because QPlan's bounds are derived from
+``Q`` and ``A`` only, never from the constants.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from ..access.indexes import AccessIndexes
+from ..access.schema import AccessSchema
+from ..planning.plan import PreparedPlan
+from ..planning.qplan import prepare_plan
+from ..relational.database import Database
+from ..spc.parameters import ParameterizedQuery
+from .bounded import BoundedExecutor
+from .metrics import ExecutionResult
+
+
+class PreparedQuery:
+    """A compiled template: bind parameter values and execute, nothing else."""
+
+    def __init__(
+        self,
+        prepared: PreparedPlan,
+        executor: BoundedExecutor | None = None,
+    ) -> None:
+        self.prepared = prepared
+        self._executor = executor or BoundedExecutor()
+        self.executions = 0
+
+    # -- inspection ----------------------------------------------------------------
+
+    @property
+    def template(self) -> ParameterizedQuery:
+        return self.prepared.template
+
+    @property
+    def parameter_names(self) -> tuple[str, ...]:
+        return self.prepared.parameter_names
+
+    @property
+    def slots(self) -> tuple[str, ...]:
+        """The plan's named parameter slots (``Σ_Q``-equivalent params share one)."""
+        return self.prepared.slots
+
+    @property
+    def total_bound(self) -> int:
+        """Tuples any single execution can access, independent of the binding."""
+        return self.prepared.total_bound
+
+    def describe(self) -> str:
+        return self.prepared.describe()
+
+    # -- execution -----------------------------------------------------------------
+
+    def warm(self, database: Database) -> AccessIndexes:
+        """Pre-build the plan's constraint indexes on ``database``."""
+        return self._executor.prepare(database, self.prepared.plan.access_schema)
+
+    def execute(self, database: Database, **params: Any) -> ExecutionResult:
+        """Answer one request: substitute ``params`` into the slots and run.
+
+        Raises :class:`~repro.errors.QueryError` for missing/unknown parameter
+        names and :class:`~repro.errors.UnsatisfiableQueryError` when equated
+        parameters receive different values.
+        """
+        slot_values = self.prepared.bind_values(params)
+        self.executions += 1
+        return self._executor.execute(
+            self.prepared.plan, database, params=slot_values
+        )
+
+    def execute_many(
+        self, database: Database, bindings: Iterable[Mapping[str, Any]]
+    ) -> list[ExecutionResult]:
+        """Serve a batch of requests against one database."""
+        self.warm(database)
+        return [self.execute(database, **binding) for binding in bindings]
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedQuery({self.prepared.plan.query.name}: "
+            f"slots {list(self.slots)}, bound {self.total_bound}, "
+            f"{self.executions} executions)"
+        )
+
+
+def prepare_query(
+    template: ParameterizedQuery,
+    access_schema: AccessSchema,
+    enforce_bounds: bool = True,
+) -> PreparedQuery:
+    """Compile ``template`` under ``access_schema`` with a fresh executor.
+
+    Engines cache the compilation and share their executor's index cache; use
+    :meth:`BoundedEngine.prepare_query` when serving through an engine.
+    """
+    return PreparedQuery(
+        prepare_plan(template, access_schema),
+        executor=BoundedExecutor(enforce_bounds=enforce_bounds),
+    )

@@ -16,9 +16,11 @@ from .plan import (
     ColumnSource,
     ConstSource,
     FetchStep,
+    ParamSource,
+    PreparedPlan,
     ValueSource,
 )
-from .qplan import plan_access_bound, qplan
+from .qplan import plan_access_bound, prepare_plan, qplan
 
 __all__ = [
     "AtomProof",
@@ -26,10 +28,13 @@ __all__ = [
     "ColumnSource",
     "ConstSource",
     "FetchStep",
+    "ParamSource",
+    "PreparedPlan",
     "ValueSource",
     "is_effectively_m_bounded",
     "is_m_bounded",
     "minimum_plan_bound",
     "plan_access_bound",
+    "prepare_plan",
     "qplan",
 ]

@@ -19,11 +19,13 @@ candidate key values — a quantity derived from ``Q`` and ``A`` only, never fro
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Union
+from typing import Any, Mapping, Union
 
 from ..access.constraint import AccessConstraint
 from ..access.schema import AccessSchema
+from ..errors import UnsatisfiableQueryError
 from ..spc.atoms import AttrRef
+from ..spc.parameters import ParameterizedQuery, ParamToken
 from ..spc.query import SPCQuery
 
 
@@ -54,7 +56,23 @@ class ColumnSource:
         return f"step {self.step}, column {self.column}"
 
 
-ValueSource = Union[ConstSource, ColumnSource]
+@dataclass(frozen=True)
+class ParamSource:
+    """A key attribute whose candidate value is a named parameter slot.
+
+    Prepared plans (compiled once per :class:`~repro.spc.parameters.ParameterizedQuery`
+    template) carry these instead of :class:`ConstSource` wherever the constant
+    depends on the request: executing the plan supplies a value per slot name,
+    with no re-planning.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"param ${self.name}"
+
+
+ValueSource = Union[ConstSource, ColumnSource, ParamSource]
 
 
 @dataclass
@@ -152,5 +170,91 @@ class BoundedPlan:
     def __repr__(self) -> str:
         return (
             f"BoundedPlan({self.query.name}: {len(self.steps)} steps, "
+            f"bound {self.total_bound})"
+        )
+
+
+@dataclass
+class PreparedPlan:
+    """A bounded plan compiled once for a :class:`ParameterizedQuery` template.
+
+    The wrapped :class:`BoundedPlan` was generated for the template bound to
+    symbolic :class:`~repro.spc.parameters.ParamToken` constants; every
+    parameter-dependent constant in its fetch steps has been rewritten into a
+    named :class:`ParamSource` slot.  Executing the plan only requires
+    substituting request values into those slots — BCheck, EBCheck and QPlan
+    never run again for the template.
+
+    ``Σ_Q``-equivalent parameters share one slot (they must carry equal values
+    in any satisfiable binding); :meth:`bind_values` enforces that.
+    """
+
+    template: ParameterizedQuery
+    plan: BoundedPlan
+    #: Parameter name -> the symbolic token it was planned with.
+    tokens: dict[str, ParamToken]
+    #: Slot name -> the parameter names that feed it (``Σ_Q``-equivalent group).
+    slot_members: dict[str, tuple[str, ...]]
+
+    @property
+    def slots(self) -> tuple[str, ...]:
+        """The named parameter slots of the plan."""
+        return tuple(self.slot_members)
+
+    @property
+    def parameter_names(self) -> tuple[str, ...]:
+        return self.template.parameter_names
+
+    @property
+    def total_bound(self) -> int:
+        """The plan's access bound; identical for every binding of the template."""
+        return self.plan.total_bound
+
+    def bind_values(self, values: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate a request's parameter values and map them onto slots.
+
+        Raises
+        ------
+        QueryError
+            When a declared parameter is missing or an unknown name is given.
+        UnsatisfiableQueryError
+            When two ``Σ_Q``-equivalent parameters receive different values —
+            the instantiated query's condition equates distinct constants, the
+            same failure :meth:`ParameterizedQuery.bind` surfaces on execution.
+        """
+        self.template.check_names(values)
+        bound: dict[str, Any] = {}
+        for slot, members in self.slot_members.items():
+            slot_values = [values[name] for name in members]
+            for other in slot_values[1:]:
+                if other != slot_values[0]:
+                    raise UnsatisfiableQueryError(
+                        f"parameters {list(members)} are equated by the template's "
+                        f"condition but received distinct values "
+                        f"{slot_values[0]!r} and {other!r}"
+                    )
+            bound[slot] = slot_values[0]
+        return bound
+
+    def restate(self, **values: Any) -> SPCQuery:
+        """The concretely bound query this plan answers for one binding.
+
+        Equivalent to ``template.bind(**values)``; useful for verifying a
+        prepared execution against the unprepared path.
+        """
+        return self.template.bind(**values)
+
+    def describe(self) -> str:
+        lines = [
+            f"Prepared plan for {self.plan.query.name}: "
+            f"slots ({', '.join('$' + s for s in self.slots)}), "
+            f"access bound {self.total_bound} tuples per binding"
+        ]
+        lines.append(self.plan.describe())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedPlan({self.plan.query.name}: slots {list(self.slots)}, "
             f"bound {self.total_bound})"
         )

@@ -32,8 +32,18 @@ from ..core.deduction import ActualizedConstraint, actualize
 from ..core.ebcheck import ebcheck
 from ..errors import NotEffectivelyBoundedError, PlanningError
 from ..spc.atoms import AttrRef
+from ..spc.parameters import ParameterizedQuery, ParamToken
 from ..spc.query import SPCQuery
-from .plan import AtomProof, BoundedPlan, ColumnSource, ConstSource, FetchStep, ValueSource
+from .plan import (
+    AtomProof,
+    BoundedPlan,
+    ColumnSource,
+    ConstSource,
+    FetchStep,
+    ParamSource,
+    PreparedPlan,
+    ValueSource,
+)
 
 #: Cap on bound estimates, mirroring :data:`repro.core.closure.BOUND_CAP`.
 _BOUND_CAP = 10**18
@@ -218,6 +228,64 @@ def qplan(
         steps=pruned,
         covering=new_covering,
         proofs=proofs,
+    )
+
+
+def prepare_plan(
+    template: ParameterizedQuery,
+    access_schema: AccessSchema,
+    check: bool = True,
+) -> PreparedPlan:
+    """Compile a :class:`ParameterizedQuery` template into a reusable plan.
+
+    The template is planned once with its parameters bound to symbolic
+    :class:`~repro.spc.parameters.ParamToken` constants; BCheck/EBCheck/QPlan
+    consult only *which* references are constant-equated, never the values, so
+    the resulting plan is structurally identical to the plan of any concrete
+    binding.  Every fetch-step key fed by a token is then rewritten into a
+    named :class:`ParamSource` slot, making the plan executable against any
+    request values without re-planning.
+
+    Raises
+    ------
+    NotEffectivelyBoundedError
+        When ``check`` is true and the template (with all declared parameters
+        instantiated) is not effectively bounded under ``access_schema``.
+    """
+    symbolic, tokens = template.bind_symbolic()
+    plan = qplan(symbolic, access_schema, check=check)
+
+    def desymbolize(source: ValueSource) -> ValueSource:
+        if isinstance(source, ConstSource) and isinstance(source.value, ParamToken):
+            return ParamSource(source.value.name)
+        return source
+
+    slotted_steps = [
+        FetchStep(
+            index=step.index,
+            atom=step.atom,
+            constraint=step.constraint,
+            key_sources={
+                attribute: desymbolize(source)
+                for attribute, source in step.key_sources.items()
+            },
+            outputs=step.outputs,
+            bound=step.bound,
+        )
+        for step in plan.steps
+    ]
+    slotted = BoundedPlan(
+        query=plan.query,
+        access_schema=plan.access_schema,
+        steps=slotted_steps,
+        covering=plan.covering,
+        proofs=plan.proofs,
+    )
+    return PreparedPlan(
+        template=template,
+        plan=slotted,
+        tokens=tokens,
+        slot_members=template.slot_groups(),
     )
 
 

@@ -20,7 +20,7 @@ from .statistics import AccessCounter, AccessSnapshot
 class Database:
     """An instance of a :class:`~repro.relational.schema.DatabaseSchema`."""
 
-    __slots__ = ("schema", "_relations", "counter", "indexes")
+    __slots__ = ("schema", "_relations", "counter", "indexes", "__weakref__")
 
     def __init__(self, schema: DatabaseSchema) -> None:
         self.schema = schema

@@ -21,7 +21,7 @@ from .normalize import (
     transform_query,
     universal_schema,
 )
-from .parameters import Parameter, ParameterizedQuery, template_from_refs
+from .parameters import Parameter, ParameterizedQuery, ParamToken, template_from_refs
 from .parser import format_query, parse_query
 from .query import SPCQuery, check_query_against_schema
 
@@ -33,6 +33,7 @@ __all__ = [
     "EqualityClosure",
     "MISSING",
     "PADDING",
+    "ParamToken",
     "Parameter",
     "ParameterizedQuery",
     "RelationAtom",

@@ -29,6 +29,28 @@ class Parameter:
         return f"${self.name} -> {self.ref}"
 
 
+@dataclass(frozen=True)
+class ParamToken:
+    """A symbolic constant standing in for a parameter value at plan time.
+
+    Binding a template's parameters to tokens instead of real values yields a
+    query whose *structure* (which references are constant-equated) is exactly
+    that of any concretely bound instance, so BCheck/EBCheck/QPlan run on it
+    once and their output is reusable for every request.  Tokens are opaque:
+    they only ever appear inside plans produced by
+    :func:`repro.planning.qplan.prepare_plan`, which rewrites them into named
+    parameter slots before the plan is executed.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+    def __repr__(self) -> str:
+        return f"ParamToken({self.name!r})"
+
+
 class ParameterizedQuery:
     """An SPC query template plus a set of named parameters.
 
@@ -75,24 +97,80 @@ class ParameterizedQuery:
         """The attribute references underlying the declared parameters."""
         return frozenset(p.ref for p in self._parameters.values())
 
+    def plan_key(self) -> tuple:
+        """A hashable canonical key identifying this template for plan caching.
+
+        Two templates share a key exactly when they have the same underlying
+        query and the same named parameter references — in which case one
+        prepared plan serves both.
+        """
+        return (
+            self.query,
+            tuple(sorted((p.name, p.ref) for p in self._parameters.values())),
+        )
+
+    def slot_groups(self) -> dict[str, tuple[str, ...]]:
+        """Parameter names grouped into slots, keyed by the slot's name.
+
+        Parameters whose references are ``Σ_Q``-equivalent must carry the same
+        value in any satisfiable binding, so they share one slot.  Each group
+        is named after its first parameter in declaration order.
+        """
+        closure = self.query.closure
+        groups: list[list[Parameter]] = []
+        for parameter in self._parameters.values():
+            for group in groups:
+                if closure.entails_eq(parameter.ref, group[0].ref):
+                    group.append(parameter)
+                    break
+            else:
+                groups.append([parameter])
+        return {group[0].name: tuple(p.name for p in group) for group in groups}
+
+    def bind_symbolic(self) -> tuple[SPCQuery, dict[str, ParamToken]]:
+        """Bind every parameter to a :class:`ParamToken` symbolic constant.
+
+        Returns the symbolically bound query together with the token assigned
+        to each parameter name.  ``Σ_Q``-equivalent parameters share a token
+        (binding them to distinct symbols would make the template's closure
+        spuriously unsatisfiable).
+        """
+        tokens: dict[str, ParamToken] = {}
+        for slot, names in self.slot_groups().items():
+            token = ParamToken(slot)
+            for name in names:
+                tokens[name] = token
+        bindings = {
+            parameter.ref: tokens[name]
+            for name, parameter in self._parameters.items()
+        }
+        return self.query.with_constants(bindings), tokens
+
     # -- binding -------------------------------------------------------------------
 
-    def bind(self, **values: Any) -> SPCQuery:
-        """Instantiate parameters by name; all declared parameters must be bound."""
-        missing = [name for name in self._parameters if name not in values]
-        if missing:
-            raise QueryError(f"missing values for parameters: {missing}")
+    def check_names(self, values: Mapping[str, Any], allow_missing: bool = False) -> None:
+        """Validate that ``values`` names exactly this template's parameters.
+
+        Shared by :meth:`bind`, :meth:`bind_partial` and the prepared-plan
+        binding path, so all of them reject bad requests identically.
+        """
+        if not allow_missing:
+            missing = [name for name in self._parameters if name not in values]
+            if missing:
+                raise QueryError(f"missing values for parameters: {missing}")
         unknown = [name for name in values if name not in self._parameters]
         if unknown:
             raise QueryError(f"unknown parameters: {unknown}")
+
+    def bind(self, **values: Any) -> SPCQuery:
+        """Instantiate parameters by name; all declared parameters must be bound."""
+        self.check_names(values)
         bindings = {self._parameters[name].ref: value for name, value in values.items()}
         return self.query.with_constants(bindings)
 
     def bind_partial(self, **values: Any) -> "ParameterizedQuery":
         """Bind a subset of parameters, returning a smaller template."""
-        unknown = [name for name in values if name not in self._parameters]
-        if unknown:
-            raise QueryError(f"unknown parameters: {unknown}")
+        self.check_names(values, allow_missing=True)
         bindings = {self._parameters[name].ref: value for name, value in values.items()}
         remaining = {
             name: parameter.ref

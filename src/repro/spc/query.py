@@ -122,6 +122,22 @@ class SPCQuery:
             result.add(ref)
         return frozenset(result)
 
+    @cached_property
+    def plan_shape(self) -> tuple:
+        """A hashable key capturing everything BCheck/EBCheck depend on.
+
+        The checking algorithms consult only *which* references are equated
+        with each other and with constants — never the constant values — so
+        two queries with the same shape get the same verdict (provided both
+        are satisfiable, which shape cannot capture).  The engine uses this to
+        cache not-effectively-bounded verdicts across bindings of a template.
+        """
+        attr_eqs = tuple(c for c in self.conditions if isinstance(c, AttrEq))
+        const_refs = tuple(
+            sorted(c.ref for c in self.conditions if isinstance(c, ConstEq))
+        )
+        return (self.atoms, attr_eqs, const_refs, self.output)
+
     def atom_parameters(self, atom_index: int) -> frozenset[AttrRef]:
         """``X_Q^i``: parameters of occurrence ``atom_index`` appearing in ``C`` or ``Z``."""
         return frozenset(ref for ref in self.parameters if ref.atom == atom_index)

@@ -1,0 +1,311 @@
+"""Prepared parameterized plans: compile-once / execute-many serving path.
+
+Covers the prepared-plan subsystem (slot extraction, binding validation,
+correctness against the unprepared path) and the serving-path cache fixes:
+the weakref-keyed index cache, the capped LRU plan cache and the negative
+effective-boundedness cache.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.errors import (
+    ExecutionError,
+    NotEffectivelyBoundedError,
+    QueryError,
+    UnsatisfiableQueryError,
+)
+from repro.execution import (
+    BoundedEngine,
+    BoundedExecutor,
+    LRUCache,
+    NaiveExecutor,
+    prepare_query,
+)
+from repro.planning import ParamSource, prepare_plan, qplan
+from repro.relational import Database
+from repro.spc import ConstEq, ParameterizedQuery, ParamToken
+from repro.workloads import generate_social_database
+
+
+@pytest.fixture()
+def template(q1):
+    """Q1 as a form template: album and user supplied per request."""
+    return ParameterizedQuery(
+        q1, {"album": q1.ref("ia", "album_id"), "user": q1.ref("f", "user_id")}
+    )
+
+
+# ---------------------------------------------------------------------------
+# compilation / slot extraction
+# ---------------------------------------------------------------------------
+
+
+def test_prepared_plan_has_named_slots(template, access_schema):
+    prepared = prepare_plan(template, access_schema)
+    assert set(prepared.slots) == {"album", "user"}
+    assert prepared.total_bound == 7000  # the paper's Example 1 bound
+
+    param_slots = {
+        source.name
+        for step in prepared.plan.steps
+        for source in step.key_sources.values()
+        if isinstance(source, ParamSource)
+    }
+    assert param_slots == {"album", "user"}
+
+
+def test_prepared_plan_leaves_no_tokens_in_key_sources(template, access_schema):
+    prepared = prepare_plan(template, access_schema)
+    for step in prepared.plan.steps:
+        for source in step.key_sources.values():
+            assert not isinstance(getattr(source, "value", None), ParamToken)
+
+
+def test_prepared_plan_matches_per_binding_plan_bound(template, access_schema):
+    """The template plan's bound equals any concrete binding's plan bound."""
+    prepared = prepare_plan(template, access_schema)
+    concrete = qplan(template.bind(album="a0", user="u0"), access_schema)
+    assert prepared.total_bound == concrete.total_bound
+    assert prepared.plan.num_steps == concrete.num_steps
+
+
+def test_prepare_rejects_non_effectively_bounded_template(q1, access_schema):
+    """A template whose instantiation leaves Q1 unbounded is rejected up front."""
+    album_only = ParameterizedQuery(q1, {"album": q1.ref("ia", "album_id")})
+    with pytest.raises(NotEffectivelyBoundedError):
+        prepare_query(album_only, access_schema)
+
+
+def test_restate_equals_template_bind(template, access_schema):
+    prepared = prepare_plan(template, access_schema)
+    assert prepared.restate(album="a0", user="u0") == template.bind(album="a0", user="u0")
+
+
+# ---------------------------------------------------------------------------
+# execution correctness
+# ---------------------------------------------------------------------------
+
+
+def test_prepared_execution_matches_unprepared(template, access_schema, small_social_db):
+    engine = BoundedEngine(access_schema)
+    prepared = engine.prepare_query(template)
+    result = prepared.execute(small_social_db, album="a0", user="u0")
+    assert result.as_set == {("p1",)}
+
+    unprepared = engine.execute(template.bind(album="a0", user="u0"), small_social_db)
+    assert result.as_set == unprepared.as_set
+    assert result.stats.tuples_accessed == unprepared.stats.tuples_accessed
+    assert result.stats.tuples_accessed <= prepared.total_bound
+
+
+def test_prepared_execution_over_many_bindings(template, access_schema):
+    database = generate_social_database(scale=0.3, seed=11)
+    engine = BoundedEngine(access_schema)
+    engine.prepare(database)
+    prepared = engine.prepare_query(template)
+    naive = NaiveExecutor()
+    for index in range(12):
+        binding = {"album": f"a{index}", "user": f"u{index * 3}"}
+        served = prepared.execute(database, **binding)
+        oracle = naive.execute(template.bind(**binding), database)
+        assert served.as_set == oracle.as_set
+        assert served.stats.tuples_accessed <= prepared.total_bound
+
+
+def test_execute_many_serves_a_batch(template, access_schema, small_social_db):
+    prepared = prepare_query(template, access_schema)
+    bindings = [{"album": "a0", "user": "u0"}, {"album": "a1", "user": "u0"}]
+    results = prepared.execute_many(small_social_db, bindings)
+    assert [r.as_set for r in results] == [frozenset({("p1",)}), frozenset({("p3",)})]
+    assert prepared.executions == 2
+
+
+def test_prepared_boolean_template(q1, access_schema, small_social_db):
+    template = ParameterizedQuery(
+        q1.boolean_version(),
+        {"album": q1.ref("ia", "album_id"), "user": q1.ref("f", "user_id")},
+    )
+    prepared = prepare_query(template, access_schema)
+    assert prepared.execute(small_social_db, album="a0", user="u0").boolean_value
+    assert not prepared.execute(small_social_db, album="a1", user="u2").boolean_value
+
+
+# ---------------------------------------------------------------------------
+# binding validation
+# ---------------------------------------------------------------------------
+
+
+def test_missing_and_unknown_parameters_raise(template, access_schema, small_social_db):
+    prepared = prepare_query(template, access_schema)
+    with pytest.raises(QueryError, match="missing"):
+        prepared.execute(small_social_db, album="a0")
+    with pytest.raises(QueryError, match="unknown"):
+        prepared.execute(small_social_db, album="a0", user="u0", extra=1)
+
+
+def test_equated_parameters_share_a_slot(q1, access_schema, small_social_db):
+    """Σ_Q-equivalent parameters collapse into one slot and must agree."""
+    template = ParameterizedQuery(
+        q1,
+        {
+            "album": q1.ref("ia", "album_id"),
+            "user": q1.ref("f", "user_id"),
+            "taggee": q1.ref("t", "taggee_id"),  # equated with f.user_id by Σ_Q
+        },
+    )
+    prepared = prepare_query(template, access_schema)
+    assert len(prepared.slots) == 2
+    assert prepared.prepared.slot_members["user"] == ("user", "taggee")
+
+    agreeing = prepared.execute(small_social_db, album="a0", user="u0", taggee="u0")
+    assert agreeing.as_set == {("p1",)}
+    with pytest.raises(UnsatisfiableQueryError):
+        prepared.execute(small_social_db, album="a0", user="u0", taggee="u1")
+
+
+def test_executing_slotted_plan_without_params_raises(template, access_schema, small_social_db):
+    prepared = prepare_plan(template, access_schema)
+    with pytest.raises(ExecutionError, match="unbound parameter slot"):
+        BoundedExecutor().execute(prepared.plan, small_social_db)
+
+
+def test_symbolic_binding_round_trip(template):
+    symbolic, tokens = template.bind_symbolic()
+    assert set(tokens) == {"album", "user"}
+    token_conditions = [
+        condition
+        for condition in symbolic.conditions
+        if isinstance(condition, ConstEq) and isinstance(condition.value, ParamToken)
+    ]
+    assert {condition.value.name for condition in token_conditions} == {"album", "user"}
+
+
+# ---------------------------------------------------------------------------
+# engine caches
+# ---------------------------------------------------------------------------
+
+
+def test_engine_caches_prepared_queries(template, access_schema):
+    engine = BoundedEngine(access_schema)
+    first = engine.prepare_query(template)
+    second = engine.prepare_query(template)
+    assert first is second
+    equivalent = ParameterizedQuery(
+        template.query,
+        {"album": template.query.ref("ia", "album_id"), "user": template.query.ref("f", "user_id")},
+    )
+    assert engine.prepare_query(equivalent) is first
+    info = engine.cache_info()
+    assert info["prepared"].hits == 2
+    assert info["prepared"].misses == 1
+
+
+def test_negative_verdict_cached_across_bindings(q1, access_schema, small_social_db):
+    """A not-effectively-bounded template is classified once, not per request."""
+    album_only = ParameterizedQuery(q1, {"album": q1.ref("ia", "album_id")})
+    engine = BoundedEngine(access_schema)
+    for index in range(5):
+        result = engine.execute(album_only.bind(album=f"a{index}"), small_social_db)
+        assert result.stats.strategy == "naive"
+    info = engine.cache_info()
+    assert info["negative"].misses == 1  # EBCheck ran for the first binding only
+    assert info["negative"].hits == 4
+
+
+def test_negative_cache_does_not_mask_unsatisfiable_queries(q0, access_schema, small_social_db):
+    """Shape-keyed caching must not reroute unsatisfiable queries to naive."""
+    engine = BoundedEngine(access_schema)
+    contradictory = q0.with_constants({q0.ref("ia", "album_id"): "a1"})  # already a0
+    with pytest.raises(UnsatisfiableQueryError):
+        engine.execute(contradictory, small_social_db)
+
+
+def test_plan_cache_is_size_capped(q0, access_schema, small_social_db):
+    engine = BoundedEngine(access_schema, plan_cache_size=4)
+    for index in range(10):
+        query = q0.with_constants({q0.ref("t", "tagger_id"): f"u{index}"})
+        engine.execute(query, small_social_db)
+    stats = engine.cache_info()["plan"]
+    assert stats.size <= 4
+    assert stats.evictions >= 6
+    assert stats.misses == 10
+
+
+def test_plan_cache_hits_for_repeated_query(q0, access_schema, small_social_db):
+    engine = BoundedEngine(access_schema)
+    for _ in range(3):
+        engine.execute(q0, small_social_db)
+    stats = engine.cache_info()["plan"]
+    assert stats.misses == 1
+    assert stats.hits == 2
+
+
+def test_lru_cache_evicts_least_recently_used():
+    cache: LRUCache[int, str] = LRUCache(2, name="test")
+    cache.put(1, "a")
+    cache.put(2, "b")
+    assert cache.get(1) == "a"  # refresh 1 -> 2 becomes the eviction victim
+    cache.put(3, "c")
+    assert 2 not in cache
+    assert cache.get(1) == "a"
+    assert cache.get(3) == "c"
+    stats = cache.stats
+    assert stats.evictions == 1
+    assert stats.size == 2
+    assert stats.hits == 3 and stats.misses == 0
+
+
+def test_lru_cache_rejects_nonpositive_capacity():
+    with pytest.raises(ExecutionError):
+        LRUCache(0)
+
+
+# ---------------------------------------------------------------------------
+# index-cache lifetime (the id() reuse bug)
+# ---------------------------------------------------------------------------
+
+
+def _tiny_db(schema, photo: str) -> Database:
+    database = Database(schema)
+    database.extend("in_album", [(photo, "a0")])
+    database.extend("friends", [("u0", "u1")])
+    database.extend("tagging", [(photo, "u1", "u0")])
+    return database
+
+
+def test_sequential_databases_never_share_index_cache(schema, access_schema, q0):
+    """A collected database must not leak its indexes to a successor.
+
+    With the old ``id(database)``-keyed cache, a new Database allocated at the
+    same address as a collected one silently served the *old* indexes.  The
+    weakref-keyed cache drops entries with their database, so each database
+    always gets indexes built from its own rows.
+    """
+    executor = BoundedExecutor()
+    plan = qplan(q0, access_schema)
+
+    first = _tiny_db(schema, "p1")
+    assert executor.execute(plan, first).as_set == {("p1",)}
+    del first
+    gc.collect()
+    assert len(executor._index_cache) == 0  # entry died with its database
+
+    second = _tiny_db(schema, "p2")
+    result = executor.execute(plan, second)
+    # Fresh indexes: the answer comes from the second database's rows.
+    assert result.as_set == {("p2",)}
+
+
+def test_index_cache_entries_are_per_database(schema, access_schema, q0):
+    executor = BoundedExecutor()
+    first = _tiny_db(schema, "p1")
+    second = _tiny_db(schema, "p2")
+    indexes_first = executor.prepare(first, access_schema)
+    indexes_second = executor.prepare(second, access_schema)
+    assert indexes_first is not indexes_second
+    assert executor.prepare(first, access_schema) is indexes_first
+    assert len(executor._index_cache) == 2

@@ -17,11 +17,20 @@ from hypothesis import given, settings, strategies as st
 
 from repro.access import AccessSchema, satisfies
 from repro.core import compute_closure, ebcheck, is_bounded
-from repro.execution import NaiveExecutor, eval_dq
+from repro.execution import NaiveExecutor, NestedLoopExecutor, eval_dq, prepare_query
 from repro.planning import qplan
 from repro.relational import Database
-from repro.spc import AttrEq, AttrRef, ConstEq, EqualityClosure
-from repro.workloads import query_q0, social_access_schema, social_schema
+from repro.spc import AttrEq, AttrRef, ConstEq, EqualityClosure, ParameterizedQuery
+from repro.spc.builder import SPCQueryBuilder
+from repro.workloads import (
+    mot_access_schema,
+    mot_schema,
+    query_q0,
+    social_access_schema,
+    social_schema,
+    tfacc_access_schema,
+    tfacc_schema,
+)
 
 # ---------------------------------------------------------------------------
 # Σ_Q properties
@@ -195,3 +204,161 @@ def test_boolean_query_agreement_on_random_databases(rows):
     bounded = eval_dq(plan, database)
     naive = NaiveExecutor().execute(query, database)
     assert bounded.boolean_value == naive.boolean_value
+
+
+# ---------------------------------------------------------------------------
+# prepared templates vs the nested-loop oracle on random TFACC / MOT databases
+# ---------------------------------------------------------------------------
+#
+# Each template is compiled ONCE at module scope (exactly the serving-path
+# contract); every Hypothesis example then builds a random database and a
+# random binding and checks that the prepared execution agrees with the
+# textbook nested-loop evaluation of the concretely bound query, without ever
+# accessing more tuples than the plan's stated per-binding bound.
+
+_TF_SCHEMA = tfacc_schema()
+_TF_ACCESS = tfacc_access_schema()
+_MOT_SCHEMA = mot_schema()
+_MOT_ACCESS = mot_access_schema()
+
+
+def _filled_row(relation, **values) -> tuple:
+    """A row for ``relation`` with drawn values and constant filler elsewhere.
+
+    Constant filler keeps every bounded-domain access constraint trivially
+    satisfied (one distinct value) while the drawn attributes stay within
+    their pools.
+    """
+    return tuple(values.get(attribute, "x") for attribute in relation.attribute_names)
+
+
+_TF_DATE_QUERY = (
+    SPCQueryBuilder(_TF_SCHEMA, name="TF_form_by_date")
+    .add_atom("accident", alias="a")
+    .add_atom("vehicle", alias="v")
+    .where_eq("a.accident_id", "v.accident_id")
+    .select("a.accident_id")
+    .select("a.severity")
+    .select("v.vehicle_id")
+    .build()
+)
+_TF_TEMPLATE = ParameterizedQuery(
+    _TF_DATE_QUERY, {"date": _TF_DATE_QUERY.ref("a", "date")}
+)
+_TF_PREPARED = prepare_query(_TF_TEMPLATE, _TF_ACCESS)
+
+_TF_DATES = ["2004-01-01", "2004-01-02", "2004-01-03"]
+_TF_ACC_IDS = [f"acc{i}" for i in range(8)]
+_TF_ACCIDENTS = st.lists(
+    st.tuples(
+        st.sampled_from(_TF_ACC_IDS),
+        st.sampled_from(_TF_DATES),
+        st.sampled_from(["fatal", "serious", "slight"]),
+    ),
+    max_size=10,
+)
+_TF_VEHICLES = st.lists(
+    st.tuples(st.sampled_from([f"veh{i}" for i in range(12)]), st.sampled_from(_TF_ACC_IDS)),
+    max_size=14,
+)
+
+
+def _tfacc_database(accidents, vehicles) -> Database:
+    database = Database(_TF_SCHEMA)
+    accident_rel = _TF_SCHEMA.relation("accident")
+    vehicle_rel = _TF_SCHEMA.relation("vehicle")
+    # accident_id / vehicle_id are key constraints (bound 1): dedupe on them.
+    unique_accidents = {row[0]: row for row in accidents}
+    unique_vehicles = {row[0]: row for row in vehicles}
+    database.extend(
+        "accident",
+        [
+            _filled_row(accident_rel, accident_id=accident_id, date=date, severity=severity)
+            for accident_id, date, severity in unique_accidents.values()
+        ],
+    )
+    database.extend(
+        "vehicle",
+        [
+            _filled_row(vehicle_rel, vehicle_id=vehicle_id, accident_id=accident_id)
+            for vehicle_id, accident_id in unique_vehicles.values()
+        ],
+    )
+    return database
+
+
+@given(_TF_ACCIDENTS, _TF_VEHICLES, st.sampled_from(_TF_DATES + ["2004-09-09"]))
+@settings(max_examples=40, deadline=None)
+def test_prepared_tfacc_template_agrees_with_nested_loop(accidents, vehicles, date):
+    database = _tfacc_database(accidents, vehicles)
+    served = _TF_PREPARED.execute(database, date=date)
+    oracle = NestedLoopExecutor().execute(_TF_TEMPLATE.bind(date=date), database)
+    assert served.as_set == oracle.as_set
+    assert served.stats.tuples_accessed <= _TF_PREPARED.total_bound
+
+
+_MOT_QUERY = (
+    SPCQueryBuilder(_MOT_SCHEMA, name="MOT_form_by_test")
+    .add_atom("mot_test", alias="m")
+    .add_atom("garage", alias="g")
+    .where_eq("m.garage_id", "g.garage_id")
+    .select("m.test_id")
+    .select("m.item_category")
+    .select("g.garage_name")
+    .build()
+)
+_MOT_TEMPLATE = ParameterizedQuery(_MOT_QUERY, {"test": _MOT_QUERY.ref("m", "test_id")})
+_MOT_PREPARED = prepare_query(_MOT_TEMPLATE, _MOT_ACCESS)
+
+_MOT_TEST_IDS = [f"t{i}" for i in range(5)]
+_MOT_GARAGE_IDS = [f"g{i}" for i in range(4)]
+_MOT_ITEMS = st.lists(
+    st.tuples(
+        st.sampled_from(_MOT_TEST_IDS),
+        st.sampled_from(["brakes", "lights", "tyres"]),
+    ),
+    max_size=12,
+)
+#: One garage per test id, drawn up front: test_id -> garage_id is an FD of
+#: the access schema (``test_id`` determines the test-level attributes).
+_MOT_TEST_GARAGE = st.tuples(
+    *[st.sampled_from(_MOT_GARAGE_IDS) for _ in _MOT_TEST_IDS]
+)
+_MOT_GARAGES = st.lists(st.sampled_from(_MOT_GARAGE_IDS), max_size=6)
+
+
+def _mot_database(items, garage_of_test, garages) -> Database:
+    database = Database(_MOT_SCHEMA)
+    test_rel = _MOT_SCHEMA.relation("mot_test")
+    garage_rel = _MOT_SCHEMA.relation("garage")
+    database.extend(
+        "mot_test",
+        [
+            _filled_row(
+                test_rel,
+                test_item_id=f"item{index}",  # key constraint: unique per row
+                test_id=test_id,
+                garage_id=garage_of_test[_MOT_TEST_IDS.index(test_id)],
+                item_category=category,
+            )
+            for index, (test_id, category) in enumerate(items)
+        ],
+    )
+    database.extend(
+        "garage",
+        [
+            _filled_row(garage_rel, garage_id=garage_id, garage_name=f"{garage_id}_name")
+            for garage_id in sorted(set(garages))
+        ],
+    )
+    return database
+
+
+@given(_MOT_ITEMS, _MOT_TEST_GARAGE, _MOT_GARAGES, st.sampled_from(_MOT_TEST_IDS + ["t9"]))
+@settings(max_examples=40, deadline=None)
+def test_prepared_mot_template_agrees_with_nested_loop(items, garage_of_test, garages, test_id):
+    database = _mot_database(items, garage_of_test, garages)
+    served = _MOT_PREPARED.execute(database, test=test_id)
+    oracle = NestedLoopExecutor().execute(_MOT_TEMPLATE.bind(test=test_id), database)
+    assert served.as_set == oracle.as_set
+    assert served.stats.tuples_accessed <= _MOT_PREPARED.total_bound
