@@ -3,11 +3,14 @@
 Every benchmark regenerates one table or figure of the paper.  Results are
 written as plain-text tables under ``benchmarks/results/`` so they can be
 inspected (and copied into EXPERIMENTS.md) after a run, in addition to the
-timing statistics pytest-benchmark reports.
+timing statistics pytest-benchmark reports.  Serving-path benchmarks also
+merge their headline numbers into ``benchmarks/results/BENCH_serving.json``
+so the performance trajectory is machine-readable across PRs.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -45,6 +48,34 @@ def record_result(results_dir):
         path = results_dir / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n{text}\n[written to {path}]")
+        return path
+
+    return record
+
+
+@pytest.fixture(scope="session")
+def record_json(results_dir):
+    """A callable ``record_json(section, payload)`` merging into BENCH_serving.json.
+
+    Each section is one benchmark's headline numbers (per-request
+    milliseconds, speedup ratios, counters).  Sections from other benchmarks
+    in the same file are preserved, so a partial run never erases the rest of
+    the trajectory record.
+    """
+    path = results_dir / "BENCH_serving.json"
+
+    def record(section: str, payload: dict) -> Path:
+        document: dict = {}
+        if path.exists():
+            try:
+                document = json.loads(path.read_text())
+            except ValueError:
+                document = {}
+            if not isinstance(document, dict):
+                document = {}
+        document[section] = payload
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"\n[{section} recorded in {path}]")
         return path
 
     return record

@@ -57,14 +57,8 @@ class ConstraintIndex:
         """Attributes returned by a probe: ``X`` followed by ``Y``."""
         return self.index.value
 
-    def fetch(self, x_value: Sequence[Any]) -> list[tuple[Any, ...]]:
-        """Distinct ``X ∪ Y`` projections for one ``X``-value.
-
-        Raises :class:`ConstraintViolationError` when the result exceeds the
-        constraint's bound and enforcement is on.
-        """
-        rows = self.index.probe(x_value)
-        if self.enforce_bound and len(rows) > self.constraint.bound:
+    def _check_bound(self, rows: Sequence[Any], x_value: Sequence[Any]) -> None:
+        if len(rows) > self.constraint.bound:
             raise ConstraintViolationError(
                 f"probe of {self.constraint} returned {len(rows)} distinct values, "
                 f"exceeding the bound {self.constraint.bound}; the database does not "
@@ -72,18 +66,35 @@ class ConstraintIndex:
                 constraint=self.constraint,
                 witness=tuple(x_value),
             )
+
+    def fetch(self, x_value: Sequence[Any]) -> list[tuple[Any, ...]]:
+        """Distinct ``X ∪ Y`` projections for one ``X``-value.
+
+        Raises :class:`ConstraintViolationError` when the result exceeds the
+        constraint's bound and enforcement is on.
+        """
+        rows = self.index.probe(x_value)
+        if self.enforce_bound:
+            self._check_bound(rows, x_value)
         return rows
 
     def fetch_many(self, x_values: Iterable[Sequence[Any]]) -> list[tuple[Any, ...]]:
-        """Fetch for several ``X``-values and concatenate distinct results."""
-        seen: set[tuple[Any, ...]] = set()
-        out: list[tuple[Any, ...]] = []
-        for x_value in x_values:
-            for row in self.fetch(x_value):
-                if row not in seen:
-                    seen.add(row)
-                    out.append(row)
-        return out
+        """Fetch for several ``X``-values and concatenate distinct results.
+
+        Candidate ``X``-values are deduplicated (insertion-ordered) before
+        probing, so duplicate candidates are neither probed twice nor charged
+        twice to the access counter.
+        """
+        out: dict[tuple[Any, ...], None] = {}
+        probe = self.index.probe_shared
+        enforce = self.enforce_bound
+        for x_value in dict.fromkeys(map(tuple, x_values)):
+            rows = probe(x_value)
+            if enforce:
+                self._check_bound(rows, x_value)
+            for row in rows:
+                out[row] = None
+        return list(out)
 
     def contains(self, x_value: Sequence[Any]) -> bool:
         """Whether any tuple carries this ``X``-value (a membership probe)."""
@@ -131,14 +142,25 @@ def build_access_indexes(
     access schema shared across dataset variants can be reused unchanged.
     Index construction itself is not charged to the access counter — the paper
     treats indexes as pre-built auxiliary structures.
+
+    Construction is *shared-scan*: constraints are grouped by relation and all
+    of a relation's bucket maps are filled in one pass over its tuples, so a
+    schema with many constraints per relation costs one scan per relation
+    rather than one per constraint.
     """
     indexes = AccessIndexes()
+    by_relation: dict[str, list[AccessConstraint]] = {}
     for constraint in access_schema:
         if constraint.relation not in database.schema:
             continue
-        value_attributes = list(constraint.fetch_attributes)
-        hash_index = database.build_index(
-            constraint.relation, key=constraint.x, value=value_attributes
-        )
-        indexes.add(ConstraintIndex(constraint, hash_index, enforce_bound=enforce_bounds))
+        by_relation.setdefault(constraint.relation, []).append(constraint)
+    for relation_name, constraints in by_relation.items():
+        specs = [
+            (constraint.x, list(constraint.fetch_attributes)) for constraint in constraints
+        ]
+        hash_indexes = database.build_indexes(relation_name, specs)
+        for constraint, hash_index in zip(constraints, hash_indexes):
+            indexes.add(
+                ConstraintIndex(constraint, hash_index, enforce_bound=enforce_bounds)
+            )
     return indexes

@@ -1,7 +1,8 @@
-"""Query execution: bounded (evalDQ), baselines, the engine, prepared queries."""
+"""Query execution: bounded (evalDQ), compiled programs, baselines, the engine."""
 
 from .bounded import BoundedExecutor, eval_dq
 from .cache import CacheStats, LRUCache
+from .compiled import CompiledPlan, compile_plan, compiled_for
 from .engine import BoundedEngine, QueryReport
 from .metrics import ExecutionResult, ExecutionStats
 from .naive import NaiveExecutor, NestedLoopExecutor
@@ -11,6 +12,7 @@ __all__ = [
     "BoundedEngine",
     "BoundedExecutor",
     "CacheStats",
+    "CompiledPlan",
     "ExecutionResult",
     "ExecutionStats",
     "LRUCache",
@@ -18,6 +20,8 @@ __all__ = [
     "NestedLoopExecutor",
     "PreparedQuery",
     "QueryReport",
+    "compile_plan",
+    "compiled_for",
     "eval_dq",
     "prepare_query",
 ]

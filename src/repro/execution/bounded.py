@@ -26,11 +26,21 @@ from ..spc.atoms import AttrEq, AttrRef, ConstEq
 from ..spc.parameters import ParamToken
 from ..spc.query import SPCQuery
 from ..planning.plan import BoundedPlan, ColumnSource, ConstSource, FetchStep, ParamSource
+from .compiled import _param_value, compiled_for
 from .metrics import ExecutionResult, ExecutionStats
+
+#: Max distinct access-schema objects remembered as "already prepared" per
+#: database; keeps the strong references in the memo bounded.
+_SCHEMA_MEMO_CAP = 64
 
 
 class BoundedExecutor:
     """Executes :class:`~repro.planning.plan.BoundedPlan` objects against databases.
+
+    Plans are lowered once into :class:`~repro.execution.compiled.CompiledPlan`
+    programs (cached on the plan) and executed through those; the original
+    tuple-at-a-time interpretation survives as :meth:`execute_interpreted` for
+    differential testing and benchmarking.
 
     Parameters
     ----------
@@ -49,23 +59,56 @@ class BoundedExecutor:
         self._index_cache: "weakref.WeakKeyDictionary[Database, AccessIndexes]" = (
             weakref.WeakKeyDictionary()
         )
+        # Access-schema objects already fully prepared, per database.  Values
+        # hold strong references to the schemas, so the ``id()`` keys can
+        # never be recycled while an entry is alive; this makes the serving
+        # hot path's prepare() an O(1) lookup instead of a per-request scan
+        # over every constraint of the schema.
+        self._prepared_schemas: "weakref.WeakKeyDictionary[Database, dict[int, tuple[AccessSchema, int]]]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     # -- preparation -------------------------------------------------------------------
 
     def prepare(self, database: Database, access_schema: AccessSchema) -> AccessIndexes:
-        """Build (and cache per database) the constraint indexes of ``access_schema``."""
+        """Build (and cache per database) the constraint indexes of ``access_schema``.
+
+        Index construction is shared-scan (one pass per relation builds all of
+        that relation's constraint indexes) and idempotent: re-preparing an
+        already-seen schema object is a dictionary lookup.
+        """
+        seen = self._prepared_schemas.get(database)
+        if seen is not None:
+            entry = seen.get(id(access_schema))
+            # The cardinality fingerprint guards against in-place mutation:
+            # AccessSchema.add()/extend() grow the constraint list, so a
+            # schema that gained constraints since it was memoized re-takes
+            # the full path and builds the missing indexes.
+            if entry is not None and entry[1] == len(access_schema):
+                return self._index_cache[database]
         cached = self._index_cache.get(database)
         if cached is None:
             cached = build_access_indexes(database, access_schema, self.enforce_bounds)
             self._index_cache[database] = cached
         else:
-            for constraint in access_schema:
-                if constraint.relation in database.schema and constraint not in cached:
-                    extra = build_access_indexes(
-                        database, AccessSchema([constraint]), self.enforce_bounds
-                    )
-                    for index in extra:
-                        cached.add(index)
+            missing = AccessSchema(
+                constraint
+                for constraint in access_schema
+                if constraint.relation in database.schema and constraint not in cached
+            )
+            if len(missing):
+                extra = build_access_indexes(database, missing, self.enforce_bounds)
+                for index in extra:
+                    cached.add(index)
+        if seen is None:
+            seen = {}
+            self._prepared_schemas[database] = seen
+        elif id(access_schema) not in seen and len(seen) >= _SCHEMA_MEMO_CAP:
+            # FIFO eviction: the memo only short-circuits re-preparation, so
+            # dropping an entry costs one re-scan, never correctness — and the
+            # strong references to schema objects stay bounded.
+            seen.pop(next(iter(seen)))
+        seen[id(access_schema)] = (access_schema, len(access_schema))
         return cached
 
     # -- plan execution -----------------------------------------------------------------
@@ -79,8 +122,27 @@ class BoundedExecutor:
     ) -> ExecutionResult:
         """Run ``plan`` against ``database`` and return the answer with its cost.
 
-        ``params`` supplies values for the named parameter slots of a prepared
-        plan (slot name -> value); plans without slots ignore it.
+        The plan is executed through its compiled program (lowered once and
+        cached on the plan); ``params`` supplies values for the named
+        parameter slots of a prepared plan (slot name -> value); plans without
+        slots ignore it.
+        """
+        if indexes is None:
+            indexes = self.prepare(database, plan.access_schema)
+        return compiled_for(plan).execute(database, indexes, params)
+
+    def execute_interpreted(
+        self,
+        plan: BoundedPlan,
+        database: Database,
+        indexes: AccessIndexes | None = None,
+        params: Mapping[str, Any] | None = None,
+    ) -> ExecutionResult:
+        """Run ``plan`` tuple-at-a-time, re-resolving plan structure per request.
+
+        This is the pre-compilation executor, kept as the differential-testing
+        oracle for :class:`~repro.execution.compiled.CompiledPlan` and as the
+        baseline the execution microbenchmark measures against.
         """
         query = plan.query
         if indexes is None:
@@ -144,6 +206,10 @@ class BoundedExecutor:
         Key attributes bound to columns of the same earlier step vary jointly
         (their values are taken from the same fetched rows); attributes bound
         to different steps or to constants combine by Cartesian product.
+
+        Probe order is deterministic — insertion order of the plan's sources
+        and of the fetched rows — with all dedup done through ordered dicts,
+        so keys of mixed (even mutually incomparable) types execute fine.
         """
         if not key_order:
             return [()]
@@ -168,7 +234,9 @@ class BoundedExecutor:
             rowset = fetched[source_step]
             columns = [step.key_sources[a].column for a in attributes]  # type: ignore[union-attr]
             positions = [rowset.position(c) for c in columns]
-            joint_values = {tuple(row[p] for p in positions) for row in rowset.rows}
+            joint_values = dict.fromkeys(
+                tuple(row[p] for p in positions) for row in rowset.rows
+            )
             extended: list[dict[str, Any]] = []
             for assignment in assignments:
                 for values in joint_values:
@@ -177,17 +245,15 @@ class BoundedExecutor:
                     extended.append(candidate)
             assignments = extended
 
-        keys = {tuple(assignment[a] for a in key_order) for assignment in assignments}
-        return sorted(keys, key=repr)
-
-    @staticmethod
-    def _param_value(name: str, params: Mapping[str, Any] | None) -> Any:
-        if params is None or name not in params:
-            raise ExecutionError(
-                f"plan has an unbound parameter slot ${name}; execute it through "
-                f"a PreparedQuery (or pass params=...) to supply request values"
+        return list(
+            dict.fromkeys(
+                tuple(assignment[a] for a in key_order) for assignment in assignments
             )
-        return params[name]
+        )
+
+    #: Shared with the compiled runtime so both paths raise the identical
+    #: diagnostic for an unbound slot (the differential-oracle contract).
+    _param_value = staticmethod(_param_value)
 
     # -- assembling the answer -----------------------------------------------------------------
 

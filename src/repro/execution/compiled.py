@@ -1,0 +1,510 @@
+"""Compiled plan programs: bounded plans lowered to pre-resolved callables.
+
+A :class:`~repro.planning.plan.BoundedPlan` carries everything needed to
+execute a query — but in *symbolic* form: fetch steps name their key sources,
+occurrence conditions live in ``query.conditions``, and headers are tuples of
+:class:`~repro.spc.atoms.AttrRef` that the tuple-at-a-time executor resolves
+to positions with linear scans on every request.  For the serving workload the
+paper motivates (one template, thousands of bindings) that interpretation
+overhead dominates wall-clock once planning is amortized.
+
+:func:`compile_plan` performs the compile-time half of a Neumann-style
+compile/run split, entirely in Python: it lowers a plan into a
+:class:`CompiledPlan` whose step *programs* have every header position
+resolved, every column extraction baked into an ``operator.itemgetter``,
+constant/parameter key prefixes laid out as slot templates, per-occurrence
+constant and equality filters fused into position/value pairs, and the join
+order (with pre-resolved join-key positions and residual filters) fixed.
+Executing a compiled plan is a tight loop over those pre-resolved programs:
+no per-request ``header.index`` scans, no re-grouping of key sources, no
+re-scanning of ``query.conditions``, and no dict-assignment churn in
+candidate-key enumeration.
+
+The lowering is purely structural — candidate keys, probes, filters and joins
+happen in exactly the order and multiplicity of the interpreted executor, so
+a compiled execution returns the same rows and charges the same
+``tuples_accessed`` as :meth:`BoundedExecutor.execute_interpreted`.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+from dataclasses import dataclass, field
+from itertools import product as cartesian_product
+from typing import Any, Callable, Mapping, Sequence
+
+from ..access.constraint import AccessConstraint
+from ..access.indexes import AccessIndexes, ConstraintIndex
+from ..errors import ExecutionError, SchemaError
+from ..relational.algebra import Row, RowSet, row_extractor
+from ..relational.database import Database
+from ..spc.atoms import AttrEq, AttrRef, ConstEq
+from ..spc.parameters import ParamToken
+from ..planning.plan import (
+    BoundedPlan,
+    ColumnSource,
+    ConstSource,
+    FetchStep,
+    ParamSource,
+)
+from .metrics import ExecutionResult, ExecutionStats
+
+#: A fixed key-prefix entry: ``(is_param, value_or_slot_name)``.
+PrefixEntry = tuple[bool, Any]
+
+
+@dataclass(frozen=True)
+class KeyGroup:
+    """Key attributes drawn jointly from one earlier step's output columns."""
+
+    #: Index of the producing step in the plan.
+    source_step: int
+    #: Extractor pulling the joint value tuple out of one source row.
+    extract: Callable[[Row], Row]
+
+
+@dataclass(frozen=True)
+class StepProgram:
+    """One fetch step with all candidate-key machinery pre-resolved.
+
+    Candidate keys are assembled as tuples from a fixed prefix (constants and
+    parameter slots) extended by the Cartesian product of the distinct joint
+    values of each :class:`KeyGroup`; ``permutation`` reorders the assembled
+    flat tuple into the constraint's canonical ``X`` order (``None`` when the
+    flat order already is the canonical order).
+    """
+
+    constraint: AccessConstraint
+    #: Output header of the fetched rows (the step's ``X ∪ Y`` columns).
+    header: tuple[AttrRef, ...]
+    #: Constant/parameter entries forming the fixed part of every key.
+    prefix: tuple[PrefixEntry, ...]
+    #: Joint-value groups from earlier steps, in first-use order.
+    groups: tuple[KeyGroup, ...]
+    #: Flat-tuple reordering into canonical key order, or ``None`` if identity.
+    permutation: tuple[int, ...] | None
+    #: The fixed key part, precomputed when the prefix holds no parameters.
+    fixed_constant: tuple[Any, ...] | None
+    #: Slot names, when *every* prefix entry is a parameter (all-params fast path).
+    param_slots: tuple[str, ...] | None
+
+    def fixed_part(self, params: Mapping[str, Any] | None) -> tuple[Any, ...]:
+        """The constant/parameter part of every candidate key, per request."""
+        if self.fixed_constant is not None:
+            return self.fixed_constant
+        slots = self.param_slots
+        if slots is not None and params is not None:
+            try:
+                return tuple(map(params.__getitem__, slots))
+            except KeyError:
+                pass  # fall through for the diagnostic below
+        return tuple(
+            _param_value(value, params) if is_param else value
+            for is_param, value in self.prefix
+        )
+
+    def candidate_keys(
+        self,
+        fetched: Sequence[list[Row]],
+        params: Mapping[str, Any] | None,
+    ) -> list[tuple[Any, ...]]:
+        """Enumerate the distinct candidate ``X``-values for this step."""
+        fixed = self.fixed_part(params)
+        if not self.groups:
+            return [fixed]
+        group_values = [
+            list(dict.fromkeys(map(group.extract, fetched[group.source_step])))
+            for group in self.groups
+        ]
+        if not fixed and len(group_values) == 1 and self.permutation is None:
+            return group_values[0]
+        permutation = self.permutation
+        keys: list[tuple[Any, ...]] = []
+        append = keys.append
+        for combination in cartesian_product([fixed], *group_values):
+            flat = combination[0]
+            for part in combination[1:]:
+                flat += part
+            if permutation is not None:
+                flat = tuple(flat[p] for p in permutation)
+            append(flat)
+        return keys
+
+
+@dataclass(frozen=True)
+class AtomProgram:
+    """Per-occurrence projection and fused local filters, fully positional."""
+
+    atom: int
+    #: Index of the covering fetch step.
+    covering: int
+    #: Projected header (the occurrence's needed parameters, sorted).
+    header: tuple[AttrRef, ...]
+    #: Extractor from a covering-step row to the projected tuple.
+    project: Callable[[Row], Row]
+    #: ``row[position] == constant`` filters (constants known at compile time).
+    const_filters: tuple[tuple[int, Any], ...]
+    #: ``row[position] == params[slot]`` filters (prepared-plan conditions).
+    param_filters: tuple[tuple[int, str], ...]
+    #: ``row[left] == row[right]`` same-occurrence equality filters.
+    attr_filters: tuple[tuple[int, int], ...]
+
+    def rows(
+        self,
+        fetched: Sequence[list[Row]],
+        params: Mapping[str, Any] | None,
+    ) -> list[Row]:
+        out = list(dict.fromkeys(map(self.project, fetched[self.covering])))
+        for position, value in self.const_filters:
+            out = [row for row in out if row[position] == value]
+        for position, slot in self.param_filters:
+            value = _param_value(slot, params)
+            out = [row for row in out if row[position] == value]
+        for left, right in self.attr_filters:
+            out = [row for row in out if row[left] == row[right]]
+        return out
+
+
+@dataclass(frozen=True)
+class JoinOp:
+    """Join the accumulated rows with one occurrence's rows.
+
+    ``left_key``/``right_key`` are ``None`` for a Cartesian product (no
+    cross-occurrence equality connects the occurrence to what came before).
+    """
+
+    atom: int
+    left_key: Callable[[Row], Row] | None
+    right_key: Callable[[Row], Row] | None
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A bounded plan lowered to pre-resolved step/atom/join programs."""
+
+    plan: BoundedPlan
+    steps: tuple[StepProgram, ...]
+    #: Occurrences contributing no parameters: ``(atom, covering step)`` pairs
+    #: whose fetched rows only witness non-emptiness.
+    witnesses: tuple[tuple[int, int], ...]
+    #: Parameter-carrying occurrences, in join order.
+    atoms: tuple[AtomProgram, ...]
+    #: Join operations pairing ``atoms[i + 1]`` with the accumulate so far.
+    joins: tuple[JoinOp, ...]
+    #: Residual cross-occurrence filters on the fully joined header.
+    residual_filters: tuple[tuple[int, int], ...]
+    #: Extractor from a joined row to the output projection.
+    project_output: Callable[[Row], Row] | None
+    #: The query's output header.
+    output_header: tuple[AttrRef, ...]
+    #: Per-:class:`AccessIndexes` resolved constraint indexes, cached weakly.
+    _bindings: "weakref.WeakKeyDictionary[AccessIndexes, list[ConstraintIndex]]" = field(
+        default_factory=weakref.WeakKeyDictionary, repr=False, compare=False
+    )
+
+    # -- runtime ------------------------------------------------------------------
+
+    def bind(self, indexes: AccessIndexes) -> list[ConstraintIndex]:
+        """Resolve (once per :class:`AccessIndexes`) each step's constraint index."""
+        bound = self._bindings.get(indexes)
+        if bound is None:
+            bound = []
+            for program in self.steps:
+                if program.constraint not in indexes:
+                    raise ExecutionError(
+                        f"no index available for constraint {program.constraint}; call "
+                        f"prepare() with the plan's access schema first"
+                    )
+                bound.append(indexes.for_constraint(program.constraint))
+            self._bindings[indexes] = bound
+        return bound
+
+    def execute(
+        self,
+        database: Database,
+        indexes: AccessIndexes,
+        params: Mapping[str, Any] | None = None,
+    ) -> ExecutionResult:
+        """Run the compiled program; same contract as ``BoundedExecutor.execute``."""
+        bound = self.bind(indexes)
+        started = time.perf_counter()
+        before = database.counter.snapshot()
+
+        fetched: list[list[Row]] = []
+        step_sizes: list[int] = []
+        for program, index in zip(self.steps, bound):
+            rows = index.fetch_many(program.candidate_keys(fetched, params))
+            fetched.append(rows)
+            step_sizes.append(len(rows))
+
+        answer = self._assemble(fetched, params)
+
+        elapsed = time.perf_counter() - started
+        delta = database.counter.since(before)
+        stats = ExecutionStats.from_snapshot(
+            strategy="bounded",
+            delta=delta,
+            elapsed_seconds=elapsed,
+            result_rows=len(answer),
+            plan_bound=self.plan.total_bound,
+        )
+        return ExecutionResult(rows=answer, stats=stats, details={"step_sizes": step_sizes})
+
+    def _assemble(
+        self,
+        fetched: Sequence[list[Row]],
+        params: Mapping[str, Any] | None,
+    ) -> RowSet:
+        for _atom, covering in self.witnesses:
+            if not fetched[covering]:
+                return RowSet.unchecked(self.output_header, [])
+
+        if not self.atoms:
+            # Every occurrence is a parameter-less witness: the query is
+            # Boolean and satisfied.
+            return RowSet.unchecked(self.output_header, [()])
+
+        accumulated = self.atoms[0].rows(fetched, params)
+        for program, join in zip(self.atoms[1:], self.joins):
+            right_rows = program.rows(fetched, params)
+            if join.left_key is None:
+                accumulated = [
+                    left + right for left in accumulated for right in right_rows
+                ]
+                continue
+            buckets: dict[Row, list[Row]] = {}
+            right_key = join.right_key
+            for row in right_rows:
+                buckets.setdefault(right_key(row), []).append(row)
+            left_key = join.left_key
+            joined: list[Row] = []
+            empty: tuple[Row, ...] = ()
+            for row in accumulated:
+                for match in buckets.get(left_key(row), empty):
+                    joined.append(row + match)
+            accumulated = joined
+
+        for left, right in self.residual_filters:
+            accumulated = [row for row in accumulated if row[left] == row[right]]
+
+        if self.project_output is None:
+            # Boolean query over parameter-carrying occurrences: non-emptiness
+            # of the joined result is the answer.
+            return RowSet.unchecked(self.output_header, [()] if accumulated else [])
+        rows = list(dict.fromkeys(map(self.project_output, accumulated)))
+        return RowSet.unchecked(self.output_header, rows)
+
+
+def _param_value(name: str, params: Mapping[str, Any] | None) -> Any:
+    if params is None or name not in params:
+        raise ExecutionError(
+            f"plan has an unbound parameter slot ${name}; execute it through "
+            f"a PreparedQuery (or pass params=...) to supply request values"
+        )
+    return params[name]
+
+
+# -- lowering ----------------------------------------------------------------------
+
+
+def _compile_step(step: FetchStep, plan: BoundedPlan) -> StepProgram:
+    key_order = step.constraint.x
+    prefix: list[PrefixEntry] = []
+    prefix_attrs: list[str] = []
+    grouped: dict[int, list[str]] = {}
+    group_columns: dict[int, list[AttrRef]] = {}
+    for attribute in key_order:
+        source = step.key_sources[attribute]
+        if isinstance(source, ConstSource):
+            prefix.append((False, source.value))
+            prefix_attrs.append(attribute)
+        elif isinstance(source, ParamSource):
+            prefix.append((True, source.name))
+            prefix_attrs.append(attribute)
+        elif isinstance(source, ColumnSource):
+            grouped.setdefault(source.step, []).append(attribute)
+            group_columns.setdefault(source.step, []).append(source.column)
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"unknown value source {source!r}")
+
+    groups: list[KeyGroup] = []
+    flat_attrs = list(prefix_attrs)
+    for source_step, attributes in grouped.items():
+        source_header = plan.steps[source_step].outputs
+        positions = [source_header.index(column) for column in group_columns[source_step]]
+        groups.append(KeyGroup(source_step, row_extractor(positions)))
+        flat_attrs.extend(attributes)
+
+    permutation: tuple[int, ...] | None = tuple(
+        flat_attrs.index(attribute) for attribute in key_order
+    )
+    if permutation == tuple(range(len(key_order))):
+        permutation = None
+
+    fixed_constant: tuple[Any, ...] | None = None
+    param_slots: tuple[str, ...] | None = None
+    if not any(is_param for is_param, _ in prefix):
+        fixed_constant = tuple(value for _, value in prefix)
+    elif all(is_param for is_param, _ in prefix):
+        param_slots = tuple(slot for _, slot in prefix)
+
+    return StepProgram(
+        constraint=step.constraint,
+        header=step.outputs,
+        prefix=tuple(prefix),
+        groups=tuple(groups),
+        permutation=permutation,
+        fixed_constant=fixed_constant,
+        param_slots=param_slots,
+    )
+
+
+def _compile_atom(
+    atom_index: int,
+    plan: BoundedPlan,
+) -> AtomProgram:
+    query = plan.query
+    needed = tuple(sorted(query.atom_parameters(atom_index)))
+    covering = plan.covering[atom_index]
+    covering_header = plan.steps[covering].outputs
+    project = row_extractor([covering_header.index(ref) for ref in needed])
+    header = needed
+
+    const_filters: list[tuple[int, Any]] = []
+    param_filters: list[tuple[int, str]] = []
+    attr_filters: list[tuple[int, int]] = []
+    positions = {ref: position for position, ref in enumerate(header)}
+    for condition in query.conditions:
+        if isinstance(condition, ConstEq):
+            if condition.ref.atom != atom_index or condition.ref not in positions:
+                continue
+            if isinstance(condition.value, ParamToken):
+                param_filters.append((positions[condition.ref], condition.value.name))
+            else:
+                const_filters.append((positions[condition.ref], condition.value))
+        elif isinstance(condition, AttrEq):
+            left, right = condition.left, condition.right
+            if left.atom != atom_index or right.atom != atom_index:
+                continue
+            if left not in positions or right not in positions:
+                continue
+            attr_filters.append((positions[left], positions[right]))
+
+    return AtomProgram(
+        atom=atom_index,
+        covering=covering,
+        header=header,
+        project=project,
+        const_filters=tuple(const_filters),
+        param_filters=tuple(param_filters),
+        attr_filters=tuple(attr_filters),
+    )
+
+
+def compile_plan(plan: BoundedPlan) -> CompiledPlan:
+    """Lower ``plan`` into a :class:`CompiledPlan` of pre-resolved programs.
+
+    The lowering mirrors the interpreted executor's control flow exactly —
+    same candidate keys, same probe multiplicity, same filters, same join
+    order — so the compiled execution is observationally identical (rows as a
+    set, ``tuples_accessed``) while doing none of the symbolic resolution at
+    run time.
+    """
+    query = plan.query
+    steps = tuple(_compile_step(step, plan) for step in plan.steps)
+
+    witnesses: list[tuple[int, int]] = []
+    atom_programs: list[AtomProgram] = []
+    for atom_index in range(query.num_atoms):
+        if query.atom_parameters(atom_index):
+            atom_programs.append(_compile_atom(atom_index, plan))
+        else:
+            witnesses.append((atom_index, plan.covering[atom_index]))
+
+    cross_conditions = [
+        condition
+        for condition in query.conditions
+        if isinstance(condition, AttrEq) and condition.left.atom != condition.right.atom
+    ]
+
+    # Simulate the interpreted join loop over headers only, recording the join
+    # keys positionally and which cross conditions each join consumed.
+    joins: list[JoinOp] = []
+    consumed: set[int] = set()
+    accumulated_header: list[AttrRef] = []
+    included_atoms: set[int] = set()
+    if atom_programs:
+        accumulated_header.extend(atom_programs[0].header)
+        included_atoms.add(atom_programs[0].atom)
+        for program in atom_programs[1:]:
+            atom_index = program.atom
+            right_header = program.header
+            pairs: list[tuple[AttrRef, AttrRef]] = []
+            for condition_index, condition in enumerate(cross_conditions):
+                left, right = condition.left, condition.right
+                if left.atom in included_atoms and right.atom == atom_index:
+                    if left in accumulated_header and right in right_header:
+                        pairs.append((left, right))
+                        consumed.add(condition_index)
+                elif right.atom in included_atoms and left.atom == atom_index:
+                    if right in accumulated_header and left in right_header:
+                        pairs.append((right, left))
+                        consumed.add(condition_index)
+            if pairs:
+                left_key = row_extractor(
+                    [accumulated_header.index(left) for left, _ in pairs]
+                )
+                right_key = row_extractor([right_header.index(r) for _, r in pairs])
+                joins.append(JoinOp(atom_index, left_key, right_key))
+            else:
+                joins.append(JoinOp(atom_index, None, None))
+            accumulated_header.extend(right_header)
+            included_atoms.add(atom_index)
+
+    # Cross conditions satisfied transitively (e.g. a triangle of equalities)
+    # are applied as residual positional filters; conditions already consumed
+    # as join keys hold by construction and are skipped.
+    residual_filters: list[tuple[int, int]] = []
+    for condition_index, condition in enumerate(cross_conditions):
+        if condition_index in consumed:
+            continue
+        left, right = condition.left, condition.right
+        if left in accumulated_header and right in accumulated_header:
+            residual_filters.append(
+                (accumulated_header.index(left), accumulated_header.index(right))
+            )
+
+    output_header = tuple(query.output)
+    if len(set(output_header)) != len(output_header):
+        raise SchemaError(f"duplicate column labels in header: {output_header}")
+    if output_header and atom_programs:
+        project_output = row_extractor(
+            [accumulated_header.index(ref) for ref in output_header]
+        )
+    else:
+        project_output = None
+
+    return CompiledPlan(
+        plan=plan,
+        steps=steps,
+        witnesses=tuple(witnesses),
+        atoms=tuple(atom_programs),
+        joins=tuple(joins),
+        residual_filters=tuple(residual_filters),
+        project_output=project_output,
+        output_header=output_header,
+    )
+
+
+def compiled_for(plan: BoundedPlan) -> CompiledPlan:
+    """The (memoized) compiled program of ``plan``.
+
+    The program is cached on the plan object itself, so every executor and
+    prepared query sharing a plan shares one compilation.
+    """
+    compiled = plan.compiled
+    if compiled is None:
+        compiled = compile_plan(plan)
+        plan.compiled = compiled
+    return compiled

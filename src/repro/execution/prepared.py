@@ -29,6 +29,7 @@ from ..planning.qplan import prepare_plan
 from ..relational.database import Database
 from ..spc.parameters import ParameterizedQuery
 from .bounded import BoundedExecutor
+from .compiled import CompiledPlan, compiled_for
 from .metrics import ExecutionResult
 
 
@@ -69,9 +70,20 @@ class PreparedQuery:
 
     # -- execution -----------------------------------------------------------------
 
+    @property
+    def compiled(self) -> "CompiledPlan":
+        """The plan's compiled program (lowered once, shared via the plan)."""
+        return compiled_for(self.prepared.plan)
+
     def warm(self, database: Database) -> AccessIndexes:
-        """Pre-build the plan's constraint indexes on ``database``."""
-        return self._executor.prepare(database, self.prepared.plan.access_schema)
+        """Pre-build the plan's constraint indexes on ``database``.
+
+        Also lowers the plan into its compiled program and binds it to the
+        indexes, so the first :meth:`execute` already runs the hot path.
+        """
+        indexes = self._executor.prepare(database, self.prepared.plan.access_schema)
+        self.compiled.bind(indexes)
+        return indexes
 
     def execute(self, database: Database, **params: Any) -> ExecutionResult:
         """Answer one request: substitute ``params`` into the slots and run.

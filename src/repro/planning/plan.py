@@ -135,6 +135,9 @@ class BoundedPlan:
     #: Occurrence index -> index of the step whose output covers ``X_Q^i``.
     covering: dict[int, int]
     proofs: dict[int, AtomProof] = field(default_factory=dict)
+    #: Memoized lowering of this plan (filled by
+    #: :func:`repro.execution.compiled.compiled_for`); never part of equality.
+    compiled: Any = field(default=None, repr=False, compare=False)
 
     @property
     def total_bound(self) -> int:

@@ -15,6 +15,7 @@ occurrences of the same relation stay distinct, exactly as the paper's
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Any, Callable, Hashable, Iterable, Sequence
 
 from ..errors import SchemaError
@@ -23,10 +24,25 @@ Header = tuple[Hashable, ...]
 Row = tuple[Any, ...]
 
 
+def row_extractor(positions: Sequence[int]) -> Callable[[Row], Row]:
+    """A callable mapping a row to the tuple of values at ``positions``.
+
+    ``operator.itemgetter`` runs the extraction in C but returns a bare value
+    (not a 1-tuple) for a single position; this wrapper normalizes the arity-0
+    and arity-1 cases so extractors always produce tuples.
+    """
+    if not positions:
+        return lambda row: ()
+    if len(positions) == 1:
+        get = itemgetter(positions[0])
+        return lambda row: (get(row),)
+    return itemgetter(*positions)
+
+
 class RowSet:
     """A header plus a list of positional rows; the unit the operators work on."""
 
-    __slots__ = ("header", "rows")
+    __slots__ = ("header", "rows", "_positions")
 
     def __init__(self, header: Sequence[Hashable], rows: Iterable[Sequence[Any]] = ()) -> None:
         self.header: Header = tuple(header)
@@ -34,11 +50,31 @@ class RowSet:
         if len(positions_seen) != len(self.header):
             raise SchemaError(f"duplicate column labels in header: {self.header}")
         self.rows: list[Row] = [tuple(r) for r in rows]
+        self._positions: dict[Hashable, int] | None = None
+
+    @classmethod
+    def unchecked(cls, header: Header, rows: list[Row]) -> "RowSet":
+        """Wrap an already-validated header and list of tuples without copying.
+
+        The fast path for operators and compiled plans that construct their
+        output as tuples with a header known to be duplicate-free; ``rows`` is
+        adopted, not copied, so the caller must not mutate it afterwards.
+        """
+        rowset = cls.__new__(cls)
+        rowset.header = header
+        rowset.rows = rows
+        rowset._positions = None
+        return rowset
 
     def position(self, column: Hashable) -> int:
+        positions = self._positions
+        if positions is None:
+            positions = self._positions = {
+                label: index for index, label in enumerate(self.header)
+            }
         try:
-            return self.header.index(column)
-        except ValueError:
+            return positions[column]
+        except KeyError:
             raise SchemaError(f"no column {column!r} in header {self.header}") from None
 
     def __len__(self) -> int:
@@ -52,13 +88,7 @@ class RowSet:
 
     def distinct(self) -> "RowSet":
         """A copy with duplicate rows removed (stable order)."""
-        seen: set[Row] = set()
-        out: list[Row] = []
-        for row in self.rows:
-            if row not in seen:
-                seen.add(row)
-                out.append(row)
-        return RowSet(self.header, out)
+        return RowSet.unchecked(self.header, list(dict.fromkeys(self.rows)))
 
 
 def select(rowset: RowSet, predicate: Callable[[Row], bool]) -> RowSet:
@@ -81,10 +111,15 @@ def select_attr_eq(rowset: RowSet, left: Hashable, right: Hashable) -> RowSet:
 
 def project(rowset: RowSet, columns: Sequence[Hashable], distinct: bool = True) -> RowSet:
     """π_columns(rowset); set semantics by default, as in SPC."""
-    positions = [rowset.position(c) for c in columns]
-    projected = [tuple(row[p] for p in positions) for row in rowset.rows]
-    result = RowSet(columns, projected)
-    return result.distinct() if distinct else result
+    header = tuple(columns)
+    if len(set(header)) != len(header):
+        raise SchemaError(f"duplicate column labels in header: {header}")
+    extract = row_extractor([rowset.position(c) for c in columns])
+    if distinct:
+        projected = list(dict.fromkeys(map(extract, rowset.rows)))
+    else:
+        projected = list(map(extract, rowset.rows))
+    return RowSet.unchecked(header, projected)
 
 
 def rename(rowset: RowSet, mapping: dict[Hashable, Hashable]) -> RowSet:
@@ -100,7 +135,7 @@ def product(left: RowSet, right: RowSet) -> RowSet:
         raise SchemaError(f"Cartesian product with overlapping columns: {overlap}")
     header = left.header + right.header
     rows = [l + r for l in left.rows for r in right.rows]
-    return RowSet(header, rows)
+    return RowSet.unchecked(header, rows)
 
 
 def hash_join(
@@ -119,19 +154,18 @@ def hash_join(
     overlap = set(left.header) & set(right.header)
     if overlap:
         raise SchemaError(f"join with overlapping columns: {overlap}")
-    left_positions = [left.position(l) for l, _ in pairs]
-    right_positions = [right.position(r) for _, r in pairs]
+    left_key = row_extractor([left.position(l) for l, _ in pairs])
+    right_key = row_extractor([right.position(r) for _, r in pairs])
     buckets: dict[tuple[Any, ...], list[Row]] = {}
     for row in right.rows:
-        key = tuple(row[p] for p in right_positions)
-        buckets.setdefault(key, []).append(row)
+        buckets.setdefault(right_key(row), []).append(row)
     header = left.header + right.header
     joined: list[Row] = []
+    empty: tuple[Row, ...] = ()
     for row in left.rows:
-        key = tuple(row[p] for p in left_positions)
-        for match in buckets.get(key, ()):
+        for match in buckets.get(left_key(row), empty):
             joined.append(row + match)
-    return RowSet(header, joined)
+    return RowSet.unchecked(header, joined)
 
 
 def union(left: RowSet, right: RowSet) -> RowSet:

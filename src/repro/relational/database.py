@@ -117,6 +117,46 @@ class Database:
         index = HashIndex(relation, key, value, counter=self.counter)
         return self.indexes.add(index)
 
+    def build_indexes(
+        self,
+        relation_name: str,
+        specs: Sequence[tuple[Sequence[str], Sequence[str] | None]],
+    ) -> list[HashIndex]:
+        """Build (or reuse) several indexes on one relation with a single scan.
+
+        ``specs`` is a sequence of ``(key, value)`` pairs as accepted by
+        :meth:`build_index`.  Specs already present in the catalog are reused;
+        the missing ones are constructed together via
+        :meth:`~repro.relational.indexes.HashIndex.build_shared`, so the
+        relation is scanned once no matter how many indexes it backs.
+        """
+        relation = self.relation(relation_name)
+        resolved: list[HashIndex | None] = []
+        #: Canonical missing spec -> positions in ``specs`` awaiting it, so a
+        #: spec requested twice is built once and fanned out to all positions.
+        missing: dict[tuple[tuple[str, ...], tuple[str, ...] | None], list[int]] = {}
+        for position, (key, value) in enumerate(specs):
+            existing = self.indexes.find(relation_name, key, value)
+            resolved.append(existing)
+            if existing is None:
+                canonical = (tuple(key), tuple(value) if value is not None else None)
+                missing.setdefault(canonical, []).append(position)
+        if missing:
+            built = HashIndex.build_shared(
+                relation, list(missing), counter=self.counter
+            )
+            for positions, index in zip(missing.values(), built):
+                registered = self.indexes.add(index)
+                for position in positions:
+                    resolved[position] = registered
+        unresolved = [position for position, index in enumerate(resolved) if index is None]
+        if unresolved:  # pragma: no cover - defensive
+            raise SchemaError(
+                f"build_indexes left specs {unresolved} of {relation_name!r} unresolved; "
+                f"result would misalign with the requested specs"
+            )
+        return resolved  # type: ignore[return-value]
+
     def find_index(
         self, relation_name: str, key: Sequence[str], value: Sequence[str] | None = None
     ) -> HashIndex | None:

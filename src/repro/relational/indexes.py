@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
+from .algebra import row_extractor
 from .relation import Relation
 from .statistics import AccessCounter
 
@@ -36,7 +37,17 @@ class HashIndex:
         whole tuples (the ``X -> (R, N)`` case of the paper).
     """
 
-    __slots__ = ("relation", "key", "value", "_key_positions", "_value_positions", "_buckets", "_counter")
+    __slots__ = (
+        "relation",
+        "key",
+        "value",
+        "_key_positions",
+        "_value_positions",
+        "_project",
+        "_buckets",
+        "_projected",
+        "_counter",
+    )
 
     def __init__(
         self,
@@ -44,6 +55,7 @@ class HashIndex:
         key: Sequence[str],
         value: Sequence[str] | None = None,
         counter: AccessCounter | None = None,
+        buckets: dict[tuple[Any, ...], list[tuple[Any, ...]]] | None = None,
     ) -> None:
         schema = relation.schema
         self.relation = relation
@@ -51,16 +63,55 @@ class HashIndex:
         self.value = tuple(value) if value is not None else schema.attribute_names
         self._key_positions = schema.positions(self.key)
         self._value_positions = schema.positions(self.value)
+        self._project = row_extractor(self._value_positions)
         self._counter = counter if counter is not None else relation._counter
-        self._buckets: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
-        self._build()
+        # Distinct value-projections per key, materialized lazily on first
+        # probe of each key (the paper's "projection of R on X ∪ Y indexed on
+        # X"); entries share the staleness contract of the buckets themselves.
+        self._projected: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
+        if buckets is not None:
+            # Shared-scan construction (build_shared) hands over prebuilt
+            # buckets so one pass over the relation serves many indexes.
+            self._buckets = buckets
+        else:
+            self._buckets = {}
+            self._build()
 
     def _build(self) -> None:
         buckets = self._buckets
         key_positions = self._key_positions
+        extract = row_extractor(key_positions)
         for row in self.relation.tuples():
-            bucket_key = tuple(row[p] for p in key_positions)
-            buckets.setdefault(bucket_key, []).append(row)
+            buckets.setdefault(extract(row), []).append(row)
+
+    @classmethod
+    def build_shared(
+        cls,
+        relation: Relation,
+        specs: Sequence[tuple[Sequence[str], Sequence[str] | None]],
+        counter: AccessCounter | None = None,
+    ) -> list["HashIndex"]:
+        """Build several indexes over ``relation`` with a single scan.
+
+        ``specs`` is a sequence of ``(key, value)`` attribute-name pairs, one
+        per requested index.  All bucket dictionaries are filled in one pass
+        over the relation's tuples, so building ``k`` indexes costs one scan
+        instead of ``k`` — the dominant cost for multi-constraint schemas.
+        """
+        schema = relation.schema
+        extractors = [row_extractor(schema.positions(tuple(key))) for key, _ in specs]
+        bucket_maps: list[dict[tuple[Any, ...], list[tuple[Any, ...]]]] = [
+            {} for _ in specs
+        ]
+        if specs:
+            per_index = list(zip(extractors, bucket_maps))
+            for row in relation.tuples():
+                for extract, buckets in per_index:
+                    buckets.setdefault(extract(row), []).append(row)
+        return [
+            cls(relation, key, value, counter=counter, buckets=buckets)
+            for (key, value), buckets in zip(specs, bucket_maps)
+        ]
 
     # -- metadata -----------------------------------------------------------------
 
@@ -91,19 +142,34 @@ class HashIndex:
 
         Matches are deduplicated on the value projection, reflecting the
         paper's semantics where the index returns the at most ``N`` *distinct*
-        ``Y``-values for an ``X``-value.
+        ``Y``-values for an ``X``-value.  The distinct projection per key is
+        materialized once and reused by later probes of the same key.
         """
-        rows = self._buckets.get(tuple(key_value), [])
-        seen: set[tuple[Any, ...]] = set()
-        result: list[tuple[Any, ...]] = []
-        for row in rows:
-            projected = tuple(row[p] for p in self._value_positions)
-            if projected not in seen:
-                seen.add(projected)
-                result.append(projected)
+        return list(self.probe_shared(tuple(key_value)))
+
+    def probe_shared(self, key_value: tuple[Any, ...]) -> list[tuple[Any, ...]]:
+        """Like :meth:`probe`, but returns the internal cached projection list.
+
+        The hot fetch path uses this to skip one list copy per probe; callers
+        MUST treat the result as read-only.  ``key_value`` must already be a
+        tuple.
+        """
+        cached = self._projected.get(key_value)
+        if cached is None:
+            rows = self._buckets.get(key_value)
+            if rows is None:
+                # Misses are NOT memoized: request-driven probes can carry
+                # unboundedly many distinct absent keys, and caching them
+                # would grow _projected without limit.  Hits are bounded by
+                # the relation's distinct key count.  The empty list is fresh
+                # per call so no two callers can share (and corrupt) it.
+                cached = []
+            else:
+                cached = list(dict.fromkeys(map(self._project, rows)))
+                self._projected[key_value] = cached
         if self._counter is not None:
-            self._counter.record_probe(len(result))
-        return result
+            self._counter.record_probe(len(cached))
+        return cached
 
     def probe_full(self, key_value: Sequence[Any]) -> list[tuple[Any, ...]]:
         """Return full matching tuples without value-projection dedup (counted)."""
@@ -120,15 +186,16 @@ class HashIndex:
         return present
 
     def probe_many(self, key_values: Iterable[Sequence[Any]]) -> list[tuple[Any, ...]]:
-        """Probe several key values and concatenate the (distinct) results."""
-        results: list[tuple[Any, ...]] = []
-        seen: set[tuple[Any, ...]] = set()
-        for key_value in key_values:
+        """Probe several key values and concatenate the (distinct) results.
+
+        Candidate keys are deduplicated first (insertion-ordered), so a key
+        appearing twice is probed — and charged to the access counter — once.
+        """
+        results: dict[tuple[Any, ...], None] = {}
+        for key_value in dict.fromkeys(map(tuple, key_values)):
             for projected in self.probe(key_value):
-                if projected not in seen:
-                    seen.add(projected)
-                    results.append(projected)
-        return results
+                results[projected] = None
+        return list(results)
 
     def __repr__(self) -> str:
         return (

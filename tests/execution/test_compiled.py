@@ -1,0 +1,222 @@
+"""Unit tests for the compiled execution path (``repro.execution.compiled``).
+
+The compiled program must be observationally identical to the interpreted
+tuple-at-a-time executor — same rows, same ``tuples_accessed`` — while doing
+all symbolic resolution at compile time.  These tests pin that equivalence on
+the paper's examples and on the edge cases the lowering handles specially
+(witness occurrences, Boolean queries, parameter slots, mixed-type keys).
+"""
+
+import pytest
+
+from repro.access import AccessConstraint, AccessSchema, build_access_indexes
+from repro.errors import ExecutionError
+from repro.execution import BoundedExecutor, CompiledPlan, compile_plan, compiled_for
+from repro.execution.prepared import prepare_query
+from repro.planning import qplan
+from repro.relational import Database
+from repro.relational.schema import schema_from_mapping
+from repro.spc import ParameterizedQuery, SPCQueryBuilder
+from repro.workloads import query_q0, social_access_schema
+
+
+def _both(plan, database, params=None, indexes=None):
+    """Execute ``plan`` down both paths and assert they agree; return compiled."""
+    executor = BoundedExecutor()
+    if indexes is None:
+        indexes = executor.prepare(database, plan.access_schema)
+    compiled = executor.execute(plan, database, indexes=indexes, params=params)
+    interpreted = executor.execute_interpreted(
+        plan, database, indexes=indexes, params=params
+    )
+    assert set(compiled.rows.rows) == set(interpreted.rows.rows)
+    assert compiled.rows.header == interpreted.rows.header
+    assert compiled.stats.tuples_accessed == interpreted.stats.tuples_accessed
+    assert compiled.details["step_sizes"] == interpreted.details["step_sizes"]
+    return compiled
+
+
+class TestCompiledEquivalence:
+    def test_q0_compiled_matches_interpreted(self, q0, access_schema, small_social_db):
+        plan = qplan(q0, access_schema)
+        result = _both(plan, small_social_db)
+        assert result.as_set == {("p1",)}
+
+    def test_empty_answer(self, access_schema, small_social_db):
+        query = query_q0(album_id="a_nonexistent", user_id="u0")
+        plan = qplan(query, access_schema)
+        assert _both(plan, small_social_db).is_empty
+
+    def test_boolean_query(self, q2_boolean, access_schema, small_social_db):
+        plan = qplan(q2_boolean, access_schema)
+        assert _both(plan, small_social_db).boolean_value is True
+        negative = query_q0(album_id="a1", user_id="u2").boolean_version()
+        plan = qplan(negative, access_schema)
+        assert _both(plan, small_social_db).boolean_value is False
+
+    def test_compilation_is_memoized_on_the_plan(self, q0, access_schema):
+        plan = qplan(q0, access_schema)
+        assert compiled_for(plan) is compiled_for(plan)
+        assert isinstance(plan.compiled, CompiledPlan)
+
+    def test_missing_index_raises_execution_error(self, q0, access_schema, small_social_db):
+        plan = qplan(q0, access_schema)
+        compiled = compile_plan(plan)
+        from repro.access.indexes import AccessIndexes
+
+        with pytest.raises(ExecutionError, match="no index available"):
+            compiled.bind(AccessIndexes())
+
+
+class TestParameterSlots:
+    def test_unbound_slot_raises(self, small_social_db):
+        prepared = prepare_query(_q0_template(), social_access_schema())
+        executor = prepared._executor
+        indexes = executor.prepare(small_social_db, prepared.prepared.plan.access_schema)
+        with pytest.raises(ExecutionError, match="unbound parameter slot"):
+            executor.execute(prepared.prepared.plan, small_social_db, indexes=indexes)
+
+    def test_prepared_execution_matches_interpreted_per_binding(self, small_social_db):
+        prepared = prepare_query(_q0_template(), social_access_schema())
+        executor = prepared._executor
+        plan = prepared.prepared.plan
+        indexes = prepared.warm(small_social_db)
+        for album, user in [("a0", "u0"), ("a1", "u0"), ("a0", "u9")]:
+            params = prepared.prepared.bind_values({"album": album, "user": user})
+            _both(plan, small_social_db, params=params, indexes=indexes)
+
+
+def _q0_template() -> ParameterizedQuery:
+    from repro.workloads import query_q1
+
+    query = query_q1()
+    return ParameterizedQuery(
+        query,
+        {"album": query.ref("ia", "album_id"), "user": query.ref("f", "user_id")},
+    )
+
+
+class TestMixedTypeKeys:
+    """Regression: probe keys of mutually incomparable types must execute.
+
+    The interpreted executor used to order candidate keys with
+    ``sorted(keys, key=repr)``; both paths now use insertion-ordered dict
+    dedup, which neither compares nor reprs the values.
+    """
+
+    @pytest.fixture()
+    def mixed_db(self):
+        schema = schema_from_mapping(
+            {"orders": ["customer", "item"], "items": ["item", "price"]}
+        )
+        database = Database(schema)
+        # Item keys deliberately mix ints, strings and tuples.
+        database.extend(
+            "orders", [("c0", 1), ("c0", "widget"), ("c0", (2, "kit")), ("c1", 1)]
+        )
+        database.extend(
+            "items", [(1, 10), ("widget", 20), ((2, "kit"), 30), (99, 40)]
+        )
+        return database
+
+    @pytest.fixture()
+    def mixed_plan(self, mixed_db):
+        access = AccessSchema(
+            [
+                AccessConstraint("orders", x=("customer",), y=("item",), bound=10),
+                AccessConstraint("items", x=("item",), y=("price",), bound=5),
+            ]
+        )
+        builder = SPCQueryBuilder(mixed_db.schema, name="mixed")
+        query = (
+            builder.add_atom("orders", alias="o")
+            .add_atom("items", alias="i")
+            .where_eq("o.item", "i.item")
+            .where_const("o.customer", "c0")
+            .select("i.item")
+            .select("i.price")
+            .build()
+        )
+        return qplan(query, access)
+
+    def test_mixed_type_keys_execute_on_both_paths(self, mixed_db, mixed_plan):
+        result = _both(mixed_plan, mixed_db)
+        assert result.as_set == {(1, 10), ("widget", 20), ((2, "kit"), 30)}
+
+    def test_probe_order_is_deterministic(self, mixed_db, mixed_plan):
+        executor = BoundedExecutor()
+        first = executor.execute(mixed_plan, mixed_db)
+        second = executor.execute(mixed_plan, mixed_db)
+        assert first.rows.rows == second.rows.rows
+
+
+class TestDedupCharging:
+    def test_duplicate_candidate_keys_charged_once(self, small_social_db):
+        access = social_access_schema()
+        indexes = build_access_indexes(small_social_db, access)
+        constraint = access.for_relation("in_album")[0]
+        index = indexes.for_constraint(constraint)
+        before = small_social_db.counter.snapshot()
+        rows = index.fetch_many([("a0",), ("a0",), ("a0",)])
+        delta = small_social_db.counter.since(before)
+        assert delta.lookups == 1  # deduped before probing
+        assert len(rows) == 2
+
+    def test_probe_many_dedups_keys_and_rows(self, small_social_db):
+        index = small_social_db.build_index("in_album", key=["album_id"])
+        before = small_social_db.counter.snapshot()
+        rows = index.probe_many([("a0",), ("a0",)])
+        delta = small_social_db.counter.since(before)
+        assert delta.lookups == 1
+        assert rows == index.probe(("a0",))
+
+
+class TestSharedScanConstruction:
+    def test_shared_scan_builds_identical_indexes(self, small_social_db, access_schema):
+        shared = build_access_indexes(small_social_db, access_schema)
+        for constraint in access_schema:
+            # A fresh database over the same relations, indexed one constraint
+            # at a time, must probe identically to the shared-scan build.
+            separate_db = Database.from_relations(small_social_db.relations())
+            separate = build_access_indexes(separate_db, AccessSchema([constraint]))
+            shared_index = shared.for_constraint(constraint)
+            separate_index = separate.for_constraint(constraint)
+            assert shared_index.key == separate_index.key == constraint.x
+            for key_value in shared_index.index._buckets:
+                assert shared_index.fetch(key_value) == separate_index.fetch(key_value)
+
+    def test_prepare_detects_schema_mutation(self, access_schema, small_social_db):
+        """Regression: growing a prepared AccessSchema in place must rebuild.
+
+        prepare()'s O(1) memo is fingerprinted by the schema's cardinality, so
+        an ``add()`` after preparation re-takes the full path and builds the
+        new constraint's index instead of serving the stale memo entry.
+        """
+        executor = BoundedExecutor()
+        constraints = list(access_schema)
+        partial = AccessSchema(constraints[:1])
+        executor.prepare(small_social_db, partial)
+        for constraint in constraints[1:]:
+            partial.add(constraint)
+        indexes = executor.prepare(small_social_db, partial)
+        for constraint in constraints:
+            assert constraint in indexes
+
+    def test_one_scan_per_relation(self, schema, monkeypatch):
+        database = Database(schema)
+        database.extend("in_album", [("p1", "a0")])
+        database.extend("friends", [("u0", "u1")])
+        database.extend("tagging", [("p1", "u1", "u0")])
+        calls: dict[str, int] = {}
+        from repro.relational.relation import Relation
+
+        original = Relation.tuples
+
+        def counting(self):
+            calls[self.schema.name] = calls.get(self.schema.name, 0) + 1
+            return original(self)
+
+        monkeypatch.setattr(Relation, "tuples", counting)
+        build_access_indexes(database, social_access_schema())
+        # A0 has two constraints on tagging, yet each relation is scanned once.
+        assert all(count == 1 for count in calls.values()), calls
