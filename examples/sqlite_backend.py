@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Out-of-core bounded execution: the SQLite storage backend.
+
+The in-memory substrate caps datasets at RAM.  The storage seam
+(`repro.storage`) removes that cap: executors touch data only through the
+`StorageBackend` protocol, so the same engine, the same plans and the same
+prepared queries run unchanged over a SQLite database — on disk if you wish —
+with every access constraint mapped to a SQL index and the cardinality bound
+enforced at fetch time.
+
+This walkthrough
+
+1. generates a TFACC instance and materializes it into SQLite,
+2. serves a prepared form template from the SQLite store, showing identical
+   rows and identical ``tuples_accessed`` to the in-memory path,
+3. grows the SQLite database ~10x and shows the bounded access count staying
+   flat while the naive full-scan baseline grows with ``|D|``.
+
+Run with::
+
+    python examples/sqlite_backend.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.execution import BoundedEngine
+from repro.spc import ParameterizedQuery, SPCQueryBuilder
+from repro.workloads import tfacc_access_schema, tfacc_schema, tfacc_workload
+
+
+def accident_template() -> ParameterizedQuery:
+    """Form query: severity and vehicles of accident ``$acc``."""
+    query = (
+        SPCQueryBuilder(tfacc_schema(), name="accident_vehicles")
+        .add_atom("accident", alias="a")
+        .add_atom("vehicle", alias="v")
+        .where_eq("a.accident_id", "v.accident_id")
+        .select("a.severity")
+        .select("v.vehicle_id")
+        .select("v.vehicle_type")
+        .build()
+    )
+    return ParameterizedQuery(query, {"acc": query.ref("a", "accident_id")})
+
+
+def main() -> None:
+    workload = tfacc_workload()
+
+    # ---------------------------------------------------------- two stores
+    database = workload.database(scale=0.05, seed=1)
+    sqlite_small = workload.to_backend("sqlite", database=database)
+    # For an on-disk database, pass a file path instead:
+    #   workload.to_backend("sqlite", scale=5.0, path="tfacc.sqlite3")
+    print(f"in-memory instance : {database}")
+    print(f"sqlite twin        : {sqlite_small}")
+    print()
+
+    # -------------------------------------- one engine, either store
+    engine = BoundedEngine(tfacc_access_schema())
+    template = accident_template()
+    prepared = engine.prepare_query(template)      # EBCheck + QPlan run once
+    prepared.warm(database)                        # hash indexes in memory
+    prepared.warm(sqlite_small)                    # CREATE INDEX on SQLite
+    print(f"prepared template: slots {list(prepared.slots)}, "
+          f"access bound {prepared.total_bound} tuples per request")
+
+    binding = {"acc": "acc0000007"}
+    memory_result = prepared.execute(database, **binding)
+    sqlite_result = prepared.execute(sqlite_small, **binding)
+    print(f"  memory : {memory_result.stats.describe()}")
+    print(f"  sqlite : {sqlite_result.stats.describe()}")
+    assert memory_result.as_set == sqlite_result.as_set
+    assert memory_result.stats.tuples_accessed == sqlite_result.stats.tuples_accessed
+    print("  identical rows, identical tuples_accessed\n")
+
+    # ------------------------- grow the SQLite database ~10x: access stays flat
+    sqlite_large = workload.to_backend("sqlite", scale=0.5, seed=1)
+    prepared.warm(sqlite_large)
+    bindings = [{"acc": f"acc{i:07d}"} for i in range(100)]
+    accessed_small = sum(
+        prepared.execute(sqlite_small, **b).stats.tuples_accessed for b in bindings
+    )
+    accessed_large = sum(
+        prepared.execute(sqlite_large, **b).stats.tuples_accessed for b in bindings
+    )
+    naive_small = engine.execute_naive(
+        template.bind(**binding), sqlite_small
+    ).stats.tuples_accessed
+    naive_large = engine.execute_naive(
+        template.bind(**binding), sqlite_large
+    ).stats.tuples_accessed
+
+    growth = sqlite_large.total_tuples / sqlite_small.total_tuples
+    print(f"dataset growth     : {sqlite_small.total_tuples} -> "
+          f"{sqlite_large.total_tuples} tuples ({growth:.1f}x)")
+    print(f"bounded accesses   : {accessed_small} -> {accessed_large} "
+          f"({accessed_large / accessed_small:.2f}x)  <- flat")
+    print(f"naive accesses     : {naive_small} -> {naive_large} "
+          f"({naive_large / naive_small:.1f}x)  <- grows with |D|")
+    print()
+
+    # -------------------------------------------------- monitoring surface
+    print("engine.cache_info() after serving both stores:")
+    for entry in engine.cache_info().values():
+        print(f"  {entry.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -49,6 +49,8 @@ Package layout
     QPlan and bounded plans; minimum-``D_Q`` analysis.
 ``repro.execution``
     evalDQ, baseline executors and the BoundedEngine front-end.
+``repro.storage``
+    Pluggable storage backends behind one protocol: in-memory and SQLite.
 ``repro.workloads``
     Synthetic TFACC / MOT / TPC-H / social-network workload generators and the
     SPC query generator used by the experiments.
@@ -110,6 +112,7 @@ from .spc import (
     SPCQueryBuilder,
     parse_query,
 )
+from .storage import InMemoryBackend, SQLiteBackend, StorageBackend, as_backend
 
 __version__ = "1.0.0"
 
@@ -128,6 +131,7 @@ __all__ = [
     "ExecutionError",
     "ExecutionResult",
     "ExecutionStats",
+    "InMemoryBackend",
     "NaiveExecutor",
     "NotEffectivelyBoundedError",
     "ParameterizedQuery",
@@ -141,9 +145,12 @@ __all__ = [
     "ReproError",
     "SPCQuery",
     "SPCQueryBuilder",
+    "SQLiteBackend",
     "SchemaError",
+    "StorageBackend",
     "UnsatisfiableQueryError",
     "access_schema_from_specs",
+    "as_backend",
     "bcheck",
     "build_access_indexes",
     "discover_access_schema",

@@ -18,7 +18,7 @@ from .discovery import (
     discover_functional_dependencies,
     profile_constraints,
 )
-from .indexes import AccessIndexes, ConstraintIndex, build_access_indexes
+from .indexes import AccessIndexes, ConstraintIndex, ConstraintView, build_access_indexes, check_bound
 from .satisfaction import (
     Violation,
     check_constraint,
@@ -34,9 +34,11 @@ __all__ = [
     "AccessIndexes",
     "AccessSchema",
     "ConstraintIndex",
+    "ConstraintView",
     "Violation",
     "access_schema_from_specs",
     "build_access_indexes",
+    "check_bound",
     "check_constraint",
     "discover_access_schema",
     "discover_domain_bounds",

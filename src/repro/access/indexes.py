@@ -2,30 +2,74 @@
 
 The paper's experiments build, for every access constraint ``X -> (Y, N)``, a
 projection of the relation on ``X ∪ Y`` with an index on ``X``.  This module
-does the same over the in-memory substrate:
+provides the executor-facing view of that structure:
 
-* :func:`build_access_indexes` constructs one hash index per constraint
-  (keyed by ``X``, returning distinct ``X ∪ Y`` projections),
-* :class:`ConstraintIndex` wraps a hash index together with its constraint so
-  bounded fetch steps can (optionally) *enforce* the bound ``N``: a probe that
-  returns more than ``N`` distinct values indicates the database does not
-  satisfy ``A`` and raises instead of silently breaking the plan's access
-  bound.
+* :func:`build_access_indexes` asks a storage backend (or the backend of a
+  :class:`~repro.relational.database.Database`) to build one fetch view per
+  constraint — hash indexes in memory, SQL indexes on SQLite;
+* :class:`ConstraintIndex` is the *in-memory* view: a hash index paired with
+  its constraint so bounded fetch steps can (optionally) *enforce* the bound
+  ``N`` — a probe returning more than ``N`` distinct values indicates the
+  database does not satisfy ``A`` and raises instead of silently breaking the
+  plan's access bound.  Other backends supply duck-typed equivalents (e.g.
+  :class:`~repro.storage.sqlite.SQLiteConstraintIndex`); executors only rely
+  on the shared ``fetch`` / ``fetch_many`` / ``contains`` surface.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Protocol, Sequence, runtime_checkable
 
 from ..errors import ConstraintViolationError
-from ..relational.database import Database
 from ..relational.indexes import HashIndex
 from .constraint import AccessConstraint
-from .schema import AccessSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..storage.base import StorageBackend
+
+
+@runtime_checkable
+class ConstraintView(Protocol):
+    """The duck-typed fetch surface every backend's constraint view provides."""
+
+    constraint: AccessConstraint
+
+    @property
+    def relation(self) -> str: ...
+
+    @property
+    def key(self) -> tuple[str, ...]: ...
+
+    @property
+    def value(self) -> tuple[str, ...]: ...
+
+    def fetch(self, x_value: Sequence[Any]) -> list[tuple[Any, ...]]: ...
+
+    def fetch_many(self, x_values: Iterable[Sequence[Any]]) -> list[tuple[Any, ...]]: ...
+
+    def contains(self, x_value: Sequence[Any]) -> bool: ...
+
+
+def check_bound(
+    constraint: AccessConstraint, rows: Sequence[Any], x_value: Sequence[Any]
+) -> None:
+    """Raise when a probe's distinct result exceeds the constraint's bound.
+
+    Shared by every backend's fetch path so the enforcement semantics (and
+    the diagnostic) cannot drift between stores.
+    """
+    if len(rows) > constraint.bound:
+        raise ConstraintViolationError(
+            f"probe of {constraint} returned {len(rows)} distinct values, "
+            f"exceeding the bound {constraint.bound}; the database does not "
+            f"satisfy the access schema",
+            constraint=constraint,
+            witness=tuple(x_value),
+        )
 
 
 class ConstraintIndex:
-    """The index associated with one access constraint.
+    """The in-memory index view associated with one access constraint.
 
     Probes return distinct projections on ``X ∪ Y`` (keys first, in the
     constraint's canonical attribute order) and are charged to the database's
@@ -58,14 +102,7 @@ class ConstraintIndex:
         return self.index.value
 
     def _check_bound(self, rows: Sequence[Any], x_value: Sequence[Any]) -> None:
-        if len(rows) > self.constraint.bound:
-            raise ConstraintViolationError(
-                f"probe of {self.constraint} returned {len(rows)} distinct values, "
-                f"exceeding the bound {self.constraint.bound}; the database does not "
-                f"satisfy the access schema",
-                constraint=self.constraint,
-                witness=tuple(x_value),
-            )
+        check_bound(self.constraint, rows, x_value)
 
     def fetch(self, x_value: Sequence[Any]) -> list[tuple[Any, ...]]:
         """Distinct ``X ∪ Y`` projections for one ``X``-value.
@@ -105,15 +142,21 @@ class ConstraintIndex:
 
 
 class AccessIndexes:
-    """All constraint indexes built for one (database, access schema) pair."""
+    """All constraint-index views built for one (backend, access schema) pair.
+
+    Entries are backend-specific fetch views sharing the
+    :class:`ConstraintIndex` surface (``fetch`` / ``fetch_many`` /
+    ``contains`` plus ``key``/``value`` metadata); one collection never mixes
+    backends.
+    """
 
     def __init__(self) -> None:
-        self._by_constraint: dict[AccessConstraint, ConstraintIndex] = {}
+        self._by_constraint: dict[AccessConstraint, ConstraintView] = {}
 
-    def add(self, index: ConstraintIndex) -> None:
+    def add(self, index: ConstraintView) -> None:
         self._by_constraint[index.constraint] = index
 
-    def for_constraint(self, constraint: AccessConstraint) -> ConstraintIndex:
+    def for_constraint(self, constraint: AccessConstraint) -> ConstraintView:
         try:
             return self._by_constraint[constraint]
         except KeyError:
@@ -132,35 +175,22 @@ class AccessIndexes:
 
 
 def build_access_indexes(
-    database: Database,
-    access_schema: AccessSchema,
+    source: "StorageBackend | Any",
+    access_schema: Iterable[AccessConstraint],
     enforce_bounds: bool = True,
 ) -> AccessIndexes:
-    """Build one :class:`ConstraintIndex` per constraint of ``access_schema``.
+    """Build one constraint-index view per constraint of ``access_schema``.
 
-    Constraints on relations absent from the database are skipped, so an
-    access schema shared across dataset variants can be reused unchanged.
-    Index construction itself is not charged to the access counter — the paper
-    treats indexes as pre-built auxiliary structures.
-
-    Construction is *shared-scan*: constraints are grouped by relation and all
-    of a relation's bucket maps are filled in one pass over its tuples, so a
-    schema with many constraints per relation costs one scan per relation
-    rather than one per constraint.
+    ``source`` is any :class:`~repro.storage.base.StorageBackend` or a
+    :class:`~repro.relational.database.Database` (resolved to its in-memory
+    backend).  Constraints on relations absent from the backend are skipped,
+    so an access schema shared across dataset variants can be reused
+    unchanged.  Index construction itself is not charged to the access
+    counter — the paper treats indexes as pre-built auxiliary structures —
+    and each backend builds its native structure: the in-memory backend
+    fills all of a relation's hash-bucket maps in one shared scan, the
+    SQLite backend issues ``CREATE INDEX`` per constraint key.
     """
-    indexes = AccessIndexes()
-    by_relation: dict[str, list[AccessConstraint]] = {}
-    for constraint in access_schema:
-        if constraint.relation not in database.schema:
-            continue
-        by_relation.setdefault(constraint.relation, []).append(constraint)
-    for relation_name, constraints in by_relation.items():
-        specs = [
-            (constraint.x, list(constraint.fetch_attributes)) for constraint in constraints
-        ]
-        hash_indexes = database.build_indexes(relation_name, specs)
-        for constraint, hash_index in zip(constraints, hash_indexes):
-            indexes.add(
-                ConstraintIndex(constraint, hash_index, enforce_bound=enforce_bounds)
-            )
-    return indexes
+    from ..storage import as_backend  # local import: storage builds on this module
+
+    return as_backend(source).build_indexes(access_schema, enforce_bounds)

@@ -3,12 +3,13 @@
 from .bounded import BoundedExecutor, eval_dq
 from .cache import CacheStats, LRUCache
 from .compiled import CompiledPlan, compile_plan, compiled_for
-from .engine import BoundedEngine, QueryReport
+from .engine import BackendInfo, BoundedEngine, QueryReport
 from .metrics import ExecutionResult, ExecutionStats
 from .naive import NaiveExecutor, NestedLoopExecutor
 from .prepared import PreparedQuery, prepare_query
 
 __all__ = [
+    "BackendInfo",
     "BoundedEngine",
     "BoundedExecutor",
     "CacheStats",

@@ -6,9 +6,13 @@ assemble the per-occurrence partial relations ``T_j``, then evaluate the query
 over those small row sets only — joins, constant filters and the final
 projection never touch the underlying database again.
 
-All data access is charged to the database's access counter through the
-constraint indexes, so ``ExecutionStats.tuples_accessed`` is exactly the
-``|D_Q|`` the paper reports in Figure 5.
+All data access is charged to the storage backend's access counter through
+the constraint indexes, so ``ExecutionStats.tuples_accessed`` is exactly the
+``|D_Q|`` the paper reports in Figure 5.  The executor is storage-agnostic:
+every entry point accepts a :class:`~repro.relational.database.Database` or
+any :class:`~repro.storage.base.StorageBackend` (e.g. the SQLite backend for
+out-of-core execution), and only touches data through the backend's
+constraint-fetch views.
 """
 
 from __future__ import annotations
@@ -17,30 +21,32 @@ import time
 import weakref
 from typing import Any, Mapping, Sequence
 
-from ..access.indexes import AccessIndexes, ConstraintIndex, build_access_indexes
+from ..access.indexes import AccessIndexes, ConstraintView, build_access_indexes
 from ..access.schema import AccessSchema
 from ..errors import ExecutionError
 from ..relational.algebra import RowSet, hash_join, product, project
-from ..relational.database import Database
 from ..spc.atoms import AttrEq, AttrRef, ConstEq
 from ..spc.parameters import ParamToken
 from ..spc.query import SPCQuery
 from ..planning.plan import BoundedPlan, ColumnSource, ConstSource, FetchStep, ParamSource
+from ..storage.base import StorageBackend, as_backend
 from .compiled import _param_value, compiled_for
 from .metrics import ExecutionResult, ExecutionStats
 
 #: Max distinct access-schema objects remembered as "already prepared" per
-#: database; keeps the strong references in the memo bounded.
+#: backend; keeps the strong references in the memo bounded.
 _SCHEMA_MEMO_CAP = 64
 
 
 class BoundedExecutor:
-    """Executes :class:`~repro.planning.plan.BoundedPlan` objects against databases.
+    """Executes :class:`~repro.planning.plan.BoundedPlan` objects against storage.
 
     Plans are lowered once into :class:`~repro.execution.compiled.CompiledPlan`
     programs (cached on the plan) and executed through those; the original
     tuple-at-a-time interpretation survives as :meth:`execute_interpreted` for
-    differential testing and benchmarking.
+    differential testing and benchmarking.  ``source`` arguments accept a
+    :class:`~repro.relational.database.Database` or any
+    :class:`~repro.storage.base.StorageBackend`.
 
     Parameters
     ----------
@@ -52,57 +58,75 @@ class BoundedExecutor:
 
     def __init__(self, enforce_bounds: bool = True) -> None:
         self.enforce_bounds = enforce_bounds
-        # Weak keys: an entry dies with its database, so a collected Database
+        # Weak keys: an entry dies with its backend, so a collected backend
         # can never hand its (recycled) identity to a new object and serve it
         # stale indexes, and a long-lived executor never accumulates entries
-        # for databases that are gone.
-        self._index_cache: "weakref.WeakKeyDictionary[Database, AccessIndexes]" = (
+        # for backends that are gone.  (A Database keeps a strong reference
+        # to its memoized backend, so database-keyed callers get the same
+        # cache behavior as before the storage seam.)
+        self._index_cache: "weakref.WeakKeyDictionary[StorageBackend, AccessIndexes]" = (
             weakref.WeakKeyDictionary()
         )
-        # Access-schema objects already fully prepared, per database.  Values
+        # Access-schema objects already fully prepared, per backend.  Values
         # hold strong references to the schemas, so the ``id()`` keys can
         # never be recycled while an entry is alive; this makes the serving
         # hot path's prepare() an O(1) lookup instead of a per-request scan
         # over every constraint of the schema.
-        self._prepared_schemas: "weakref.WeakKeyDictionary[Database, dict[int, tuple[AccessSchema, int]]]" = (
+        self._prepared_schemas: "weakref.WeakKeyDictionary[StorageBackend, dict[int, tuple[AccessSchema, int]]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        # Backend data_version each cache entry was built against; snapshot
+        # backends (in-memory hash indexes) bump it on mutation, and a
+        # mismatch here evicts the stale AccessIndexes instead of serving
+        # views over discarded buckets.
+        self._index_versions: "weakref.WeakKeyDictionary[StorageBackend, int]" = (
             weakref.WeakKeyDictionary()
         )
 
     # -- preparation -------------------------------------------------------------------
 
-    def prepare(self, database: Database, access_schema: AccessSchema) -> AccessIndexes:
-        """Build (and cache per database) the constraint indexes of ``access_schema``.
+    def prepare(self, source: Any, access_schema: AccessSchema) -> AccessIndexes:
+        """Build (and cache per backend) the constraint indexes of ``access_schema``.
 
-        Index construction is shared-scan (one pass per relation builds all of
-        that relation's constraint indexes) and idempotent: re-preparing an
-        already-seen schema object is a dictionary lookup.
+        Index construction is the backend's native bulk path (shared-scan
+        hash indexes in memory, ``CREATE INDEX`` on SQLite) and idempotent:
+        re-preparing an already-seen schema object is a dictionary lookup.
         """
-        seen = self._prepared_schemas.get(database)
-        if seen is not None:
+        backend = as_backend(source)
+        version = backend.data_version
+        fresh = self._index_versions.get(backend) == version
+        seen = self._prepared_schemas.get(backend)
+        if seen is not None and fresh:
             entry = seen.get(id(access_schema))
             # The cardinality fingerprint guards against in-place mutation:
             # AccessSchema.add()/extend() grow the constraint list, so a
             # schema that gained constraints since it was memoized re-takes
             # the full path and builds the missing indexes.
             if entry is not None and entry[1] == len(access_schema):
-                return self._index_cache[database]
-        cached = self._index_cache.get(database)
-        if cached is None:
-            cached = build_access_indexes(database, access_schema, self.enforce_bounds)
-            self._index_cache[database] = cached
+                return self._index_cache[backend]
+        cached = self._index_cache.get(backend)
+        if cached is None or not fresh:
+            # First preparation, or the backend's data changed since the
+            # cached AccessIndexes were built (its views wrap discarded
+            # snapshots): rebuild from scratch and forget the schema memo.
+            cached = build_access_indexes(backend, access_schema, self.enforce_bounds)
+            self._index_cache[backend] = cached
+            self._index_versions[backend] = version
+            seen = None
+            self._prepared_schemas.pop(backend, None)
         else:
             missing = AccessSchema(
                 constraint
                 for constraint in access_schema
-                if constraint.relation in database.schema and constraint not in cached
+                if constraint.relation in backend.schema and constraint not in cached
             )
             if len(missing):
-                extra = build_access_indexes(database, missing, self.enforce_bounds)
+                extra = build_access_indexes(backend, missing, self.enforce_bounds)
                 for index in extra:
                     cached.add(index)
         if seen is None:
             seen = {}
-            self._prepared_schemas[database] = seen
+            self._prepared_schemas[backend] = seen
         elif id(access_schema) not in seen and len(seen) >= _SCHEMA_MEMO_CAP:
             # FIFO eviction: the memo only short-circuits re-preparation, so
             # dropping an entry costs one re-scan, never correctness — and the
@@ -111,16 +135,20 @@ class BoundedExecutor:
         seen[id(access_schema)] = (access_schema, len(access_schema))
         return cached
 
+    def backend_kinds(self) -> tuple[str, ...]:
+        """Kinds of the storage backends this executor has prepared (sorted)."""
+        return tuple(sorted({backend.kind for backend in self._index_cache.keys()}))
+
     # -- plan execution -----------------------------------------------------------------
 
     def execute(
         self,
         plan: BoundedPlan,
-        database: Database,
+        source: Any,
         indexes: AccessIndexes | None = None,
         params: Mapping[str, Any] | None = None,
     ) -> ExecutionResult:
-        """Run ``plan`` against ``database`` and return the answer with its cost.
+        """Run ``plan`` against ``source`` and return the answer with its cost.
 
         The plan is executed through its compiled program (lowered once and
         cached on the plan); ``params`` supplies values for the named
@@ -128,13 +156,13 @@ class BoundedExecutor:
         slots ignore it.
         """
         if indexes is None:
-            indexes = self.prepare(database, plan.access_schema)
-        return compiled_for(plan).execute(database, indexes, params)
+            indexes = self.prepare(source, plan.access_schema)
+        return compiled_for(plan).execute(source, indexes, params)
 
     def execute_interpreted(
         self,
         plan: BoundedPlan,
-        database: Database,
+        source: Any,
         indexes: AccessIndexes | None = None,
         params: Mapping[str, Any] | None = None,
     ) -> ExecutionResult:
@@ -145,11 +173,12 @@ class BoundedExecutor:
         baseline the execution microbenchmark measures against.
         """
         query = plan.query
+        backend = as_backend(source)
         if indexes is None:
-            indexes = self.prepare(database, plan.access_schema)
+            indexes = self.prepare(backend, plan.access_schema)
 
         started = time.perf_counter()
-        before = database.access_snapshot()
+        before = backend.counter.snapshot()
 
         fetched: list[RowSet] = []
         step_sizes: list[int] = []
@@ -161,13 +190,14 @@ class BoundedExecutor:
         answer = self._assemble(query, plan, fetched, params)
 
         elapsed = time.perf_counter() - started
-        delta = database.accesses_since(before)
+        delta = backend.counter.since(before)
         stats = ExecutionStats.from_snapshot(
             strategy="bounded",
             delta=delta,
             elapsed_seconds=elapsed,
             result_rows=len(answer),
             plan_bound=plan.total_bound,
+            backend=backend.kind,
         )
         return ExecutionResult(rows=answer, stats=stats, details={"step_sizes": step_sizes})
 
@@ -186,7 +216,7 @@ class BoundedExecutor:
         rows = index.fetch_many(candidates)
         return RowSet(step.outputs, rows)
 
-    def _constraint_index(self, step: FetchStep, indexes: AccessIndexes) -> ConstraintIndex:
+    def _constraint_index(self, step: FetchStep, indexes: AccessIndexes) -> "ConstraintView":
         if step.constraint not in indexes:
             raise ExecutionError(
                 f"no index available for constraint {step.constraint}; call prepare() "
@@ -369,13 +399,14 @@ class BoundedExecutor:
 
 def eval_dq(
     plan: BoundedPlan,
-    database: Database,
+    source: Any,
     enforce_bounds: bool = True,
 ) -> ExecutionResult:
     """Convenience wrapper: execute a bounded plan with a fresh executor.
 
     This is the paper's ``evalDQ``: fetch ``D_Q`` following the plan, then
-    evaluate the query over ``D_Q`` only.
+    evaluate the query over ``D_Q`` only.  ``source`` is a database or any
+    storage backend.
     """
     executor = BoundedExecutor(enforce_bounds=enforce_bounds)
-    return executor.execute(plan, database)
+    return executor.execute(plan, source)

@@ -35,11 +35,11 @@ from itertools import product as cartesian_product
 from typing import Any, Callable, Mapping, Sequence
 
 from ..access.constraint import AccessConstraint
-from ..access.indexes import AccessIndexes, ConstraintIndex
+from ..access.indexes import AccessIndexes, ConstraintView
 from ..errors import ExecutionError, SchemaError
 from ..relational.algebra import Row, RowSet, row_extractor
-from ..relational.database import Database
 from ..spc.atoms import AttrEq, AttrRef, ConstEq
+from ..storage.base import as_backend
 from ..spc.parameters import ParamToken
 from ..planning.plan import (
     BoundedPlan,
@@ -199,13 +199,13 @@ class CompiledPlan:
     #: The query's output header.
     output_header: tuple[AttrRef, ...]
     #: Per-:class:`AccessIndexes` resolved constraint indexes, cached weakly.
-    _bindings: "weakref.WeakKeyDictionary[AccessIndexes, list[ConstraintIndex]]" = field(
+    _bindings: "weakref.WeakKeyDictionary[AccessIndexes, list[ConstraintView]]" = field(
         default_factory=weakref.WeakKeyDictionary, repr=False, compare=False
     )
 
     # -- runtime ------------------------------------------------------------------
 
-    def bind(self, indexes: AccessIndexes) -> list[ConstraintIndex]:
+    def bind(self, indexes: AccessIndexes) -> list[ConstraintView]:
         """Resolve (once per :class:`AccessIndexes`) each step's constraint index."""
         bound = self._bindings.get(indexes)
         if bound is None:
@@ -222,14 +222,20 @@ class CompiledPlan:
 
     def execute(
         self,
-        database: Database,
+        source: Any,
         indexes: AccessIndexes,
         params: Mapping[str, Any] | None = None,
     ) -> ExecutionResult:
-        """Run the compiled program; same contract as ``BoundedExecutor.execute``."""
+        """Run the compiled program; same contract as ``BoundedExecutor.execute``.
+
+        ``source`` is a database or any storage backend; ``indexes`` must
+        have been built over the same backend.
+        """
         bound = self.bind(indexes)
+        backend = as_backend(source)
+        counter = backend.counter
         started = time.perf_counter()
-        before = database.counter.snapshot()
+        before = counter.snapshot()
 
         fetched: list[list[Row]] = []
         step_sizes: list[int] = []
@@ -241,13 +247,14 @@ class CompiledPlan:
         answer = self._assemble(fetched, params)
 
         elapsed = time.perf_counter() - started
-        delta = database.counter.since(before)
+        delta = counter.since(before)
         stats = ExecutionStats.from_snapshot(
             strategy="bounded",
             delta=delta,
             elapsed_seconds=elapsed,
             result_rows=len(answer),
             plan_bound=self.plan.total_bound,
+            backend=backend.kind,
         )
         return ExecutionResult(rows=answer, stats=stats, details={"step_sizes": step_sizes})
 

@@ -17,6 +17,7 @@ examples and benchmarks read like the workflow they reproduce.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..access.indexes import AccessIndexes
 from ..access.schema import AccessSchema
@@ -26,7 +27,6 @@ from ..core.ebcheck import EffectiveBoundednessResult, ebcheck
 from ..errors import NotEffectivelyBoundedError
 from ..planning.plan import BoundedPlan
 from ..planning.qplan import prepare_plan, qplan
-from ..relational.database import Database
 from ..spc.atoms import AttrRef
 from ..spc.parameters import ParameterizedQuery
 from ..spc.query import SPCQuery
@@ -43,6 +43,22 @@ DEFAULT_PLAN_CACHE_SIZE = 256
 DEFAULT_NEGATIVE_CACHE_SIZE = 1024
 
 
+@dataclass(frozen=True)
+class BackendInfo:
+    """Storage backends an engine's executor has prepared (for monitoring).
+
+    Lives alongside :class:`~repro.execution.cache.CacheStats` in
+    :meth:`BoundedEngine.cache_info`, sharing its ``describe()`` surface so
+    monitoring loops can render every entry uniformly.
+    """
+
+    kinds: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        prepared = ", ".join(self.kinds) if self.kinds else "none"
+        return f"storage-backends: prepared={prepared}"
+
+
 @dataclass
 class QueryReport:
     """The engine's static analysis of one query under the access schema."""
@@ -52,6 +68,12 @@ class QueryReport:
     effective: EffectiveBoundednessResult
     plan: BoundedPlan | None = None
     dominating: DominatingParametersResult | None = None
+    #: Serving-path cache counters at report time, keyed exactly like
+    #: :meth:`BoundedEngine.cache_info`: ``"plan"`` (plan LRU), ``"negative"``
+    #: (EBCheck negative verdicts), ``"prepared"`` (prepared templates).
+    serving_caches: dict[str, CacheStats] = field(default_factory=dict)
+    #: Kinds of the storage backends the engine's executor has prepared.
+    backend_kinds: tuple[str, ...] = ()
 
     @property
     def bounded(self) -> bool:
@@ -84,6 +106,10 @@ class QueryReport:
                 ref.pretty(self.query.atoms) for ref in sorted(self.suggested_parameters)
             )
             lines.append(f"  suggested dominating parameters: {pretty}")
+        for name, stats in self.serving_caches.items():
+            lines.append(f"  {name} cache: {stats.describe()}")
+        if self.backend_kinds:
+            lines.append(f"  storage backends prepared: {', '.join(self.backend_kinds)}")
         return "\n".join(lines)
 
 
@@ -140,6 +166,12 @@ class BoundedEngine:
             effective=effective,
             plan=plan,
             dominating=dominating,
+            serving_caches={
+                "plan": self._plan_cache.stats,
+                "negative": self._negative_cache.stats,
+                "prepared": self._prepared_cache.stats,
+            },
+            backend_kinds=self._bounded_executor.backend_kinds(),
         )
 
     def is_effectively_bounded(self, query: SPCQuery) -> bool:
@@ -187,22 +219,30 @@ class BoundedEngine:
             self._prepared_cache.put(key, prepared)
         return prepared
 
-    def cache_info(self) -> dict[str, CacheStats]:
-        """Hit/miss/eviction counters for the engine's serving-path caches."""
+    def cache_info(self) -> dict[str, CacheStats | BackendInfo]:
+        """Hit/miss/eviction counters for the serving-path caches, per backend seam.
+
+        Besides the three LRU caches (plans, negative EBCheck verdicts,
+        prepared templates), the ``"backends"`` entry reports which storage
+        backend kinds the engine's executor has prepared constraint indexes
+        on — serving deployments monitor hit rates next to the stores they
+        serve from.  Every value exposes ``describe()``.
+        """
         return {
             "plan": self._plan_cache.stats,
             "negative": self._negative_cache.stats,
             "prepared": self._prepared_cache.stats,
+            "backends": BackendInfo(self._bounded_executor.backend_kinds()),
         }
 
     # -- execution ----------------------------------------------------------------------
 
-    def prepare(self, database: Database) -> AccessIndexes:
-        """Pre-build the access-constraint indexes on ``database``."""
-        return self._bounded_executor.prepare(database, self.access_schema)
+    def prepare(self, source: Any) -> AccessIndexes:
+        """Pre-build the access-constraint indexes on a database or backend."""
+        return self._bounded_executor.prepare(source, self.access_schema)
 
-    def execute(self, query: SPCQuery, database: Database) -> ExecutionResult:
-        """Answer ``query`` on ``database`` with the bounded plan when possible.
+    def execute(self, query: SPCQuery, source: Any) -> ExecutionResult:
+        """Answer ``query`` on a database or backend with the bounded plan when possible.
 
         Falls back to the naive executor for queries that are not effectively
         bounded when ``fallback_to_naive`` is enabled; otherwise raises
@@ -213,9 +253,9 @@ class BoundedEngine:
         except NotEffectivelyBoundedError:
             if not self.fallback_to_naive:
                 raise
-            return self._naive_executor.execute(query, database)
-        return self._bounded_executor.execute(plan, database)
+            return self._naive_executor.execute(query, source)
+        return self._bounded_executor.execute(plan, source)
 
-    def execute_naive(self, query: SPCQuery, database: Database) -> ExecutionResult:
+    def execute_naive(self, query: SPCQuery, source: Any) -> ExecutionResult:
         """Force baseline evaluation (used for comparisons and correctness checks)."""
-        return self._naive_executor.execute(query, database)
+        return self._naive_executor.execute(query, source)

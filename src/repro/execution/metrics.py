@@ -38,6 +38,8 @@ class ExecutionStats:
     result_rows: int = 0
     #: The plan's a-priori access bound (bounded strategy only).
     plan_bound: int | None = None
+    #: Storage backend kind the execution ran against (``"memory"``, ``"sqlite"``).
+    backend: str | None = None
 
     @classmethod
     def from_snapshot(
@@ -47,6 +49,7 @@ class ExecutionStats:
         elapsed_seconds: float,
         result_rows: int,
         plan_bound: int | None = None,
+        backend: str | None = None,
     ) -> "ExecutionStats":
         """Build stats from an access-counter delta."""
         return cls(
@@ -59,6 +62,7 @@ class ExecutionStats:
             scans=delta.scans,
             result_rows=result_rows,
             plan_bound=plan_bound,
+            backend=backend,
         )
 
     def describe(self) -> str:
@@ -70,6 +74,8 @@ class ExecutionStats:
         ]
         if self.plan_bound is not None:
             parts.append(f"bound={self.plan_bound}")
+        if self.backend is not None:
+            parts.append(f"backend={self.backend}")
         return ", ".join(parts)
 
 

@@ -13,20 +13,24 @@ comparison point is an executor whose data access grows with ``|D|``:
   multi-occurrence queries and exists for small-scale correctness testing and
   as a pessimistic baseline.
 
-Both charge every scanned tuple to the database's access counter, so their
-``tuples_accessed`` is the full-scan volume — the quantity that grows linearly
-with ``|D|`` in Figure 5.
+Both charge every scanned tuple to the storage backend's access counter, so
+their ``tuples_accessed`` is the full-scan volume — the quantity that grows
+linearly with ``|D|`` in Figure 5.  Like the bounded executor, they accept a
+:class:`~repro.relational.database.Database` or any
+:class:`~repro.storage.base.StorageBackend` and read data only through
+``backend.scan``.
 """
 
 from __future__ import annotations
 
 import time
 from itertools import product as iter_product
+from typing import Any
 
 from ..relational.algebra import RowSet, hash_join, product, project
-from ..relational.database import Database
 from ..spc.atoms import AttrEq, AttrRef, ConstEq
 from ..spc.query import SPCQuery
+from ..storage.base import as_backend
 from .metrics import ExecutionResult, ExecutionStats
 
 
@@ -59,16 +63,16 @@ class NaiveExecutor:
 
     strategy = "naive"
 
-    def execute(self, query: SPCQuery, database: Database) -> ExecutionResult:
-        """Evaluate ``query`` over the full ``database``."""
+    def execute(self, query: SPCQuery, source: Any) -> ExecutionResult:
+        """Evaluate ``query`` over the full database behind ``source``."""
         query.closure.require_satisfiable()
+        backend = as_backend(source)
         started = time.perf_counter()
-        before = database.access_snapshot()
+        before = backend.counter.snapshot()
 
         per_atom: list[RowSet] = []
         for atom_index, atom in enumerate(query.atoms):
-            relation = database.relation(atom.relation_name)
-            scanned = RowSet(_atom_header(query, atom_index), relation.scan())
+            scanned = RowSet(_atom_header(query, atom_index), backend.scan(atom.relation_name))
             per_atom.append(_local_filter(query, atom_index, scanned))
 
         cross_conditions = [
@@ -98,12 +102,13 @@ class NaiveExecutor:
         answer = project(accumulated, tuple(query.output), distinct=True)
 
         elapsed = time.perf_counter() - started
-        delta = database.accesses_since(before)
+        delta = backend.counter.since(before)
         stats = ExecutionStats.from_snapshot(
             strategy=self.strategy,
             delta=delta,
             elapsed_seconds=elapsed,
             result_rows=len(answer),
+            backend=backend.kind,
         )
         return ExecutionResult(rows=answer, stats=stats)
 
@@ -117,14 +122,13 @@ class NestedLoopExecutor:
 
     strategy = "nested-loop"
 
-    def execute(self, query: SPCQuery, database: Database) -> ExecutionResult:
+    def execute(self, query: SPCQuery, source: Any) -> ExecutionResult:
         query.closure.require_satisfiable()
+        backend = as_backend(source)
         started = time.perf_counter()
-        before = database.access_snapshot()
+        before = backend.counter.snapshot()
 
-        scans = [
-            list(database.relation(atom.relation_name).scan()) for atom in query.atoms
-        ]
+        scans = [backend.scan(atom.relation_name) for atom in query.atoms]
         header: tuple[AttrRef, ...] = ()
         for atom_index in range(query.num_atoms):
             header = header + _atom_header(query, atom_index)
@@ -155,11 +159,12 @@ class NestedLoopExecutor:
 
         answer = project(RowSet(header, satisfying), tuple(query.output), distinct=True)
         elapsed = time.perf_counter() - started
-        delta = database.accesses_since(before)
+        delta = backend.counter.since(before)
         stats = ExecutionStats.from_snapshot(
             strategy=self.strategy,
             delta=delta,
             elapsed_seconds=elapsed,
             result_rows=len(answer),
+            backend=backend.kind,
         )
         return ExecutionResult(rows=answer, stats=stats)

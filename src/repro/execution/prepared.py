@@ -26,7 +26,6 @@ from ..access.indexes import AccessIndexes
 from ..access.schema import AccessSchema
 from ..planning.plan import PreparedPlan
 from ..planning.qplan import prepare_plan
-from ..relational.database import Database
 from ..spc.parameters import ParameterizedQuery
 from .bounded import BoundedExecutor
 from .compiled import CompiledPlan, compiled_for
@@ -75,35 +74,36 @@ class PreparedQuery:
         """The plan's compiled program (lowered once, shared via the plan)."""
         return compiled_for(self.prepared.plan)
 
-    def warm(self, database: Database) -> AccessIndexes:
-        """Pre-build the plan's constraint indexes on ``database``.
+    def warm(self, source: Any) -> AccessIndexes:
+        """Pre-build the plan's constraint indexes on a database or backend.
 
         Also lowers the plan into its compiled program and binds it to the
         indexes, so the first :meth:`execute` already runs the hot path.
         """
-        indexes = self._executor.prepare(database, self.prepared.plan.access_schema)
+        indexes = self._executor.prepare(source, self.prepared.plan.access_schema)
         self.compiled.bind(indexes)
         return indexes
 
-    def execute(self, database: Database, **params: Any) -> ExecutionResult:
+    def execute(self, source: Any, **params: Any) -> ExecutionResult:
         """Answer one request: substitute ``params`` into the slots and run.
 
-        Raises :class:`~repro.errors.QueryError` for missing/unknown parameter
+        ``source`` is a database or any storage backend.  Raises
+        :class:`~repro.errors.QueryError` for missing/unknown parameter
         names and :class:`~repro.errors.UnsatisfiableQueryError` when equated
         parameters receive different values.
         """
         slot_values = self.prepared.bind_values(params)
         self.executions += 1
         return self._executor.execute(
-            self.prepared.plan, database, params=slot_values
+            self.prepared.plan, source, params=slot_values
         )
 
     def execute_many(
-        self, database: Database, bindings: Iterable[Mapping[str, Any]]
+        self, source: Any, bindings: Iterable[Mapping[str, Any]]
     ) -> list[ExecutionResult]:
-        """Serve a batch of requests against one database."""
-        self.warm(database)
-        return [self.execute(database, **binding) for binding in bindings]
+        """Serve a batch of requests against one database or backend."""
+        self.warm(source)
+        return [self.execute(source, **binding) for binding in bindings]
 
     def __repr__(self) -> str:
         return (

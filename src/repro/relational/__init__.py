@@ -26,6 +26,7 @@ from .algebra import (
 )
 from .csvio import (
     read_database_csv,
+    read_database_into,
     read_relation_csv,
     relation_from_rows,
     write_database_csv,
@@ -71,6 +72,7 @@ __all__ = [
     "product",
     "project",
     "read_database_csv",
+    "read_database_into",
     "read_relation_csv",
     "relation_from_rows",
     "rename",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from ..errors import SchemaError
 from .database import Database
@@ -18,9 +18,30 @@ from .relation import Relation
 from .schema import DatabaseSchema, RelationSchema
 from .types import ANY, AttributeType, FLOAT, INT, STRING
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..storage.base import StorageBackend
 
-def _coerce(value: str, attribute_type: AttributeType) -> Any:
-    """Parse a CSV cell with the attribute's type, falling back to the raw string."""
+
+class _CellParseError(SchemaError):
+    """Internal: a cell failed typed parsing in strict mode.
+
+    Carries the failing cell so the row-level handler can attach file, row
+    and column context without paying for context strings on the happy path.
+    """
+
+    def __init__(self, value: str, attribute_type: AttributeType, cause: Exception) -> None:
+        super().__init__(f"cannot parse {value!r} as {attribute_type.name} ({cause})")
+        self.value = value
+
+
+def _coerce(value: str, attribute_type: AttributeType, strict: bool = False) -> Any:
+    """Parse a CSV cell with the attribute's type.
+
+    By default a cell that fails typed parsing falls back to the raw string —
+    forgiving for exploratory loads, but it turns a malformed numeric column
+    into silently string-typed data.  With ``strict`` the failure raises
+    instead (enriched with row/column context by the caller).
+    """
     if attribute_type is ANY:
         # Untyped columns: try int, then float, then keep the string.
         for caster in (int, float):
@@ -31,7 +52,9 @@ def _coerce(value: str, attribute_type: AttributeType) -> Any:
         return value
     try:
         return attribute_type.parse(value)
-    except (ValueError, TypeError):
+    except (ValueError, TypeError) as error:
+        if strict:
+            raise _CellParseError(value, attribute_type, error) from error
         return value
 
 
@@ -47,23 +70,27 @@ def write_relation_csv(relation: Relation, path: str | Path) -> Path:
     return path
 
 
-def read_relation_csv(
-    schema: RelationSchema, path: str | Path, has_header: bool = True
-) -> Relation:
-    """Load a relation of ``schema`` from a CSV file.
+def iter_relation_csv(
+    schema: RelationSchema, path: str | Path, has_header: bool = True, strict: bool = False
+):
+    """Stream the typed tuples of a relation CSV, one at a time.
 
-    When ``has_header`` is true, the header row must list exactly the schema's
-    attributes (in any order); columns are re-ordered to match the schema.
+    The streaming core behind :func:`read_relation_csv` and
+    :func:`read_database_into`: rows are parsed and yielded without
+    materializing the relation, so a CSV larger than RAM can be loaded
+    straight into an out-of-core backend.  With ``strict``, a cell that
+    fails typed parsing raises :class:`~repro.errors.SchemaError` naming the
+    file, row and column instead of silently falling back to the raw string
+    (the context is built only for the failing cell, not per row).
     """
     path = Path(path)
-    relation = Relation(schema)
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
         rows = iter(reader)
         if has_header:
             header = next(rows, None)
             if header is None:
-                return relation
+                return
             if set(header) != set(schema.attribute_names):
                 raise SchemaError(
                     f"CSV header {header} does not match schema attributes "
@@ -73,16 +100,50 @@ def read_relation_csv(
         else:
             order = list(range(schema.arity))
         types = [attr.type for attr in schema.attributes]
-        for raw in rows:
+        names = schema.attribute_names
+        for row_number, raw in enumerate(rows, start=2 if has_header else 1):
             if not raw:
                 continue
             if len(raw) != schema.arity:
                 raise SchemaError(
                     f"CSV row of length {len(raw)} does not match arity "
-                    f"{schema.arity} of relation {schema.name!r}"
+                    f"{schema.arity} of relation {schema.name!r} "
+                    f"({path}, row {row_number})"
                 )
             reordered = [raw[i] for i in order]
-            relation.insert(tuple(_coerce(cell, t) for cell, t in zip(reordered, types)))
+            try:
+                yield tuple(
+                    _coerce(cell, attribute_type, strict=strict)
+                    for cell, attribute_type in zip(reordered, types)
+                )
+            except _CellParseError as error:
+                # Re-coerce cell by cell to name the column that failed (the
+                # fast path above stays allocation-free; this only runs once,
+                # on the raising row).
+                column = names[0]
+                for name, cell, attribute_type in zip(names, reordered, types):
+                    try:
+                        _coerce(cell, attribute_type, strict=True)
+                    except _CellParseError:
+                        column = name
+                        break
+                raise SchemaError(
+                    f"{path}, row {row_number}, column {column!r} of relation "
+                    f"{schema.name!r}: {error}"
+                ) from error
+
+
+def read_relation_csv(
+    schema: RelationSchema, path: str | Path, has_header: bool = True, strict: bool = False
+) -> Relation:
+    """Load a relation of ``schema`` from a CSV file.
+
+    When ``has_header`` is true, the header row must list exactly the schema's
+    attributes (in any order); columns are re-ordered to match the schema.
+    ``strict`` is forwarded to :func:`iter_relation_csv`.
+    """
+    relation = Relation(schema)
+    relation.extend(iter_relation_csv(schema, path, has_header=has_header, strict=strict))
     return relation
 
 
@@ -95,21 +156,42 @@ def write_database_csv(database: Database, directory: str | Path) -> Path:
     return directory
 
 
-def read_database_csv(schema: DatabaseSchema, directory: str | Path) -> Database:
+def read_database_csv(
+    schema: DatabaseSchema, directory: str | Path, strict: bool = False
+) -> Database:
     """Load a database of ``schema`` from per-relation CSV files in ``directory``.
 
     Missing files yield empty relations, so partially materialized datasets
-    load cleanly.
+    load cleanly.  ``strict`` is forwarded to :func:`read_relation_csv`.
+    """
+    database = Database(schema)
+    read_database_into(database.backend, directory, strict=strict)
+    return database
+
+
+def read_database_into(
+    backend: "StorageBackend", directory: str | Path, strict: bool = True
+) -> "StorageBackend":
+    """Load per-relation CSV files straight into any storage backend.
+
+    The backend's schema decides which files are read; missing files are
+    skipped like in :func:`read_database_csv`.  Rows are *streamed* — parsed
+    tuples flow from :func:`iter_relation_csv` into ``backend.populate``
+    without materializing a relation, so files larger than RAM load into an
+    out-of-core backend with flat memory.  Loading is strict by default — a
+    backend (in particular SQLite) should hold typed values, not silent
+    string fallbacks.  Returns the backend for chaining.
     """
     directory = Path(directory)
-    database = Database(schema)
-    for relation_schema in schema:
+    for relation_schema in backend.schema:
         path = directory / f"{relation_schema.name}.csv"
         if not path.exists():
             continue
-        loaded = read_relation_csv(relation_schema, path)
-        database.relation(relation_schema.name).extend(loaded.tuples())
-    return database
+        backend.populate(
+            relation_schema.name,
+            iter_relation_csv(relation_schema, path, strict=strict),
+        )
+    return backend
 
 
 def relation_from_rows(

@@ -20,12 +20,22 @@ from .statistics import AccessCounter, AccessSnapshot
 class Database:
     """An instance of a :class:`~repro.relational.schema.DatabaseSchema`."""
 
-    __slots__ = ("schema", "_relations", "counter", "indexes", "__weakref__")
+    __slots__ = (
+        "schema",
+        "_relations",
+        "counter",
+        "indexes",
+        "_backend",
+        "_data_version",
+        "__weakref__",
+    )
 
     def __init__(self, schema: DatabaseSchema) -> None:
         self.schema = schema
         self.counter = AccessCounter()
         self.indexes = IndexCatalog()
+        self._backend = None
+        self._data_version = 0
         self._relations: dict[str, Relation] = {}
         for relation_schema in schema:
             relation = Relation(relation_schema, counter=self.counter)
@@ -36,8 +46,21 @@ class Database:
 
     @classmethod
     def from_relations(cls, relations: Iterable[Relation]) -> "Database":
-        """Build a database (and schema) from already-populated relations."""
+        """Build a database (and schema) from already-populated relations.
+
+        Raises :class:`~repro.errors.SchemaError` when two relations share a
+        name — silently keeping one of them would drop data.
+        """
         relations = list(relations)
+        by_name: dict[str, int] = {}
+        for position, relation in enumerate(relations):
+            first = by_name.setdefault(relation.name, position)
+            if first != position:
+                raise SchemaError(
+                    f"Database.from_relations received duplicate relation name "
+                    f"{relation.name!r} (positions {first} and {position}); merge "
+                    f"the relations or rename one before building the database"
+                )
         schema = DatabaseSchema(r.schema for r in relations)
         database = cls(schema)
         for relation in relations:
@@ -54,7 +77,7 @@ class Database:
         """Build a database from ``{relation_name: [tuple, ...]}``."""
         database = cls(schema)
         for name, rows in data.items():
-            database.relation(name).extend(rows)
+            database.extend(name, rows)
         return database
 
     # -- relation access -----------------------------------------------------------
@@ -85,18 +108,43 @@ class Database:
 
     # -- mutation ------------------------------------------------------------------
 
-    def insert(self, relation_name: str, row: Sequence[Any]) -> None:
-        """Insert a tuple; any indexes on the relation become stale.
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter bumped by every database-level mutation.
 
-        Indexes are rebuilt lazily by :meth:`build_index`, mirroring a bulk
-        load followed by index construction.  Workload generators populate
-        relations fully before indices are created.
+        Index caches (the backend's views, the executor's prepared
+        :class:`~repro.access.indexes.AccessIndexes`) fingerprint themselves
+        with this value, so data loaded *after* index construction is seen by
+        later fetches instead of being silently invisible.  Mutating a
+        :class:`Relation` directly (bypassing the database) does not bump it.
+        """
+        return self._data_version
+
+    def _mutated(self, relation_name: str) -> None:
+        """Record a data change: drop the relation's (now stale) indexes.
+
+        Hash indexes are bucket-map snapshots; rebuilding lazily on next use
+        mirrors a bulk load followed by index construction and keeps the
+        in-memory backend observationally identical to SQLite, whose SQL
+        indexes always see live tables.
+        """
+        self._data_version += 1
+        self.indexes.discard_relation(relation_name)
+
+    def insert(self, relation_name: str, row: Sequence[Any]) -> None:
+        """Insert a tuple; any indexes on the relation are dropped as stale.
+
+        Row-at-a-time inserts interleaved with fetches force an index rebuild
+        per insert; prefer :meth:`extend` for bulk loads (one invalidation
+        per batch).
         """
         self.relation(relation_name).insert(row)
+        self._mutated(relation_name)
 
     def extend(self, relation_name: str, rows: Iterable[Sequence[Any]]) -> None:
-        """Insert several tuples into one relation."""
+        """Insert several tuples into one relation (indexes dropped as stale)."""
         self.relation(relation_name).extend(rows)
+        self._mutated(relation_name)
 
     # -- indexing ------------------------------------------------------------------
 
@@ -162,6 +210,27 @@ class Database:
     ) -> HashIndex | None:
         """Look up a previously built index, or ``None``."""
         return self.indexes.find(relation_name, key, value)
+
+    # -- storage seam --------------------------------------------------------------
+
+    @property
+    def backend(self):
+        """This database viewed as a storage backend (memoized).
+
+        Executors accept databases and backends interchangeably; the memoized
+        instance keeps the executor-side weak caches (constraint indexes,
+        prepared schemas) keyed by one stable object per database.
+        """
+        backend = self._backend
+        if backend is None:
+            from ..storage.memory import InMemoryBackend  # local: storage builds on this module
+
+            backend = self._backend = InMemoryBackend(self)
+        return backend
+
+    def as_storage_backend(self):
+        """Protocol hook shared with :class:`~repro.storage.base.StorageBackend`."""
+        return self.backend
 
     # -- accounting ----------------------------------------------------------------
 

@@ -245,6 +245,21 @@ class IndexCatalog:
         """All indices built on ``relation``."""
         return [idx for (rel, _k, _v), idx in self._indexes.items() if rel == relation]
 
+    def discard_relation(self, relation: str) -> int:
+        """Drop every index built on ``relation``; returns how many were dropped.
+
+        Used when the relation's data changes after index construction: the
+        bucket maps (and their memoized distinct projections) are snapshots,
+        so the safe response to new tuples is to forget them and rebuild on
+        next use.
+        """
+        if not self._indexes:
+            return 0  # bulk-load fast path: nothing built yet, nothing to scan
+        stale = [spec for spec in self._indexes if spec[0] == relation]
+        for spec in stale:
+            del self._indexes[spec]
+        return len(stale)
+
     def __len__(self) -> int:
         return len(self._indexes)
 

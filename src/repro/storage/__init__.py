@@ -1,0 +1,29 @@
+"""Pluggable storage backends behind one protocol.
+
+Executors touch data only through :class:`StorageBackend` —
+``scan``/``fetch``/``build_indexes``/``cardinality`` plus the access-counter
+charging contract — so the execution engine and the storage substrate scale
+independently:
+
+* :class:`InMemoryBackend` wraps the in-memory relational substrate
+  (``Database``/``HashIndex``) with zero behavior change;
+* :class:`SQLiteBackend` materializes relations as SQLite tables for
+  out-of-core bounded execution, mapping each access constraint to a SQL
+  index with the cardinality bound enforced at fetch time.
+
+``as_backend`` resolves either a backend or a ``Database`` (which memoizes
+its own :class:`InMemoryBackend`), so every executor entry point accepts
+both.
+"""
+
+from .base import StorageBackend, as_backend
+from .memory import InMemoryBackend
+from .sqlite import SQLiteBackend, SQLiteConstraintIndex
+
+__all__ = [
+    "InMemoryBackend",
+    "SQLiteBackend",
+    "SQLiteConstraintIndex",
+    "StorageBackend",
+    "as_backend",
+]

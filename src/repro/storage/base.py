@@ -1,0 +1,180 @@
+"""The storage seam: every executor touches data through a StorageBackend.
+
+The paper's central promise is that a bounded plan reaches data *only*
+through access-constraint fetches, so its cost is measured in the constraint
+bounds, never in ``|D|``.  That promise is exactly a storage interface: an
+executor needs full scans (the baseline path), constraint fetches (the
+bounded path), index construction, and cardinalities — nothing else.  This
+module states that interface as :class:`StorageBackend` so the execution
+stack is independent of where the tuples live:
+
+* :class:`~repro.storage.memory.InMemoryBackend` wraps the in-memory
+  :class:`~repro.relational.database.Database` substrate (hash indexes,
+  shared-scan construction) with zero behavior change, and
+* :class:`~repro.storage.sqlite.SQLiteBackend` materializes relations as
+  SQLite tables, so bounded execution works out-of-core on databases larger
+  than the in-memory working set.
+
+Every backend owns one :class:`~repro.relational.statistics.AccessCounter`
+and must honor the **charging contract**: a full scan charges one scan of the
+relation's cardinality; a constraint fetch deduplicates its candidate
+``X``-values and charges, per distinct candidate, one probe of the number of
+distinct ``X ∪ Y`` projections returned (zero-row probes included).  Two
+backends holding the same data therefore report identical
+``tuples_accessed`` for the same plan — the property the differential suite
+pins.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from ..access.constraint import AccessConstraint
+from ..errors import ExecutionError
+from ..relational.statistics import AccessCounter, AccessSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..access.indexes import AccessIndexes
+    from ..relational.schema import DatabaseSchema
+
+Row = tuple[Any, ...]
+
+
+class StorageBackend(abc.ABC):
+    """Abstract storage substrate: scans, constraint fetches, indexes, counts.
+
+    Concrete backends expose
+
+    * ``kind`` — a short tag (``"memory"``, ``"sqlite"``) surfaced in
+      execution stats and engine monitoring,
+    * ``schema`` — the :class:`~repro.relational.schema.DatabaseSchema` of the
+      stored relations,
+    * ``counter`` — the single :class:`AccessCounter` all counted access paths
+      charge, so one execution yields one coherent access count.
+    """
+
+    #: Short backend tag, e.g. ``"memory"`` or ``"sqlite"``.
+    kind: str = "abstract"
+
+    schema: "DatabaseSchema"
+    counter: AccessCounter
+
+    def as_storage_backend(self) -> "StorageBackend":
+        """The backend itself; lets executors accept databases and backends alike."""
+        return self
+
+    # -- data ----------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def relation_names(self) -> tuple[str, ...]:
+        """Names of the stored relations."""
+
+    @abc.abstractmethod
+    def cardinality(self, relation: str) -> int:
+        """Number of tuples in ``relation`` (uncounted; metadata, not data access)."""
+
+    @abc.abstractmethod
+    def populate(self, relation: str, rows: Iterable[Sequence[Any]]) -> None:
+        """Bulk-append tuples to ``relation`` (uncounted; loading is not querying)."""
+
+    @property
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations (the paper's ``|D|``)."""
+        return sum(self.cardinality(name) for name in self.relation_names())
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic fingerprint of the stored data; 0 when always live.
+
+        Backends whose retrieval structures are snapshots (the in-memory
+        hash indexes) bump this on mutation so executor-level index caches
+        rebuild instead of serving stale views; backends whose indexes see
+        live data (SQLite) can leave it constant.
+        """
+        return 0
+
+    # -- counted access paths ------------------------------------------------------
+
+    @abc.abstractmethod
+    def scan(self, relation: str) -> list[Row]:
+        """All tuples of ``relation``, charging one full scan to the counter.
+
+        This is the access path whose cost grows with ``|D|``; only the
+        baseline executors use it.
+        """
+
+    @abc.abstractmethod
+    def fetch(
+        self,
+        constraint: AccessConstraint,
+        x_values: Iterable[Sequence[Any]],
+        enforce_bound: bool = True,
+    ) -> list[Row]:
+        """Distinct ``X ∪ Y`` projections for a batch of candidate ``X``-values.
+
+        Implements the bounded-fetch charging contract: candidates are
+        deduplicated (insertion-ordered) before probing, each distinct
+        candidate is charged one probe of the distinct rows it returns, and
+        with ``enforce_bound`` a candidate returning more than the
+        constraint's bound raises
+        :class:`~repro.errors.ConstraintViolationError`.  Rows are returned
+        in the constraint's canonical fetch order (``X`` then ``Y \\ X``),
+        deduplicated across candidates.
+        """
+
+    @abc.abstractmethod
+    def contains(self, constraint: AccessConstraint, x_value: Sequence[Any]) -> bool:
+        """Whether any tuple carries ``x_value``; charged as a single-tuple probe."""
+
+    # -- indexes -------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def build_indexes(
+        self,
+        constraints: Iterable[AccessConstraint],
+        enforce_bounds: bool = True,
+    ) -> "AccessIndexes":
+        """Build (or reuse) the retrieval structure behind each constraint.
+
+        Returns one :class:`~repro.access.indexes.AccessIndexes` collection of
+        per-constraint fetch views over this backend.  Constraints on
+        relations absent from the backend are skipped, so an access schema
+        shared across dataset variants can be reused unchanged.  Construction
+        is never charged to the counter — the paper treats indexes as
+        pre-built auxiliary structures.
+        """
+
+    # -- accounting ----------------------------------------------------------------
+
+    def reset_counter(self) -> None:
+        """Zero the backend's access counter."""
+        self.counter.reset()
+
+    def access_snapshot(self) -> AccessSnapshot:
+        """Snapshot of the counter (for differencing around a query)."""
+        return self.counter.snapshot()
+
+    def accesses_since(self, snapshot: AccessSnapshot) -> AccessSnapshot:
+        """Counter deltas accumulated since ``snapshot``."""
+        return self.counter.since(snapshot)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({len(self.relation_names())} relations, {self.total_tuples} tuples)"
+
+
+def as_backend(source: Any) -> StorageBackend:
+    """Resolve a :class:`StorageBackend` from a backend or anything carrying one.
+
+    :class:`~repro.relational.database.Database` exposes its (memoized)
+    :class:`~repro.storage.memory.InMemoryBackend` through
+    ``as_storage_backend()``, so executors accept databases and backends
+    interchangeably; the resolution is one attribute lookup on the hot path.
+    """
+    resolve = getattr(source, "as_storage_backend", None)
+    if resolve is None:
+        raise ExecutionError(
+            f"{source!r} is not a StorageBackend and does not carry one "
+            f"(expected a Database or a StorageBackend)"
+        )
+    return resolve()

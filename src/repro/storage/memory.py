@@ -1,0 +1,140 @@
+"""In-memory storage backend: the original substrate behind the protocol.
+
+:class:`InMemoryBackend` wraps a :class:`~repro.relational.database.Database`
+— its relations, its :class:`~repro.relational.indexes.IndexCatalog` and its
+shared :class:`~repro.relational.statistics.AccessCounter` — behind the
+:class:`~repro.storage.base.StorageBackend` protocol with zero behavior
+change: scans charge exactly as :meth:`Relation.scan` always did, constraint
+fetches run through the same shared-scan-built
+:class:`~repro.relational.indexes.HashIndex` buckets with the same
+per-candidate probe charging, and index construction remains one pass per
+relation no matter how many constraints it backs.
+
+Executors never construct this class directly; ``Database.backend`` memoizes
+one instance per database and ``as_backend`` resolves it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from ..access.constraint import AccessConstraint
+from ..access.indexes import AccessIndexes, ConstraintIndex
+from ..relational.statistics import AccessCounter
+from .base import Row, StorageBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..relational.database import Database
+    from ..relational.schema import DatabaseSchema
+
+
+class InMemoryBackend(StorageBackend):
+    """The in-memory ``Database`` substrate viewed through the storage protocol."""
+
+    kind = "memory"
+
+    def __init__(self, database: "Database") -> None:
+        self.database = database
+        #: (constraint, enforce_bound) -> ConstraintIndex view, so repeated
+        #: protocol-level fetches reuse one view per constraint.  Fingerprinted
+        #: by the database's data_version: a mutation invalidates the whole
+        #: map, because the hash indexes the views wrap are snapshots.
+        self._views: dict[tuple[AccessConstraint, bool], ConstraintIndex] = {}
+        self._views_version = database.data_version
+
+    # -- metadata ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> "DatabaseSchema":  # type: ignore[override]
+        return self.database.schema
+
+    @property
+    def counter(self) -> AccessCounter:  # type: ignore[override]
+        return self.database.counter
+
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(relation.name for relation in self.database)
+
+    def cardinality(self, relation: str) -> int:
+        return len(self.database.relation(relation))
+
+    @property
+    def data_version(self) -> int:  # type: ignore[override]
+        return self.database.data_version
+
+    def populate(self, relation: str, rows: Iterable[Sequence[Any]]) -> None:
+        """Bulk-append tuples through the database's mutation path.
+
+        ``Database.extend`` drops the relation's (snapshot) hash indexes and
+        bumps ``data_version``, so this backend's views and the executor's
+        prepared index caches rebuild on next use instead of silently serving
+        pre-populate data — the divergence-from-SQLite failure mode.
+        """
+        self.database.extend(relation, rows)
+
+    # -- counted access paths ------------------------------------------------------
+
+    def scan(self, relation: str) -> list[Row]:
+        return list(self.database.relation(relation).scan())
+
+    def fetch(
+        self,
+        constraint: AccessConstraint,
+        x_values: Iterable[Sequence[Any]],
+        enforce_bound: bool = True,
+    ) -> list[Row]:
+        return self._view(constraint, enforce_bound).fetch_many(x_values)
+
+    def contains(self, constraint: AccessConstraint, x_value: Sequence[Any]) -> bool:
+        return self._view(constraint, True).contains(x_value)
+
+    def _check_views_fresh(self) -> None:
+        if self._views_version != self.database.data_version:
+            self._views.clear()
+            self._views_version = self.database.data_version
+
+    def _view(self, constraint: AccessConstraint, enforce_bound: bool) -> ConstraintIndex:
+        self._check_views_fresh()
+        view = self._views.get((constraint, enforce_bound))
+        if view is None:
+            indexes = self.build_indexes([constraint], enforce_bounds=enforce_bound)
+            view = indexes.for_constraint(constraint)
+        return view
+
+    # -- indexes -------------------------------------------------------------------
+
+    def build_indexes(
+        self,
+        constraints: Iterable[AccessConstraint],
+        enforce_bounds: bool = True,
+    ) -> AccessIndexes:
+        """One hash index per constraint, built shared-scan per relation.
+
+        Constraints are grouped by relation and all of a relation's bucket
+        maps are filled in one pass over its tuples
+        (:meth:`~repro.relational.database.Database.build_indexes`), so a
+        schema with many constraints per relation costs one scan per relation
+        rather than one per constraint.  Already-built hash indexes are
+        reused from the database's catalog.
+        """
+        self._check_views_fresh()
+        indexes = AccessIndexes()
+        by_relation: dict[str, list[AccessConstraint]] = {}
+        for constraint in constraints:
+            if constraint.relation not in self.database.schema:
+                continue
+            by_relation.setdefault(constraint.relation, []).append(constraint)
+        for relation_name, relation_constraints in by_relation.items():
+            specs = [
+                (constraint.x, list(constraint.fetch_attributes))
+                for constraint in relation_constraints
+            ]
+            hash_indexes = self.database.build_indexes(relation_name, specs)
+            for constraint, hash_index in zip(relation_constraints, hash_indexes):
+                view = ConstraintIndex(constraint, hash_index, enforce_bound=enforce_bounds)
+                self._views[(constraint, enforce_bounds)] = view
+                indexes.add(view)
+        return indexes
+
+    def __repr__(self) -> str:
+        return f"InMemoryBackend({self.database!r})"

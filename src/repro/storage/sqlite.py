@@ -1,0 +1,365 @@
+"""SQLite storage backend: out-of-core bounded execution.
+
+The in-memory substrate caps datasets at RAM; this backend materializes each
+relation as a SQLite table (on disk or ``:memory:``) and serves the storage
+protocol over SQL:
+
+* every access constraint ``X -> (Y, N)`` maps to a B-tree index on its ``X``
+  columns, created once by :meth:`SQLiteBackend.build_indexes`;
+* a batched fetch becomes one ``SELECT DISTINCT`` with an ``IN``-list over
+  the candidate ``X``-values (row-value lists for composite keys), chunked to
+  stay under SQLite's bound-parameter limit;
+* the cardinality bound ``N`` is enforced at fetch time: results are grouped
+  per candidate key and a key exceeding its bound raises
+  :class:`~repro.errors.ConstraintViolationError`, exactly like the hash
+  index path.
+
+The charging contract matches :class:`~repro.storage.memory.InMemoryBackend`
+probe for probe — candidates deduplicated first, one probe recorded per
+distinct candidate with its distinct-row count (misses charge a zero-row
+probe) — so a bounded plan reports identical ``tuples_accessed`` on either
+backend, and the paper's headline survives the move out of core: access
+counts stay flat as the SQLite database grows.
+
+Values must be SQLite-storable (``None``, ``int``, ``float``, ``str``,
+``bytes``); :meth:`populate` rejects anything else with row context instead
+of letting ``sqlite3`` fail opaquely mid-batch.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from ..access.constraint import AccessConstraint
+from ..access.indexes import AccessIndexes, check_bound
+from ..errors import SchemaError, UnknownRelationError
+from ..relational.schema import DatabaseSchema
+from ..relational.statistics import AccessCounter
+from .base import Row, StorageBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..relational.database import Database
+
+#: Bound-parameter budget per IN-list query; composite keys divide it by
+#: their arity, so every statement stays under SQLite's historical
+#: 999-variable limit no matter how wide the constraint key is.
+FETCH_CHUNK_SIZE = 300
+
+#: Rows buffered per ``executemany`` flush during :meth:`SQLiteBackend.populate`,
+#: keeping load memory flat for datasets larger than RAM.
+POPULATE_CHUNK_SIZE = 10_000
+
+#: Python types sqlite3 stores losslessly without adapters.
+_STORABLE = (int, float, str, bytes)
+
+
+def _quote(identifier: str) -> str:
+    """Quote a table/column identifier (schemas are data, not trusted SQL)."""
+    return '"' + identifier.replace('"', '""') + '"'
+
+
+class SQLiteConstraintIndex:
+    """Fetch view of one access constraint over a :class:`SQLiteBackend`.
+
+    Duck-type of :class:`~repro.access.indexes.ConstraintIndex`: same
+    ``fetch`` / ``fetch_many`` / ``contains`` surface, same canonical
+    ``X`` then ``Y \\ X`` output order, same charging — but every probe is a
+    SQL query against the backing table instead of a hash-bucket lookup.
+    """
+
+    __slots__ = ("constraint", "backend", "enforce_bound")
+
+    def __init__(
+        self,
+        constraint: AccessConstraint,
+        backend: "SQLiteBackend",
+        enforce_bound: bool = True,
+    ) -> None:
+        self.constraint = constraint
+        self.backend = backend
+        self.enforce_bound = enforce_bound
+
+    @property
+    def relation(self) -> str:
+        return self.constraint.relation
+
+    @property
+    def key(self) -> tuple[str, ...]:
+        return self.constraint.x
+
+    @property
+    def value(self) -> tuple[str, ...]:
+        """Attributes returned by a probe: ``X`` followed by ``Y \\ X``."""
+        return self.constraint.fetch_attributes
+
+    def fetch(self, x_value: Sequence[Any]) -> list[Row]:
+        return self.backend.fetch(self.constraint, [tuple(x_value)], self.enforce_bound)
+
+    def fetch_many(self, x_values: Iterable[Sequence[Any]]) -> list[Row]:
+        return self.backend.fetch(self.constraint, x_values, self.enforce_bound)
+
+    def contains(self, x_value: Sequence[Any]) -> bool:
+        return self.backend.contains(self.constraint, x_value)
+
+    def __repr__(self) -> str:
+        return f"SQLiteConstraintIndex({self.constraint})"
+
+
+class SQLiteBackend(StorageBackend):
+    """Relations as SQLite tables; access constraints as SQL indexes."""
+
+    kind = "sqlite"
+
+    def __init__(self, schema: DatabaseSchema, path: str = ":memory:") -> None:
+        """Open (or create) the store at ``path`` with ``schema``'s tables.
+
+        Opening an existing file *reuses* its contents — that is the reopen
+        flow for a previously materialized dataset.  To replace a file's
+        contents with a fresh instance, go through :meth:`from_database`
+        (which truncates before loading) or delete the file first.
+        """
+        self.schema = schema
+        self.path = path
+        self.counter = AccessCounter()
+        self._connection = sqlite3.connect(path)
+        #: Constraints whose SQL index has been created, to make
+        #: build_indexes idempotent without re-issuing DDL.
+        self._indexed: set[tuple[str, tuple[str, ...]]] = set()
+        for relation in schema:
+            columns = ", ".join(_quote(a) for a in relation.attribute_names)
+            self._connection.execute(
+                f"CREATE TABLE IF NOT EXISTS {_quote(relation.name)} ({columns})"
+            )
+        self._connection.commit()
+
+    # -- construction --------------------------------------------------------------
+
+    @classmethod
+    def from_database(cls, database: "Database", path: str = ":memory:") -> "SQLiteBackend":
+        """Materialize an in-memory database's relations as SQLite tables.
+
+        The target tables are truncated first, so materializing into an
+        existing file *replaces* its contents rather than appending a second
+        generation of rows next to the old one (which would inflate
+        cardinalities and could spuriously violate constraint bounds).
+        """
+        backend = cls(database.schema, path=path)
+        for relation in database:
+            backend._connection.execute(f"DELETE FROM {_quote(relation.name)}")
+            backend.populate(relation.name, relation.tuples())
+        backend._connection.commit()
+        return backend
+
+    def close(self) -> None:
+        """Close the underlying connection (the backend is unusable afterwards)."""
+        self._connection.close()
+
+    def _relation_schema(self, relation: str):
+        if relation not in self.schema:
+            raise UnknownRelationError(relation)
+        return self.schema.relation(relation)
+
+    def populate(self, relation: str, rows: Iterable[Sequence[Any]]) -> None:
+        """Bulk-append tuples, validating and flushing in fixed-size chunks.
+
+        Chunked flushing keeps load memory flat — this backend exists for
+        datasets larger than the in-memory working set, so the loader must
+        not buffer the whole stream.  The load is atomic per call: a
+        validation failure mid-stream rolls back every already-flushed chunk
+        (no orphan rows for a later commit to pick up), and the error names
+        the offending row and column.
+        """
+        schema = self._relation_schema(relation)
+        placeholders = ", ".join("?" for _ in range(schema.arity))
+        sql = f"INSERT INTO {_quote(relation)} VALUES ({placeholders})"
+        batch: list[tuple[Any, ...]] = []
+        try:
+            for row_number, row in enumerate(rows):
+                values = tuple(row)
+                if len(values) != schema.arity:
+                    raise SchemaError(
+                        f"relation {relation!r} expects arity {schema.arity}, "
+                        f"got tuple of length {len(values)} at row {row_number}"
+                    )
+                for attribute, value in zip(schema.attribute_names, values):
+                    if value is not None and not isinstance(value, _STORABLE):
+                        raise SchemaError(
+                            f"SQLiteBackend cannot store {type(value).__name__} value "
+                            f"{value!r} (relation {relation!r}, row {row_number}, "
+                            f"column {attribute!r}); supported types are "
+                            f"None/int/float/str/bytes"
+                        )
+                batch.append(values)
+                if len(batch) >= POPULATE_CHUNK_SIZE:
+                    self._connection.executemany(sql, batch)
+                    batch.clear()
+            if batch:
+                self._connection.executemany(sql, batch)
+        except BaseException:
+            self._connection.rollback()
+            raise
+        self._connection.commit()
+
+    # -- metadata ------------------------------------------------------------------
+
+    def relation_names(self) -> tuple[str, ...]:
+        return self.schema.relation_names
+
+    def cardinality(self, relation: str) -> int:
+        self._relation_schema(relation)
+        row = self._connection.execute(
+            f"SELECT COUNT(*) FROM {_quote(relation)}"
+        ).fetchone()
+        return int(row[0])
+
+    # -- counted access paths ------------------------------------------------------
+
+    def scan(self, relation: str) -> list[Row]:
+        schema = self._relation_schema(relation)
+        columns = ", ".join(_quote(a) for a in schema.attribute_names)
+        rows = self._connection.execute(
+            f"SELECT {columns} FROM {_quote(relation)}"
+        ).fetchall()
+        self.counter.record_scan(len(rows))
+        return rows
+
+    def fetch(
+        self,
+        constraint: AccessConstraint,
+        x_values: Iterable[Sequence[Any]],
+        enforce_bound: bool = True,
+    ) -> list[Row]:
+        self._relation_schema(constraint.relation)  # UnknownRelationError over raw SQL error
+        keys = list(dict.fromkeys(map(tuple, x_values)))
+        if not keys:
+            return []
+        table = _quote(constraint.relation)
+        columns = ", ".join(_quote(a) for a in constraint.fetch_attributes)
+        counter = self.counter
+
+        if not constraint.x:
+            # Bounded-domain constraint: the single key () selects the whole
+            # distinct Y-projection; `keys` can only be [()].
+            rows = self._connection.execute(
+                f"SELECT DISTINCT {columns} FROM {table}"
+            ).fetchall()
+            groups: dict[tuple[Any, ...], list[Row]] = {(): rows}
+        else:
+            groups = self._grouped_rows(constraint, table, columns, keys)
+
+        out: dict[Row, None] = {}
+        empty: tuple[Row, ...] = ()
+        for key in keys:
+            rows = groups.get(key, empty)
+            counter.record_probe(len(rows))
+            if enforce_bound:
+                check_bound(constraint, rows, key)
+            for row in rows:
+                out[row] = None
+        return list(out)
+
+    def _grouped_rows(
+        self,
+        constraint: AccessConstraint,
+        table: str,
+        columns: str,
+        keys: list[tuple[Any, ...]],
+    ) -> dict[tuple[Any, ...], list[Row]]:
+        """Batched IN-list retrieval, grouped back per candidate key.
+
+        ``fetch_attributes`` starts with ``X``, so each returned row's key is
+        its leading prefix.  Keys containing ``None`` cannot ride an
+        ``IN``-list (SQL ``IN`` never matches NULL) and fall back to one
+        ``IS``-comparison query each, preserving the in-memory semantics
+        where ``None`` is an ordinary key value.
+        """
+        arity = len(constraint.x)
+        listable = [key for key in keys if None not in key]
+        null_keys = [key for key in keys if None in key]
+        groups: dict[tuple[Any, ...], list[Row]] = {}
+        execute = self._connection.execute
+        # FETCH_CHUNK_SIZE is a bound-parameter budget: a composite key binds
+        # ``arity`` parameters per candidate, so divide the budget by arity.
+        chunk_size = max(1, FETCH_CHUNK_SIZE // arity)
+        for start in range(0, len(listable), chunk_size):
+            chunk = listable[start : start + chunk_size]
+            if arity == 1:
+                placeholders = ", ".join("?" for _ in chunk)
+                predicate = f"{_quote(constraint.x[0])} IN ({placeholders})"
+                parameters: list[Any] = [key[0] for key in chunk]
+            else:
+                key_columns = ", ".join(_quote(a) for a in constraint.x)
+                row_value = "(" + ", ".join("?" for _ in range(arity)) + ")"
+                placeholders = ", ".join(row_value for _ in chunk)
+                predicate = f"({key_columns}) IN (VALUES {placeholders})"
+                parameters = [value for key in chunk for value in key]
+            cursor = execute(
+                f"SELECT DISTINCT {columns} FROM {table} WHERE {predicate}", parameters
+            )
+            for row in cursor:
+                groups.setdefault(row[:arity], []).append(row)
+        for key in null_keys:
+            predicate = " AND ".join(f"{_quote(a)} IS ?" for a in constraint.x)
+            rows = execute(
+                f"SELECT DISTINCT {columns} FROM {table} WHERE {predicate}", key
+            ).fetchall()
+            if rows:
+                groups[key] = rows
+        return groups
+
+    def contains(self, constraint: AccessConstraint, x_value: Sequence[Any]) -> bool:
+        self._relation_schema(constraint.relation)  # UnknownRelationError over raw SQL error
+        key = tuple(x_value)
+        if not constraint.x:
+            present = self.cardinality(constraint.relation) > 0
+        else:
+            predicate = " AND ".join(f"{_quote(a)} IS ?" for a in constraint.x)
+            row = self._connection.execute(
+                f"SELECT EXISTS (SELECT 1 FROM {_quote(constraint.relation)} "
+                f"WHERE {predicate})",
+                key,
+            ).fetchone()
+            present = bool(row[0])
+        self.counter.record_probe(1 if present else 0)
+        return present
+
+    # -- indexes -------------------------------------------------------------------
+
+    def build_indexes(
+        self,
+        constraints: Iterable[AccessConstraint],
+        enforce_bounds: bool = True,
+    ) -> AccessIndexes:
+        """One SQL index per constraint key; views charge this backend's counter.
+
+        Empty-``X`` (bounded-domain) constraints need no SQL index — their
+        single probe is a distinct projection of the whole table.
+        """
+        indexes = AccessIndexes()
+        created = False
+        for constraint in constraints:
+            if constraint.relation not in self.schema:
+                continue
+            if constraint.x:
+                spec = (constraint.relation, constraint.x)
+                if spec not in self._indexed:
+                    name = "ix__" + "__".join((constraint.relation,) + constraint.x)
+                    key_columns = ", ".join(_quote(a) for a in constraint.x)
+                    self._connection.execute(
+                        f"CREATE INDEX IF NOT EXISTS {_quote(name)} "
+                        f"ON {_quote(constraint.relation)} ({key_columns})"
+                    )
+                    self._indexed.add(spec)
+                    created = True
+            indexes.add(SQLiteConstraintIndex(constraint, self, enforce_bounds))
+        if created:
+            self._connection.commit()
+        return indexes
+
+    def __repr__(self) -> str:
+        location = "in-memory" if self.path == ":memory:" else self.path
+        return (
+            f"SQLiteBackend({location}: {len(self.schema)} relations, "
+            f"{self.total_tuples} tuples)"
+        )

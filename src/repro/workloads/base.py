@@ -45,6 +45,45 @@ class Workload:
             raise WorkloadError(f"scale must be positive, got {scale}")
         return self.generate_data(scale, seed)
 
+    def to_backend(
+        self,
+        kind: str = "memory",
+        scale: float | None = None,
+        seed: int = 0,
+        path: str = ":memory:",
+        database: Database | None = None,
+    ):
+        """Generate (or reuse) an instance and populate the requested storage backend.
+
+        ``kind`` selects the store: ``"memory"`` returns the generated
+        database's own :class:`~repro.storage.memory.InMemoryBackend`;
+        ``"sqlite"`` materializes the relations into a
+        :class:`~repro.storage.sqlite.SQLiteBackend` at ``path`` (default
+        ``":memory:"``; pass a file path for out-of-core datasets).  Pass
+        ``database`` to convert an already-generated instance instead of
+        generating a fresh one.
+        """
+        if database is None:
+            database = self.database(scale=scale, seed=seed)
+        if kind == "memory":
+            return database.backend
+        if kind == "sqlite":
+            from ..storage.sqlite import SQLiteBackend
+
+            return SQLiteBackend.from_database(database, path=path)
+        raise WorkloadError(f"unknown storage backend kind {kind!r} (memory, sqlite)")
+
+    def load_database(self, directory, strict: bool = True) -> Database:
+        """Load a persisted instance of this workload from per-relation CSVs.
+
+        Strict by default: a cell that fails typed parsing raises
+        :class:`~repro.errors.SchemaError` with file/row/column context
+        instead of silently degrading the column to strings.
+        """
+        from ..relational.csvio import read_database_csv
+
+        return read_database_csv(self.schema, directory, strict=strict)
+
     def queries(self, seed: int = 0) -> list[SPCQuery]:
         """The workload's query set (the paper uses 15 queries per dataset)."""
         return self.generate_queries(seed)

@@ -1,6 +1,6 @@
-"""Hypothesis properties: batch operators and compiled plans vs naive oracles.
+"""Hypothesis properties: batch operators, compiled plans and storage backends.
 
-Two layers of differential testing for the compiled execution path:
+Three layers of differential testing for the execution path:
 
 1. **Operator level** — the itemgetter/dict-based rewrites of ``project``,
    ``hash_join``, ``distinct`` and the ordered-dedup probe paths are compared
@@ -11,6 +11,11 @@ Two layers of differential testing for the compiled execution path:
    databases: equal rows (as sets) everywhere, and identical
    ``tuples_accessed`` between compiled and interpreted (both are evalDQ and
    must fetch exactly the same ``D_Q``).
+3. **Backend level** — the same random queries run on an
+   :class:`~repro.storage.sqlite.SQLiteBackend` holding identical data: the
+   SQL fetch path must return the same rows, the same per-step fetch sizes
+   and charge the same ``tuples_accessed`` as both in-memory paths (the
+   storage protocol's charging contract).
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from repro.core import ebcheck
 from repro.execution import BoundedExecutor, NaiveExecutor
 from repro.planning import qplan
 from repro.relational.algebra import RowSet, hash_join, project
+from repro.storage import SQLiteBackend
 from repro.workloads import generate_query, get_workload
 from repro.workloads.mot import mot_access_schema, mot_querygen_spec
 from repro.workloads.tfacc import tfacc_access_schema, tfacc_querygen_spec
@@ -161,3 +167,70 @@ def test_compiled_interpreted_and_naive_agree_on_random_queries(
     assert set(compiled.rows.rows) == set(interpreted.rows.rows) == naive.as_set
     assert compiled.stats.tuples_accessed == interpreted.stats.tuples_accessed
     assert compiled.details["step_sizes"] == interpreted.details["step_sizes"]
+
+
+# ---------------------------------------------------------------------------
+# storage-backend parity on random TFACC / MOT queries
+# ---------------------------------------------------------------------------
+
+_SQLITE_CACHE: dict[str, SQLiteBackend] = {}
+
+
+def _sqlite_backend(name: str) -> SQLiteBackend:
+    if name not in _SQLITE_CACHE:
+        _SQLITE_CACHE[name] = SQLiteBackend.from_database(_database(name))
+    return _SQLITE_CACHE[name]
+
+
+@pytest.mark.parametrize("workload", sorted(_WORKLOADS))
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_products=st.integers(min_value=0, max_value=2),
+    num_selections=st.integers(min_value=3, max_value=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_sqlite_backend_matches_in_memory_on_random_queries(
+    workload, seed, num_products, num_selections
+):
+    """Identical rows AND identical ``tuples_accessed`` across storage backends.
+
+    Runs the same bounded plan through the in-memory interpreted path, the
+    in-memory compiled path and the SQLite backend; the three must agree on
+    the answer, on every per-step fetch size, and on the access-counter
+    charge — the bounded plan's ``|D_Q|`` is a property of (Q, A, data), not
+    of the store.
+    """
+    spec_factory, access_factory = _WORKLOADS[workload]
+    generated = generate_query(
+        spec_factory(),
+        num_products=num_products,
+        num_selections=num_selections,
+        seed=seed,
+    )
+    query = generated.query
+    access = access_factory()
+    if not ebcheck(query, access).effectively_bounded:
+        return  # only bounded plans have a backend-independent fetch program
+    database = _database(workload)
+    sqlite_backend = _sqlite_backend(workload)
+    plan = qplan(query, access)
+
+    executor = BoundedExecutor(enforce_bounds=False)
+    memory_indexes = executor.prepare(database, plan.access_schema)
+    compiled = executor.execute(plan, database, indexes=memory_indexes)
+    interpreted = executor.execute_interpreted(plan, database, indexes=memory_indexes)
+    sqlite_result = executor.execute(plan, sqlite_backend)
+
+    assert (
+        set(compiled.rows.rows)
+        == set(interpreted.rows.rows)
+        == set(sqlite_result.rows.rows)
+    )
+    assert (
+        compiled.stats.tuples_accessed
+        == interpreted.stats.tuples_accessed
+        == sqlite_result.stats.tuples_accessed
+    )
+    assert compiled.details["step_sizes"] == sqlite_result.details["step_sizes"]
+    assert sqlite_result.stats.backend == "sqlite"
+    assert compiled.stats.backend == "memory"

@@ -1,0 +1,470 @@
+"""Unit tests for the storage-backend protocol and its two implementations.
+
+The backends must be observationally interchangeable: same rows, same access
+charges, same bound enforcement.  These tests pin the protocol surface
+(``as_backend`` resolution, scan/fetch/contains charging, index idempotence),
+the SQLite specifics (IN-list batching, NULL keys, storable-type checks) and
+the satellite behaviors that ride on the seam (strict CSV loading, duplicate
+relation detection, backend monitoring in the engine).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.access import AccessConstraint, AccessSchema, build_access_indexes
+from repro.errors import (
+    ConstraintViolationError,
+    ExecutionError,
+    SchemaError,
+    UnknownRelationError,
+    WorkloadError,
+)
+from repro.execution import BoundedEngine, NaiveExecutor, NestedLoopExecutor
+from repro.relational import Database, Relation, RelationSchema, schema_from_mapping
+from repro.relational.csvio import read_database_into, read_relation_csv
+from repro.relational.types import INT
+from repro.storage import InMemoryBackend, SQLiteBackend, as_backend
+from repro.storage.sqlite import FETCH_CHUNK_SIZE
+from repro.workloads import query_q0, social_access_schema, social_workload
+
+
+@pytest.fixture()
+def orders_schema():
+    return schema_from_mapping({"orders": ["customer", "item", "qty"]})
+
+
+@pytest.fixture()
+def orders_rows():
+    return [
+        ("c0", "apple", 1),
+        ("c0", "pear", 2),
+        ("c0", "apple", 1),  # duplicate tuple: DISTINCT fetch must collapse it
+        ("c1", "apple", 3),
+        ("c2", "fig", 4),
+    ]
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def orders_backend(request, orders_schema, orders_rows):
+    if request.param == "memory":
+        database = Database(orders_schema)
+        database.extend("orders", orders_rows)
+        return database.backend
+    backend = SQLiteBackend(orders_schema)
+    backend.populate("orders", orders_rows)
+    return backend
+
+
+_BY_CUSTOMER = AccessConstraint("orders", ["customer"], ["item"], bound=5)
+
+
+class TestAsBackend:
+    def test_database_resolves_to_memoized_memory_backend(self, orders_schema):
+        database = Database(orders_schema)
+        backend = as_backend(database)
+        assert isinstance(backend, InMemoryBackend)
+        assert backend is as_backend(database) is database.backend
+
+    def test_backend_resolves_to_itself(self, orders_schema):
+        backend = SQLiteBackend(orders_schema)
+        assert as_backend(backend) is backend
+
+    def test_non_backend_raises(self):
+        with pytest.raises(ExecutionError, match="not a StorageBackend"):
+            as_backend(object())
+
+
+class TestProtocolContract:
+    """Both backends honor the same data, metadata and charging contract."""
+
+    def test_metadata(self, orders_backend):
+        assert orders_backend.relation_names() == ("orders",)
+        assert orders_backend.cardinality("orders") == 5
+        assert orders_backend.total_tuples == 5
+        with pytest.raises(UnknownRelationError):
+            orders_backend.cardinality("nope")
+
+    def test_scan_returns_rows_and_charges_one_scan(self, orders_backend, orders_rows):
+        before = orders_backend.access_snapshot()
+        rows = orders_backend.scan("orders")
+        delta = orders_backend.accesses_since(before)
+        assert sorted(rows) == sorted(orders_rows)
+        assert delta.scans == 1 and delta.scanned == 5 and delta.index_probed == 0
+
+    def test_fetch_dedups_candidates_and_charges_per_distinct_key(self, orders_backend):
+        orders_backend.build_indexes([_BY_CUSTOMER])
+        before = orders_backend.access_snapshot()
+        rows = orders_backend.fetch(
+            _BY_CUSTOMER, [("c0",), ("c0",), ("c1",), ("missing",)]
+        )
+        delta = orders_backend.accesses_since(before)
+        # c0 -> {(c0, apple), (c0, pear)}, c1 -> {(c1, apple)}, missing -> {}.
+        assert set(rows) == {("c0", "apple"), ("c0", "pear"), ("c1", "apple")}
+        assert delta.lookups == 3  # duplicate candidate charged once, miss charged
+        assert delta.index_probed == 3
+        assert delta.scans == 0
+
+    def test_fetch_enforces_the_cardinality_bound(self, orders_backend):
+        tight = AccessConstraint("orders", ["customer"], ["item"], bound=1)
+        orders_backend.build_indexes([tight])
+        with pytest.raises(ConstraintViolationError) as excinfo:
+            orders_backend.fetch(tight, [("c0",)])
+        assert excinfo.value.witness == ("c0",)
+        # Unenforced fetch returns the rows regardless.
+        rows = orders_backend.fetch(tight, [("c0",)], enforce_bound=False)
+        assert len(rows) == 2
+
+    def test_empty_x_constraint_fetches_distinct_projection(self, orders_backend):
+        domain = AccessConstraint("orders", [], ["item"], bound=10)
+        orders_backend.build_indexes([domain])
+        before = orders_backend.access_snapshot()
+        rows = orders_backend.fetch(domain, [()])
+        delta = orders_backend.accesses_since(before)
+        assert set(rows) == {("apple",), ("pear",), ("fig",)}
+        assert delta.lookups == 1 and delta.index_probed == 3
+
+    def test_contains_charges_a_membership_probe(self, orders_backend):
+        orders_backend.build_indexes([_BY_CUSTOMER])
+        before = orders_backend.access_snapshot()
+        assert orders_backend.contains(_BY_CUSTOMER, ("c0",)) is True
+        assert orders_backend.contains(_BY_CUSTOMER, ("zz",)) is False
+        delta = orders_backend.accesses_since(before)
+        assert delta.lookups == 2 and delta.index_probed == 1
+
+    def test_build_indexes_skips_absent_relations(self, orders_backend):
+        foreign = AccessConstraint("elsewhere", ["a"], ["b"], bound=1)
+        indexes = orders_backend.build_indexes([foreign, _BY_CUSTOMER])
+        assert _BY_CUSTOMER in indexes
+        assert foreign not in indexes
+
+    def test_populate_rejects_wrong_arity(self, orders_backend):
+        with pytest.raises(SchemaError):
+            orders_backend.populate("orders", [("only-two", 1)])
+
+    def test_populate_after_build_indexes_is_visible_to_fetch(self, orders_backend):
+        """Regression: the memory backend's views must not serve index snapshots.
+
+        SQLite indexes see live tables; the hash-index backend must match by
+        invalidating (and rebuilding) a relation's indexes when new tuples
+        arrive after construction.
+        """
+        orders_backend.build_indexes([_BY_CUSTOMER])
+        assert set(orders_backend.fetch(_BY_CUSTOMER, [("c9",)])) == set()
+        orders_backend.populate("orders", [("c9", "kiwi", 9), ("c0", "plum", 5)])
+        assert set(orders_backend.fetch(_BY_CUSTOMER, [("c9",)])) == {("c9", "kiwi")}
+        assert set(orders_backend.fetch(_BY_CUSTOMER, [("c0",)])) == {
+            ("c0", "apple"),
+            ("c0", "pear"),
+            ("c0", "plum"),
+        }
+        assert orders_backend.contains(_BY_CUSTOMER, ("c9",)) is True
+
+    def test_mutation_after_prepare_reaches_executor_level_caches(
+        self, orders_backend
+    ):
+        """Regression: executor-prepared indexes must rebuild after mutation.
+
+        ``BoundedExecutor.prepare`` memoizes AccessIndexes per backend; a
+        ``data_version`` bump (Database.extend / backend.populate) must evict
+        that snapshot so served queries see the new rows on both backends.
+        """
+        from repro.execution import BoundedExecutor
+
+        executor = BoundedExecutor()
+        schema = AccessSchema([_BY_CUSTOMER])
+        indexes = executor.prepare(orders_backend, schema)
+        view = indexes.for_constraint(_BY_CUSTOMER)
+        assert set(view.fetch(("c9",))) == set()
+        orders_backend.populate("orders", [("c9", "kiwi", 9)])
+        refreshed = executor.prepare(orders_backend, schema)
+        assert set(refreshed.for_constraint(_BY_CUSTOMER).fetch(("c9",))) == {
+            ("c9", "kiwi")
+        }
+
+    def test_database_extend_invalidates_memory_indexes(self, orders_schema, orders_rows):
+        """Mutating through Database.extend (not just populate) drops stale indexes."""
+        database = Database(orders_schema)
+        database.extend("orders", orders_rows)
+        backend = database.backend
+        backend.build_indexes([_BY_CUSTOMER])
+        assert set(backend.fetch(_BY_CUSTOMER, [("c9",)])) == set()
+        database.extend("orders", [("c9", "kiwi", 9)])
+        assert set(backend.fetch(_BY_CUSTOMER, [("c9",)])) == {("c9", "kiwi")}
+
+
+class TestSQLiteSpecifics:
+    def test_composite_key_fetch_matches_memory(self, orders_schema, orders_rows):
+        constraint = AccessConstraint("orders", ["customer", "item"], ["qty"], bound=3)
+        database = Database(orders_schema)
+        database.extend("orders", orders_rows)
+        sqlite_backend = SQLiteBackend.from_database(database)
+        keys = [("c0", "apple"), ("c1", "apple"), ("c0", "nope")]
+        for backend in (database.backend, sqlite_backend):
+            backend.build_indexes([constraint])
+        memory_rows = database.backend.fetch(constraint, keys)
+        sqlite_rows = sqlite_backend.fetch(constraint, keys)
+        assert set(memory_rows) == set(sqlite_rows)
+        assert len(memory_rows) == len(sqlite_rows)
+
+    def test_null_keys_fall_back_to_is_comparisons(self, orders_schema):
+        rows = [("c0", None, 1), ("c0", "apple", 2), (None, "apple", 3)]
+        constraint = AccessConstraint("orders", ["customer", "item"], ["qty"], bound=3)
+        database = Database(orders_schema)
+        database.extend("orders", rows)
+        sqlite_backend = SQLiteBackend.from_database(database)
+        keys = [("c0", None), (None, "apple"), ("c0", "apple"), (None, None)]
+        memory = database.backend.fetch(constraint, keys)
+        before = sqlite_backend.access_snapshot()
+        sqlite_rows = sqlite_backend.fetch(constraint, keys)
+        delta = sqlite_backend.accesses_since(before)
+        assert set(memory) == set(sqlite_rows)
+        assert delta.lookups == 4  # every key charged, including the NULL ones
+
+    def test_fetch_chunks_large_in_lists(self, orders_schema):
+        database = Database(orders_schema)
+        database.extend("orders", [(f"c{i}", "x", i) for i in range(FETCH_CHUNK_SIZE + 50)])
+        backend = SQLiteBackend.from_database(database)
+        keys = [(f"c{i}",) for i in range(FETCH_CHUNK_SIZE + 50)]
+        rows = backend.fetch(_BY_CUSTOMER, keys, enforce_bound=False)
+        assert len(rows) == FETCH_CHUNK_SIZE + 50
+
+    def test_populate_rejects_unstorable_values_with_context(self, orders_schema):
+        backend = SQLiteBackend(orders_schema)
+        with pytest.raises(SchemaError, match=r"row 1, column 'item'"):
+            backend.populate("orders", [("c0", "ok", 1), ("c1", ("tu", "ple"), 2)])
+
+    def test_from_database_replaces_an_existing_file(self, orders_schema, orders_rows, tmp_path):
+        """Regression: re-materializing into the same path must not append.
+
+        Mixing two generations of rows inflates cardinalities and can
+        spuriously violate constraint bounds.
+        """
+        path = str(tmp_path / "store.sqlite3")
+        first = Database(orders_schema)
+        first.extend("orders", orders_rows)
+        SQLiteBackend.from_database(first, path=path).close()
+        second = Database(orders_schema)
+        second.extend("orders", [("z0", "kiwi", 1)])
+        backend = SQLiteBackend.from_database(second, path=path)
+        assert backend.cardinality("orders") == 1
+        assert backend.scan("orders") == [("z0", "kiwi", 1)]
+
+    def test_reopening_a_file_reuses_its_contents(self, orders_schema, orders_rows, tmp_path):
+        path = str(tmp_path / "store.sqlite3")
+        database = Database(orders_schema)
+        database.extend("orders", orders_rows)
+        SQLiteBackend.from_database(database, path=path).close()
+        reopened = SQLiteBackend(orders_schema, path=path)
+        assert reopened.cardinality("orders") == len(orders_rows)
+
+    def test_failed_populate_rolls_back_flushed_chunks(self, orders_schema, monkeypatch):
+        """Regression: a mid-stream failure must not leave orphan rows behind.
+
+        Flushed-but-uncommitted chunks used to survive the error and get
+        durably committed by the next unrelated commit.
+        """
+        import repro.storage.sqlite as sqlite_module
+
+        monkeypatch.setattr(sqlite_module, "POPULATE_CHUNK_SIZE", 2)
+        backend = SQLiteBackend(orders_schema)
+
+        def rows():
+            yield ("c0", "apple", 1)
+            yield ("c1", "pear", 2)
+            yield ("c2", "fig", 3)
+            yield ("c3", ("not",), 4)  # unstorable after a chunk has flushed
+
+        with pytest.raises(SchemaError):
+            backend.populate("orders", rows())
+        assert backend.cardinality("orders") == 0
+        backend.build_indexes([_BY_CUSTOMER])  # next commit must find nothing
+        assert backend.cardinality("orders") == 0
+
+    def test_fetch_and_contains_reject_unknown_relations(self, orders_schema):
+        backend = SQLiteBackend(orders_schema)
+        foreign = AccessConstraint("elsewhere", ["a"], ["b"], bound=1)
+        with pytest.raises(UnknownRelationError):
+            backend.fetch(foreign, [("x",)])
+        with pytest.raises(UnknownRelationError):
+            backend.contains(foreign, ("x",))
+
+    def test_build_indexes_is_idempotent(self, orders_schema):
+        backend = SQLiteBackend(orders_schema)
+        first = backend.build_indexes([_BY_CUSTOMER])
+        second = backend.build_indexes([_BY_CUSTOMER])
+        assert _BY_CUSTOMER in first and _BY_CUSTOMER in second
+
+    def test_quoted_identifiers_survive_odd_names(self):
+        schema = schema_from_mapping({"order table": ["weird col", "val"]})
+        backend = SQLiteBackend(schema)
+        backend.populate("order table", [("k", 1)])
+        constraint = AccessConstraint("order table", ["weird col"], ["val"], bound=2)
+        backend.build_indexes([constraint])
+        assert backend.fetch(constraint, [("k",)]) == [("k", 1)]
+        assert backend.scan("order table") == [("k", 1)]
+
+
+class TestEngineOverBackends:
+    """The whole engine stack runs unchanged over either store."""
+
+    @pytest.fixture()
+    def stores(self):
+        workload = social_workload()
+        database = workload.database(scale=0.1, seed=3)
+        return database, workload.to_backend("sqlite", database=database)
+
+    def test_bounded_execution_parity(self, stores):
+        database, sqlite_backend = stores
+        engine = BoundedEngine(social_access_schema())
+        query = query_q0(album_id="a0", user_id="u0")
+        memory = engine.execute(query, database)
+        sqlite_result = engine.execute(query, sqlite_backend)
+        assert memory.as_set == sqlite_result.as_set
+        assert memory.stats.tuples_accessed == sqlite_result.stats.tuples_accessed
+        assert sqlite_result.stats.backend == "sqlite"
+
+    def test_naive_executors_scan_backends(self, stores):
+        database, sqlite_backend = stores
+        query = query_q0(album_id="a0", user_id="u0")
+        memory = NaiveExecutor().execute(query, database)
+        sqlite_result = NaiveExecutor().execute(query, sqlite_backend)
+        assert memory.as_set == sqlite_result.as_set
+        assert memory.stats.tuples_accessed == sqlite_result.stats.tuples_accessed
+        assert sqlite_result.stats.scans == len(query.atoms)
+
+    def test_nested_loop_executor_accepts_backends(self, orders_schema, orders_rows):
+        from repro.spc import SPCQueryBuilder
+
+        database = Database(orders_schema)
+        database.extend("orders", orders_rows)
+        backend = SQLiteBackend.from_database(database)
+        query = (
+            SPCQueryBuilder(orders_schema, name="nl")
+            .add_atom("orders", alias="o")
+            .where_const("o.customer", "c0")
+            .select("o.item")
+            .build()
+        )
+        assert (
+            NestedLoopExecutor().execute(query, backend).as_set
+            == NestedLoopExecutor().execute(query, database).as_set
+            == {("apple",), ("pear",)}
+        )
+
+    def test_prepared_queries_serve_from_sqlite(self, stores):
+        from repro.spc import ParameterizedQuery
+        from repro.workloads import query_q1
+
+        database, sqlite_backend = stores
+        q1 = query_q1()
+        template = ParameterizedQuery(
+            q1, {"album": q1.ref("ia", "album_id"), "user": q1.ref("f", "user_id")}
+        )
+        engine = BoundedEngine(social_access_schema())
+        prepared = engine.prepare_query(template)
+        prepared.warm(sqlite_backend)
+        for binding in ({"album": "a0", "user": "u0"}, {"album": "a1", "user": "u2"}):
+            served = prepared.execute(sqlite_backend, **binding)
+            reference = engine.execute(template.bind(**binding), database)
+            assert served.as_set == reference.as_set
+            assert served.stats.tuples_accessed == reference.stats.tuples_accessed
+
+    def test_cache_info_and_report_surface_backend_kinds(self, stores):
+        database, sqlite_backend = stores
+        engine = BoundedEngine(social_access_schema())
+        engine.prepare(database)
+        engine.prepare(sqlite_backend)
+        info = engine.cache_info()
+        assert info["backends"].kinds == ("memory", "sqlite")
+        # Every cache_info entry shares the describe() monitoring surface.
+        assert all(hasattr(entry, "describe") for entry in info.values())
+        report = engine.check(query_q0(album_id="a0", user_id="u0"))
+        assert report.backend_kinds == ("memory", "sqlite")
+        described = report.describe()
+        assert "storage backends prepared: memory, sqlite" in described
+        assert "plan cache" in described and "negative cache" in described
+        # Report keys match cache_info()'s, so monitoring code can share them.
+        assert set(report.serving_caches) == {"plan", "negative", "prepared"}
+
+    def test_build_access_indexes_accepts_database_and_backend(self, stores):
+        database, sqlite_backend = stores
+        access = social_access_schema()
+        for source in (database, sqlite_backend):
+            indexes = build_access_indexes(source, access)
+            assert len(indexes) == len(
+                [c for c in access if c.relation in database.schema]
+            )
+
+
+class TestWorkloadToBackend:
+    def test_memory_kind_returns_database_backend(self):
+        workload = social_workload()
+        backend = workload.to_backend("memory", scale=0.05)
+        assert isinstance(backend, InMemoryBackend)
+
+    def test_sqlite_kind_materializes_all_relations(self):
+        workload = social_workload()
+        database = workload.database(scale=0.05, seed=1)
+        backend = workload.to_backend("sqlite", database=database)
+        assert isinstance(backend, SQLiteBackend)
+        assert backend.total_tuples == database.total_tuples
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(WorkloadError, match="unknown storage backend"):
+            social_workload().to_backend("parquet", scale=0.05)
+
+
+class TestStrictCsv:
+    @pytest.fixture()
+    def typed_schema(self):
+        return RelationSchema("m", [("id", INT), "label"])
+
+    def test_strict_mode_raises_with_row_and_column_context(self, tmp_path, typed_schema):
+        path = tmp_path / "m.csv"
+        path.write_text("id,label\n1,ok\noops,bad\n")
+        with pytest.raises(SchemaError, match=r"row 3, column 'id' of relation 'm'"):
+            read_relation_csv(typed_schema, path, strict=True)
+
+    def test_default_mode_keeps_the_raw_string(self, tmp_path, typed_schema):
+        path = tmp_path / "m.csv"
+        path.write_text("id,label\n1,ok\noops,bad\n")
+        relation = read_relation_csv(typed_schema, path)
+        assert relation.tuples() == [(1, "ok"), ("oops", "bad")]
+
+    def test_read_database_into_loads_any_backend(self, tmp_path):
+        from repro.relational.csvio import write_database_csv
+
+        schema = schema_from_mapping({"r": ["a", "b"], "s": ["c"]})
+        database = Database(schema)
+        database.extend("r", [("x", 1), ("y", 2)])
+        database.extend("s", [(7,)])
+        write_database_csv(database, tmp_path)
+        backend = read_database_into(SQLiteBackend(schema), tmp_path)
+        assert backend.cardinality("r") == 2 and backend.cardinality("s") == 1
+        assert sorted(backend.scan("r")) == [("x", 1), ("y", 2)]
+
+    def test_workload_load_database_is_strict(self, tmp_path):
+        workload = social_workload()
+        from repro.relational.csvio import write_database_csv
+
+        write_database_csv(workload.database(scale=0.02), tmp_path)
+        loaded = workload.load_database(tmp_path)
+        assert set(loaded.schema.relation_names) == set(workload.schema.relation_names)
+
+
+class TestFromRelationsDuplicates:
+    def test_duplicate_relation_names_raise_with_positions(self):
+        first = Relation(RelationSchema("r", ["a"]), [(1,)])
+        second = Relation(RelationSchema("r", ["a"]), [(2,)])
+        with pytest.raises(SchemaError, match=r"duplicate relation name 'r'.*positions 0 and 1"):
+            Database.from_relations([first, second])
+
+    def test_distinct_names_still_build(self):
+        relations = [
+            Relation(RelationSchema("r", ["a"]), [(1,)]),
+            Relation(RelationSchema("s", ["a"]), [(2,)]),
+        ]
+        database = Database.from_relations(relations)
+        assert database.relation("r").tuples() == [(1,)]
+        assert database.relation("s").tuples() == [(2,)]
