@@ -51,6 +51,9 @@ Package layout
     evalDQ, baseline executors and the BoundedEngine front-end.
 ``repro.storage``
     Pluggable storage backends behind one protocol: in-memory and SQLite.
+``repro.service``
+    The concurrent serving layer: admission queue, worker pool, deadlines,
+    budgets, micro-batching (``QueryService``).
 ``repro.workloads``
     Synthetic TFACC / MOT / TPC-H / social-network workload generators and the
     SPC query generator used by the experiments.
@@ -112,6 +115,13 @@ from .spc import (
     SPCQueryBuilder,
     parse_query,
 )
+from .service import (
+    QueryService,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeout,
+)
 from .storage import InMemoryBackend, SQLiteBackend, StorageBackend, as_backend
 
 __version__ = "1.0.0"
@@ -140,6 +150,7 @@ __all__ = [
     "PreparedPlan",
     "PreparedQuery",
     "QueryError",
+    "QueryService",
     "Relation",
     "RelationSchema",
     "ReproError",
@@ -147,6 +158,10 @@ __all__ = [
     "SPCQueryBuilder",
     "SQLiteBackend",
     "SchemaError",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceTimeout",
     "StorageBackend",
     "UnsatisfiableQueryError",
     "access_schema_from_specs",

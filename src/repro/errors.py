@@ -92,14 +92,65 @@ class BudgetExceededError(ExecutionError):
     violated access schema or an incorrect plan.
     """
 
-    def __init__(self, accessed: int, budget: int) -> None:
-        super().__init__(
-            f"tuple-access budget exceeded: accessed {accessed} tuples, "
-            f"budget was {budget}"
-        )
+    def __init__(self, accessed: int, budget: int, projected: bool = False) -> None:
+        if projected:
+            message = (
+                f"tuple-access budget exceeded: the next fetch step's bound "
+                f"could push accesses to {accessed} tuples, budget was {budget}; "
+                f"aborted before fetching"
+            )
+        else:
+            message = (
+                f"tuple-access budget exceeded: accessed {accessed} tuples, "
+                f"budget was {budget}"
+            )
+        super().__init__(message)
         self.accessed = accessed
         self.budget = budget
+        self.projected = projected
+
+
+class DeadlineExceededError(ExecutionError):
+    """An execution ran past its request deadline and was aborted.
+
+    Raised by the compiled runtime *between* fetch steps when an
+    :class:`~repro.execution.metrics.ExecutionLimits` deadline has passed, so
+    an aborted execution never returns a half-built answer.  The serving layer
+    (:mod:`repro.service`) converts this into
+    :class:`ServiceTimeout` with request context.
+    """
 
 
 class WorkloadError(ReproError):
     """A workload generator was configured with invalid parameters."""
+
+
+class ServiceError(ReproError):
+    """Base class for failures of the concurrent serving layer (:mod:`repro.service`)."""
+
+
+class ServiceTimeout(ServiceError):
+    """A request's deadline expired before its answer was produced.
+
+    Carried as the typed outcome of a :class:`~repro.service.ServiceFuture`
+    whose request either expired while queued (admission control) or was
+    aborted mid-execution by the executor's deadline check — the caller never
+    receives a half-built row set.
+    """
+
+    def __init__(self, message: str, deadline: float | None = None) -> None:
+        super().__init__(message)
+        self.deadline = deadline
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a request because the queue is full.
+
+    Shedding load at submission time (instead of queueing without bound) keeps
+    the service's memory and tail latency bounded — the serving-layer analogue
+    of the paper's bounded-access promise.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """A request was submitted to a service that has been closed."""

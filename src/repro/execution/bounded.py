@@ -17,6 +17,7 @@ constraint-fetch views.
 
 from __future__ import annotations
 
+import threading
 import time
 import weakref
 from typing import Any, Mapping, Sequence
@@ -31,7 +32,7 @@ from ..spc.query import SPCQuery
 from ..planning.plan import BoundedPlan, ColumnSource, ConstSource, FetchStep, ParamSource
 from ..storage.base import StorageBackend, as_backend
 from .compiled import _param_value, compiled_for
-from .metrics import ExecutionResult, ExecutionStats
+from .metrics import ExecutionLimits, ExecutionResult, ExecutionStats
 
 #: Max distinct access-schema objects remembered as "already prepared" per
 #: backend; keeps the strong references in the memo bounded.
@@ -48,6 +49,12 @@ class BoundedExecutor:
     :class:`~repro.relational.database.Database` or any
     :class:`~repro.storage.base.StorageBackend`.
 
+    Thread safety: one executor may serve every worker of a
+    :class:`~repro.service.QueryService`.  :meth:`prepare` runs under an
+    internal lock (index construction mutates the per-backend caches), and
+    :meth:`execute` is safe for concurrent calls once prepared — compiled
+    programs are immutable and access accounting is per-thread.
+
     Parameters
     ----------
     enforce_bounds:
@@ -58,6 +65,8 @@ class BoundedExecutor:
 
     def __init__(self, enforce_bounds: bool = True) -> None:
         self.enforce_bounds = enforce_bounds
+        #: Guards the prepare() caches below; execution never takes it.
+        self._prepare_lock = threading.RLock()
         # Weak keys: an entry dies with its backend, so a collected backend
         # can never hand its (recycled) identity to a new object and serve it
         # stale indexes, and a long-lived executor never accumulates entries
@@ -91,8 +100,17 @@ class BoundedExecutor:
         Index construction is the backend's native bulk path (shared-scan
         hash indexes in memory, ``CREATE INDEX`` on SQLite) and idempotent:
         re-preparing an already-seen schema object is a dictionary lookup.
+        Thread-safe: the whole check-and-build sequence holds the executor's
+        prepare lock, so concurrent workers racing on a cold backend build
+        its indexes exactly once and share the result.
         """
         backend = as_backend(source)
+        with self._prepare_lock:
+            return self._prepare_locked(backend, access_schema)
+
+    def _prepare_locked(
+        self, backend: StorageBackend, access_schema: AccessSchema
+    ) -> AccessIndexes:
         version = backend.data_version
         fresh = self._index_versions.get(backend) == version
         seen = self._prepared_schemas.get(backend)
@@ -137,7 +155,8 @@ class BoundedExecutor:
 
     def backend_kinds(self) -> tuple[str, ...]:
         """Kinds of the storage backends this executor has prepared (sorted)."""
-        return tuple(sorted({backend.kind for backend in self._index_cache.keys()}))
+        with self._prepare_lock:
+            return tuple(sorted({backend.kind for backend in self._index_cache.keys()}))
 
     # -- plan execution -----------------------------------------------------------------
 
@@ -147,17 +166,20 @@ class BoundedExecutor:
         source: Any,
         indexes: AccessIndexes | None = None,
         params: Mapping[str, Any] | None = None,
+        limits: ExecutionLimits | None = None,
     ) -> ExecutionResult:
         """Run ``plan`` against ``source`` and return the answer with its cost.
 
         The plan is executed through its compiled program (lowered once and
         cached on the plan); ``params`` supplies values for the named
         parameter slots of a prepared plan (slot name -> value); plans without
-        slots ignore it.
+        slots ignore it.  ``limits`` (optional) carries a per-request deadline
+        and access budget, enforced between fetch steps by the compiled
+        runtime.  Thread-safe once prepared (see the class docstring).
         """
         if indexes is None:
             indexes = self.prepare(source, plan.access_schema)
-        return compiled_for(plan).execute(source, indexes, params)
+        return compiled_for(plan).execute(source, indexes, params, limits)
 
     def execute_interpreted(
         self,

@@ -6,10 +6,21 @@ distinct bound constant produces a distinct :class:`~repro.spc.query.SPCQuery`
 key, so an uncapped dict grows without bound in a long-lived engine; this
 module provides the shared capped cache with :class:`ExecutionStats`-style
 counters the engine reports through :meth:`BoundedEngine.cache_info`.
+
+Thread safety
+-------------
+One engine serves every worker of a :class:`~repro.service.QueryService`, so
+the cache is safe for concurrent use: a single lock guards the entry map
+*and* the hit/miss/eviction counters together.  The counters were previously
+bare ``+= 1`` read-modify-write sequences, which under-count when two threads
+interleave; holding the lock across the lookup and its accounting makes each
+``get``/``put`` atomic, so ``hits + misses`` always equals the number of
+lookups issued (the invariant the 8-thread regression test hammers).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Generic, Hashable, TypeVar
@@ -25,7 +36,16 @@ _MISSING = object()
 
 @dataclass
 class CacheStats:
-    """Counters for one cache, in the style of :class:`ExecutionStats`."""
+    """Counters for one cache, in the style of :class:`ExecutionStats`.
+
+    Example
+    -------
+    >>> stats = CacheStats(name="plan-cache", hits=3, misses=1, size=1, capacity=8)
+    >>> stats.requests, stats.hit_rate
+    (4, 0.75)
+    >>> stats.describe()
+    'plan-cache: hits=3, misses=1, hit_rate=75.0%, evictions=0, size=1/8'
+    """
 
     name: str = "cache"
     hits: int = 0
@@ -52,13 +72,35 @@ class CacheStats:
 
 
 class LRUCache(Generic[K, V]):
-    """A dict with least-recently-used eviction and hit/miss counters."""
+    """A dict with least-recently-used eviction and hit/miss counters.
+
+    Thread-safe: every operation (including the counter updates it implies)
+    runs under one internal lock, so concurrent ``get``/``put`` calls from
+    service workers neither corrupt the recency order nor under-count.
+    Compound caller sequences (``get`` miss, compute, ``put``) are *not* made
+    atomic — two threads may both miss and compute the same value, and the
+    second ``put`` wins; for the engine's caches that duplicate work is
+    benign because compilations of equal keys are interchangeable.
+
+    Example
+    -------
+    >>> cache = LRUCache(capacity=2, name="demo")
+    >>> cache.put("a", 1); cache.put("b", 2)
+    >>> cache.get("a")
+    1
+    >>> cache.put("c", 3)          # evicts "b", the least recently used
+    >>> cache.get("b") is None
+    True
+    >>> cache.stats.describe()
+    'demo: hits=1, misses=1, hit_rate=50.0%, evictions=1, size=2/2'
+    """
 
     def __init__(self, capacity: int, name: str = "cache") -> None:
         if capacity < 1:
             raise ExecutionError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.name = name
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[K, V]" = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -66,43 +108,49 @@ class LRUCache(Generic[K, V]):
 
     def get(self, key: K, default: Any = None) -> Any:
         """Look up ``key``, refreshing its recency; counts a hit or a miss."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self._misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return value
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
 
     def put(self, key: K, value: V) -> None:
         """Insert or refresh an entry, evicting the oldest when over capacity."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
 
     def __contains__(self, key: K) -> bool:
         """Membership test; does not touch recency or the counters."""
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(
-            name=self.name,
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._entries),
-            capacity=self.capacity,
-        )
+        with self._lock:
+            return CacheStats(
+                name=self.name,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
 
     def __repr__(self) -> str:
         return f"LRUCache({self.stats.describe()})"

@@ -28,6 +28,7 @@ a compiled execution returns the same rows and charges the same
 
 from __future__ import annotations
 
+import threading
 import time
 import weakref
 from dataclasses import dataclass, field
@@ -36,7 +37,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from ..access.constraint import AccessConstraint
 from ..access.indexes import AccessIndexes, ConstraintView
-from ..errors import ExecutionError, SchemaError
+from ..errors import BudgetExceededError, DeadlineExceededError, ExecutionError, SchemaError
 from ..relational.algebra import Row, RowSet, row_extractor
 from ..spc.atoms import AttrEq, AttrRef, ConstEq
 from ..storage.base import as_backend
@@ -48,7 +49,7 @@ from ..planning.plan import (
     FetchStep,
     ParamSource,
 )
-from .metrics import ExecutionResult, ExecutionStats
+from .metrics import ExecutionLimits, ExecutionResult, ExecutionStats
 
 #: A fixed key-prefix entry: ``(is_param, value_or_slot_name)``.
 PrefixEntry = tuple[bool, Any]
@@ -181,7 +182,13 @@ class JoinOp:
 
 @dataclass(frozen=True)
 class CompiledPlan:
-    """A bounded plan lowered to pre-resolved step/atom/join programs."""
+    """A bounded plan lowered to pre-resolved step/atom/join programs.
+
+    Immutable after preparation: every program field is frozen at lowering
+    time, so any number of service workers can execute one compiled plan
+    concurrently.  The only mutable state is the per-``AccessIndexes``
+    binding memo, which :meth:`bind` guards with an internal lock.
+    """
 
     plan: BoundedPlan
     steps: tuple[StepProgram, ...]
@@ -202,34 +209,69 @@ class CompiledPlan:
     _bindings: "weakref.WeakKeyDictionary[AccessIndexes, list[ConstraintView]]" = field(
         default_factory=weakref.WeakKeyDictionary, repr=False, compare=False
     )
+    #: Guards ``_bindings`` (the compiled plan's only mutable state).
+    _bind_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     # -- runtime ------------------------------------------------------------------
 
     def bind(self, indexes: AccessIndexes) -> list[ConstraintView]:
-        """Resolve (once per :class:`AccessIndexes`) each step's constraint index."""
-        bound = self._bindings.get(indexes)
-        if bound is None:
-            bound = []
-            for program in self.steps:
-                if program.constraint not in indexes:
-                    raise ExecutionError(
-                        f"no index available for constraint {program.constraint}; call "
-                        f"prepare() with the plan's access schema first"
-                    )
-                bound.append(indexes.for_constraint(program.constraint))
-            self._bindings[indexes] = bound
-        return bound
+        """Resolve (once per :class:`AccessIndexes`) each step's constraint index.
+
+        Thread-safe: the memo is read and filled under the plan's bind lock,
+        so concurrent workers binding the same indexes share one resolution.
+        """
+        with self._bind_lock:
+            bound = self._bindings.get(indexes)
+            if bound is None:
+                bound = []
+                for program in self.steps:
+                    if program.constraint not in indexes:
+                        raise ExecutionError(
+                            f"no index available for constraint {program.constraint}; call "
+                            f"prepare() with the plan's access schema first"
+                        )
+                    bound.append(indexes.for_constraint(program.constraint))
+                self._bindings[indexes] = bound
+            return bound
+
+    def _check_limits(
+        self,
+        limits: ExecutionLimits,
+        accessed_so_far: int,
+        next_bound: int,
+    ) -> None:
+        """Abort before a fetch step that could run past the deadline or budget."""
+        if limits.deadline is not None and time.monotonic() > limits.deadline:
+            raise DeadlineExceededError(
+                f"request deadline passed after accessing {accessed_so_far} tuples; "
+                f"execution aborted between fetch steps"
+            )
+        if limits.budget is not None and accessed_so_far + next_bound > limits.budget:
+            raise BudgetExceededError(
+                accessed_so_far + next_bound, limits.budget, projected=True
+            )
 
     def execute(
         self,
         source: Any,
         indexes: AccessIndexes,
         params: Mapping[str, Any] | None = None,
+        limits: ExecutionLimits | None = None,
     ) -> ExecutionResult:
         """Run the compiled program; same contract as ``BoundedExecutor.execute``.
 
         ``source`` is a database or any storage backend; ``indexes`` must
-        have been built over the same backend.
+        have been built over the same backend.  ``limits`` (optional) is
+        checked between fetch steps: a passed deadline raises
+        :class:`~repro.errors.DeadlineExceededError`, and a fetch step whose
+        a-priori bound could push the access count past ``limits.budget``
+        raises :class:`~repro.errors.BudgetExceededError` *before* running,
+        so the counter never exceeds the budget.
+
+        Thread-safe for concurrent calls with distinct ``params``: execution
+        reads only frozen program state, and access accounting is per-thread.
         """
         bound = self.bind(indexes)
         backend = as_backend(source)
@@ -239,10 +281,19 @@ class CompiledPlan:
 
         fetched: list[list[Row]] = []
         step_sizes: list[int] = []
-        for program, index in zip(self.steps, bound):
+        for program, plan_step, index in zip(self.steps, self.plan.steps, bound):
+            if limits is not None:
+                self._check_limits(limits, counter.since(before).total, plan_step.bound)
             rows = index.fetch_many(program.candidate_keys(fetched, params))
             fetched.append(rows)
             step_sizes.append(len(rows))
+        if limits is not None and limits.deadline is not None:
+            if time.monotonic() > limits.deadline:
+                raise DeadlineExceededError(
+                    f"request deadline passed after accessing "
+                    f"{counter.since(before).total} tuples; execution aborted "
+                    f"before assembling the answer"
+                )
 
         answer = self._assemble(fetched, params)
 
@@ -504,14 +555,25 @@ def compile_plan(plan: BoundedPlan) -> CompiledPlan:
     )
 
 
+#: Serializes first-time plan lowering so concurrent workers that race on an
+#: uncompiled plan agree on ONE CompiledPlan object (and hence one binding
+#: memo).  Compilation happens once per plan, so a global lock is cheap.
+_compile_lock = threading.Lock()
+
+
 def compiled_for(plan: BoundedPlan) -> CompiledPlan:
     """The (memoized) compiled program of ``plan``.
 
     The program is cached on the plan object itself, so every executor and
-    prepared query sharing a plan shares one compilation.
+    prepared query sharing a plan shares one compilation.  Thread-safe: the
+    first lowering runs under a lock, after which the memoized read is a
+    single (atomic) attribute load.
     """
     compiled = plan.compiled
     if compiled is None:
-        compiled = compile_plan(plan)
-        plan.compiled = compiled
+        with _compile_lock:
+            compiled = plan.compiled
+            if compiled is None:
+                compiled = compile_plan(plan)
+                plan.compiled = compiled
     return compiled

@@ -114,7 +114,18 @@ class QueryReport:
 
 
 class BoundedEngine:
-    """Checks, plans and executes SPC queries under a fixed access schema."""
+    """Checks, plans and executes SPC queries under a fixed access schema.
+
+    Thread safety: one engine may back every worker of a
+    :class:`~repro.service.QueryService`.  The serving-path caches (plans,
+    negative verdicts, prepared templates) are internally locked, the
+    executor's prepare path is serialized, and compiled programs are
+    immutable — so :meth:`prepare_query`, :meth:`plan`, :meth:`execute` and
+    :meth:`cache_info` may all be called concurrently.  Two threads racing on
+    a cold cache key may both compute the entry (one result is kept); that
+    duplicate work is benign because compilations of equal keys are
+    interchangeable.
+    """
 
     def __init__(
         self,
@@ -205,9 +216,44 @@ class BoundedEngine:
     def prepare_query(self, template: ParameterizedQuery) -> PreparedQuery:
         """Compile ``template`` once into a :class:`PreparedQuery` (cached).
 
+        Parameters
+        ----------
+        template:
+            A :class:`~repro.spc.parameters.ParameterizedQuery` — the form
+            query to serve.  EBCheck and QPlan run here, once, against
+            symbolic constants.
+
+        Returns
+        -------
+        PreparedQuery
+            The compiled handle: ``total_bound`` states the per-request
+            access bound up front; ``execute`` binds values and runs with no
+            analysis on the hot path.
+
+        Raises
+        ------
+        ~repro.errors.NotEffectivelyBoundedError
+            When the template is not effectively bounded under the engine's
+            access schema.
+
         The prepared query shares this engine's bounded executor, so its
         per-database index cache is shared with :meth:`execute`.  Repeated
         calls with an equivalent template return the cached compilation.
+        Thread-safe (see the class docstring).
+
+        Example
+        -------
+        >>> from repro.spc import ParameterizedQuery
+        >>> from repro.workloads import query_q1, social_access_schema
+        >>> engine = BoundedEngine(social_access_schema())
+        >>> q1 = query_q1()
+        >>> template = ParameterizedQuery(
+        ...     q1, {"album": q1.ref("ia", "album_id"), "user": q1.ref("f", "user_id")})
+        >>> prepared = engine.prepare_query(template)
+        >>> prepared.total_bound
+        7000
+        >>> engine.prepare_query(template) is prepared    # cached compilation
+        True
         """
         key = template.plan_key()
         prepared = self._prepared_cache.get(key)

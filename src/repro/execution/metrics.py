@@ -4,10 +4,20 @@ The experiments of Section 6 report two quantities per query: elapsed time and
 ``|D_Q|``, the number of tuples accessed.  :class:`ExecutionStats` carries both
 (plus a breakdown into scans and index probes) and is attached to every
 :class:`ExecutionResult`.
+
+Two serving-layer companions live here as well:
+
+* :class:`ExecutionLimits` — a per-request deadline and bounded-access budget
+  the compiled runtime enforces *between* fetch steps, so an aborted request
+  raises instead of returning a half-built answer;
+* :class:`StatsAccumulator` — a lock-guarded aggregate of
+  :class:`ExecutionStats`, the thread-safe accumulation seam the
+  :class:`~repro.service.QueryService` workers report into.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -77,6 +87,96 @@ class ExecutionStats:
         if self.backend is not None:
             parts.append(f"backend={self.backend}")
         return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class ExecutionLimits:
+    """Per-request execution limits, enforced between a plan's fetch steps.
+
+    Attributes
+    ----------
+    deadline:
+        Absolute :func:`time.monotonic` instant after which the execution
+        aborts with :class:`~repro.errors.DeadlineExceededError`.  ``None``
+        disables the deadline.
+    budget:
+        Maximum tuples this execution may access.  Enforcement is
+        *conservative*: before each fetch step the runtime adds the step's
+        a-priori bound to the tuples already accessed and aborts with
+        :class:`~repro.errors.BudgetExceededError` if the sum could exceed
+        the budget — so the access counter itself **never** exceeds the
+        budget, which is the guarantee the paper's bounded-access contract
+        wants from a serving deployment.  A budget of at least the plan's
+        ``total_bound`` therefore never aborts.  ``None`` disables it.
+
+    Example
+    -------
+    >>> limits = ExecutionLimits(deadline=None, budget=7000)
+    >>> limits.budget
+    7000
+    """
+
+    deadline: float | None = None
+    budget: int | None = None
+
+
+class StatsAccumulator:
+    """Thread-safe running aggregate of :class:`ExecutionStats`.
+
+    Service workers execute requests concurrently and merge each request's
+    stats here; ``merge`` holds an internal lock so the running totals are
+    exact under any interleaving (plain ``+=`` on shared ints would drop
+    updates).  ``summary()`` returns a plain dict snapshot for monitoring.
+
+    Example
+    -------
+    >>> acc = StatsAccumulator()
+    >>> acc.merge(ExecutionStats(tuples_accessed=5, result_rows=2,
+    ...                          elapsed_seconds=0.001))
+    >>> acc.merge(ExecutionStats(tuples_accessed=3, result_rows=0,
+    ...                          elapsed_seconds=0.002))
+    >>> summary = acc.summary()
+    >>> summary["requests"], summary["tuples_accessed"], summary["result_rows"]
+    (2, 8, 2)
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._tuples_accessed = 0
+        self._result_rows = 0
+        self._elapsed_seconds = 0.0
+        self._lookups = 0
+        self._scans = 0
+
+    def merge(self, stats: "ExecutionStats") -> None:
+        """Fold one execution's stats into the running totals (atomic)."""
+        with self._lock:
+            self._requests += 1
+            self._tuples_accessed += stats.tuples_accessed
+            self._result_rows += stats.result_rows
+            self._elapsed_seconds += stats.elapsed_seconds
+            self._lookups += stats.lookups
+            self._scans += stats.scans
+
+    def summary(self) -> dict[str, Any]:
+        """A consistent snapshot of the aggregate counters."""
+        with self._lock:
+            return {
+                "requests": self._requests,
+                "tuples_accessed": self._tuples_accessed,
+                "result_rows": self._result_rows,
+                "elapsed_seconds": self._elapsed_seconds,
+                "lookups": self._lookups,
+                "scans": self._scans,
+            }
+
+    def __repr__(self) -> str:
+        summary = self.summary()
+        return (
+            f"StatsAccumulator({summary['requests']} requests, "
+            f"{summary['tuples_accessed']} tuples accessed)"
+        )
 
 
 @dataclass

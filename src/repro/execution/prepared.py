@@ -20,6 +20,7 @@ and is identical for every binding, because QPlan's bounds are derived from
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Mapping
 
 from ..access.indexes import AccessIndexes
@@ -29,11 +30,17 @@ from ..planning.qplan import prepare_plan
 from ..spc.parameters import ParameterizedQuery
 from .bounded import BoundedExecutor
 from .compiled import CompiledPlan, compiled_for
-from .metrics import ExecutionResult
+from .metrics import ExecutionLimits, ExecutionResult
 
 
 class PreparedQuery:
-    """A compiled template: bind parameter values and execute, nothing else."""
+    """A compiled template: bind parameter values and execute, nothing else.
+
+    Thread-safe once warmed: the compiled program is immutable, parameter
+    binding builds a fresh dict per request, and the executions counter is
+    lock-guarded — any number of service workers may call :meth:`execute` /
+    :meth:`serve` on one shared instance concurrently.
+    """
 
     def __init__(
         self,
@@ -42,6 +49,10 @@ class PreparedQuery:
     ) -> None:
         self.prepared = prepared
         self._executor = executor or BoundedExecutor()
+        #: Guards the executions counter: a bare ``+= 1`` loses increments
+        #: under threads, and an unlocked "store the serial" scheme can go
+        #: backwards when workers finish out of order.
+        self._executions_lock = threading.Lock()
         self.executions = 0
 
     # -- inspection ----------------------------------------------------------------
@@ -87,21 +98,77 @@ class PreparedQuery:
     def execute(self, source: Any, **params: Any) -> ExecutionResult:
         """Answer one request: substitute ``params`` into the slots and run.
 
-        ``source`` is a database or any storage backend.  Raises
-        :class:`~repro.errors.QueryError` for missing/unknown parameter
-        names and :class:`~repro.errors.UnsatisfiableQueryError` when equated
-        parameters receive different values.
+        Parameters
+        ----------
+        source:
+            A :class:`~repro.relational.database.Database` or any
+            :class:`~repro.storage.base.StorageBackend`.
+        params:
+            One value per declared template parameter, by name.
+
+        Returns
+        -------
+        ExecutionResult
+            The answer rows plus the request's cost (``|D_Q|``, timings).
+
+        Raises
+        ------
+        ~repro.errors.QueryError
+            For missing or unknown parameter names.
+        ~repro.errors.UnsatisfiableQueryError
+            When equated parameters receive different values.
+
+        Thread-safe: may be called concurrently from any number of workers
+        against the same prepared query and backend.
+
+        Example
+        -------
+        >>> from repro.relational import Database
+        >>> from repro.spc import ParameterizedQuery
+        >>> from repro.workloads import query_q1, social_access_schema, social_schema
+        >>> db = Database(social_schema())
+        >>> db.extend("in_album", [("p1", "a0")])
+        >>> db.extend("friends", [("u0", "u1")])
+        >>> db.extend("tagging", [("p1", "u1", "u0")])
+        >>> q1 = query_q1()
+        >>> template = ParameterizedQuery(
+        ...     q1, {"album": q1.ref("ia", "album_id"), "user": q1.ref("f", "user_id")})
+        >>> prepared = prepare_query(template, social_access_schema())
+        >>> prepared.execute(db, album="a0", user="u0").tuples
+        [('p1',)]
+        """
+        return self.serve(source, params)
+
+    def serve(
+        self,
+        source: Any,
+        params: Mapping[str, Any],
+        limits: ExecutionLimits | None = None,
+    ) -> ExecutionResult:
+        """:meth:`execute` with parameters as a mapping plus optional limits.
+
+        This is the serving layer's entry point: ``limits`` carries the
+        request's deadline and bounded-access budget, enforced between fetch
+        steps (see :class:`~repro.execution.metrics.ExecutionLimits`).  A
+        mapping argument also serves templates whose parameter names collide
+        with Python keywords.  Thread-safe.
         """
         slot_values = self.prepared.bind_values(params)
-        self.executions += 1
+        with self._executions_lock:
+            self.executions += 1
         return self._executor.execute(
-            self.prepared.plan, source, params=slot_values
+            self.prepared.plan, source, params=slot_values, limits=limits
         )
 
     def execute_many(
         self, source: Any, bindings: Iterable[Mapping[str, Any]]
     ) -> list[ExecutionResult]:
-        """Serve a batch of requests against one database or backend."""
+        """Serve a batch of requests against one database or backend.
+
+        The backend is warmed once (indexes built, program bound), then every
+        binding is executed in order on the calling thread; results are
+        returned in binding order.
+        """
         self.warm(source)
         return [self.execute(source, **binding) for binding in bindings]
 

@@ -9,80 +9,200 @@ database.
 
 Counters are cheap (integer additions), can be nested via snapshots, and are
 the source of the ``|D_Q|`` series reported in Figure 5.
+
+Thread safety
+-------------
+One backend — hence one counter — may serve several
+:mod:`repro.service` workers concurrently, and one query execution always
+runs entirely on one thread.  The counter therefore accumulates into
+*per-thread slots*: the recording hot path (``record_scan`` /
+``record_probe``) touches only the calling thread's slot and takes no lock,
+:meth:`AccessCounter.snapshot` / :meth:`AccessCounter.since` difference the
+calling thread's slot only (so one execution's ``|D_Q|`` is never polluted by
+a neighbour running on another worker), while the aggregate attributes
+(``scanned``, ``index_probed``, ``lookups``, ``scans``, ``total``) sum every
+thread's slot for monitoring.
 """
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass, field
 
 
-@dataclass
+class _CounterSlot:
+    """One thread's private accumulation cell of an :class:`AccessCounter`."""
+
+    __slots__ = ("scanned", "index_probed", "lookups", "scans")
+
+    def __init__(self) -> None:
+        self.scanned = 0
+        self.index_probed = 0
+        self.lookups = 0
+        self.scans = 0
+
+    def fold_into(self, other: "_CounterSlot") -> None:
+        other.scanned += self.scanned
+        other.index_probed += self.index_probed
+        other.lookups += self.lookups
+        other.scans += self.scans
+
+
 class AccessCounter:
-    """Counts tuple accesses by category.
+    """Counts tuple accesses by category, one private slot per thread.
 
     Attributes
     ----------
     scanned:
-        Tuples read by full relation scans.
+        Tuples read by full relation scans (summed across threads).
     index_probed:
         Tuples read through index lookups (the bounded-fetch path).
     lookups:
         Number of index lookup operations performed.
     scans:
         Number of full relation scans started.
+
+    Example
+    -------
+    >>> counter = AccessCounter()
+    >>> counter.record_probe(3)
+    >>> counter.record_scan(10)
+    >>> (counter.total, counter.index_probed, counter.scanned)
+    (13, 3, 10)
     """
 
-    scanned: int = 0
-    index_probed: int = 0
-    lookups: int = 0
-    scans: int = 0
+    __slots__ = ("_local", "_slots", "_retired", "_lock")
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        #: Live threads' slots, keyed by a weakref to the owning thread so a
+        #: finished thread's slot can be folded into ``_retired`` (below) the
+        #: next time a new thread registers — a long-lived backend serving
+        #: many short-lived worker pools stays O(live threads), not
+        #: O(threads ever).
+        self._slots: dict["weakref.ref[threading.Thread]", _CounterSlot] = {}
+        #: Accumulated totals of threads that have exited.
+        self._retired = _CounterSlot()
+        self._lock = threading.Lock()
+
+    def _slot(self) -> _CounterSlot:
+        slot = getattr(self._local, "slot", None)
+        if slot is None:
+            slot = _CounterSlot()
+            with self._lock:
+                self._compact_locked()
+                self._slots[weakref.ref(threading.current_thread())] = slot
+            self._local.slot = slot
+        return slot
+
+    def _compact_locked(self) -> None:
+        """Fold dead threads' slots into the retired totals (lock held)."""
+        dead = [
+            ref
+            for ref in self._slots
+            if (thread := ref()) is None or not thread.is_alive()
+        ]
+        for ref in dead:
+            self._slots.pop(ref).fold_into(self._retired)
+
+    # -- aggregate view (all threads, live and retired) ----------------------------
+
+    def _sum(self, attribute: str) -> int:
+        with self._lock:
+            return getattr(self._retired, attribute) + sum(
+                getattr(slot, attribute) for slot in self._slots.values()
+            )
+
+    @property
+    def scanned(self) -> int:
+        return self._sum("scanned")
+
+    @property
+    def index_probed(self) -> int:
+        return self._sum("index_probed")
+
+    @property
+    def lookups(self) -> int:
+        return self._sum("lookups")
+
+    @property
+    def scans(self) -> int:
+        return self._sum("scans")
 
     @property
     def total(self) -> int:
-        """Total number of tuples accessed, scans plus index probes."""
-        return self.scanned + self.index_probed
+        """Total number of tuples accessed, scans plus index probes (all threads)."""
+        with self._lock:
+            return (
+                self._retired.scanned
+                + self._retired.index_probed
+                + sum(slot.scanned + slot.index_probed for slot in self._slots.values())
+            )
+
+    # -- recording (this thread's slot; lock-free) ---------------------------------
 
     def record_scan(self, tuples: int) -> None:
         """Record a full scan that read ``tuples`` tuples."""
-        self.scans += 1
-        self.scanned += tuples
+        slot = self._slot()
+        slot.scans += 1
+        slot.scanned += tuples
 
     def record_probe(self, tuples: int) -> None:
         """Record an index lookup that returned ``tuples`` tuples."""
-        self.lookups += 1
-        self.index_probed += tuples
+        slot = self._slot()
+        slot.lookups += 1
+        slot.index_probed += tuples
 
     def reset(self) -> None:
-        """Zero all counters."""
-        self.scanned = 0
-        self.index_probed = 0
-        self.lookups = 0
-        self.scans = 0
+        """Zero all counters, every thread's slot (and retired totals) included."""
+        with self._lock:
+            for slot in [self._retired, *self._slots.values()]:
+                slot.scanned = 0
+                slot.index_probed = 0
+                slot.lookups = 0
+                slot.scans = 0
+
+    # -- per-execution accounting (this thread's slot) -----------------------------
 
     def snapshot(self) -> "AccessSnapshot":
-        """Capture the current counter values for later differencing."""
+        """Capture the *calling thread's* counter values for later differencing.
+
+        An execution runs entirely on one thread, so bracketing it with
+        ``snapshot()`` / ``since()`` yields exactly that execution's accesses
+        even while other workers are recording into the same counter.
+        """
+        slot = self._slot()
         return AccessSnapshot(
-            scanned=self.scanned,
-            index_probed=self.index_probed,
-            lookups=self.lookups,
-            scans=self.scans,
+            scanned=slot.scanned,
+            index_probed=slot.index_probed,
+            lookups=slot.lookups,
+            scans=slot.scans,
         )
 
     def since(self, snapshot: "AccessSnapshot") -> "AccessSnapshot":
-        """Counter deltas accumulated since ``snapshot`` was taken."""
+        """Calling-thread counter deltas accumulated since ``snapshot``."""
+        slot = self._slot()
         return AccessSnapshot(
-            scanned=self.scanned - snapshot.scanned,
-            index_probed=self.index_probed - snapshot.index_probed,
-            lookups=self.lookups - snapshot.lookups,
-            scans=self.scans - snapshot.scans,
+            scanned=slot.scanned - snapshot.scanned,
+            index_probed=slot.index_probed - snapshot.index_probed,
+            lookups=slot.lookups - snapshot.lookups,
+            scans=slot.scans - snapshot.scans,
         )
 
     def merge(self, other: "AccessCounter | AccessSnapshot") -> None:
-        """Add another counter's totals into this one."""
-        self.scanned += other.scanned
-        self.index_probed += other.index_probed
-        self.lookups += other.lookups
-        self.scans += other.scans
+        """Add another counter's aggregate totals into this thread's slot."""
+        slot = self._slot()
+        slot.scanned += other.scanned
+        slot.index_probed += other.index_probed
+        slot.lookups += other.lookups
+        slot.scans += other.scans
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessCounter(scanned={self.scanned}, index_probed={self.index_probed}, "
+            f"lookups={self.lookups}, scans={self.scans})"
+        )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,38 @@
+"""The concurrent serving layer: admission control, worker pool, micro-batching.
+
+This package isolates *serving* from *query processing* (the separation
+Polynesia-style designs argue for): the engine stays a single-threaded-looking
+library, and :class:`QueryService` owns everything traffic-shaped — the
+bounded admission queue, per-request deadlines and access budgets, the worker
+threads, and same-template micro-batching.  See ``docs/architecture.md`` for
+where this layer sits in the stack.
+
+Typical use::
+
+    from repro.service import QueryService
+
+    with QueryService(database, access_schema, workers=4) as service:
+        future = service.submit(template, album="a0", user="u0")
+        result = future.result()          # or ServiceTimeout, typed
+
+The typed service errors (:class:`~repro.errors.ServiceTimeout`,
+:class:`~repro.errors.ServiceOverloadedError`,
+:class:`~repro.errors.ServiceClosedError`) are re-exported here for
+convenience.
+"""
+
+from ..errors import ServiceClosedError, ServiceError, ServiceOverloadedError, ServiceTimeout
+from .queue import AdmissionQueue
+from .requests import ServiceFuture, ServiceRequest
+from .service import QueryService
+
+__all__ = [
+    "AdmissionQueue",
+    "QueryService",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceFuture",
+    "ServiceOverloadedError",
+    "ServiceRequest",
+    "ServiceTimeout",
+]

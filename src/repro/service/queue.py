@@ -1,0 +1,119 @@
+"""The admission-control queue feeding the service's worker pool.
+
+Bounded intake is the serving-layer analogue of the paper's bounded-access
+promise: a service that queues without limit has unbounded memory and
+unbounded tail latency, so :class:`AdmissionQueue` holds at most ``capacity``
+pending requests and *rejects* (rather than blocks) offers beyond that — the
+caller sheds load at submission time with a typed
+:class:`~repro.errors.ServiceOverloadedError`.
+
+The queue is also where micro-batching happens: :meth:`take` hands a worker
+the oldest pending request *plus* every other pending request bound from the
+same template (same plan key), so one compiled-plan resolution serves the
+whole batch.  Requests of other templates keep their relative order.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from .requests import ServiceRequest
+
+
+class AdmissionQueue:
+    """A bounded FIFO of :class:`ServiceRequest` with same-template batch take.
+
+    Thread-safe: one lock/condition pair guards the deque; producers
+    (``offer``) never block — a full queue is an immediate rejection — and
+    consumers (``take``) block until work arrives or the queue is closed.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._items: "deque[ServiceRequest]" = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    def offer(self, request: ServiceRequest) -> bool:
+        """Admit ``request`` unless the queue is full; never blocks.
+
+        Returns ``True`` on admission, ``False`` when the queue is at
+        capacity (the caller turns that into
+        :class:`~repro.errors.ServiceOverloadedError`).
+        """
+        with self._not_empty:
+            if self._closed or len(self._items) >= self.capacity:
+                return False
+            self._items.append(request)
+            self._not_empty.notify()
+            return True
+
+    def take(self, max_batch: int = 1) -> list[ServiceRequest] | None:
+        """Block for the oldest request plus up to ``max_batch - 1`` same-template peers.
+
+        Returns ``None`` exactly once the queue is closed *and* drained —
+        the worker's signal to exit.  Batch members beyond the first are
+        selected by equal plan key, preserving the queue order of everything
+        left behind.
+        """
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    return None
+                self._not_empty.wait()
+            first = self._items.popleft()
+            batch = [first]
+            if max_batch > 1 and self._items:
+                # One scan, stopping as soon as the batch is full; the deque
+                # is only rebuilt when a peer was actually found, so in the
+                # mixed-template case (no peers) a take is O(scan) with no
+                # allocation, not O(rebuild-everything).
+                matched: list[int] = []
+                for position, request in enumerate(self._items):
+                    if request.plan_key == first.plan_key:
+                        batch.append(request)
+                        matched.append(position)
+                        if len(batch) == max_batch:
+                            break
+                if matched:
+                    remove = set(matched)
+                    self._items = deque(
+                        request
+                        for position, request in enumerate(self._items)
+                        if position not in remove
+                    )
+            return batch
+
+    def drain(self) -> list[ServiceRequest]:
+        """Remove and return every pending request (used by non-graceful close)."""
+        with self._not_empty:
+            pending = list(self._items)
+            self._items.clear()
+            return pending
+
+    def close(self) -> None:
+        """Stop admitting; wake every blocked consumer so workers can exit."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"AdmissionQueue({len(self._items)}/{self.capacity} pending"
+                f"{', closed' if self._closed else ''})"
+            )

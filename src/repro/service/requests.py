@@ -1,0 +1,98 @@
+"""Request and future objects of the concurrent serving layer.
+
+A :class:`ServiceRequest` is one admitted unit of work: a prepared-template
+binding plus its admission metadata (deadline, access budget, submission
+order).  Its :class:`ServiceFuture` is the caller's handle — resolved by a
+worker thread with either an :class:`~repro.execution.metrics.ExecutionResult`
+or a typed error (:class:`~repro.errors.ServiceTimeout`,
+:class:`~repro.errors.BudgetExceededError`, ...), never a half-built answer.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..execution.metrics import ExecutionResult
+    from ..spc.parameters import ParameterizedQuery
+
+
+class ServiceFuture:
+    """The caller's handle to one submitted request.
+
+    A thin wrapper over :class:`concurrent.futures.Future` whose
+    :meth:`result` returns the request's
+    :class:`~repro.execution.metrics.ExecutionResult` or raises the typed
+    error the worker resolved it with.  Thread-safe; any number of callers
+    may wait on one future.
+    """
+
+    __slots__ = ("_future", "index")
+
+    def __init__(self, index: int) -> None:
+        self._future: "concurrent.futures.Future[ExecutionResult]" = (
+            concurrent.futures.Future()
+        )
+        #: Submission serial number (position in the service's intake order).
+        self.index = index
+
+    def done(self) -> bool:
+        """Whether the request has been resolved (successfully or not)."""
+        return self._future.done()
+
+    def result(self, timeout: float | None = None) -> "ExecutionResult":
+        """Block until resolved; return the answer or raise the typed error.
+
+        ``timeout`` bounds *this wait* only (raising
+        :class:`concurrent.futures.TimeoutError` when it elapses); it is
+        unrelated to the request's own deadline, which resolves the future
+        with :class:`~repro.errors.ServiceTimeout`.
+        """
+        return self._future.result(timeout)
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """Block until resolved; return the typed error, or ``None`` on success."""
+        return self._future.exception(timeout)
+
+    # -- worker-side resolution (package-internal) ----------------------------------
+
+    def _resolve(self, result: "ExecutionResult") -> None:
+        self._future.set_result(result)
+
+    def _fail(self, error: BaseException) -> None:
+        self._future.set_exception(error)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        return f"ServiceFuture(#{self.index}, {state})"
+
+
+@dataclass
+class ServiceRequest:
+    """One admitted request: a template binding plus its serving metadata."""
+
+    #: Submission serial number; responses are attributable to intake order.
+    index: int
+    #: The parameterized template this request binds.
+    template: "ParameterizedQuery"
+    #: Parameter name -> request value.
+    params: Mapping[str, Any]
+    #: The template's plan-cache key; requests sharing it are micro-batchable.
+    plan_key: Any
+    #: Absolute ``time.monotonic()`` deadline, or ``None`` for no deadline.
+    deadline_at: float | None
+    #: Max tuples this request may access, or ``None`` for the plan's bound.
+    budget: int | None
+    #: The caller's handle.
+    future: ServiceFuture = field(repr=False, default=None)  # type: ignore[assignment]
+    #: ``time.monotonic()`` at admission (queue-latency accounting).
+    submitted_at: float = field(default_factory=time.monotonic)
+
+    def expired(self, now: float | None = None) -> bool:
+        """Whether the request's deadline has already passed."""
+        if self.deadline_at is None:
+            return False
+        return (time.monotonic() if now is None else now) > self.deadline_at

@@ -1,0 +1,441 @@
+"""The concurrent query service: a thread-safe, multi-worker serving front-end.
+
+The ROADMAP's north star is a system that serves heavy traffic, and the
+engine alone is a library, not a server: callers must thread requests through
+``prepare_query`` / ``execute`` themselves, and nothing arbitrates between
+concurrent callers.  :class:`QueryService` is that missing layer:
+
+* **admission control** — a bounded queue; a full queue rejects at
+  submission time (:class:`~repro.errors.ServiceOverloadedError`) instead of
+  growing without bound;
+* **per-request deadline and access budget** — carried as
+  :class:`~repro.execution.metrics.ExecutionLimits` and enforced by the
+  compiled runtime *between* fetch steps, so an expired request resolves to
+  a typed :class:`~repro.errors.ServiceTimeout`, never a half-built row set,
+  and the access counter never exceeds the budget;
+* **micro-batching** — a worker taking a request also drains every queued
+  request bound from the same template, resolving the compiled plan once for
+  the whole batch;
+* **a worker pool** — N threads sharing one engine (whose caches are
+  lock-guarded), one executor (whose prepare path is serialized), and one
+  backend (SQLite stores pool a connection per worker thread).
+
+The paper's contract is what makes this shape work: every request's cost is
+bounded a priori by its plan, so a fixed worker pool over an admission queue
+yields predictable capacity — ``workers / (per-request bound x per-tuple
+cost)`` requests per second, independent of ``|D|``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Iterable, Mapping
+
+from ..access.schema import AccessSchema
+from ..errors import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeout,
+)
+from ..execution.engine import BoundedEngine
+from ..execution.metrics import ExecutionLimits, ExecutionResult, StatsAccumulator
+from ..spc.parameters import ParameterizedQuery
+from ..storage.base import StorageBackend, as_backend
+from .queue import AdmissionQueue
+from .requests import ServiceFuture, ServiceRequest
+
+#: Default bound on pending (admitted, unserved) requests.
+DEFAULT_MAX_PENDING = 1024
+#: Default cap on how many same-template requests one worker takes at once.
+DEFAULT_MAX_BATCH = 16
+
+#: Sentinel distinguishing "argument omitted — use the service default" from
+#: an explicit ``None`` ("no deadline / no budget for this request").
+_UNSET: Any = object()
+
+
+class QueryService:
+    """A multi-worker, thread-safe serving front-end over the bounded engine.
+
+    Parameters
+    ----------
+    source:
+        Where the data lives: a :class:`~repro.workloads.base.Workload` (its
+        access schema is used and its default-scale instance is generated), a
+        :class:`~repro.relational.database.Database`, or any
+        :class:`~repro.storage.base.StorageBackend` (e.g. a
+        :class:`~repro.storage.sqlite.SQLiteBackend` for out-of-core serving).
+    access_schema:
+        The access schema to serve under.  Required unless ``source`` is a
+        workload (which carries one) or ``engine`` is given.
+    workers:
+        Worker-thread count.  Workers overlap storage waits (SQLite releases
+        the GIL during statement execution; remote stores wait on I/O), so
+        throughput scales with workers until the Python-side cost saturates
+        a core.
+    max_pending:
+        Admission-queue capacity; offers beyond it raise
+        :class:`~repro.errors.ServiceOverloadedError`.
+    default_deadline:
+        Seconds each request may spend queued + executing before it resolves
+        to :class:`~repro.errors.ServiceTimeout` (``None``: no deadline).
+    default_budget:
+        Per-request tuple-access budget (``None``: the plan's own bound).
+    max_batch:
+        Micro-batch cap: how many same-template requests one worker serves
+        per queue take.
+
+    Thread safety: every public method may be called from any thread.
+
+    Example
+    -------
+    >>> from repro.relational import Database
+    >>> from repro.spc import ParameterizedQuery
+    >>> from repro.workloads import query_q1, social_access_schema, social_schema
+    >>> db = Database(social_schema())
+    >>> db.extend("in_album", [("p1", "a0")])
+    >>> db.extend("friends", [("u0", "u1")])
+    >>> db.extend("tagging", [("p1", "u1", "u0")])
+    >>> q1 = query_q1()
+    >>> template = ParameterizedQuery(
+    ...     q1, {"album": q1.ref("ia", "album_id"), "user": q1.ref("f", "user_id")})
+    >>> with QueryService(db, social_access_schema(), workers=2) as service:
+    ...     future = service.submit(template, album="a0", user="u0")
+    ...     future.result().tuples
+    [('p1',)]
+    """
+
+    def __init__(
+        self,
+        source: Any,
+        access_schema: AccessSchema | None = None,
+        *,
+        workers: int = 2,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        default_deadline: float | None = None,
+        default_budget: int | None = None,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        engine: BoundedEngine | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"worker count must be positive, got {workers}")
+        if max_batch < 1:
+            raise ServiceError(f"max_batch must be positive, got {max_batch}")
+        self.backend, resolved_schema = self._resolve_source(source, access_schema)
+        if engine is not None:
+            self.engine = engine
+        else:
+            if resolved_schema is None:
+                raise ServiceError(
+                    "QueryService needs an access schema: pass access_schema=, "
+                    "an engine=, or a Workload source"
+                )
+            self.engine = BoundedEngine(resolved_schema)
+        self.workers = workers
+        self.default_deadline = default_deadline
+        self.default_budget = default_budget
+        self.max_batch = max_batch
+        self._queue = AdmissionQueue(max_pending)
+        self._execution_stats = StatsAccumulator()
+        self._stats_lock = threading.Lock()
+        #: Atomic request serials; rejected submissions leave gaps, so a
+        #: serial is a label, never an admitted-count.
+        self._intake_serial = itertools.count()
+        self._submitted = 0
+        self._completed = 0
+        self._timeouts = 0
+        self._failures = 0
+        self._batches = 0
+        self._largest_batch = 0
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-worker-{worker}",
+                daemon=True,
+            )
+            for worker in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    @staticmethod
+    def _resolve_source(
+        source: Any, access_schema: AccessSchema | None
+    ) -> tuple[StorageBackend, AccessSchema | None]:
+        """Turn ``source`` into a backend, picking up a workload's access schema."""
+        workload_schema = getattr(source, "access_schema", None)
+        to_backend = getattr(source, "to_backend", None)
+        if workload_schema is not None and to_backend is not None:
+            # A Workload: generate its default-scale instance in memory.
+            return as_backend(to_backend("memory")), access_schema or workload_schema
+        return as_backend(source), access_schema
+
+    # -- submission ------------------------------------------------------------------
+
+    def submit(
+        self,
+        template: ParameterizedQuery,
+        *,
+        deadline: float | None = _UNSET,
+        budget: int | None = _UNSET,
+        **params: Any,
+    ) -> ServiceFuture:
+        """Admit one request; returns immediately with its future.
+
+        Parameters
+        ----------
+        template:
+            The parameterized query to bind.  Unknown or missing parameter
+            names are rejected synchronously with
+            :class:`~repro.errors.QueryError` (admission-time validation).
+        deadline:
+            Seconds from now before the request times out.  Omitted: the
+            service default applies; an explicit ``None`` disables the
+            deadline for this request.
+        budget:
+            Tuple-access budget for this request.  Omitted: the service
+            default; explicit ``None``: no budget.
+        params:
+            One value per template parameter.
+
+        Returns
+        -------
+        ServiceFuture
+            Resolves to the :class:`~repro.execution.metrics.ExecutionResult`
+            or to a typed error — :class:`~repro.errors.ServiceTimeout`,
+            :class:`~repro.errors.BudgetExceededError`, ...
+
+        Raises
+        ------
+        ~repro.errors.ServiceClosedError
+            When the service has been closed.
+        ~repro.errors.ServiceOverloadedError
+            When the admission queue is full (load shedding).
+
+        Thread-safe.
+        """
+        return self._admit(template, params, deadline, budget)
+
+    def submit_many(
+        self,
+        template: ParameterizedQuery,
+        bindings: Iterable[Mapping[str, Any]],
+        *,
+        deadline: float | None = _UNSET,
+        budget: int | None = _UNSET,
+    ) -> list[ServiceFuture]:
+        """Admit a batch of bindings of one template; one future per binding.
+
+        Enqueued back-to-back, the batch is the ideal micro-batching shape:
+        workers will drain same-template runs of it in single queue takes.
+        Thread-safe.
+        """
+        return [
+            self._admit(template, dict(binding), deadline, budget)
+            for binding in bindings
+        ]
+
+    def run(
+        self,
+        template: ParameterizedQuery,
+        *,
+        deadline: float | None = _UNSET,
+        budget: int | None = _UNSET,
+        **params: Any,
+    ) -> ExecutionResult:
+        """Synchronous convenience: :meth:`submit` and wait for the answer."""
+        return self.submit(
+            template, deadline=deadline, budget=budget, **params
+        ).result()
+
+    def run_many(
+        self,
+        template: ParameterizedQuery,
+        bindings: Iterable[Mapping[str, Any]],
+        *,
+        deadline: float | None = _UNSET,
+        budget: int | None = _UNSET,
+    ) -> list[ExecutionResult]:
+        """Submit a batch and wait for every answer, in binding order."""
+        futures = self.submit_many(template, bindings, deadline=deadline, budget=budget)
+        return [future.result() for future in futures]
+
+    def _admit(
+        self,
+        template: ParameterizedQuery,
+        params: Mapping[str, Any],
+        deadline: float | None,
+        budget: int | None,
+    ) -> ServiceFuture:
+        if self._closed:
+            raise ServiceClosedError("service is closed; no new requests admitted")
+        template.check_names(params)
+        if deadline is _UNSET:
+            deadline = self.default_deadline
+        if budget is _UNSET:
+            budget = self.default_budget
+        index = next(self._intake_serial)
+        request = ServiceRequest(
+            index=index,
+            template=template,
+            params=params,
+            plan_key=template.plan_key(),
+            deadline_at=None if deadline is None else time.monotonic() + deadline,
+            budget=budget,
+            future=ServiceFuture(index),
+        )
+        if not self._queue.offer(request):
+            if self._closed:
+                raise ServiceClosedError("service is closed; no new requests admitted")
+            raise ServiceOverloadedError(
+                f"admission queue full ({self._queue.capacity} pending requests); "
+                f"request rejected — retry with backoff or raise max_pending"
+            )
+        # Counted only after a successful offer, so ``submitted`` means
+        # *admitted*: submitted == completed + timeouts + failures + pending.
+        with self._stats_lock:
+            self._submitted += 1
+        return request.future
+
+    # -- the worker loop ---------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._queue.take(self.max_batch)
+            if batch is None:
+                return
+            self._serve_batch(batch)
+
+    def _serve_batch(self, batch: list[ServiceRequest]) -> None:
+        with self._stats_lock:
+            self._batches += 1
+            self._largest_batch = max(self._largest_batch, len(batch))
+        try:
+            prepared = self.engine.prepare_query(batch[0].template)
+            prepared.warm(self.backend)
+        except BaseException as error:  # compilation failed: fail the whole batch
+            for request in batch:
+                self._resolve_error(request, error)
+            return
+        for request in batch:
+            if request.expired():
+                self._resolve_error(
+                    request,
+                    ServiceTimeout(
+                        f"request #{request.index} expired while queued "
+                        f"(waited {time.monotonic() - request.submitted_at:.3f}s)",
+                        deadline=request.deadline_at,
+                    ),
+                )
+                continue
+            limits = None
+            if request.deadline_at is not None or request.budget is not None:
+                limits = ExecutionLimits(
+                    deadline=request.deadline_at, budget=request.budget
+                )
+            try:
+                result = prepared.serve(self.backend, request.params, limits)
+            except DeadlineExceededError as error:
+                self._resolve_error(
+                    request,
+                    ServiceTimeout(
+                        f"request #{request.index} timed out mid-execution: {error}",
+                        deadline=request.deadline_at,
+                    ),
+                )
+            except BaseException as error:
+                self._resolve_error(request, error)
+            else:
+                self._execution_stats.merge(result.stats)
+                with self._stats_lock:
+                    self._completed += 1
+                request.future._resolve(result)
+
+    def _resolve_error(self, request: ServiceRequest, error: BaseException) -> None:
+        with self._stats_lock:
+            if isinstance(error, ServiceTimeout):
+                self._timeouts += 1
+            else:
+                self._failures += 1
+        request.future._fail(error)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the service.
+
+        With ``drain=True`` (default) already-admitted requests are served
+        before the workers exit; with ``drain=False`` pending requests are
+        failed immediately with :class:`~repro.errors.ServiceClosedError`.
+        Idempotent; thread-safe.
+        """
+        self._closed = True
+        if not drain:
+            for request in self._queue.drain():
+                self._resolve_error(
+                    request, ServiceClosedError("service closed before execution")
+                )
+        self._queue.close()
+        for thread in self._threads:
+            thread.join()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- monitoring --------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """A consistent snapshot of the service's counters.
+
+        Combines admission counters (submitted / completed / timeouts /
+        failures / pending), micro-batching counters (batches served, the
+        largest batch), and the aggregate execution stats of every served
+        request.  Thread-safe.
+        """
+        with self._stats_lock:
+            snapshot = {
+                "workers": self.workers,
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "timeouts": self._timeouts,
+                "failures": self._failures,
+                "batches": self._batches,
+                "largest_batch": self._largest_batch,
+            }
+        snapshot["pending"] = len(self._queue)
+        snapshot["execution"] = self._execution_stats.summary()
+        return snapshot
+
+    def describe(self) -> str:
+        """Human-readable one-stop service report (stats + engine caches)."""
+        stats = self.stats()
+        execution = stats["execution"]
+        lines = [
+            f"QueryService: {stats['workers']} workers, "
+            f"{stats['submitted']} submitted, {stats['completed']} completed, "
+            f"{stats['timeouts']} timeouts, {stats['failures']} failures, "
+            f"{stats['pending']} pending",
+            f"  micro-batches: {stats['batches']} "
+            f"(largest {stats['largest_batch']})",
+            f"  tuples accessed: {execution['tuples_accessed']} "
+            f"over {execution['requests']} executions",
+        ]
+        for name, info in self.engine.cache_info().items():
+            lines.append(f"  {name}: {info.describe()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"QueryService({stats['workers']} workers, "
+            f"{stats['completed']}/{stats['submitted']} served"
+            f"{', closed' if self._closed else ''})"
+        )

@@ -17,13 +17,16 @@ both.
 """
 
 from .base import StorageBackend, as_backend
+from .latency import LatencyInjectingBackend
 from .memory import InMemoryBackend
-from .sqlite import SQLiteBackend, SQLiteConstraintIndex
+from .sqlite import SQLiteBackend, SQLiteConstraintIndex, ThreadLocalConnections
 
 __all__ = [
     "InMemoryBackend",
+    "LatencyInjectingBackend",
     "SQLiteBackend",
     "SQLiteConstraintIndex",
     "StorageBackend",
+    "ThreadLocalConnections",
     "as_backend",
 ]

@@ -52,6 +52,27 @@ class StorageBackend(abc.ABC):
       stored relations,
     * ``counter`` — the single :class:`AccessCounter` all counted access paths
       charge, so one execution yields one coherent access count.
+
+    Thread safety: the counter accumulates per-thread (each execution's
+    accounting is isolated to its worker), and concrete backends are safe
+    for concurrent *reads* once populated — the in-memory backend probes
+    immutable snapshot indexes, the SQLite backend pools one connection per
+    thread.  Populate and build indexes before serving concurrently, as with
+    any read-mostly store.
+
+    Example
+    -------
+    >>> from repro.relational import Database
+    >>> from repro.workloads import social_schema
+    >>> db = Database(social_schema())
+    >>> db.extend("friends", [("u0", "u1")])
+    >>> backend = as_backend(db)       # a Database carries its own backend
+    >>> backend.kind
+    'memory'
+    >>> backend.scan("friends")        # charged: one scan of one tuple
+    [('u0', 'u1')]
+    >>> backend.counter.scans
+    1
     """
 
     #: Short backend tag, e.g. ``"memory"`` or ``"sqlite"``.

@@ -1,0 +1,175 @@
+"""A latency-injecting backend decorator for load testing the serving layer.
+
+The paper's serving scenario puts the data behind *access-constraint
+retrieval*, and in a production deployment that retrieval has a round-trip
+cost: a disk seek, an SSD read, a network hop to a storage tier.  On a
+developer laptop the whole working set is page-cached, so a load test of the
+concurrent service would measure nothing but the Python interpreter.
+:class:`LatencyInjectingBackend` restores the missing dimension by wrapping
+any :class:`~repro.storage.base.StorageBackend` and sleeping a configurable
+interval per *access operation* (fetch batch, scan, containment probe) —
+``time.sleep`` releases the GIL, so overlapping these simulated round-trips
+is exactly what a multi-worker :class:`~repro.service.QueryService` exists
+to do, and a closed-loop benchmark over this wrapper measures that overlap
+honestly even on a single-CPU host.
+
+The wrapper is charging-transparent: it delegates every operation — and the
+access counter — to the inner backend, so results, ``tuples_accessed`` and
+bound enforcement are byte-for-byte those of the wrapped store.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from ..access.constraint import AccessConstraint
+from ..access.indexes import AccessIndexes
+from ..relational.statistics import AccessCounter
+from .base import Row, StorageBackend, as_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..relational.schema import DatabaseSchema
+
+
+class _LatencyView:
+    """A constraint view that sleeps one round-trip before delegating."""
+
+    __slots__ = ("_view", "_sleep")
+
+    def __init__(self, view: Any, sleep_seconds: float) -> None:
+        self._view = view
+        self._sleep = sleep_seconds
+
+    @property
+    def constraint(self) -> AccessConstraint:
+        return self._view.constraint
+
+    @property
+    def relation(self) -> str:
+        return self._view.relation
+
+    @property
+    def key(self) -> tuple[str, ...]:
+        return self._view.key
+
+    @property
+    def value(self) -> tuple[str, ...]:
+        return self._view.value
+
+    def fetch(self, x_value: Sequence[Any]) -> list[Row]:
+        time.sleep(self._sleep)
+        return self._view.fetch(x_value)
+
+    def fetch_many(self, x_values: Iterable[Sequence[Any]]) -> list[Row]:
+        time.sleep(self._sleep)
+        return self._view.fetch_many(x_values)
+
+    def contains(self, x_value: Sequence[Any]) -> bool:
+        time.sleep(self._sleep)
+        return self._view.contains(x_value)
+
+    def __repr__(self) -> str:
+        return f"_LatencyView({self._view!r}, {self._sleep * 1000:.2f}ms)"
+
+
+class LatencyInjectingBackend(StorageBackend):
+    """Delegate to another backend, adding a fixed sleep per access operation.
+
+    Parameters
+    ----------
+    source:
+        The store to wrap — a backend or a ``Database``.
+    access_latency:
+        Seconds slept before each counted access operation (a batched
+        constraint fetch, a full scan, a containment probe).  Models one
+        storage round-trip; batched fetches pay it once per batch, like a
+        real remote store.
+
+    Example
+    -------
+    >>> from repro.relational import Database
+    >>> from repro.workloads import social_schema
+    >>> db = Database(social_schema())
+    >>> db.extend("in_album", [("p1", "a0")])
+    >>> slow = LatencyInjectingBackend(db, access_latency=0.0001)
+    >>> slow.scan("in_album")
+    [('p1', 'a0')]
+    >>> slow.kind == db.backend.kind    # charging- and kind-transparent
+    True
+    """
+
+    def __init__(self, source: Any, access_latency: float = 0.001) -> None:
+        self.inner = as_backend(source)
+        self.access_latency = access_latency
+
+    # -- transparent metadata -------------------------------------------------------
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return self.inner.kind
+
+    @property
+    def schema(self) -> "DatabaseSchema":  # type: ignore[override]
+        return self.inner.schema
+
+    @property
+    def counter(self) -> AccessCounter:  # type: ignore[override]
+        return self.inner.counter
+
+    @property
+    def data_version(self) -> int:
+        return self.inner.data_version
+
+    def relation_names(self) -> tuple[str, ...]:
+        return self.inner.relation_names()
+
+    def cardinality(self, relation: str) -> int:
+        return self.inner.cardinality(relation)
+
+    def populate(self, relation: str, rows: Iterable[Sequence[Any]]) -> None:
+        self.inner.populate(relation, rows)
+
+    # -- counted access paths (one simulated round-trip each) -----------------------
+
+    def scan(self, relation: str) -> list[Row]:
+        time.sleep(self.access_latency)
+        return self.inner.scan(relation)
+
+    def fetch(
+        self,
+        constraint: AccessConstraint,
+        x_values: Iterable[Sequence[Any]],
+        enforce_bound: bool = True,
+    ) -> list[Row]:
+        time.sleep(self.access_latency)
+        return self.inner.fetch(constraint, x_values, enforce_bound)
+
+    def contains(self, constraint: AccessConstraint, x_value: Sequence[Any]) -> bool:
+        time.sleep(self.access_latency)
+        return self.inner.contains(constraint, x_value)
+
+    # -- indexes --------------------------------------------------------------------
+
+    def build_indexes(
+        self,
+        constraints: Iterable[AccessConstraint],
+        enforce_bounds: bool = True,
+    ) -> AccessIndexes:
+        """Build the inner backend's indexes, wrapping each fetch view.
+
+        The bounded executor probes through the views this returns, so the
+        wrapping is what makes plan execution (not just protocol-level
+        ``fetch``) pay the simulated round-trips.
+        """
+        inner_indexes = self.inner.build_indexes(constraints, enforce_bounds)
+        wrapped = AccessIndexes()
+        for view in inner_indexes:
+            wrapped.add(_LatencyView(view, self.access_latency))
+        return wrapped
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyInjectingBackend({self.inner!r}, "
+            f"{self.access_latency * 1000:.2f}ms/access)"
+        )

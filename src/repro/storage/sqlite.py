@@ -24,16 +24,26 @@ counts stay flat as the SQLite database grows.
 Values must be SQLite-storable (``None``, ``int``, ``float``, ``str``,
 ``bytes``); :meth:`populate` rejects anything else with row context instead
 of letting ``sqlite3`` fail opaquely mid-batch.
+
+Concurrency: the backend pools one connection per thread behind
+:class:`ThreadLocalConnections` (``":memory:"`` stores become shared-cache
+in-memory databases so every worker thread sees the same data), which is what
+lets a :class:`~repro.service.QueryService` run several workers over one
+SQLite store.  SQLite releases the GIL while a statement runs, so concurrent
+reads genuinely overlap.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import sqlite3
+import threading
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from ..access.constraint import AccessConstraint
 from ..access.indexes import AccessIndexes, check_bound
-from ..errors import SchemaError, UnknownRelationError
+from ..errors import ExecutionError, SchemaError, UnknownRelationError
 from ..relational.schema import DatabaseSchema
 from ..relational.statistics import AccessCounter
 from .base import Row, StorageBackend
@@ -53,10 +63,97 @@ POPULATE_CHUNK_SIZE = 10_000
 #: Python types sqlite3 stores losslessly without adapters.
 _STORABLE = (int, float, str, bytes)
 
+#: Distinguishes the shared-cache URIs of concurrently live in-memory stores.
+_memory_ids = itertools.count(1)
+
 
 def _quote(identifier: str) -> str:
     """Quote a table/column identifier (schemas are data, not trusted SQL)."""
     return '"' + identifier.replace('"', '""') + '"'
+
+
+class ThreadLocalConnections:
+    """One ``sqlite3`` connection per thread, all onto the same database.
+
+    ``sqlite3`` connections must not be shared across threads, so a
+    multi-worker service needs one connection per worker — this class is that
+    pool.  :meth:`get` returns the calling thread's connection, creating it on
+    first use; every connection targets the same database:
+
+    * a file path: each thread simply opens the file;
+    * ``":memory:"``: a private in-memory database would be *empty and
+      invisible* to other threads, so the pool substitutes a process-unique
+      ``file:...?mode=memory&cache=shared`` URI and holds one *anchor*
+      connection open for the pool's lifetime (a shared-cache in-memory
+      database is dropped when its last connection closes).
+
+    Connections are opened with ``check_same_thread=False`` solely so
+    :meth:`close_all` can close them centrally; by construction each
+    connection is only ever *used* by the thread that created it.
+
+    Example
+    -------
+    >>> pool = ThreadLocalConnections(":memory:")
+    >>> pool.get() is pool.get()   # same thread -> same connection
+    True
+    >>> pool.close_all()
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._all: list[sqlite3.Connection] = []
+        self._closed = False
+        if path == ":memory:":
+            self._target = (
+                f"file:repro-mem-{os.getpid()}-{next(_memory_ids)}"
+                f"?mode=memory&cache=shared"
+            )
+            self._uri = True
+            self._anchor: sqlite3.Connection | None = sqlite3.connect(
+                self._target, uri=self._uri, check_same_thread=False
+            )
+        else:
+            self._target = path
+            self._uri = False
+            self._anchor = None
+
+    def get(self) -> sqlite3.Connection:
+        """The calling thread's connection, created on first use."""
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = sqlite3.connect(
+                self._target, uri=self._uri, check_same_thread=False
+            )
+            with self._lock:
+                # The closed check and the registration must be one atomic
+                # step, or a get() racing close_all() would register (and
+                # leak) a connection the closer never sees.
+                if self._closed:
+                    connection.close()
+                    raise ExecutionError(
+                        f"connection pool for {self.path!r} is closed"
+                    )
+                self._all.append(connection)
+            self._local.connection = connection
+        return connection
+
+    def close_all(self) -> None:
+        """Close every thread's connection (and the in-memory anchor)."""
+        with self._lock:
+            self._closed = True
+            connections, self._all = self._all, []
+        for connection in connections:
+            connection.close()
+        if self._anchor is not None:
+            self._anchor.close()
+            self._anchor = None
+
+    def __repr__(self) -> str:
+        with self._lock:
+            open_count = len(self._all)
+        return f"ThreadLocalConnections({self.path!r}, {open_count} open)"
 
 
 class SQLiteConstraintIndex:
@@ -118,11 +215,20 @@ class SQLiteBackend(StorageBackend):
         flow for a previously materialized dataset.  To replace a file's
         contents with a fresh instance, go through :meth:`from_database`
         (which truncates before loading) or delete the file first.
+
+        Connections are pooled per thread (:class:`ThreadLocalConnections`),
+        so any number of service workers can read this backend concurrently;
+        ``":memory:"`` stores use a shared-cache in-memory database visible
+        to every worker thread.  Writes (:meth:`populate`,
+        :meth:`build_indexes`) are expected to happen before concurrent
+        serving starts, as with any read-mostly store.
         """
         self.schema = schema
         self.path = path
         self.counter = AccessCounter()
-        self._connection = sqlite3.connect(path)
+        self._connections = ThreadLocalConnections(path)
+        #: Serializes DDL (index creation) across threads.
+        self._ddl_lock = threading.Lock()
         #: Constraints whose SQL index has been created, to make
         #: build_indexes idempotent without re-issuing DDL.
         self._indexed: set[tuple[str, tuple[str, ...]]] = set()
@@ -132,6 +238,11 @@ class SQLiteBackend(StorageBackend):
                 f"CREATE TABLE IF NOT EXISTS {_quote(relation.name)} ({columns})"
             )
         self._connection.commit()
+
+    @property
+    def _connection(self) -> sqlite3.Connection:
+        """The calling thread's connection to this store."""
+        return self._connections.get()
 
     # -- construction --------------------------------------------------------------
 
@@ -152,8 +263,8 @@ class SQLiteBackend(StorageBackend):
         return backend
 
     def close(self) -> None:
-        """Close the underlying connection (the backend is unusable afterwards)."""
-        self._connection.close()
+        """Close every pooled connection (the backend is unusable afterwards)."""
+        self._connections.close_all()
 
     def _relation_schema(self, relation: str):
         if relation not in self.schema:
@@ -335,26 +446,28 @@ class SQLiteBackend(StorageBackend):
 
         Empty-``X`` (bounded-domain) constraints need no SQL index — their
         single probe is a distinct projection of the whole table.
+        Thread-safe: DDL and the issued-index memo are guarded by a lock.
         """
         indexes = AccessIndexes()
-        created = False
-        for constraint in constraints:
-            if constraint.relation not in self.schema:
-                continue
-            if constraint.x:
-                spec = (constraint.relation, constraint.x)
-                if spec not in self._indexed:
-                    name = "ix__" + "__".join((constraint.relation,) + constraint.x)
-                    key_columns = ", ".join(_quote(a) for a in constraint.x)
-                    self._connection.execute(
-                        f"CREATE INDEX IF NOT EXISTS {_quote(name)} "
-                        f"ON {_quote(constraint.relation)} ({key_columns})"
-                    )
-                    self._indexed.add(spec)
-                    created = True
-            indexes.add(SQLiteConstraintIndex(constraint, self, enforce_bounds))
-        if created:
-            self._connection.commit()
+        with self._ddl_lock:
+            created = False
+            for constraint in constraints:
+                if constraint.relation not in self.schema:
+                    continue
+                if constraint.x:
+                    spec = (constraint.relation, constraint.x)
+                    if spec not in self._indexed:
+                        name = "ix__" + "__".join((constraint.relation,) + constraint.x)
+                        key_columns = ", ".join(_quote(a) for a in constraint.x)
+                        self._connection.execute(
+                            f"CREATE INDEX IF NOT EXISTS {_quote(name)} "
+                            f"ON {_quote(constraint.relation)} ({key_columns})"
+                        )
+                        self._indexed.add(spec)
+                        created = True
+                indexes.add(SQLiteConstraintIndex(constraint, self, enforce_bounds))
+            if created:
+                self._connection.commit()
         return indexes
 
     def __repr__(self) -> str:

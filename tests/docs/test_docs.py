@@ -1,0 +1,87 @@
+"""Docs health: intra-repo links resolve, and public-API doctests pass.
+
+This is the local half of the CI ``docs`` job (the job also runs
+``pytest --doctest-modules`` directly): it fails the tier-1 suite when a
+Markdown document links to a file that does not exist, or when a runnable
+example in a public docstring of the execution / service / storage layers
+rots.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+#: Markdown documents whose intra-repo links must resolve.
+DOCUMENTS = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")],
+    key=lambda path: path.name,
+)
+
+#: Markdown inline links: [text](target).  Good enough for these docs — no
+#: reference-style links are used.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Packages whose docstring examples are executable documentation.
+DOCTEST_PACKAGES = ["repro.execution", "repro.service", "repro.storage"]
+
+
+def _intra_repo_links(document: Path) -> list[str]:
+    links = []
+    for target in _LINK.findall(document.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        links.append(target.split("#", 1)[0])
+    return links
+
+
+@pytest.mark.parametrize("document", DOCUMENTS, ids=lambda p: p.name)
+def test_intra_repo_links_resolve(document):
+    assert document.exists(), f"missing document {document}"
+    broken = [
+        target
+        for target in _intra_repo_links(document)
+        if not (document.parent / target).exists()
+    ]
+    assert not broken, (
+        f"{document.relative_to(REPO_ROOT)} links to missing files: {broken}"
+    )
+
+
+def test_docs_mention_every_benchmark_file():
+    """docs/paper_map.md must index every benchmark suite (acceptance gate)."""
+    paper_map = (REPO_ROOT / "docs" / "paper_map.md").read_text()
+    benchmark_files = sorted(
+        path.name for path in (REPO_ROOT / "benchmarks").glob("test_*.py")
+    )
+    assert benchmark_files, "no benchmark files found?"
+    missing = [name for name in benchmark_files if name not in paper_map]
+    assert not missing, f"docs/paper_map.md does not cover: {missing}"
+
+
+def _iter_module_names(package_name: str) -> list[str]:
+    package = importlib.import_module(package_name)
+    names = [package_name]
+    for info in pkgutil.iter_modules(package.__path__, prefix=f"{package_name}."):
+        names.append(info.name)
+    return names
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [name for pkg in DOCTEST_PACKAGES for name in _iter_module_names(pkg)],
+)
+def test_public_docstring_examples_run(module_name):
+    """Every ``>>>`` example in these layers executes and matches its output."""
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module_name}"
+    )

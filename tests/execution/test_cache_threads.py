@@ -1,0 +1,168 @@
+"""Concurrency regressions: cache counters, engine caches, per-thread accounting.
+
+The bug being pinned: ``LRUCache``'s hit/miss counters were bare ``+= 1``
+read-modify-write sequences, so under concurrent lookups two threads could
+read the same value and one increment was lost — ``engine.cache_info()``
+under-counted.  The counters now update under the cache's lock, making
+``hits + misses == lookups issued`` an exact invariant, which these tests
+hammer from 8 threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.execution import BoundedEngine
+from repro.execution.cache import LRUCache
+from repro.relational.statistics import AccessCounter
+from repro.spc import ParameterizedQuery
+from repro.workloads import query_q0, query_q1, social_access_schema
+
+THREADS = 8
+LOOKUPS_PER_THREAD = 2_000
+
+
+class TestLRUCacheUnderThreads:
+    def test_hit_miss_counters_are_exact_under_contention(self):
+        """8 threads x 2000 lookups: not a single hit or miss may be dropped."""
+        cache: LRUCache[int, int] = LRUCache(capacity=64, name="hammered")
+        for key in range(64):
+            cache.put(key, key)
+        barrier = threading.Barrier(THREADS)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()  # maximize interleaving
+            for i in range(LOOKUPS_PER_THREAD):
+                # Every worker alternates guaranteed hits (0..63) with
+                # guaranteed misses (>= 1000, never inserted).
+                cache.get((worker * i) % 64)
+                cache.get(1000 + (worker * LOOKUPS_PER_THREAD) + i)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,)) for worker in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        stats = cache.stats
+        assert stats.hits == THREADS * LOOKUPS_PER_THREAD
+        assert stats.misses == THREADS * LOOKUPS_PER_THREAD
+        assert stats.requests == 2 * THREADS * LOOKUPS_PER_THREAD
+
+    def test_concurrent_puts_keep_size_within_capacity(self):
+        cache: LRUCache[int, int] = LRUCache(capacity=32, name="filled")
+
+        def fill(worker: int) -> None:
+            for i in range(500):
+                cache.put(worker * 1000 + i, i)
+
+        threads = [threading.Thread(target=fill, args=(w,)) for w in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = cache.stats
+        assert len(cache) <= 32
+        assert stats.size <= 32
+        assert stats.evictions == THREADS * 500 - stats.size
+
+
+class TestEngineCachesUnderThreads:
+    def test_cache_info_counters_consistent_under_concurrent_serving(self):
+        """8 threads prepare/plan concurrently; cache_info sums must add up."""
+        engine = BoundedEngine(social_access_schema())
+        q1 = query_q1()
+        template = ParameterizedQuery(
+            q1, {"album": q1.ref("ia", "album_id"), "user": q1.ref("f", "user_id")}
+        )
+        per_thread = 300
+        barrier = threading.Barrier(THREADS)
+
+        def serve_plans(worker: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                engine.prepare_query(template)
+                engine.plan(query_q0(album_id=f"a{(worker * i) % 5}", user_id="u0"))
+
+        threads = [
+            threading.Thread(target=serve_plans, args=(w,)) for w in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        info = engine.cache_info()
+        # Every prepare_query call is exactly one lookup on the prepared cache.
+        assert info["prepared"].requests == THREADS * per_thread
+        # Every plan() call is exactly one lookup on the plan cache; distinct
+        # bound constants yield distinct keys so both hits and misses occur.
+        assert info["plan"].requests == THREADS * per_thread
+        assert info["plan"].hits + info["plan"].misses == info["plan"].requests
+        assert info["plan"].hits > 0 and info["plan"].misses > 0
+
+
+class TestAccessCounterThreadSlots:
+    def test_aggregate_is_sum_of_thread_slots(self):
+        counter = AccessCounter()
+        counter.record_probe(5)  # main thread's slot
+
+        def record(amount: int) -> None:
+            for _ in range(100):
+                counter.record_probe(amount)
+                counter.record_scan(amount)
+
+        threads = [threading.Thread(target=record, args=(w + 1,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        expected = 100 * (1 + 2 + 3 + 4)
+        assert counter.index_probed == 5 + expected
+        assert counter.scanned == expected
+        assert counter.lookups == 1 + 400
+        assert counter.scans == 400
+
+    def test_snapshot_isolates_the_calling_thread(self):
+        """A worker's snapshot/since window never sees a neighbour's accesses."""
+        counter = AccessCounter()
+        deltas: dict[int, int] = {}
+        barrier = threading.Barrier(4)
+
+        def execute(worker: int) -> None:
+            barrier.wait()
+            before = counter.snapshot()
+            for _ in range(50):
+                counter.record_probe(worker + 1)
+            deltas[worker] = counter.since(before).total
+
+        threads = [threading.Thread(target=execute, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert deltas == {0: 50, 1: 100, 2: 150, 3: 200}
+        # ... while the aggregate view sums everyone.
+        assert counter.index_probed == 50 + 100 + 150 + 200
+
+    def test_dead_thread_totals_survive_slot_compaction(self):
+        """Exited workers' counts fold into retired totals, not into a leak."""
+        counter = AccessCounter()
+
+        def one_shot() -> None:
+            counter.record_probe(7)
+
+        for _ in range(20):  # 20 short-lived "worker pools"
+            thread = threading.Thread(target=one_shot)
+            thread.start()
+            thread.join()
+        counter.record_probe(1)  # registers the main thread, compacting
+        assert counter.index_probed == 20 * 7 + 1
+        assert counter.lookups == 21
+        # Live-slot bookkeeping stays O(live threads): the 20 dead threads'
+        # slots have been folded away.
+        assert len(counter._slots) <= 2
+        counter.reset()
+        assert counter.index_probed == 0 and counter.total == 0

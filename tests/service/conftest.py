@@ -1,0 +1,48 @@
+"""Shared fixtures for the serving-layer tests.
+
+The social-network scenario keeps these tests fast: a generated instance a
+few thousand tuples large, the Q1 form template, and a pool of distinct
+bindings.  Latency-injecting backends (simulated storage round-trips) make
+timing-sensitive behaviors — queue buildup, deadline expiry — deterministic
+enough to assert without real I/O.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.execution import BoundedEngine
+from repro.spc import ParameterizedQuery
+from repro.workloads import generate_social_database, query_q1, social_access_schema
+
+
+@pytest.fixture(scope="module")
+def social_db():
+    return generate_social_database(scale=0.5, seed=3)
+
+
+@pytest.fixture(scope="module")
+def access():
+    return social_access_schema()
+
+
+@pytest.fixture(scope="module")
+def form_template():
+    q1 = query_q1()
+    return ParameterizedQuery(
+        q1, {"album": q1.ref("ia", "album_id"), "user": q1.ref("f", "user_id")}
+    )
+
+
+@pytest.fixture(scope="module")
+def bindings():
+    return [{"album": f"a{i % 40}", "user": f"u{i % 100}"} for i in range(120)]
+
+
+@pytest.fixture(scope="module")
+def serial_reference(social_db, access, form_template, bindings):
+    """The single-threaded ground truth every service run must reproduce."""
+    engine = BoundedEngine(access)
+    prepared = engine.prepare_query(form_template)
+    prepared.warm(social_db)
+    return [prepared.execute(social_db, **binding) for binding in bindings]

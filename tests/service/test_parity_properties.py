@@ -1,0 +1,110 @@
+"""Hypothesis: serial-vs-concurrent result parity on random TFACC / MOT batches.
+
+The service's whole reason to exist is throughput — it must never trade
+correctness for it.  These properties generate random request batches
+(random bindings, random batch sizes) for form templates of the TFACC and
+MOT workloads, serve each batch through a 4-worker :class:`QueryService`,
+and demand the per-request answers and access counts be exactly those of a
+serial prepared-execution loop over the same batch.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.execution import BoundedEngine
+from repro.service import QueryService
+from repro.spc import ParameterizedQuery
+from repro.spc.builder import SPCQueryBuilder
+from repro.workloads import get_workload
+from repro.workloads.mot import mot_access_schema, mot_schema
+from repro.workloads.tfacc import tfacc_access_schema, tfacc_schema
+
+_DB_CACHE: dict[str, object] = {}
+
+
+def _database(name: str):
+    if name not in _DB_CACHE:
+        _DB_CACHE[name] = get_workload(name).database(scale=0.02, seed=7)
+    return _DB_CACHE[name]
+
+
+def _tfacc_template() -> ParameterizedQuery:
+    """Vehicles in a force's accidents on a date (the serving-benchmark form)."""
+    query = (
+        SPCQueryBuilder(tfacc_schema(), name="force_vehicles_on_date")
+        .add_atom("accident", alias="a")
+        .add_atom("vehicle", alias="v")
+        .where_eq("a.accident_id", "v.accident_id")
+        .select("a.accident_id")
+        .select("v.vehicle_id")
+        .select("v.vehicle_type")
+        .build()
+    )
+    return ParameterizedQuery(
+        query,
+        {"date": query.ref("a", "date"), "force": query.ref("a", "police_force")},
+    )
+
+
+def _mot_template() -> ParameterizedQuery:
+    """A vehicle's test history with its garage's details."""
+    query = (
+        SPCQueryBuilder(mot_schema(), name="vehicle_history")
+        .add_atom("mot_test", alias="m")
+        .add_atom("garage", alias="g")
+        .where_eq("m.garage_id", "g.garage_id")
+        .select("m.test_id")
+        .select("m.test_result")
+        .select("g.garage_name")
+        .build()
+    )
+    return ParameterizedQuery(query, {"vehicle": query.ref("m", "vehicle_id")})
+
+
+_TFACC_BINDINGS = st.fixed_dictionaries(
+    {
+        # A mix of present and absent keys: parity must hold for misses too.
+        "date": st.sampled_from(
+            ["2004-01-03", "2004-02-11", "2004-03-07", "2004-06-19", "2030-01-01"]
+        ),
+        "force": st.sampled_from([f"force_{i:02d}" for i in (1, 2, 3, 7, 11, 49)]),
+    }
+)
+
+_MOT_BINDINGS = st.fixed_dictionaries(
+    {"vehicle": st.sampled_from([f"v{i:07d}" for i in range(0, 60, 3)] + ["missing"])}
+)
+
+_CASES = {
+    "tfacc": (_tfacc_template, tfacc_access_schema, _TFACC_BINDINGS),
+    "mot": (_mot_template, mot_access_schema, _MOT_BINDINGS),
+}
+
+
+@pytest.mark.parametrize("workload", sorted(_CASES))
+@given(data=st.data())
+@settings(max_examples=10, deadline=None)
+def test_concurrent_batches_match_serial(workload, data):
+    template_factory, access_factory, binding_strategy = _CASES[workload]
+    template = template_factory()
+    access = access_factory()
+    database = _database(workload)
+    batch = data.draw(st.lists(binding_strategy, min_size=1, max_size=25))
+
+    engine = BoundedEngine(access)
+    prepared = engine.prepare_query(template)
+    prepared.warm(database)
+    serial = [prepared.execute(database, **binding) for binding in batch]
+
+    with QueryService(database, access, workers=4) as service:
+        concurrent = service.run_many(template, batch)
+
+    assert [r.tuples for r in concurrent] == [r.tuples for r in serial]
+    assert [r.stats.tuples_accessed for r in concurrent] == [
+        r.stats.tuples_accessed for r in serial
+    ]
+    assert all(
+        r.stats.tuples_accessed <= prepared.total_bound for r in concurrent
+    )

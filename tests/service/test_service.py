@@ -1,0 +1,196 @@
+"""QueryService behavior: parity, batching, admission control, lifecycle."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import QueryError, ServiceClosedError, ServiceError, ServiceOverloadedError
+from repro.execution import BoundedEngine
+from repro.service import QueryService
+from repro.storage import LatencyInjectingBackend, SQLiteBackend
+from repro.workloads import get_workload
+
+
+class TestResultParity:
+    def test_concurrent_results_match_serial(
+        self, social_db, access, form_template, bindings, serial_reference
+    ):
+        """4 workers, a full binding sweep: rows and |D_Q| equal serial, in order."""
+        with QueryService(social_db, access, workers=4) as service:
+            results = service.run_many(form_template, bindings)
+        assert [r.tuples for r in results] == [r.tuples for r in serial_reference]
+        assert [r.stats.tuples_accessed for r in results] == [
+            r.stats.tuples_accessed for r in serial_reference
+        ]
+
+    def test_sqlite_backend_results_match_serial(
+        self, social_db, access, form_template, bindings, serial_reference
+    ):
+        """The same sweep over a SQLite store with per-worker connections."""
+        backend = SQLiteBackend.from_database(social_db)
+        try:
+            with QueryService(backend, access, workers=4) as service:
+                results = service.run_many(form_template, bindings)
+        finally:
+            backend.close()
+        assert [r.tuples for r in results] == [r.tuples for r in serial_reference]
+        assert [r.stats.tuples_accessed for r in results] == [
+            r.stats.tuples_accessed for r in serial_reference
+        ]
+
+    def test_submissions_from_many_client_threads(
+        self, social_db, access, form_template, bindings, serial_reference
+    ):
+        """Submission itself is thread-safe: 6 client threads sharing a service."""
+        results: dict[int, list] = {}
+        with QueryService(social_db, access, workers=3) as service:
+
+            def client(client_id: int) -> None:
+                futures = [
+                    service.submit(form_template, **binding) for binding in bindings[:40]
+                ]
+                results[client_id] = [future.result() for future in futures]
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        expected = [r.tuples for r in serial_reference[:40]]
+        for client_id in range(6):
+            assert [r.tuples for r in results[client_id]] == expected
+
+    def test_workload_source_carries_its_access_schema(self, form_template):
+        """A Workload source needs no explicit access schema."""
+        workload = get_workload("social")
+        with QueryService(workload, workers=2) as service:
+            result = service.run(form_template, album="a0", user="u0")
+        assert result.stats.strategy == "bounded"
+
+
+class TestMicroBatching:
+    def test_same_template_requests_are_batched(
+        self, social_db, access, form_template, bindings
+    ):
+        """A single worker draining a same-template backlog batches it."""
+        with QueryService(
+            social_db, access, workers=1, max_batch=16
+        ) as service:
+            futures = service.submit_many(form_template, bindings)
+            answers = [future.result() for future in futures]
+            stats = service.stats()
+        assert len(answers) == len(bindings)
+        # A backlog of identical-template requests must not be served one
+        # queue-take each: batching collapses takes (first take may be small).
+        assert stats["batches"] < stats["completed"]
+        assert stats["largest_batch"] > 1
+
+    def test_batch_members_report_individually(
+        self, social_db, access, form_template, bindings, serial_reference
+    ):
+        """Batched execution cannot merge answers across requests."""
+        with QueryService(social_db, access, workers=1, max_batch=32) as service:
+            results = service.run_many(form_template, bindings[:50])
+        assert [r.tuples for r in results] == [
+            r.tuples for r in serial_reference[:50]
+        ]
+
+
+class TestAdmissionControl:
+    def test_queue_overflow_rejects_typed(self, social_db, access, form_template):
+        """Beyond max_pending, submissions shed load with ServiceOverloadedError."""
+        slow = LatencyInjectingBackend(social_db, access_latency=0.05)
+        service = QueryService(
+            slow, access, workers=1, max_pending=2, max_batch=1
+        )
+        admitted = []
+        try:
+            with pytest.raises(ServiceOverloadedError):
+                for _ in range(20):
+                    admitted.append(service.submit(form_template, album="a0", user="u0"))
+            # Rejection happens once the single worker is busy and the queue
+            # holds max_pending requests: within a handful of submissions.
+            assert 1 <= len(admitted) <= 6
+            # Shed requests are NOT counted as submitted: "submitted" means
+            # admitted, so the stats invariant holds under load shedding.
+            assert service.stats()["submitted"] == len(admitted)
+        finally:
+            service.close()
+        assert all(future.result().stats.strategy == "bounded" for future in admitted)
+        stats = service.stats()
+        assert stats["submitted"] == stats["completed"] == len(admitted)
+
+    def test_unknown_parameter_rejected_at_submission(
+        self, social_db, access, form_template
+    ):
+        with QueryService(social_db, access, workers=1) as service:
+            with pytest.raises(QueryError):
+                service.submit(form_template, album="a0", user="u0", extra=1)
+            with pytest.raises(QueryError):
+                service.submit(form_template, album="a0")
+
+    def test_invalid_worker_count_rejected(self, social_db, access):
+        with pytest.raises(ServiceError):
+            QueryService(social_db, access, workers=0)
+
+    def test_missing_access_schema_rejected(self, social_db):
+        with pytest.raises(ServiceError):
+            QueryService(social_db)
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self, social_db, access, form_template):
+        service = QueryService(social_db, access, workers=1)
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(form_template, album="a0", user="u0")
+
+    def test_close_drains_pending_by_default(self, social_db, access, form_template):
+        slow = LatencyInjectingBackend(social_db, access_latency=0.01)
+        service = QueryService(slow, access, workers=1, max_batch=1)
+        futures = [
+            service.submit(form_template, album=f"a{i}", user="u0") for i in range(5)
+        ]
+        service.close()  # graceful: every admitted request still gets served
+        assert all(future.result().stats.strategy == "bounded" for future in futures)
+
+    def test_close_without_drain_fails_pending_typed(
+        self, social_db, access, form_template
+    ):
+        slow = LatencyInjectingBackend(social_db, access_latency=0.05)
+        service = QueryService(slow, access, workers=1, max_batch=1)
+        futures = [
+            service.submit(form_template, album=f"a{i}", user="u0") for i in range(8)
+        ]
+        service.close(drain=False)
+        outcomes = [future.exception() for future in futures]
+        # The in-flight batch finishes; everything still queued fails typed.
+        assert any(isinstance(error, ServiceClosedError) for error in outcomes)
+        assert all(
+            error is None or isinstance(error, ServiceClosedError)
+            for error in outcomes
+        )
+
+
+class TestMonitoring:
+    def test_stats_and_describe(self, social_db, access, form_template, bindings):
+        engine = BoundedEngine(access)
+        with QueryService(
+            social_db, access, workers=2, engine=engine
+        ) as service:
+            service.run_many(form_template, bindings[:30])
+            stats = service.stats()
+            description = service.describe()
+        assert stats["submitted"] == 30
+        assert stats["completed"] == 30
+        assert stats["timeouts"] == 0 and stats["failures"] == 0
+        assert stats["execution"]["requests"] == 30
+        assert stats["execution"]["tuples_accessed"] > 0
+        assert "QueryService: 2 workers" in description
+        assert "plan-cache" in description
+        # The engine saw one template compilation and many cache hits.
+        prepared_stats = engine.cache_info()["prepared"]
+        assert prepared_stats.misses >= 1
+        assert prepared_stats.hits >= 1

@@ -1,0 +1,151 @@
+"""Cancellation paths: deadlines and bounded-access budgets, always typed.
+
+The contract under test: a request whose deadline expires — while queued or
+mid-execution — resolves to :class:`~repro.errors.ServiceTimeout`, never to a
+half-built row set; and a request with an access budget either completes
+within it or fails with :class:`~repro.errors.BudgetExceededError` *without
+the access counter ever exceeding the budget* (enforcement is conservative,
+using the plan's per-step bounds).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BudgetExceededError, DeadlineExceededError, ServiceTimeout
+from repro.execution import BoundedEngine
+from repro.execution.metrics import ExecutionLimits
+from repro.service import QueryService
+from repro.storage import LatencyInjectingBackend
+
+
+class TestDeadlines:
+    def test_expiry_while_queued_is_typed(self, social_db, access, form_template):
+        """Requests stuck behind a slow head-of-line expire with ServiceTimeout."""
+        slow = LatencyInjectingBackend(social_db, access_latency=0.05)
+        with QueryService(slow, access, workers=1, max_batch=1) as service:
+            head = service.submit(form_template, album="a0", user="u0")
+            # ~0.15s of head-of-line latency vs a 10ms deadline: these expire
+            # in the queue, before any execution starts.
+            stuck = [
+                service.submit(form_template, album=f"a{i}", user="u0", deadline=0.01)
+                for i in range(1, 4)
+            ]
+            assert head.result().stats.strategy == "bounded"
+            for future in stuck:
+                with pytest.raises(ServiceTimeout, match="expired while queued"):
+                    future.result()
+            assert service.stats()["timeouts"] == len(stuck)
+
+    def test_expiry_mid_execution_is_typed(self, social_db, access, form_template):
+        """A deadline shorter than one storage round-trip aborts between steps."""
+        slow = LatencyInjectingBackend(social_db, access_latency=0.04)
+        with QueryService(slow, access, workers=1) as service:
+            future = service.submit(
+                form_template, album="a0", user="u0", deadline=0.02
+            )
+            with pytest.raises(ServiceTimeout):
+                future.result()
+
+    def test_executor_level_deadline_is_deadline_exceeded(
+        self, social_db, access, form_template
+    ):
+        """Below the service, the executor raises DeadlineExceededError itself."""
+        slow = LatencyInjectingBackend(social_db, access_latency=0.04)
+        engine = BoundedEngine(access)
+        prepared = engine.prepare_query(form_template)
+        prepared.warm(slow)
+        with pytest.raises(DeadlineExceededError):
+            prepared.serve(
+                slow,
+                {"album": "a0", "user": "u0"},
+                ExecutionLimits(deadline=0.0),  # monotonic epoch: long past
+            )
+
+    def test_no_deadline_never_times_out(self, social_db, access, form_template):
+        with QueryService(social_db, access, workers=2) as service:
+            results = service.run_many(
+                form_template, [{"album": f"a{i}", "user": "u0"} for i in range(20)]
+            )
+        assert len(results) == 20
+
+    def test_explicit_none_overrides_service_default_deadline(
+        self, social_db, access, form_template
+    ):
+        """deadline=None disables a service-wide default; omitted applies it."""
+        slow = LatencyInjectingBackend(social_db, access_latency=0.03)
+        with QueryService(
+            slow, access, workers=1, default_deadline=0.0
+        ) as service:
+            # Omitted deadline -> the (impossible) default applies.
+            defaulted = service.submit(form_template, album="a0", user="u0")
+            with pytest.raises(ServiceTimeout):
+                defaulted.result()
+            # Explicit None -> no deadline at all, despite the default.
+            unlimited = service.submit(
+                form_template, album="a0", user="u0", deadline=None
+            )
+            assert unlimited.result().stats.strategy == "bounded"
+
+
+class TestBudgets:
+    def test_budget_below_first_step_rejects_with_zero_accesses(
+        self, social_db, access, form_template
+    ):
+        """A budget no step fits in aborts before any data is touched."""
+        engine = BoundedEngine(access)
+        prepared = engine.prepare_query(form_template)
+        prepared.warm(social_db)
+        backend = social_db.backend
+        before = backend.access_snapshot()
+        with pytest.raises(BudgetExceededError):
+            prepared.serve(
+                social_db, {"album": "a0", "user": "u0"}, ExecutionLimits(budget=1)
+            )
+        assert backend.accesses_since(before).total == 0
+
+    def test_counter_never_exceeds_budget(self, social_db, access, form_template):
+        """For every budget, accessed <= budget — completed or aborted alike."""
+        engine = BoundedEngine(access)
+        prepared = engine.prepare_query(form_template)
+        prepared.warm(social_db)
+        backend = social_db.backend
+        step_bounds = [step.bound for step in prepared.prepared.plan.steps]
+        probes = [1, step_bounds[0], step_bounds[0] + 1, sum(step_bounds) // 2]
+        for budget in probes:
+            before = backend.access_snapshot()
+            try:
+                prepared.serve(
+                    social_db, {"album": "a0", "user": "u0"},
+                    ExecutionLimits(budget=budget),
+                )
+            except BudgetExceededError:
+                pass
+            assert backend.accesses_since(before).total <= budget
+
+    def test_budget_at_plan_bound_always_completes(
+        self, social_db, access, form_template
+    ):
+        """The plan's own bound is always a sufficient budget (the paper's promise)."""
+        engine = BoundedEngine(access)
+        prepared = engine.prepare_query(form_template)
+        prepared.warm(social_db)
+        result = prepared.serve(
+            social_db,
+            {"album": "a0", "user": "u0"},
+            ExecutionLimits(budget=prepared.total_bound),
+        )
+        assert result.stats.tuples_accessed <= prepared.total_bound
+
+    def test_service_budget_failure_is_typed_budget_error(
+        self, social_db, access, form_template
+    ):
+        with QueryService(social_db, access, workers=1) as service:
+            future = service.submit(form_template, album="a0", user="u0", budget=1)
+            with pytest.raises(BudgetExceededError):
+                future.result()
+            ok = service.submit(
+                form_template, album="a0", user="u0", budget=10**9
+            )
+            assert ok.result().stats.strategy == "bounded"
+            assert service.stats()["failures"] == 1
