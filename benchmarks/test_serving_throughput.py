@@ -189,6 +189,61 @@ def test_prepared_accesses_identical_tuples(serving_setup):
         assert served.stats.tuples_accessed <= prepared.total_bound
 
 
+#: Ceiling for verified-vs-unverified per-request cost.  Verification runs
+#: once at prepare time, never per request, so the two hot paths are the same
+#: code; the measured ratio is pure timer noise around 1.0x and the threshold
+#: only exists to catch verification accidentally leaking into the hot path
+#: (which would show up as a many-x blowout, not a few percent).
+MAX_VERIFIED_HOT_PATH_RATIO = 1.5
+
+
+@pytest.mark.benchmark(group="serving-verify")
+def test_plan_verification_stays_off_the_hot_path(serving_setup, benchmark):
+    """Satellite check: ``verify=True`` costs nothing per request.
+
+    Prepares the same template on a verifying and a non-verifying engine,
+    serves the same bindings through both, and asserts (a) the answers are
+    identical, (b) only the verifying engine carries a Σ Mᵢ certificate, and
+    (c) the verified hot path stays within noise of the unverified one.
+    """
+    database, template, bindings = serving_setup
+    sample = bindings[: min(200, len(bindings))]
+
+    verified_engine = BoundedEngine(tfacc_access_schema(), verify_plans=True)
+    plain_engine = BoundedEngine(tfacc_access_schema(), verify_plans=False)
+    verified = verified_engine.prepare_query(template)
+    plain = plain_engine.prepare_query(template)
+    assert verified.certificate is not None
+    assert plain.certificate is None
+
+    verified.warm(database)
+    plain.warm(database)
+    assert [verified.execute(database, **b).as_set for b in sample[:25]] == [
+        plain.execute(database, **b).as_set for b in sample[:25]
+    ]
+
+    def _serve(prepared):
+        started = time.perf_counter()
+        for binding in sample:
+            prepared.execute(database, **binding)
+        return time.perf_counter() - started
+
+    _serve(verified), _serve(plain)  # warm both paths
+    verified_seconds = _serve(verified)
+    plain_seconds = _serve(plain)
+    ratio = verified_seconds / plain_seconds
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    if benchmark.disabled:
+        # --benchmark-disable (CI): correctness-only run, no timing judgement.
+        return
+    assert ratio <= MAX_VERIFIED_HOT_PATH_RATIO, (
+        f"verified hot path {ratio:.2f}x the unverified one "
+        f"(required <= {MAX_VERIFIED_HOT_PATH_RATIO}x): verification is "
+        "leaking out of prepare_query into the per-request path"
+    )
+
+
 @pytest.mark.benchmark(group="serving-prepared")
 def test_prepared_request_time(serving_setup, benchmark):
     database, template, bindings = serving_setup

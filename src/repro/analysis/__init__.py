@@ -1,0 +1,35 @@
+"""Static analysis over the library's own artefacts: plans, programs, source.
+
+Two pillars, mirroring the paper's a-priori stance (decide and bound before
+touching data):
+
+* the **plan verifier** (:mod:`~repro.analysis.verify`,
+  :mod:`~repro.analysis.bound`) proves a plan's structural invariants and
+  certifies its access bound Σ Mᵢ without executing it;
+* the **contract linter** (:mod:`~repro.analysis.lint`) enforces the
+  repository's concurrency/charging/error conventions over the source tree.
+
+Both are exposed through one CLI::
+
+    python -m repro.analysis lint src/
+    python -m repro.analysis verify --workload all
+"""
+
+from .bound import BOUND_CAP, PlanCertificate, StepCertificate, derive_certificate
+from .sweep import SweepEntry, SweepReport, verify_workload, verify_workloads
+from .verify import RULES, verify_compiled, verify_plan, verify_prepared
+
+__all__ = [
+    "BOUND_CAP",
+    "PlanCertificate",
+    "RULES",
+    "StepCertificate",
+    "SweepEntry",
+    "SweepReport",
+    "derive_certificate",
+    "verify_compiled",
+    "verify_plan",
+    "verify_prepared",
+    "verify_workload",
+    "verify_workloads",
+]

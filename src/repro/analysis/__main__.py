@@ -1,0 +1,121 @@
+"""CLI of the static-analysis subsystem.
+
+Usage::
+
+    python -m repro.analysis lint src/ [more paths...] [--baseline FILE]
+    python -m repro.analysis lint src/ --write-baseline FILE
+    python -m repro.analysis verify --workload all [--seed N]
+
+Exit status: 0 when clean / fully certified, 1 on findings or verification
+failures (argparse itself exits 2 on usage errors).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .lint import apply_baseline, lint_paths, load_baseline, write_baseline
+from .lint.rules import DEFAULT_RULES
+from .sweep import verify_workloads
+from .verify import RULES
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    findings = lint_paths(paths, DEFAULT_RULES)
+
+    if args.write_baseline is not None:
+        write_baseline(
+            Path(args.write_baseline),
+            findings,
+            justification="TODO: justify or fix",
+        )
+        print(f"wrote {len(findings)} finding(s) to {args.write_baseline}")
+        return 0
+
+    known = stale = ()
+    if args.baseline is not None and Path(args.baseline).exists():
+        result = apply_baseline(findings, load_baseline(Path(args.baseline)))
+        findings, known, stale = list(result.new), result.known, result.stale
+
+    for finding in findings:
+        print(finding.render())
+    for entry in stale:
+        print(f"stale baseline entry ({entry.rule} {entry.path}): remove it")
+    summary = f"{len(findings)} finding(s)"
+    if known:
+        summary += f", {len(known)} baselined"
+    if stale:
+        summary += f", {len(stale)} stale baseline entr(y/ies)"
+    print(summary)
+    return 1 if findings or stale else 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    names = None if "all" in args.workload else tuple(dict.fromkeys(args.workload))
+    report = verify_workloads(names, seed=args.seed)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def _cmd_rules(_args: argparse.Namespace) -> int:
+    for rule in DEFAULT_RULES:
+        print(f"{rule.id}: {rule.description}")
+    for rule_id, description in RULES.items():
+        print(f"{rule_id}: {description}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="static plan verifier and contract linter",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    lint = commands.add_parser("lint", help="run the contract linter over source paths")
+    lint.add_argument("paths", nargs="+", help="files or directories to lint")
+    lint.add_argument(
+        "--baseline",
+        default="lint_baseline.json",
+        help="baseline file of acknowledged findings (default: %(default)s, "
+        "ignored when absent)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="write current findings to FILE as a bootstrap baseline and exit",
+    )
+    lint.set_defaults(run=_cmd_lint)
+
+    verify = commands.add_parser(
+        "verify", help="statically verify every query of the registered workloads"
+    )
+    verify.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        help="workload name, repeatable; 'all' (default) sweeps every workload",
+    )
+    verify.add_argument("--seed", type=int, default=0, help="query-generator seed")
+    verify.set_defaults(run=_cmd_verify)
+
+    rules = commands.add_parser("rules", help="list every lint and verifier rule")
+    rules.set_defaults(run=_cmd_rules)
+
+    args = parser.parse_args(argv)
+    if getattr(args, "workload", None) is None and args.command == "verify":
+        args.workload = ["all"]
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

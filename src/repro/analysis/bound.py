@@ -1,0 +1,161 @@
+"""Independent re-derivation of the a-priori access bound Σ Mᵢ.
+
+The planner states each fetch step's bound ``Mᵢ`` while it builds the plan
+(:func:`repro.planning.qplan.qplan`); this module re-derives the same
+quantities *after the fact*, from nothing but the finished plan structure, and
+packages them as a :class:`PlanCertificate`.  The point of the duplication is
+that the planner's own accounting cannot certify itself: a bug that both
+mis-plans and mis-reports would go unnoticed if the verifier simply read
+``step.bound`` back.
+
+The derivation is the paper's (Section 5.1): a fetch step applying constraint
+``X -> (Y, N)`` fetches at most ``N`` tuples per distinct candidate key, and
+its candidate keys are the Cartesian product of the joint value tuples drawn
+from each distinct earlier source step — so
+
+    Mᵢ = N · Π (M_j  for each distinct step j feeding a key attribute)
+
+with constants and parameter slots contributing a factor of one, and the
+plan's bound is ``Σ Mᵢ``.  Both the planner and this module saturate the
+product at :data:`BOUND_CAP` so the comparison stays exact for pathological
+chains.
+
+The certificate is pure data (frozen dataclasses) so downstream consumers —
+``QueryReport.describe()``, ``engine.cache_info()``, and eventually the
+sharding router's admission control (ROADMAP item 1) — can cost a request
+before dispatching it anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PlanVerificationError
+from ..planning.plan import BoundedPlan, ColumnSource
+
+#: Saturation cap for bound arithmetic; identical to the planner's
+#: ``qplan._BOUND_CAP`` so derived and stated bounds agree exactly.
+BOUND_CAP = 10**18
+
+
+@dataclass(frozen=True)
+class StepCertificate:
+    """The proven per-step bound ``Mᵢ`` of one fetch step."""
+
+    #: Position of the fetch step in the plan.
+    index: int
+    #: Query occurrence the step fetches.
+    atom: int
+    #: Relation the step's constraint indexes.
+    relation: str
+    #: Rendering of the access constraint ``X -> (Y, N)`` the step applies.
+    constraint: str
+    #: ``N``: tuples fetched per distinct candidate key.
+    per_probe_bound: int
+    #: Upper bound on distinct candidate keys (product of source-step bounds).
+    key_combinations: int
+    #: ``Mᵢ = N · key_combinations`` (saturated at :data:`BOUND_CAP`).
+    bound: int
+
+    def describe(self) -> str:
+        return (
+            f"T{self.index} ({self.relation}): {self.per_probe_bound} per probe "
+            f"x {self.key_combinations} keys = {self.bound}"
+        )
+
+
+@dataclass(frozen=True)
+class PlanCertificate:
+    """A machine-checked statement of a plan's access bound ``Σ Mᵢ``.
+
+    Produced by :func:`derive_certificate` (and by the full verifier,
+    :func:`repro.analysis.verify.verify_plan`); ``rules`` lists the verifier
+    rules that were checked when the certificate was issued.
+    """
+
+    query: str
+    steps: tuple[StepCertificate, ...]
+    #: The proven bound ``Σ Mᵢ``: no execution of the plan, against any
+    #: database satisfying the access schema, accesses more tuples than this.
+    total_bound: int
+    #: Verifier rule identifiers that passed when this certificate was issued.
+    rules: tuple[str, ...] = ()
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    def describe(self) -> str:
+        lines = [
+            f"Access-bound certificate for {self.query}: "
+            f"proven bound {self.total_bound} tuples over {self.num_steps} fetch step(s)"
+        ]
+        for step in self.steps:
+            lines.append("  " + step.describe())
+        if self.rules:
+            lines.append(f"  verified rules: {', '.join(self.rules)}")
+        return "\n".join(lines)
+
+
+def derive_certificate(plan: BoundedPlan) -> PlanCertificate:
+    """Re-derive every ``Mᵢ`` from the plan structure and certify ``Σ Mᵢ``.
+
+    Raises
+    ------
+    PlanVerificationError
+        Rule ``PLAN002`` when a step's stated ``bound`` (or the plan's
+        ``total_bound``) disagrees with the re-derived value, or when a key
+        source references a step that has not been derived yet (out-of-order
+        dependency — also surfaced, with more context, by rule ``PLAN003``).
+    """
+    derived: list[int] = []
+    certificates: list[StepCertificate] = []
+    for step in plan.steps:
+        per_probe = step.constraint.bound
+        bound = per_probe
+        combinations = 1
+        seen: set[int] = set()
+        for source in step.key_sources.values():
+            if not isinstance(source, ColumnSource) or source.step in seen:
+                continue
+            seen.add(source.step)
+            if not 0 <= source.step < len(derived):
+                raise PlanVerificationError(
+                    "PLAN002",
+                    f"cannot derive a bound: key source reads step "
+                    f"T{source.step}, which is not an earlier step",
+                    step=step.index,
+                )
+            bound = min(BOUND_CAP, bound * derived[source.step])
+            combinations = min(BOUND_CAP, combinations * derived[source.step])
+        if bound != step.bound:
+            raise PlanVerificationError(
+                "PLAN002",
+                f"stated step bound {step.bound} != derived bound {bound} "
+                f"({per_probe} per probe x {combinations} key combinations)",
+                step=step.index,
+            )
+        derived.append(bound)
+        certificates.append(
+            StepCertificate(
+                index=step.index,
+                atom=step.atom,
+                relation=step.constraint.relation,
+                constraint=str(step.constraint),
+                per_probe_bound=per_probe,
+                key_combinations=combinations,
+                bound=bound,
+            )
+        )
+    total = sum(derived)
+    if total != plan.total_bound:
+        raise PlanVerificationError(
+            "PLAN002",
+            f"stated plan bound {plan.total_bound} != derived Σ Mᵢ = {total}",
+        )
+    return PlanCertificate(
+        query=plan.query.name,
+        steps=tuple(certificates),
+        total_bound=total,
+        rules=("PLAN002",),
+    )

@@ -1,0 +1,43 @@
+"""Contract linter: repo-specific static rules over stdlib ``ast``.
+
+Public surface: the rule framework (:mod:`~repro.analysis.lint.framework`),
+the rule set (:mod:`~repro.analysis.lint.rules`) and the baseline mechanism
+(:mod:`~repro.analysis.lint.baseline`).  Run it via the package CLI::
+
+    python -m repro.analysis lint src/
+"""
+
+from .baseline import (
+    BaselineEntry,
+    BaselineResult,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .framework import Finding, Module, Rule, lint_module, lint_paths, parse_module
+from .rules import (
+    DEFAULT_RULES,
+    ChargingContractRule,
+    DeterminismSeamRule,
+    LockDisciplineRule,
+    TypedErrorRule,
+)
+
+__all__ = [
+    "BaselineEntry",
+    "BaselineResult",
+    "ChargingContractRule",
+    "DEFAULT_RULES",
+    "DeterminismSeamRule",
+    "Finding",
+    "LockDisciplineRule",
+    "Module",
+    "Rule",
+    "TypedErrorRule",
+    "apply_baseline",
+    "lint_module",
+    "lint_paths",
+    "load_baseline",
+    "parse_module",
+    "write_baseline",
+]

@@ -1,0 +1,111 @@
+"""Baseline file for the contract linter: known findings, with justifications.
+
+A baseline entry acknowledges one existing finding so CI can stay red for
+*new* violations only.  Entries are matched by the finding's line-independent
+fingerprint (rule, path, message), so reformatting a file does not resurrect
+them; an entry whose finding no longer exists is *stale* and reported, so the
+baseline shrinks monotonically.  Every entry must carry a non-empty
+``justification`` — a baseline is a debt register, not a mute button.
+
+File format (JSON, committed next to the code it describes)::
+
+    {
+      "findings": [
+        {"rule": "REPRO004", "path": "src/...", "message": "...",
+         "justification": "why this one stays"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ...errors import ApiMisuseError
+from .framework import Finding
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    message: str
+    justification: str
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.rule}:{self.path}:{self.message}"
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Findings split against a baseline."""
+
+    #: Findings not covered by the baseline — these fail the build.
+    new: tuple[Finding, ...]
+    #: Findings matched (and silenced) by a baseline entry.
+    known: tuple[Finding, ...]
+    #: Baseline entries whose finding no longer occurs — remove them.
+    stale: tuple[BaselineEntry, ...]
+
+
+def load_baseline(path: Path) -> tuple[BaselineEntry, ...]:
+    """Load and validate a baseline file (every entry must be justified)."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    entries = []
+    for raw in payload.get("findings", []):
+        entry = BaselineEntry(
+            rule=raw.get("rule", ""),
+            path=raw.get("path", ""),
+            message=raw.get("message", ""),
+            justification=str(raw.get("justification", "")).strip(),
+        )
+        if not entry.justification:
+            raise ApiMisuseError(
+                f"baseline entry {entry.rule}:{entry.path} has no justification; "
+                f"every acknowledged finding must say why it stays"
+            )
+        entries.append(entry)
+    return tuple(entries)
+
+
+def write_baseline(path: Path, findings: list[Finding], justification: str) -> None:
+    """Write ``findings`` as a fresh baseline, one justification for all.
+
+    Meant for bootstrapping (``lint --write-baseline``); per-entry
+    justifications are then edited in by hand.
+    """
+    payload = {
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "justification": justification,
+            }
+            for finding in findings
+        ]
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: list[Finding], entries: tuple[BaselineEntry, ...]
+) -> BaselineResult:
+    """Split ``findings`` into new vs. known, and surface stale entries."""
+    by_fingerprint = {entry.fingerprint: entry for entry in entries}
+    new: list[Finding] = []
+    known: list[Finding] = []
+    matched: set[str] = set()
+    for finding in findings:
+        if finding.fingerprint in by_fingerprint:
+            known.append(finding)
+            matched.add(finding.fingerprint)
+        else:
+            new.append(finding)
+    stale = tuple(
+        entry for fingerprint, entry in by_fingerprint.items() if fingerprint not in matched
+    )
+    return BaselineResult(new=tuple(new), known=tuple(known), stale=stale)

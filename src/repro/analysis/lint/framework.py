@@ -1,0 +1,140 @@
+"""Rule framework of the contract linter: modules, findings, suppressions.
+
+The linter is a plain :mod:`ast` pass — no third-party dependency, no import
+of the code under analysis.  A :class:`Rule` inspects one parsed
+:class:`Module` at a time and yields :class:`Finding`\\ s; the driver
+(:func:`lint_paths`) walks the given files/directories, applies every rule,
+and honours two escape hatches for deliberate exceptions:
+
+* **inline suppression** — a ``# repro-lint: disable=RULEID`` comment (with a
+  justification after it) suppresses that rule on its own line, or on the
+  following line when the comment stands alone;
+* **baseline file** — see :mod:`repro.analysis.lint.baseline`: known findings
+  recorded with a written justification, matched by a line-number-independent
+  fingerprint so unrelated edits do not resurrect them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: ``# repro-lint: disable=REPRO001`` or ``disable=REPRO001,REPRO004``.
+_SUPPRESS = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching — deliberately line-free."""
+        return f"{self.rule}:{self.path}:{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclass
+class Module:
+    """One parsed source file, plus its suppression table."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: Line number -> rule ids suppressed on that line.
+    suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        """Path components, for rules scoped to packages or file names."""
+        return Path(self.path).parts
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        return rule in self.suppressions.get(line, frozenset())
+
+
+class Rule:
+    """Base class: one contract, one identifier, one ``check`` pass."""
+
+    id: str = ""
+    description: str = ""
+
+    def check(self, module: Module) -> Iterator[Finding]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=module.path,
+            line=getattr(node, "lineno", 0),
+            message=message,
+        )
+
+
+def _suppression_table(source: str) -> dict[int, frozenset[str]]:
+    table: dict[int, frozenset[str]] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        # A standalone comment suppresses the line it precedes; a trailing
+        # comment suppresses its own line.
+        target = number + 1 if text.lstrip().startswith("#") else number
+        table[target] = table.get(target, frozenset()) | rules
+    return table
+
+
+def parse_module(path: Path, root: Path | None = None) -> Module:
+    """Parse one ``.py`` file into a :class:`Module` (paths kept relative)."""
+    source = path.read_text(encoding="utf-8")
+    shown = path.relative_to(root).as_posix() if root else path.as_posix()
+    return Module(
+        path=shown,
+        source=source,
+        tree=ast.parse(source, filename=str(path)),
+        suppressions=_suppression_table(source),
+    )
+
+
+def iter_source_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files they contain."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_module(module: Module, rules: Iterable[Rule]) -> list[Finding]:
+    findings = []
+    for rule in rules:
+        for finding in rule.check(module):
+            if not module.suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    return findings
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    rules: Iterable[Rule],
+    root: Path | None = None,
+) -> list[Finding]:
+    """Lint every source file under ``paths`` with every rule."""
+    rules = list(rules)
+    findings: list[Finding] = []
+    for source_path in iter_source_files(paths):
+        findings.extend(lint_module(parse_module(source_path, root=root), rules))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))

@@ -1,0 +1,277 @@
+"""The repository's contract rules: the conventions PRs 3–4 documented, enforced.
+
+Each rule encodes one invariant the test suite can only probe dynamically —
+the linter proves the *lexical* half statically, on every file, every CI run:
+
+``REPRO001``
+    Lock discipline (the serving layer's concurrency contract): in the
+    concurrent modules (``service/``, ``execution/cache.py``,
+    ``execution/metrics.py``), every write to ``self._``-prefixed shared
+    state outside ``__init__`` must be lexically inside a ``with self.<lock>:``
+    block.
+``REPRO002``
+    Charging contract (PR 3): the access counters that realize the paper's
+    ``|D_Q|`` accounting are mutated only by ``AccessCounter`` itself, and the
+    uncharged probe primitives (``probe``/``probe_shared``/``record_*``) are
+    called only inside the data layers (``relational/``, ``access/``,
+    ``storage/``) that charge them.
+``REPRO003``
+    Determinism seams: the hot-path layers (``execution/``, ``service/``,
+    ``storage/``) take no direct dependency on wall-clock time
+    (``time.time``) or on :mod:`random` — timeouts use monotonic clocks and
+    any randomness must be injected (the workload generators' seeded
+    ``rng(seed)`` seam).
+``REPRO004``
+    Typed errors: every ``raise`` of library code uses an exception from
+    :mod:`repro.errors` (or a module-private ``_``-prefixed control-flow
+    exception, ``NotImplementedError`` for abstract methods, or
+    ``AssertionError`` for invariant checks).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ... import errors as _errors
+from .framework import Finding, Module, Rule
+
+#: Exception class names exported by :mod:`repro.errors`.
+TYPED_ERRORS = frozenset(
+    name
+    for name in dir(_errors)
+    if isinstance(getattr(_errors, name), type)
+    and issubclass(getattr(_errors, name), BaseException)
+)
+
+#: Builtins a raise may use without a typed wrapper: abstract-method stubs,
+#: invariant checks, and CLI exit control flow — none of them error *values*
+#: a caller is meant to catch and dispatch on.
+ALLOWED_BUILTIN_RAISES = frozenset(
+    {"NotImplementedError", "AssertionError", "SystemExit"}
+)
+
+#: Attribute names that realize the charged access accounting.
+COUNTER_FIELDS = frozenset(
+    {"tuples_accessed", "scanned", "index_probed", "lookups", "scans"}
+)
+
+#: Probe primitives that bypass charging when called from outside the data layers.
+UNCHARGED_CALLS = frozenset({"probe", "probe_shared", "record_scan", "record_probe"})
+
+#: Packages allowed to call the uncharged primitives (they do the charging).
+DATA_LAYERS = frozenset({"relational", "access", "storage"})
+
+#: Hot-path packages for the determinism rule.
+HOT_PATH_PACKAGES = frozenset({"execution", "service", "storage"})
+
+#: Methods where unguarded writes establish (not share) state.
+_SETUP_METHODS = frozenset({"__init__", "__post_init__", "__new__", "__set_name__"})
+
+
+def _is_self_attribute(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _with_acquires_self_lock(node: ast.With | ast.AsyncWith) -> bool:
+    """``with self.<attr>:`` (a lock or condition owned by the instance)."""
+    return any(_is_self_attribute(item.context_expr) for item in node.items)
+
+
+class LockDisciplineRule(Rule):
+    """REPRO001: shared-state writes in concurrent modules hold the lock."""
+
+    id = "REPRO001"
+    description = (
+        "writes to self._-prefixed shared state in concurrent modules must be "
+        "lexically inside a `with self.<lock>:` block"
+    )
+
+    def _applies(self, module: Module) -> bool:
+        parts = module.parts
+        if "service" in parts:
+            return True
+        return "execution" in parts and parts[-1] in {"cache.py", "metrics.py"}
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not self._applies(module):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(self, module: Module, cls: ast.ClassDef) -> Iterator[Finding]:
+        for item in cls.body:
+            if (
+                isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and item.name not in _SETUP_METHODS
+            ):
+                yield from self._check_body(module, item.body, locked=False)
+
+    def _check_body(
+        self, module: Module, body: list[ast.stmt], locked: bool
+    ) -> Iterator[Finding]:
+        for statement in body:
+            if isinstance(statement, (ast.With, ast.AsyncWith)):
+                inner = locked or _with_acquires_self_lock(statement)
+                yield from self._check_body(module, statement.body, inner)
+                continue
+            yield from self._check_statement(module, statement, locked)
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scopes are not this method's critical section
+            # Recurse into compound statements (if/for/while/try/match).
+            for attribute in ("body", "orelse", "finalbody"):
+                nested = getattr(statement, attribute, None)
+                if nested:
+                    yield from self._check_body(module, nested, locked)
+            for handler in getattr(statement, "handlers", []):
+                yield from self._check_body(module, handler.body, locked)
+            for case in getattr(statement, "cases", []):
+                yield from self._check_body(module, case.body, locked)
+
+    def _check_statement(
+        self, module: Module, statement: ast.stmt, locked: bool
+    ) -> Iterator[Finding]:
+        if locked:
+            return
+        targets: list[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+        elif isinstance(statement, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(statement, ast.AnnAssign) and statement.value is None:
+                return
+            targets = [statement.target]
+        for target in targets:
+            if _is_self_attribute(target) and target.attr.startswith("_"):
+                yield self.finding(
+                    module,
+                    statement,
+                    f"write to shared `self.{target.attr}` outside a "
+                    f"`with self.<lock>:` block",
+                )
+
+
+class ChargingContractRule(Rule):
+    """REPRO002: counters mutate only in AccessCounter; probes stay charged."""
+
+    id = "REPRO002"
+    description = (
+        "access counters are mutated only by AccessCounter, and uncharged probe "
+        "primitives are called only from the data layers"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        parts = module.parts
+        in_counter_home = parts[-1] == "statistics.py" and "relational" in parts
+        in_data_layer = any(part in DATA_LAYERS for part in parts)
+        for node in ast.walk(module.tree):
+            if not in_counter_home and isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and target.attr in COUNTER_FIELDS:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"mutation of charged counter field `.{target.attr}` "
+                            f"outside AccessCounter",
+                        )
+            if (
+                not in_data_layer
+                and isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in UNCHARGED_CALLS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"uncharged probe primitive `.{node.func.attr}()` called "
+                    f"outside the data layers; use the charged fetch API",
+                )
+
+
+class DeterminismSeamRule(Rule):
+    """REPRO003: no wall clock / ambient randomness in the hot path."""
+
+    id = "REPRO003"
+    description = (
+        "hot-path modules must not call time.time or use the random module "
+        "without an injected seam"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not any(part in HOT_PATH_PACKAGES for part in module.parts):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                names = (
+                    [alias.name for alias in node.names]
+                    if isinstance(node, ast.Import)
+                    else [node.module or ""]
+                )
+                if any(name == "random" or name.startswith("random.") for name in names):
+                    yield self.finding(
+                        module,
+                        node,
+                        "ambient randomness in a hot-path module; inject a "
+                        "seeded rng through the caller instead",
+                    )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr == "time"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "time"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "wall-clock `time.time` in a hot-path module; use "
+                    "monotonic clocks for intervals and inject timestamps",
+                )
+
+
+class TypedErrorRule(Rule):
+    """REPRO004: raises use the typed hierarchy of ``repro.errors``."""
+
+    id = "REPRO004"
+    description = "every public raise uses a typed error from errors.py"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if not isinstance(exc, ast.Call):
+                continue  # bare re-raise of a caught object
+            func = exc.func
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            else:  # pragma: no cover - exotic raise expression
+                continue
+            if (
+                name in TYPED_ERRORS
+                or name in ALLOWED_BUILTIN_RAISES
+                or name.startswith("_")
+            ):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"raise of untyped `{name}`; use an exception from repro.errors",
+            )
+
+
+#: The default rule set, in identifier order.
+DEFAULT_RULES: tuple[Rule, ...] = (
+    LockDisciplineRule(),
+    ChargingContractRule(),
+    DeterminismSeamRule(),
+    TypedErrorRule(),
+)

@@ -1,0 +1,118 @@
+"""Verify every query of every registered workload (the CLI's ``verify`` mode).
+
+For each workload the sweep replays the paper's pipeline statically: EBCheck
+decides effective boundedness; for accepted queries QPlan builds a plan, the
+plan is lowered, and the full verifier (:mod:`repro.analysis.verify`) must
+prove all rules and certify a finite Σ Mᵢ.  Queries EBCheck rejects are
+recorded as such — the workload generators deliberately emit unbounded
+queries as negative controls, and "correctly rejected before execution" is
+exactly the paper's answer for them.
+
+The sweep fails (``SweepReport.ok`` is false) only when a plan of an
+effectively bounded query fails verification — that would mean the planner
+emitted an artefact whose own invariants do not hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.ebcheck import ebcheck
+from ..errors import PlanVerificationError
+from ..execution.compiled import compiled_for
+from ..planning.qplan import qplan
+from ..workloads.registry import get_workload, workload_names
+from .bound import PlanCertificate
+from .verify import verify_compiled, verify_plan
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """Outcome of statically verifying one workload query."""
+
+    workload: str
+    query: str
+    #: ``certified`` | ``rejected`` (by EBCheck) | ``failed`` (verifier error).
+    outcome: str
+    certificate: PlanCertificate | None = None
+    detail: str = ""
+
+    @property
+    def total_bound(self) -> int | None:
+        return self.certificate.total_bound if self.certificate else None
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Aggregated verification outcomes across workloads."""
+
+    entries: tuple[SweepEntry, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when no effectively bounded query failed verification."""
+        return not any(entry.outcome == "failed" for entry in self.entries)
+
+    @property
+    def certified(self) -> tuple[SweepEntry, ...]:
+        return tuple(e for e in self.entries if e.outcome == "certified")
+
+    def describe(self) -> str:
+        lines = []
+        by_workload: dict[str, list[SweepEntry]] = {}
+        for entry in self.entries:
+            by_workload.setdefault(entry.workload, []).append(entry)
+        for workload, entries in by_workload.items():
+            certified = [e for e in entries if e.outcome == "certified"]
+            rejected = [e for e in entries if e.outcome == "rejected"]
+            failed = [e for e in entries if e.outcome == "failed"]
+            lines.append(
+                f"{workload}: {len(certified)}/{len(entries)} certified, "
+                f"{len(rejected)} rejected by EBCheck, {len(failed)} failed"
+            )
+            for entry in certified:
+                lines.append(
+                    f"  {entry.query}: proven Σ Mᵢ = {entry.total_bound} tuples"
+                )
+            for entry in rejected:
+                lines.append(f"  {entry.query}: not effectively bounded (no plan)")
+            for entry in failed:
+                lines.append(f"  {entry.query}: FAILED {entry.detail}")
+        verdict = "OK" if self.ok else "FAILED"
+        lines.append(
+            f"sweep {verdict}: {len(self.certified)} finite certificates over "
+            f"{len(self.entries)} queries"
+        )
+        return "\n".join(lines)
+
+
+def verify_workload(name: str, seed: int = 0) -> tuple[SweepEntry, ...]:
+    """Statically verify every generated query of one workload."""
+    workload = get_workload(name)
+    entries: list[SweepEntry] = []
+    for query in workload.queries(seed):
+        verdict = ebcheck(query, workload.access_schema)
+        if not verdict.effectively_bounded:
+            entries.append(SweepEntry(name, query.name, "rejected"))
+            continue
+        try:
+            plan = qplan(query, workload.access_schema, check=False)
+            certificate = verify_plan(plan)
+            verify_compiled(compiled_for(plan))
+        except PlanVerificationError as error:
+            entries.append(SweepEntry(name, query.name, "failed", detail=str(error)))
+        else:
+            entries.append(
+                SweepEntry(name, query.name, "certified", certificate=certificate)
+            )
+    return tuple(entries)
+
+
+def verify_workloads(
+    names: tuple[str, ...] | None = None, seed: int = 0
+) -> SweepReport:
+    """Run the verification sweep over ``names`` (default: every workload)."""
+    entries: list[SweepEntry] = []
+    for name in names or workload_names():
+        entries.extend(verify_workload(name, seed=seed))
+    return SweepReport(entries=tuple(entries))

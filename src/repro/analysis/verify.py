@@ -1,0 +1,452 @@
+"""Static plan verifier: prove a plan's invariants before executing it.
+
+The paper's central move is a-priori analysis — EBCheck decides boundedness
+and QPlan states the access cost Σ Mᵢ before a single tuple is touched.  This
+module extends the same discipline to the artefacts themselves: given a
+:class:`~repro.planning.plan.BoundedPlan` (and optionally its lowered
+:class:`~repro.execution.compiled.CompiledPlan`), it proves a set of
+structural invariants without executing anything, and returns the plan's
+:class:`~repro.analysis.bound.PlanCertificate`.
+
+Rules (each failure raises :class:`~repro.errors.PlanVerificationError`
+carrying the rule identifier):
+
+``PLAN001``
+    Every fetch step applies an access constraint that is *declared* in the
+    plan's access schema, targets the relation of the occurrence it fetches,
+    has a finite positive per-probe bound, and outputs the constraint's
+    canonical ``X`` then ``Y \\ X`` columns; every occurrence has a covering
+    step whose output covers the occurrence's needed parameters.
+``PLAN002``
+    The a-priori bound Σ Mᵢ re-derives from the plan structure alone and
+    matches the stated per-step and total bounds
+    (:func:`repro.analysis.bound.derive_certificate`).
+``PLAN003``
+    Every key value is bound before first use: column sources read an
+    *earlier* step's declared output, parameter sources name a declared slot
+    of the prepared plan (and never appear in an unprepared plan), and a
+    step's key sources cover exactly the constraint's ``X``.
+``PLAN004``
+    Candidate keys are deduplicated before probing — the charging contract
+    counts one probe per *distinct* key, so a compiled step with dedup
+    disabled would break the Σ Mᵢ accounting.
+``PLAN005``
+    Equality conditions and constant key sources are type-consistent with the
+    relation schemas (a join between, say, an integer and an enumeration of
+    strings can never hold and indicates a malformed query or plan).
+``PLAN006``
+    The compiled program is shape-equivalent to an independent re-lowering of
+    the plan it claims to implement: same step programs, same projections,
+    same join keys, same filters — checked positionally, with extractor
+    closures introspected by probing them with identity rows.
+
+:func:`verify_plan` checks PLAN001/002/003/005 on the interpreted plan;
+:func:`verify_compiled` checks PLAN003/004/006 on the compiled program;
+:func:`verify_prepared` runs both over a prepared template and is what
+:meth:`BoundedEngine.prepare_query <repro.execution.engine.BoundedEngine>`
+invokes by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable, Sequence
+
+from ..access.schema import AccessSchema
+from ..errors import PlanVerificationError
+from ..execution.compiled import CompiledPlan, compile_plan, compiled_for
+from ..planning.plan import (
+    BoundedPlan,
+    ColumnSource,
+    ConstSource,
+    ParamSource,
+    PreparedPlan,
+)
+from ..relational.types import AnyType, AttributeType, BoundedIntType, EnumType, FloatType, IntType
+from ..spc.atoms import AttrEq, AttrRef, ConstEq
+from ..spc.parameters import ParamToken
+from .bound import BOUND_CAP, PlanCertificate, derive_certificate
+
+#: Rule catalogue: identifier -> the invariant it proves.
+RULES: dict[str, str] = {
+    "PLAN001": "every fetch step is covered by a declared access constraint "
+    "with a finite per-probe bound",
+    "PLAN002": "the a-priori access bound Σ Mᵢ re-derives from the plan structure",
+    "PLAN003": "every key value is bound before first use",
+    "PLAN004": "candidate keys are deduplicated before probing",
+    "PLAN005": "equality conditions are type-consistent with the schema",
+    "PLAN006": "the compiled program is shape-equivalent to its plan",
+}
+
+#: Rules checked on the interpreted plan / on the compiled program.
+PLAN_RULES = ("PLAN001", "PLAN002", "PLAN003", "PLAN005")
+COMPILED_RULES = ("PLAN003", "PLAN004", "PLAN006")
+
+
+def _fail(rule: str, message: str, step: int | None = None) -> None:
+    raise PlanVerificationError(rule, message, step=step)
+
+
+# -- interpreted plan --------------------------------------------------------------
+
+
+def _check_constraints(plan: BoundedPlan) -> None:
+    """PLAN001: declared constraint, right relation, finite bound, canonical outputs."""
+    query = plan.query
+    for position, step in enumerate(plan.steps):
+        if step.index != position:
+            _fail("PLAN001", f"step at position {position} claims index {step.index}")
+        if not 0 <= step.atom < query.num_atoms:
+            _fail("PLAN001", f"step fetches unknown occurrence {step.atom}", position)
+        constraint = step.constraint
+        if constraint not in plan.access_schema:
+            _fail(
+                "PLAN001",
+                f"constraint [{constraint}] is not declared in the access schema",
+                position,
+            )
+        relation = query.atoms[step.atom].relation_name
+        if constraint.relation != relation:
+            _fail(
+                "PLAN001",
+                f"constraint indexes {constraint.relation!r} but the step "
+                f"fetches occurrence {step.atom} of {relation!r}",
+                position,
+            )
+        if not isinstance(constraint.bound, int) or not 1 <= constraint.bound <= BOUND_CAP:
+            _fail(
+                "PLAN001",
+                f"per-probe bound {constraint.bound!r} is not a finite positive integer",
+                position,
+            )
+        canonical = tuple(AttrRef(step.atom, name) for name in constraint.fetch_attributes)
+        if step.outputs != canonical:
+            _fail(
+                "PLAN001",
+                f"outputs {step.outputs} are not the constraint's canonical "
+                f"fetch columns {canonical}",
+                position,
+            )
+    for atom_index in range(query.num_atoms):
+        covering = plan.covering.get(atom_index)
+        if covering is None or not 0 <= covering < len(plan.steps):
+            _fail("PLAN001", f"occurrence {atom_index} has no covering fetch step")
+        covering_step = plan.steps[covering]
+        if covering_step.atom != atom_index:
+            _fail(
+                "PLAN001",
+                f"covering step T{covering} fetches occurrence "
+                f"{covering_step.atom}, not {atom_index}",
+            )
+        needed = set(query.atom_parameters(atom_index))
+        missing = needed - set(covering_step.outputs)
+        if missing:
+            _fail(
+                "PLAN001",
+                f"covering step T{covering} does not output the needed "
+                f"parameters {sorted(map(str, missing))} of occurrence {atom_index}",
+            )
+
+
+def _check_key_sources(plan: BoundedPlan, slots: frozenset[str] | None) -> None:
+    """PLAN003: keys cover exactly X; columns read earlier outputs; slots declared."""
+    for step in plan.steps:
+        if set(step.key_sources) != set(step.constraint.x):
+            _fail(
+                "PLAN003",
+                f"key sources cover {sorted(step.key_sources)} but the "
+                f"constraint's X is {list(step.constraint.x)}",
+                step.index,
+            )
+        for attribute, source in step.key_sources.items():
+            if isinstance(source, ColumnSource):
+                if not 0 <= source.step < step.index:
+                    _fail(
+                        "PLAN003",
+                        f"key {attribute!r} reads step T{source.step}, which "
+                        f"does not precede this step",
+                        step.index,
+                    )
+                if source.column not in plan.steps[source.step].outputs:
+                    _fail(
+                        "PLAN003",
+                        f"key {attribute!r} reads column {source.column} which "
+                        f"T{source.step} does not output",
+                        step.index,
+                    )
+            elif isinstance(source, ParamSource):
+                if slots is None:
+                    _fail(
+                        "PLAN003",
+                        f"key {attribute!r} reads parameter slot ${source.name} "
+                        f"but the plan is not a prepared template",
+                        step.index,
+                    )
+                elif source.name not in slots:
+                    _fail(
+                        "PLAN003",
+                        f"key {attribute!r} reads undeclared parameter slot "
+                        f"${source.name} (declared: {sorted(slots)})",
+                        step.index,
+                    )
+            elif not isinstance(source, ConstSource):
+                _fail(
+                    "PLAN003",
+                    f"key {attribute!r} has unknown source {source!r}",
+                    step.index,
+                )
+
+
+_NUMERIC = (IntType, FloatType, BoundedIntType)
+
+
+def _types_compatible(left: AttributeType, right: AttributeType) -> bool:
+    if isinstance(left, AnyType) or isinstance(right, AnyType):
+        return True
+    if left == right:
+        return True
+    if isinstance(left, _NUMERIC) and isinstance(right, _NUMERIC):
+        return True
+    # An enum joins consistently with anything that can produce its members.
+    if isinstance(left, EnumType) or isinstance(right, EnumType):
+        return True
+    return False
+
+
+def _check_types(plan: BoundedPlan) -> None:
+    """PLAN005: equality conditions and constant keys respect attribute types."""
+    query = plan.query
+
+    def attribute_type(ref: AttrRef) -> AttributeType:
+        return query.atoms[ref.atom].schema.attribute(ref.attribute).type
+
+    for condition in query.conditions:
+        if isinstance(condition, AttrEq):
+            left, right = attribute_type(condition.left), attribute_type(condition.right)
+            if not _types_compatible(left, right):
+                _fail(
+                    "PLAN005",
+                    f"condition equates {condition.left} ({left.name}) with "
+                    f"{condition.right} ({right.name}): incompatible types",
+                )
+        elif isinstance(condition, ConstEq) and not isinstance(condition.value, ParamToken):
+            kind = attribute_type(condition.ref)
+            if not isinstance(kind, AnyType) and not kind.validate(condition.value):
+                _fail(
+                    "PLAN005",
+                    f"condition binds {condition.ref} to {condition.value!r}, "
+                    f"outside its type {kind.name}",
+                )
+    for step in plan.steps:
+        schema = query.atoms[step.atom].schema
+        for attribute, source in step.key_sources.items():
+            if not isinstance(source, ConstSource) or isinstance(source.value, ParamToken):
+                continue
+            kind = schema.attribute(attribute).type
+            if not isinstance(kind, AnyType) and not kind.validate(source.value):
+                _fail(
+                    "PLAN005",
+                    f"key {attribute!r} is the constant {source.value!r}, "
+                    f"outside its type {kind.name}",
+                    step.index,
+                )
+
+
+def verify_plan(
+    plan: BoundedPlan,
+    slots: Sequence[str] | None = None,
+    access_schema: AccessSchema | None = None,
+) -> PlanCertificate:
+    """Prove PLAN001/002/003/005 on an interpreted plan; return its certificate.
+
+    ``slots`` is the prepared template's declared slot names (``None`` for a
+    plan of a fully bound query, in which case parameter sources are
+    rejected).  ``access_schema`` optionally overrides the schema the plan's
+    constraints must be declared in (defaults to the plan's own).
+    """
+    if access_schema is not None and access_schema is not plan.access_schema:
+        for step in plan.steps:
+            if step.constraint not in access_schema:
+                _fail(
+                    "PLAN001",
+                    f"constraint [{step.constraint}] is not declared in the "
+                    f"engine's access schema",
+                    step.index,
+                )
+    _check_constraints(plan)
+    _check_key_sources(plan, None if slots is None else frozenset(slots))
+    _check_types(plan)
+    certificate = derive_certificate(plan)
+    return replace(certificate, rules=PLAN_RULES)
+
+
+# -- compiled program --------------------------------------------------------------
+
+
+def _positions(extract: Callable[[tuple], tuple], arity: int) -> tuple[Any, ...]:
+    """Recover an extractor's positions by probing it with an identity row.
+
+    Compiled extractors are ``operator.itemgetter`` closures; applied to the
+    identity row ``(0, 1, ..., arity - 1)`` they return exactly the positions
+    they select — a purely structural probe that touches no data.
+    """
+    return extract(tuple(range(arity)))
+
+
+def _expect(
+    rule: str,
+    what: str,
+    actual: Any,
+    expected: Any,
+    step: int | None = None,
+) -> None:
+    if actual != expected:
+        _fail(rule, f"{what}: compiled program has {actual!r}, plan implies {expected!r}", step)
+
+
+def _check_step_programs(compiled: CompiledPlan, reference: CompiledPlan) -> None:
+    _expect("PLAN006", "fetch step count", len(compiled.steps), len(reference.steps))
+    for index, (program, expected) in enumerate(zip(compiled.steps, reference.steps)):
+        _expect("PLAN006", "step constraint", program.constraint, expected.constraint, index)
+        _expect("PLAN006", "step header", program.header, expected.header, index)
+        _expect("PLAN006", "key prefix", program.prefix, expected.prefix, index)
+        _expect("PLAN006", "key permutation", program.permutation, expected.permutation, index)
+        _expect("PLAN006", "fixed key part", program.fixed_constant, expected.fixed_constant, index)
+        _expect("PLAN006", "param slots", program.param_slots, expected.param_slots, index)
+        _expect("PLAN006", "group count", len(program.groups), len(expected.groups), index)
+        for group, expected_group in zip(program.groups, expected.groups):
+            _expect(
+                "PLAN006", "group source step", group.source_step, expected_group.source_step, index
+            )
+            arity = len(reference.steps[expected_group.source_step].header)
+            _expect(
+                "PLAN006",
+                "group key positions",
+                _positions(group.extract, arity),
+                _positions(expected_group.extract, arity),
+                index,
+            )
+
+
+def _check_atom_programs(compiled: CompiledPlan, reference: CompiledPlan) -> None:
+    _expect("PLAN006", "witness set", compiled.witnesses, reference.witnesses)
+    _expect("PLAN006", "occurrence count", len(compiled.atoms), len(reference.atoms))
+    for program, expected in zip(compiled.atoms, reference.atoms):
+        _expect("PLAN006", "occurrence index", program.atom, expected.atom)
+        _expect("PLAN006", "covering step", program.covering, expected.covering)
+        _expect("PLAN006", "occurrence header", program.header, expected.header)
+        _expect("PLAN006", "constant filters", program.const_filters, expected.const_filters)
+        _expect("PLAN006", "parameter filters", program.param_filters, expected.param_filters)
+        _expect("PLAN006", "attribute filters", program.attr_filters, expected.attr_filters)
+        arity = len(reference.steps[expected.covering].header)
+        _expect(
+            "PLAN006",
+            "projection positions",
+            _positions(program.project, arity),
+            _positions(expected.project, arity),
+        )
+
+
+def _check_joins(compiled: CompiledPlan, reference: CompiledPlan) -> None:
+    _expect("PLAN006", "join count", len(compiled.joins), len(reference.joins))
+    accumulated = len(reference.atoms[0].header) if reference.atoms else 0
+    for position, (join, expected) in enumerate(zip(compiled.joins, reference.joins)):
+        _expect("PLAN006", "joined occurrence", join.atom, expected.atom)
+        right_arity = len(reference.atoms[position + 1].header)
+        if (join.left_key is None) != (expected.left_key is None):
+            _fail(
+                "PLAN006",
+                f"join {position} is {'Cartesian' if join.left_key is None else 'keyed'} "
+                f"but the plan implies the opposite",
+            )
+        if expected.left_key is not None:
+            _expect(
+                "PLAN006",
+                "left join key positions",
+                _positions(join.left_key, accumulated),
+                _positions(expected.left_key, accumulated),
+            )
+            _expect(
+                "PLAN006",
+                "right join key positions",
+                _positions(join.right_key, right_arity),
+                _positions(expected.right_key, right_arity),
+            )
+        accumulated += right_arity
+    _expect(
+        "PLAN006", "residual filters", compiled.residual_filters, reference.residual_filters
+    )
+    _expect("PLAN006", "output header", compiled.output_header, reference.output_header)
+    if (compiled.project_output is None) != (reference.project_output is None):
+        _fail("PLAN006", "output projection presence differs from the plan's")
+    if reference.project_output is not None:
+        _expect(
+            "PLAN006",
+            "output projection positions",
+            _positions(compiled.project_output, accumulated),
+            _positions(reference.project_output, accumulated),
+        )
+
+
+def _check_compiled_slots(compiled: CompiledPlan, slots: frozenset[str] | None) -> None:
+    """PLAN003 on the compiled program: every slot it reads must be declared."""
+    used: set[str] = set()
+    for program in compiled.steps:
+        used.update(slot for is_param, slot in program.prefix if is_param)
+        if program.param_slots is not None:
+            used.update(program.param_slots)
+    for program in compiled.atoms:
+        used.update(slot for _, slot in program.param_filters)
+    undeclared = used - (slots or frozenset())
+    if undeclared:
+        _fail(
+            "PLAN003",
+            f"compiled program reads parameter slot(s) "
+            f"{sorted('$' + name for name in undeclared)} not declared by the template",
+        )
+
+
+def verify_compiled(
+    compiled: CompiledPlan,
+    slots: Sequence[str] | None = None,
+) -> tuple[str, ...]:
+    """Prove PLAN003/004/006 on a compiled program.
+
+    The shape check re-lowers ``compiled.plan`` through
+    :func:`~repro.execution.compiled.compile_plan` and compares the two
+    programs structurally — a mutation of the compiled artefact that no longer
+    matches its plan is rejected even though both sides "run fine" alone.
+    """
+    for index, program in enumerate(compiled.steps):
+        if not program.dedup:
+            _fail(
+                "PLAN004",
+                "candidate-key deduplication is disabled; the Σ Mᵢ charging "
+                "contract requires one probe per distinct key",
+                index,
+            )
+    _check_compiled_slots(compiled, None if slots is None else frozenset(slots))
+    reference = compile_plan(compiled.plan)
+    _check_step_programs(compiled, reference)
+    _check_atom_programs(compiled, reference)
+    _check_joins(compiled, reference)
+    return COMPILED_RULES
+
+
+def verify_prepared(
+    prepared: PreparedPlan,
+    access_schema: AccessSchema | None = None,
+) -> PlanCertificate:
+    """Verify a prepared template end to end: plan rules, then compiled rules.
+
+    This is the engine's entry point (``prepare_query(..., verify=True)``):
+    it proves all six rules over the template's plan and its (memoized)
+    compiled program, and returns the Σ Mᵢ certificate that holds for *every*
+    binding of the template.
+    """
+    slots = prepared.slots
+    certificate = verify_plan(prepared.plan, slots=slots, access_schema=access_schema)
+    verify_compiled(compiled_for(prepared.plan), slots=slots)
+    return replace(
+        certificate, rules=tuple(sorted(set(PLAN_RULES + COMPILED_RULES)))
+    )

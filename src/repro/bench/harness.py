@@ -22,6 +22,7 @@ from ..access.schema import AccessSchema
 from ..core.bcheck import bcheck
 from ..core.dominating import find_dominating_parameters
 from ..core.ebcheck import ebcheck
+from ..errors import WorkloadError
 from ..execution.engine import BoundedEngine
 from ..execution.naive import NaiveExecutor
 from ..planning.qplan import qplan
@@ -222,7 +223,7 @@ def _queries_by_knob(
     modules = {"tfacc": tfacc_module, "mot": mot_module, "tpch": tpch_module}
     module = modules.get(workload.name)
     if module is None:
-        raise ValueError(f"knob sweeps are defined for the paper workloads, not {workload.name!r}")
+        raise WorkloadError(f"knob sweeps are defined for the paper workloads, not {workload.name!r}")
     spec = getattr(module, spec_builder[workload.name])()
 
     result: dict[int, list[SPCQuery]] = {}

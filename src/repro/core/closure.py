@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from ..access.schema import AccessSchema
+from ..errors import ApiMisuseError
 from ..spc.atoms import AttrRef
 from ..spc.query import SPCQuery
 from .deduction import (
@@ -252,7 +253,7 @@ def is_indexed(
         return True
     atoms = {ref.atom for ref in refs}
     if len(atoms) != 1:
-        raise ValueError("is_indexed expects references from a single occurrence")
+        raise ApiMisuseError("is_indexed expects references from a single occurrence")
     atom_index = atoms.pop()
     relation = query.atoms[atom_index].relation_name
     names = {ref.attribute for ref in refs}

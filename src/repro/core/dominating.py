@@ -37,6 +37,7 @@ from itertools import combinations
 from typing import Iterable
 
 from ..access.schema import AccessSchema
+from ..errors import ApiMisuseError
 from ..spc.atoms import AttrRef
 from ..spc.query import SPCQuery
 from .ebcheck import ebcheck
@@ -201,7 +202,7 @@ def find_minimum_dominating_parameters(
     query.closure.require_satisfiable()
     candidates = sorted(_candidate_refs(query))
     if len(candidates) > max_parameters:
-        raise ValueError(
+        raise ApiMisuseError(
             f"exact search limited to {max_parameters} candidate parameters, "
             f"query has {len(candidates)}"
         )

@@ -80,6 +80,38 @@ class PlanningError(ReproError):
     """Query-plan generation failed despite the query being bounded."""
 
 
+class PlanVerificationError(PlanningError):
+    """The static plan verifier rejected a plan or compiled program.
+
+    Carries the identifier of the violated verifier rule (``PLAN001`` ..
+    ``PLAN006``, see :mod:`repro.analysis.verify`) and, when the defect is
+    local to a single fetch step, that step's index.  Raised before any tuple
+    is touched — the point of the verifier is that a broken plan never runs.
+    """
+
+    def __init__(self, rule: str, message: str, step: int | None = None) -> None:
+        where = f" (fetch step {step})" if step is not None else ""
+        super().__init__(f"{rule}: {message}{where}")
+        self.rule = rule
+        self.step = step
+
+
+class DomainValueError(SchemaError, ValueError):
+    """A value lies outside its attribute type's domain or cannot be parsed.
+
+    Also a :class:`ValueError` so call sites that feed attribute parsing from
+    stdlib conversions (``int(text)`` etc.) can keep a single except clause.
+    """
+
+
+class ApiMisuseError(ReproError, ValueError):
+    """A library API was called in a way that violates its documented contract.
+
+    Also a :class:`ValueError` — these are programming errors on the caller's
+    side, and ``ValueError`` is the idiomatic stdlib category for them.
+    """
+
+
 class ExecutionError(ReproError):
     """A query plan could not be executed against the given database."""
 

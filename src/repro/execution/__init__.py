@@ -3,7 +3,7 @@
 from .bounded import BoundedExecutor, eval_dq
 from .cache import CacheStats, LRUCache
 from .compiled import CompiledPlan, compile_plan, compiled_for
-from .engine import BackendInfo, BoundedEngine, QueryReport
+from .engine import BackendInfo, BoundedEngine, QueryReport, VerifierInfo
 from .metrics import ExecutionResult, ExecutionStats
 from .naive import NaiveExecutor, NestedLoopExecutor
 from .prepared import PreparedQuery, prepare_query
@@ -21,6 +21,7 @@ __all__ = [
     "NestedLoopExecutor",
     "PreparedQuery",
     "QueryReport",
+    "VerifierInfo",
     "compile_plan",
     "compiled_for",
     "eval_dq",

@@ -89,6 +89,11 @@ class StepProgram:
     fixed_constant: tuple[Any, ...] | None
     #: Slot names, when *every* prefix entry is a parameter (all-params fast path).
     param_slots: tuple[str, ...] | None
+    #: Whether joint group values are deduplicated before probing.  Always
+    #: ``True`` in compiler output — the paper charges one probe per *distinct*
+    #: key, so dropping dedup breaks the Σ Mᵢ accounting.  A data-level field
+    #: so the static verifier (PLAN004) can check it and tests can mutate it.
+    dedup: bool = True
 
     def fixed_part(self, params: Mapping[str, Any] | None) -> tuple[Any, ...]:
         """The constant/parameter part of every candidate key, per request."""
@@ -114,10 +119,16 @@ class StepProgram:
         fixed = self.fixed_part(params)
         if not self.groups:
             return [fixed]
-        group_values = [
-            list(dict.fromkeys(map(group.extract, fetched[group.source_step])))
-            for group in self.groups
-        ]
+        if self.dedup:
+            group_values = [
+                list(dict.fromkeys(map(group.extract, fetched[group.source_step])))
+                for group in self.groups
+            ]
+        else:  # only reachable from verifier mutation tests
+            group_values = [
+                [group.extract(row) for row in fetched[group.source_step]]
+                for group in self.groups
+            ]
         if not fixed and len(group_values) == 1 and self.permutation is None:
             return group_values[0]
         permutation = self.permutation

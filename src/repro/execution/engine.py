@@ -16,15 +16,16 @@ examples and benchmarks read like the workflow they reproduce.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..access.indexes import AccessIndexes
 from ..access.schema import AccessSchema
 from ..core.bcheck import BoundednessResult, bcheck
 from ..core.dominating import DominatingParametersResult, find_dominating_parameters
 from ..core.ebcheck import EffectiveBoundednessResult, ebcheck
-from ..errors import NotEffectivelyBoundedError
+from ..errors import NotEffectivelyBoundedError, PlanVerificationError
 from ..planning.plan import BoundedPlan
 from ..planning.qplan import prepare_plan, qplan
 from ..spc.atoms import AttrRef
@@ -35,6 +36,9 @@ from .cache import CacheStats, LRUCache
 from .metrics import ExecutionResult
 from .naive import NaiveExecutor
 from .prepared import PreparedQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis -> execution)
+    from ..analysis.bound import PlanCertificate
 
 #: Default capacity of the per-engine bounded-plan LRU cache.
 DEFAULT_PLAN_CACHE_SIZE = 256
@@ -59,6 +63,33 @@ class BackendInfo:
         return f"storage-backends: prepared={prepared}"
 
 
+@dataclass(frozen=True)
+class VerifierInfo:
+    """Static plan-verifier counters, reported by :meth:`BoundedEngine.cache_info`.
+
+    ``certificates`` counts Σ Mᵢ certificates issued (one per verified
+    compilation or :meth:`~BoundedEngine.check` report), ``failures`` counts
+    plans the verifier rejected; ``last_proven_bound`` is the most recently
+    certified Σ Mᵢ, so operators can eyeball the proven bound next to the
+    measured ``tuples_accessed`` of the same template.
+    """
+
+    certificates: int = 0
+    failures: int = 0
+    last_proven_bound: int | None = None
+
+    def describe(self) -> str:
+        proven = (
+            f", last proven Σ Mᵢ={self.last_proven_bound}"
+            if self.last_proven_bound is not None
+            else ""
+        )
+        return (
+            f"plan-verifier: certificates={self.certificates} "
+            f"failures={self.failures}{proven}"
+        )
+
+
 @dataclass
 class QueryReport:
     """The engine's static analysis of one query under the access schema."""
@@ -74,6 +105,12 @@ class QueryReport:
     serving_caches: dict[str, CacheStats] = field(default_factory=dict)
     #: Kinds of the storage backends the engine's executor has prepared.
     backend_kinds: tuple[str, ...] = ()
+    #: The static verifier's Σ Mᵢ certificate for ``plan`` (when one exists
+    #: and verification succeeded): the access bound *proven* from the plan
+    #: structure, to be read next to a run's measured ``tuples_accessed``.
+    certificate: "PlanCertificate | None" = None
+    #: Rule-tagged diagnostic when the verifier rejected the plan.
+    verification_error: str | None = None
 
     @property
     def bounded(self) -> bool:
@@ -101,6 +138,14 @@ class QueryReport:
         lines.append(f"  effectively bounded: {self.effectively_bounded}")
         if self.plan is not None:
             lines.append(f"  plan access bound: {self.plan.total_bound} tuples")
+        if self.certificate is not None:
+            lines.append(
+                f"  proven access bound (Σ Mᵢ certificate): "
+                f"{self.certificate.total_bound} tuples over "
+                f"{self.certificate.num_steps} fetch step(s)"
+            )
+        if self.verification_error is not None:
+            lines.append(f"  plan verification FAILED: {self.verification_error}")
         if self.suggested_parameters is not None:
             pretty = ", ".join(
                 ref.pretty(self.query.atoms) for ref in sorted(self.suggested_parameters)
@@ -135,10 +180,21 @@ class BoundedEngine:
         dominating_alpha: float | None = None,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
         negative_cache_size: int = DEFAULT_NEGATIVE_CACHE_SIZE,
+        verify_plans: bool = True,
     ) -> None:
         self.access_schema = access_schema
         self.fallback_to_naive = fallback_to_naive
         self.dominating_alpha = dominating_alpha
+        #: Default for :meth:`prepare_query`'s ``verify`` argument: run the
+        #: static verifier over every new compilation.  Verification happens
+        #: once per template (never on the per-request hot path), but
+        #: latency-critical deployments can opt out engine-wide here.
+        self.verify_plans = verify_plans
+        #: Guards the verifier counters reported by :meth:`cache_info`.
+        self._verifier_lock = threading.Lock()
+        self._verifier_certificates = 0
+        self._verifier_failures = 0
+        self._verifier_last_bound: int | None = None
         self._bounded_executor = BoundedExecutor(enforce_bounds=enforce_bounds)
         self._naive_executor = NaiveExecutor()
         # Every distinct bound constant yields a structurally new SPCQuery, so
@@ -165,8 +221,11 @@ class BoundedEngine:
         effective = ebcheck(query, self.access_schema)
         plan: BoundedPlan | None = None
         dominating: DominatingParametersResult | None = None
+        certificate = None
+        verification_error = None
         if effective.effectively_bounded:
             plan = self.plan(query)
+            certificate, verification_error = self._certify(plan)
         elif suggest_parameters:
             dominating = find_dominating_parameters(
                 query, self.access_schema, alpha=self.dominating_alpha
@@ -177,6 +236,8 @@ class BoundedEngine:
             effective=effective,
             plan=plan,
             dominating=dominating,
+            certificate=certificate,
+            verification_error=verification_error,
             serving_caches={
                 "plan": self._plan_cache.stats,
                 "negative": self._negative_cache.stats,
@@ -187,6 +248,31 @@ class BoundedEngine:
 
     def is_effectively_bounded(self, query: SPCQuery) -> bool:
         return ebcheck(query, self.access_schema).effectively_bounded
+
+    def _record_verification(self, certificate: "PlanCertificate | None") -> None:
+        with self._verifier_lock:
+            if certificate is None:
+                self._verifier_failures += 1
+            else:
+                self._verifier_certificates += 1
+                self._verifier_last_bound = certificate.total_bound
+
+    def _certify(self, plan: BoundedPlan) -> tuple["PlanCertificate | None", str | None]:
+        """Run the static verifier over ``plan``, reporting instead of raising.
+
+        :meth:`check` is the diagnostic surface — a rejected plan belongs *in*
+        the report (``verification_error``), not in a traceback.
+        """
+        # Imported lazily: repro.analysis sits above the execution layer.
+        from ..analysis.verify import verify_plan
+
+        try:
+            certificate = verify_plan(plan, access_schema=self.access_schema)
+        except PlanVerificationError as error:
+            self._record_verification(None)
+            return None, str(error)
+        self._record_verification(certificate)
+        return certificate, None
 
     def plan(self, query: SPCQuery) -> BoundedPlan:
         """The (cached) bounded plan for an effectively bounded query.
@@ -213,7 +299,9 @@ class BoundedEngine:
         self._plan_cache.put(query, plan)
         return plan
 
-    def prepare_query(self, template: ParameterizedQuery) -> PreparedQuery:
+    def prepare_query(
+        self, template: ParameterizedQuery, verify: bool | None = None
+    ) -> PreparedQuery:
         """Compile ``template`` once into a :class:`PreparedQuery` (cached).
 
         Parameters
@@ -222,6 +310,13 @@ class BoundedEngine:
             A :class:`~repro.spc.parameters.ParameterizedQuery` — the form
             query to serve.  EBCheck and QPlan run here, once, against
             symbolic constants.
+        verify:
+            Run the static plan verifier (:mod:`repro.analysis.verify`) over
+            the compilation and attach its Σ Mᵢ certificate
+            (``prepared.certificate``).  Defaults to the engine's
+            ``verify_plans`` setting (on).  Verification is compile-time work
+            — it never runs on the per-request hot path — and is skipped when
+            the cached compilation already carries a certificate.
 
         Returns
         -------
@@ -235,6 +330,9 @@ class BoundedEngine:
         ~repro.errors.NotEffectivelyBoundedError
             When the template is not effectively bounded under the engine's
             access schema.
+        ~repro.errors.PlanVerificationError
+            When ``verify`` is on and the compilation violates a verifier
+            rule (the rule id is carried on the error).
 
         The prepared query shares this engine's bounded executor, so its
         per-database index cache is shared with :meth:`execute`.  Repeated
@@ -263,22 +361,45 @@ class BoundedEngine:
                 executor=self._bounded_executor,
             )
             self._prepared_cache.put(key, prepared)
+        should_verify = self.verify_plans if verify is None else verify
+        if should_verify and prepared.certificate is None:
+            # Imported lazily: repro.analysis sits above the execution layer.
+            from ..analysis.verify import verify_prepared
+
+            try:
+                certificate = verify_prepared(
+                    prepared.prepared, access_schema=self.access_schema
+                )
+            except PlanVerificationError:
+                self._record_verification(None)
+                raise
+            prepared.certify(certificate)
+            self._record_verification(certificate)
         return prepared
 
-    def cache_info(self) -> dict[str, CacheStats | BackendInfo]:
+    def cache_info(self) -> dict[str, CacheStats | BackendInfo | VerifierInfo]:
         """Hit/miss/eviction counters for the serving-path caches, per backend seam.
 
         Besides the three LRU caches (plans, negative EBCheck verdicts,
         prepared templates), the ``"backends"`` entry reports which storage
         backend kinds the engine's executor has prepared constraint indexes
-        on — serving deployments monitor hit rates next to the stores they
-        serve from.  Every value exposes ``describe()``.
+        on, and the ``"verifier"`` entry reports the static plan verifier's
+        certificate/failure counters with the most recently proven Σ Mᵢ —
+        serving deployments monitor hit rates and proven bounds next to the
+        stores they serve from.  Every value exposes ``describe()``.
         """
+        with self._verifier_lock:
+            verifier = VerifierInfo(
+                certificates=self._verifier_certificates,
+                failures=self._verifier_failures,
+                last_proven_bound=self._verifier_last_bound,
+            )
         return {
             "plan": self._plan_cache.stats,
             "negative": self._negative_cache.stats,
             "prepared": self._prepared_cache.stats,
             "backends": BackendInfo(self._bounded_executor.backend_kinds()),
+            "verifier": verifier,
         }
 
     # -- execution ----------------------------------------------------------------------

@@ -54,6 +54,10 @@ class PreparedQuery:
         #: backwards when workers finish out of order.
         self._executions_lock = threading.Lock()
         self.executions = 0
+        #: Σ Mᵢ certificate attached by the static verifier, when it ran
+        #: (``BoundedEngine.prepare_query(..., verify=True)``); ``None`` for
+        #: unverified compilations.
+        self._certificate: Any = None
 
     # -- inspection ----------------------------------------------------------------
 
@@ -75,8 +79,25 @@ class PreparedQuery:
         """Tuples any single execution can access, independent of the binding."""
         return self.prepared.total_bound
 
+    @property
+    def certificate(self) -> Any:
+        """The verifier's :class:`~repro.analysis.bound.PlanCertificate`, if issued.
+
+        ``None`` when the compilation was never verified (``verify=False``);
+        the certificate's ``total_bound`` always equals :attr:`total_bound`,
+        but is *proven* from the plan structure rather than read off it.
+        """
+        return self._certificate
+
+    def certify(self, certificate: Any) -> None:
+        """Attach the verifier's certificate (set once by the engine)."""
+        self._certificate = certificate
+
     def describe(self) -> str:
-        return self.prepared.describe()
+        description = self.prepared.describe()
+        if self._certificate is not None:
+            description += "\n" + self._certificate.describe()
+        return description
 
     # -- execution -----------------------------------------------------------------
 

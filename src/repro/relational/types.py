@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
+from ..errors import DomainValueError
+
 
 class AttributeType:
     """Base class for attribute types.
@@ -118,7 +120,7 @@ class BoundedIntType(AttributeType):
 
     def __post_init__(self) -> None:
         if self.high < self.low:
-            raise ValueError(f"empty bounded domain: [{self.low}, {self.high}]")
+            raise DomainValueError(f"empty bounded domain: [{self.low}, {self.high}]")
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -130,7 +132,7 @@ class BoundedIntType(AttributeType):
     def parse(self, text: str) -> int:
         value = int(text)
         if not self.validate(value):
-            raise ValueError(f"{value} outside bounded domain [{self.low}, {self.high}]")
+            raise DomainValueError(f"{value} outside bounded domain [{self.low}, {self.high}]")
         return value
 
     @property
@@ -150,7 +152,7 @@ class EnumType(AttributeType):
     def __init__(self, values: Iterable[Any]) -> None:
         object.__setattr__(self, "values", tuple(values))
         if not self.values:
-            raise ValueError("EnumType requires at least one value")
+            raise DomainValueError("EnumType requires at least one value")
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -169,7 +171,7 @@ class EnumType(AttributeType):
             as_int = None
         if as_int is not None and as_int in self.values:
             return as_int
-        raise ValueError(f"{text!r} is not a member of {self.values!r}")
+        raise DomainValueError(f"{text!r} is not a member of {self.values!r}")
 
     @property
     def domain_size(self) -> int:
@@ -191,4 +193,4 @@ def type_from_name(name: str) -> AttributeType:
     simple = {"any": ANY, "int": INT, "float": FLOAT, "str": STRING, "string": STRING}
     if name in simple:
         return simple[name]
-    raise ValueError(f"unknown attribute type name: {name!r}")
+    raise DomainValueError(f"unknown attribute type name: {name!r}")

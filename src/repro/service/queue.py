@@ -19,6 +19,7 @@ import threading
 from collections import deque
 from typing import Any
 
+from ..errors import ApiMisuseError
 from .requests import ServiceRequest
 
 
@@ -32,7 +33,7 @@ class AdmissionQueue:
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
-            raise ValueError(f"queue capacity must be positive, got {capacity}")
+            raise ApiMisuseError(f"queue capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._items: "deque[ServiceRequest]" = deque()
         self._lock = threading.Lock()

@@ -374,7 +374,8 @@ class QueryService:
         failed immediately with :class:`~repro.errors.ServiceClosedError`.
         Idempotent; thread-safe.
         """
-        self._closed = True
+        with self._stats_lock:
+            self._closed = True
         if not drain:
             for request in self._queue.drain():
                 self._resolve_error(

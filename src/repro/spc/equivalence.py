@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterable
 
-from ..errors import UnsatisfiableQueryError
+from ..errors import QueryError, UnsatisfiableQueryError
 from .atoms import AttrEq, AttrRef, ConstEq, EqualityAtom
 
 
@@ -114,7 +114,7 @@ class EqualityClosure:
         elif isinstance(atom, ConstEq):
             self._union(atom.ref, _ConstNode(atom.value))
         else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown equality atom type: {type(atom).__name__}")
+            raise QueryError(f"unknown equality atom type: {type(atom).__name__}")
 
     # -- queries -----------------------------------------------------------------------
 

@@ -1,0 +1,85 @@
+"""The ``python -m repro.analysis`` entry point: exit codes and output shape."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+REPO_SRC = Path(__file__).resolve().parent.parent.parent / "src"
+
+
+def _violating_tree(tmp_path):
+    target = tmp_path / "core" / "mod.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("def bad():\n    raise ValueError('x')\n")
+    return tmp_path
+
+
+def test_lint_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("def fine():\n    return 1\n")
+    assert main(["lint", str(tmp_path)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_lint_findings_exit_one_and_render(tmp_path, capsys):
+    assert main(["lint", str(_violating_tree(tmp_path))]) == 1
+    out = capsys.readouterr().out
+    assert "REPRO004" in out and "1 finding(s)" in out
+
+
+def test_lint_missing_path_is_usage_error(capsys):
+    assert main(["lint", "/no/such/dir"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_write_baseline_then_lint_against_it(tmp_path, capsys):
+    tree = _violating_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", str(tree), "--write-baseline", str(baseline)]) == 0
+    assert baseline.exists()
+
+    # The acknowledged finding no longer fails the lint...
+    assert main(["lint", str(tree), "--baseline", str(baseline)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # ...but a stale entry does, once the violation is fixed.
+    (tree / "core" / "mod.py").write_text("def good():\n    return 1\n")
+    assert main(["lint", str(tree), "--baseline", str(baseline)]) == 1
+    assert "stale" in capsys.readouterr().out
+
+
+def test_lint_src_self_hosts(capsys):
+    assert main(["lint", str(REPO_SRC)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_verify_single_workload(capsys):
+    assert main(["verify", "--workload", "social"]) == 0
+    out = capsys.readouterr().out
+    assert "social" in out and "sweep OK" in out
+
+
+def test_verify_all_workloads(capsys):
+    assert main(["verify"]) == 0
+    out = capsys.readouterr().out
+    for name in ("tfacc", "mot", "tpch", "social"):
+        assert name in out
+    assert "sweep OK" in out
+
+
+def test_rules_lists_every_rule_id(capsys):
+    assert main(["rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("REPRO001", "REPRO002", "REPRO003", "REPRO004"):
+        assert rule_id in out
+    for rule_id in ("PLAN001", "PLAN002", "PLAN003", "PLAN004", "PLAN005", "PLAN006"):
+        assert rule_id in out
+
+
+def test_unknown_command_is_argparse_error():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["frobnicate"])
+    assert excinfo.value.code == 2

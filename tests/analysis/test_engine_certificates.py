@@ -1,0 +1,98 @@
+"""Engine integration: Σ Mᵢ certificates through prepare/check/report surfaces.
+
+The paper's a-priori guarantee is only useful if the serving layer exposes it:
+``prepare_query`` attaches the proven certificate to the compilation,
+``cache_info`` reports the verifier counters, ``check`` reports the proven
+bound, and every measured run stays at or under what was proven.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import PlanCertificate
+from repro.errors import PlanVerificationError
+from repro.execution import BoundedEngine, VerifierInfo
+from repro.spc import ParameterizedQuery
+from repro.workloads import generate_social_database
+
+
+@pytest.fixture()
+def template(q1):
+    return ParameterizedQuery(
+        q1, {"album": q1.ref("ia", "album_id"), "user": q1.ref("f", "user_id")}
+    )
+
+
+def test_prepare_query_attaches_certificate_by_default(template, access_schema):
+    engine = BoundedEngine(access_schema)
+    prepared = engine.prepare_query(template)
+    certificate = prepared.certificate
+    assert isinstance(certificate, PlanCertificate)
+    assert certificate.total_bound == prepared.total_bound == 7000
+    assert certificate.describe() in prepared.describe()
+
+
+def test_prepare_query_verify_off_leaves_no_certificate(template, access_schema):
+    engine = BoundedEngine(access_schema, verify_plans=False)
+    prepared = engine.prepare_query(template)
+    assert prepared.certificate is None
+
+    # Opting in per call certifies the same cached compilation in place.
+    assert engine.prepare_query(template, verify=True) is prepared
+    assert prepared.certificate is not None
+
+
+def test_cache_info_reports_verifier_counters(template, access_schema):
+    engine = BoundedEngine(access_schema)
+    before = engine.cache_info()["verifier"]
+    assert isinstance(before, VerifierInfo)
+    assert before.certificates == 0 and before.failures == 0
+
+    engine.prepare_query(template)
+    engine.prepare_query(template)  # cached: no second verification
+    after = engine.cache_info()["verifier"]
+    assert after.certificates == 1
+    assert after.last_proven_bound == 7000
+    assert "plan-verifier" in after.describe()
+    assert "7000" in after.describe()
+
+
+def test_check_report_carries_the_proven_bound(q0, access_schema):
+    engine = BoundedEngine(access_schema)
+    report = engine.check(q0)
+    assert report.certificate is not None
+    assert report.certificate.total_bound == report.plan.total_bound
+    assert report.verification_error is None
+    text = report.describe()
+    assert "proven access bound" in text
+    assert str(report.certificate.total_bound) in text
+
+
+def test_measured_access_never_exceeds_proven_bound(template, access_schema):
+    """Satellite (a): measured ``tuples_accessed`` ≤ the proven Σ Mᵢ."""
+    engine = BoundedEngine(access_schema)
+    prepared = engine.prepare_query(template)
+    proven = prepared.certificate.total_bound
+    database = generate_social_database(scale=0.4, seed=7)
+    for binding in (
+        {"album": "a0", "user": "u0"},
+        {"album": "a1", "user": "u3"},
+        {"album": "a2", "user": "u5"},
+    ):
+        result = prepared.execute(database, **binding)
+        assert result.stats.tuples_accessed <= proven
+
+
+def test_tampered_compilation_is_rejected_at_prepare(template, access_schema):
+    """A violated invariant surfaces as a typed, rule-tagged error and is counted."""
+    engine = BoundedEngine(access_schema)
+    prepared = engine.prepare_query(template, verify=False)
+    # Widen one step's stated bound on the cached (mutable) plan: the Σ Mᵢ
+    # re-derivation must now disagree with the plan's claim.
+    prepared.prepared.plan.steps[-1].bound += 5
+    with pytest.raises(PlanVerificationError) as excinfo:
+        engine.prepare_query(template, verify=True)
+    assert excinfo.value.rule == "PLAN002"
+    assert engine.cache_info()["verifier"].failures == 1
+    assert prepared.certificate is None

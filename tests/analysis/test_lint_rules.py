@@ -1,0 +1,284 @@
+"""Contract-linter rules on fixture files: known violations, known passes.
+
+Each rule gets fixture sources with seeded violations (written under paths
+that put them in the rule's scope) plus clean counterparts; further tests pin
+the inline-suppression comment and the baseline round-trip, and a self-hosting
+gate runs the full rule set over ``src/`` — the linter must be clean on its
+own repository.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    DEFAULT_RULES,
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    parse_module,
+    write_baseline,
+)
+from repro.analysis.lint.rules import (
+    ChargingContractRule,
+    DeterminismSeamRule,
+    LockDisciplineRule,
+    TypedErrorRule,
+)
+from repro.errors import ApiMisuseError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _lint_fixture(tmp_path, relative, source, rules=DEFAULT_RULES):
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return lint_paths([path], rules)
+
+
+# -- REPRO001: lock discipline -----------------------------------------------------
+
+_LOCK_FIXTURE = """
+    class Service:
+        def __init__(self):
+            self._closed = False      # setup writes are exempt
+
+        def close(self):
+            self._closed = True       # VIOLATION: unguarded shared write
+
+        def tally(self, n):
+            self._count += n          # VIOLATION: unguarded augmented write
+
+        def safe_close(self):
+            with self._lock:
+                self._closed = True   # guarded: ok
+
+        def nested(self):
+            with self._not_empty:
+                if self._closed:
+                    self._draining = True   # guarded through the condition: ok
+
+        def local_only(self):
+            closed = True             # plain locals are not shared state
+            self.public = closed      # public attrs are out of scope
+    """
+
+
+def test_repro001_flags_unguarded_shared_writes(tmp_path):
+    findings = _lint_fixture(
+        tmp_path, "service/svc.py", _LOCK_FIXTURE, [LockDisciplineRule()]
+    )
+    assert [f.rule for f in findings] == ["REPRO001", "REPRO001"]
+    assert any("_closed" in f.message for f in findings)
+    assert any("_count" in f.message for f in findings)
+
+
+def test_repro001_scope_is_concurrent_modules_only(tmp_path):
+    # The same source outside service// execution-cache scope is not checked.
+    findings = _lint_fixture(
+        tmp_path, "planning/svc.py", _LOCK_FIXTURE, [LockDisciplineRule()]
+    )
+    assert findings == []
+    findings = _lint_fixture(
+        tmp_path, "execution/metrics.py", _LOCK_FIXTURE, [LockDisciplineRule()]
+    )
+    assert len(findings) == 2
+
+
+# -- REPRO002: charging contract ---------------------------------------------------
+
+
+def test_repro002_flags_counter_mutation_and_raw_probes(tmp_path):
+    findings = _lint_fixture(
+        tmp_path,
+        "execution/hot.py",
+        """
+        def cheat(counter, index, key):
+            counter.tuples_accessed += 10     # VIOLATION: counter mutation
+            counter.scanned = 0               # VIOLATION: counter mutation
+            return index.probe(key)           # VIOLATION: uncharged probe
+        """,
+        [ChargingContractRule()],
+    )
+    assert [f.rule for f in findings] == ["REPRO002"] * 3
+
+
+def test_repro002_allows_data_layers_and_counter_home(tmp_path):
+    # Raw probes are legitimate inside the data layers themselves...
+    assert _lint_fixture(
+        tmp_path,
+        "storage/backend.py",
+        """
+        def fine(index, key):
+            return index.probe(key)
+        """,
+        [ChargingContractRule()],
+    ) == []
+    # ...and counter mutation is legitimate only in the counter's home module.
+    counter_home = _lint_fixture(
+        tmp_path,
+        "relational/statistics.py",
+        """
+        class AccessCounter:
+            def record(self, slot):
+                slot.scanned += 1
+        """,
+        [ChargingContractRule()],
+    )
+    assert counter_home == []
+
+
+# -- REPRO003: determinism seams ---------------------------------------------------
+
+
+def test_repro003_flags_wall_clock_and_randomness(tmp_path):
+    findings = _lint_fixture(
+        tmp_path,
+        "service/worker.py",
+        """
+        import random
+        import time
+
+        def stamp():
+            return time.time()
+
+        def ok_interval():
+            return time.monotonic()
+        """,
+        [DeterminismSeamRule()],
+    )
+    assert [f.rule for f in findings] == ["REPRO003"] * 2
+
+
+def test_repro003_ignores_cold_path_modules(tmp_path):
+    findings = _lint_fixture(
+        tmp_path,
+        "workloads/gen.py",
+        "import random\n",
+        [DeterminismSeamRule()],
+    )
+    assert findings == []
+
+
+# -- REPRO004: typed errors --------------------------------------------------------
+
+
+def test_repro004_flags_untyped_raises_only(tmp_path):
+    findings = _lint_fixture(
+        tmp_path,
+        "core/mod.py",
+        """
+        from repro.errors import QueryError
+
+        class _Internal(Exception):
+            pass
+
+        def bad():
+            raise ValueError("untyped")       # VIOLATION
+
+        def typed():
+            raise QueryError("typed: ok")
+
+        def private():
+            raise _Internal()                 # module-private control flow: ok
+
+        def abstract():
+            raise NotImplementedError         # bare name, not a call: ok
+
+        def reraise(error):
+            raise error                       # re-raise of a caught object: ok
+        """,
+        [TypedErrorRule()],
+    )
+    assert [f.rule for f in findings] == ["REPRO004"]
+    assert "ValueError" in findings[0].message
+
+
+# -- suppression + baseline --------------------------------------------------------
+
+
+def test_inline_suppression_silences_one_line(tmp_path):
+    findings = _lint_fixture(
+        tmp_path,
+        "core/mod.py",
+        """
+        def first():
+            raise ValueError("seen")
+
+        def second():
+            raise ValueError("acknowledged")  # repro-lint: disable=REPRO004 legacy api
+
+        def third():
+            # repro-lint: disable=REPRO004 standalone comment covers next line
+            raise ValueError("also acknowledged")
+        """,
+        [TypedErrorRule()],
+    )
+    assert len(findings) == 1
+    assert findings[0].line == 3  # only the unsuppressed `first()` raise
+
+
+def test_baseline_round_trip(tmp_path):
+    fixture = tmp_path / "core" / "mod.py"
+    fixture.parent.mkdir(parents=True)
+    fixture.write_text("def bad():\n    raise ValueError('x')\n")
+    findings = lint_paths([fixture], [TypedErrorRule()])
+    assert len(findings) == 1
+
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, findings, justification="pinned by test")
+    entries = load_baseline(baseline_path)
+    assert len(entries) == 1 and entries[0].justification == "pinned by test"
+
+    # Round-trip: the recorded finding is known, nothing is new or stale.
+    result = apply_baseline(findings, entries)
+    assert result.new == () and len(result.known) == 1 and result.stale == ()
+
+    # Line moves must not resurrect the finding (fingerprints are line-free).
+    fixture.write_text("# a new leading comment\ndef bad():\n    raise ValueError('x')\n")
+    moved = lint_paths([fixture], [TypedErrorRule()])
+    assert moved[0].line != findings[0].line
+    result = apply_baseline(moved, entries)
+    assert result.new == ()
+
+    # A fixed finding turns the entry stale.
+    fixture.write_text("def good():\n    return 1\n")
+    result = apply_baseline(lint_paths([fixture], [TypedErrorRule()]), entries)
+    assert result.new == () and len(result.stale) == 1
+
+
+def test_baseline_requires_justification(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        '{"findings": [{"rule": "REPRO004", "path": "x.py", "message": "m", '
+        '"justification": "  "}]}'
+    )
+    with pytest.raises(ApiMisuseError):
+        load_baseline(path)
+
+
+def test_suppression_table_parses_multiple_rules(tmp_path):
+    module = parse_module(
+        _write(tmp_path, "m.py", "x = 1  # repro-lint: disable=REPRO001,REPRO002 why\n")
+    )
+    assert module.suppressed("REPRO001", 1) and module.suppressed("REPRO002", 1)
+    assert not module.suppressed("REPRO004", 1)
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source)
+    return path
+
+
+# -- self-hosting ------------------------------------------------------------------
+
+
+def test_linter_is_clean_on_its_own_repository():
+    """The acceptance gate: ``python -m repro.analysis lint src/`` exits 0."""
+    findings = lint_paths([REPO_ROOT / "src"], DEFAULT_RULES, root=REPO_ROOT)
+    assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,129 @@
+"""The verifier accepts every artefact the planner emits — and proves its bound.
+
+Soundness is exercised by the mutation harness (``test_mutants.py``); these
+tests pin the complementary completeness property: for every effectively
+bounded query — the named workload sets and Hypothesis-generated random
+TFACC / MOT queries — the planner's plan and its lowered program pass all six
+rules, and the issued Σ Mᵢ certificate re-derives exactly the plan's stated
+bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import derive_certificate, verify_compiled, verify_plan, verify_prepared
+from repro.analysis.sweep import verify_workloads
+from repro.analysis.verify import COMPILED_RULES, PLAN_RULES, RULES
+from repro.core import ebcheck
+from repro.execution.compiled import compiled_for
+from repro.planning import qplan
+from repro.planning.qplan import prepare_plan
+from repro.spc import ParameterizedQuery
+from repro.workloads import generate_query, get_workload, workload_names
+from repro.workloads.mot import mot_access_schema, mot_querygen_spec
+from repro.workloads.tfacc import tfacc_access_schema, tfacc_querygen_spec
+
+
+@pytest.mark.parametrize("workload_name", sorted(workload_names()))
+def test_every_bounded_workload_query_verifies(workload_name):
+    workload = get_workload(workload_name)
+    verified = 0
+    for query in workload.queries(seed=0):
+        if not ebcheck(query, workload.access_schema).effectively_bounded:
+            continue
+        plan = qplan(query, workload.access_schema)
+        certificate = verify_plan(plan)
+        assert certificate.total_bound == plan.total_bound
+        assert certificate.num_steps == len(plan.steps)
+        assert set(certificate.rules) == set(PLAN_RULES)
+        assert verify_compiled(compiled_for(plan)) == COMPILED_RULES
+        verified += 1
+    assert verified > 0, f"{workload_name} generated no bounded queries?"
+
+
+def test_sweep_certifies_every_bounded_query_in_all_workloads():
+    """The acceptance gate: a finite certificate for every EBCheck-accepted query."""
+    report = verify_workloads()
+    assert report.ok
+    workloads_seen = {entry.workload for entry in report.entries}
+    assert workloads_seen == set(workload_names())
+    assert not any(entry.outcome == "failed" for entry in report.entries)
+    for entry in report.certified:
+        assert entry.total_bound is not None
+        assert 0 < entry.total_bound < 10**18
+    # The negative controls are rejected *before* planning, never "failed".
+    assert {e.outcome for e in report.entries} <= {"certified", "rejected"}
+    assert "sweep OK" in report.describe()
+
+
+_RANDOM_WORKLOADS = {
+    "tfacc": (tfacc_querygen_spec, tfacc_access_schema),
+    "mot": (mot_querygen_spec, mot_access_schema),
+}
+
+
+@pytest.mark.parametrize("workload", sorted(_RANDOM_WORKLOADS))
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_products=st.integers(min_value=0, max_value=3),
+    num_selections=st.integers(min_value=3, max_value=7),
+)
+@settings(max_examples=40, deadline=None)
+def test_verifier_accepts_every_plan_the_planner_emits(
+    workload, seed, num_products, num_selections
+):
+    spec_factory, access_factory = _RANDOM_WORKLOADS[workload]
+    generated = generate_query(
+        spec_factory(),
+        num_products=num_products,
+        num_selections=num_selections,
+        seed=seed,
+    )
+    access = access_factory()
+    if not ebcheck(generated.query, access).effectively_bounded:
+        return
+    plan = qplan(generated.query, access)
+    certificate = verify_plan(plan)
+    assert certificate.total_bound == plan.total_bound
+    verify_compiled(compiled_for(plan))
+
+
+def test_prepared_template_verifies_with_slots():
+    """Templates plan against ParamSource slots; the verifier must accept them."""
+    from repro.spc.builder import SPCQueryBuilder
+    from repro.workloads import tfacc_schema
+
+    query = (
+        SPCQueryBuilder(tfacc_schema(), name="verify_form")
+        .add_atom("accident", alias="a")
+        .add_atom("vehicle", alias="v")
+        .where_eq("a.accident_id", "v.accident_id")
+        .select("a.accident_id")
+        .select("v.vehicle_id")
+        .build()
+    )
+    template = ParameterizedQuery(
+        query,
+        {"date": query.ref("a", "date"), "force": query.ref("a", "police_force")},
+    )
+    prepared = prepare_plan(template, tfacc_access_schema())
+    certificate = verify_prepared(prepared)
+    assert certificate.total_bound == prepared.total_bound
+    assert set(certificate.rules) == set(RULES)
+
+
+def test_certificate_describe_names_every_step():
+    workload = get_workload("social")
+    query = next(
+        q
+        for q in workload.queries(seed=0)
+        if ebcheck(q, workload.access_schema).effectively_bounded
+    )
+    plan = qplan(query, workload.access_schema)
+    certificate = derive_certificate(plan)
+    text = certificate.describe()
+    assert f"proven bound {plan.total_bound}" in text
+    for step in plan.steps:
+        assert f"T{step.index}" in text

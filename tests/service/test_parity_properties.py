@@ -108,3 +108,11 @@ def test_concurrent_batches_match_serial(workload, data):
     assert all(
         r.stats.tuples_accessed <= prepared.total_bound for r in concurrent
     )
+    # The statically *proven* Σ Mᵢ certificate is just as binding as the
+    # plan's stated bound: no execution may touch more than what was proven.
+    certificate = prepared.certificate
+    assert certificate is not None
+    assert certificate.total_bound == prepared.total_bound
+    assert all(
+        r.stats.tuples_accessed <= certificate.total_bound for r in concurrent
+    )
