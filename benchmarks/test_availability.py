@@ -1,0 +1,169 @@
+"""Availability under faults: the resilient service vs a 5% transient-fault storm.
+
+The fault-tolerance headline: a fixed-seed :class:`FaultPlan` injects
+transient faults into 5% of storage accesses against the SQLite backend, and
+the service — armed with charge-safe retries — must keep serving:
+
+* **availability >= 99%** of requests still succeed, byte-identical to a
+  fault-free serial reference run;
+* **charging contract intact** — every successful request's measured
+  ``tuples_accessed`` stays within its plan certificate's bound (failed
+  attempts are rolled back, so retries never inflate the charge);
+* the **negative control** (same fault schedule, retries disabled) must
+  demonstrably fail requests — proving the schedule has teeth and the
+  resilience layer, not luck, is carrying the availability.
+
+Headline numbers (availability, p99 latency, negative-control failures) are
+merged into ``BENCH_serving.json`` as the ``availability_under_faults``
+section; the CI ``chaos-smoke`` job asserts this record's shape and floors.
+The seed is pinned, so any CI failure replays locally byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import TransientStorageError
+from repro.service import QueryService, ResiliencePolicy, RetryPolicy
+from repro.spc import ParameterizedQuery
+from repro.spc.builder import SPCQueryBuilder
+from repro.storage import FaultInjectingBackend, FaultPlan, SeededJitter
+from repro.workloads import tfacc_access_schema, tfacc_schema
+
+#: Requests served through the storm (env knob for quick local runs).
+NUM_REQUESTS = int(os.environ.get("AVAILABILITY_BENCH_REQUESTS", "200"))
+
+#: The storm: 5% of storage accesses fail transiently, half of them after
+#: the access was already charged (the hard case for the charging contract).
+FAULT_RATE = 0.05
+FAULT_SEED = 7
+
+#: Acceptance floor recorded in BENCH_serving.json and gated in CI.
+MIN_AVAILABILITY = 0.99
+
+
+def _accident_template() -> ParameterizedQuery:
+    """Key-constraint form query: one accident row plus its vehicles."""
+    schema = tfacc_schema()
+    query = (
+        SPCQueryBuilder(schema, name="availability_accident_vehicles")
+        .add_atom("accident", alias="a")
+        .add_atom("vehicle", alias="v")
+        .where_eq("a.accident_id", "v.accident_id")
+        .select("a.severity")
+        .select("v.vehicle_id")
+        .select("v.vehicle_type")
+        .build()
+    )
+    return ParameterizedQuery(query, {"acc": query.ref("a", "accident_id")})
+
+
+def _fault_plan() -> FaultPlan:
+    return FaultPlan(
+        seed=FAULT_SEED,
+        transient_fault_rate=FAULT_RATE,
+        post_charge_fraction=0.5,
+    )
+
+
+def _resilience() -> ResiliencePolicy:
+    return ResiliencePolicy(
+        retry=RetryPolicy(
+            max_attempts=6,
+            base_delay=0.0005,
+            max_delay=0.005,
+            rng=SeededJitter(FAULT_SEED).uniform,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def availability_setup(workload_cache):
+    workload, database = workload_cache("tfacc")
+    sqlite = workload.to_backend("sqlite", database=database)
+    template = _accident_template()
+    bindings = [{"acc": f"acc{i:07d}"} for i in range(NUM_REQUESTS)]
+    # Fault-free serial reference: the byte-identity baseline.
+    reference_service = QueryService(sqlite, tfacc_access_schema(), workers=1)
+    try:
+        futures = [reference_service.submit(template, **b) for b in bindings]
+        references = [future.result(timeout=60.0) for future in futures]
+    finally:
+        reference_service.close()
+    return sqlite, template, bindings, references
+
+
+def test_availability_under_transient_faults(availability_setup, record_json):
+    sqlite, template, bindings, references = availability_setup
+    chaotic = FaultInjectingBackend(sqlite, _fault_plan())
+    service = QueryService(
+        chaotic, tfacc_access_schema(), workers=2, resilience=_resilience()
+    )
+    latencies: list[float] = []
+    successes = 0
+    try:
+        # Closed loop: one request in flight at a time, so each latency
+        # sample isolates serve time (plus retries) from queueing.
+        for binding, reference in zip(bindings, references):
+            started = time.perf_counter()
+            future = service.submit(template, **binding)
+            error = future.exception(timeout=60.0)
+            latencies.append(time.perf_counter() - started)
+            if error is not None:
+                assert isinstance(error, TransientStorageError)
+                continue
+            successes += 1
+            result = future.result()
+            # Byte-identical to the fault-free run, and charged within the
+            # certificate bound despite any rolled-back failed attempts.
+            assert result.rows.rows == reference.rows.rows
+            assert result.stats.tuples_accessed == reference.stats.tuples_accessed
+            assert result.stats.plan_bound is not None
+            assert result.stats.tuples_accessed <= result.stats.plan_bound
+        retries = service.stats()["execution"]["retries"]
+    finally:
+        service.close()
+
+    availability = successes / len(bindings)
+    assert availability >= MIN_AVAILABILITY, (
+        f"availability {availability:.4f} under {FAULT_RATE:.0%} transient faults "
+        f"(floor {MIN_AVAILABILITY:.0%}; {retries} retries spent)"
+    )
+    assert retries > 0, "a 5% fault storm over 200 requests must trigger retries"
+
+    # Negative control: the identical storm with retries disabled must fail
+    # requests — the availability above is the resilience layer's work.
+    bare = QueryService(
+        FaultInjectingBackend(sqlite, _fault_plan()),
+        tfacc_access_schema(),
+        workers=2,
+        resilience=None,
+    )
+    try:
+        futures = [bare.submit(template, **binding) for binding in bindings]
+        disabled_failures = sum(
+            1 for future in futures if future.exception(timeout=60.0) is not None
+        )
+    finally:
+        bare.close()
+    assert disabled_failures > 0, (
+        "the fault schedule injected nothing: the availability number is vacuous"
+    )
+
+    ordered = sorted(latencies)
+    p99 = ordered[min(len(ordered) - 1, int(0.99 * (len(ordered) - 1)))]
+    record_json(
+        "availability_under_faults",
+        {
+            "availability": round(availability, 4),
+            "p99_latency_seconds": round(p99, 6),
+            "requests": len(bindings),
+            "fault_rate": FAULT_RATE,
+            "seed": FAULT_SEED,
+            "retries": retries,
+            "retries_disabled_failures": disabled_failures,
+        },
+    )

@@ -26,6 +26,13 @@ the linter proves the *lexical* half statically, on every file, every CI run:
     :mod:`repro.errors` (or a module-private ``_``-prefixed control-flow
     exception, ``NotImplementedError`` for abstract methods, or
     ``AssertionError`` for invariant checks).
+``REPRO005``
+    Fault visibility (the resilience contract of PR 7): in the serving and
+    storage layers (``service/``, ``storage/``) a *broad* exception handler
+    (bare ``except``, ``except Exception``, ``except BaseException``) must
+    either re-raise or bind the error and pass it on — a handler that
+    silently swallows a storage fault hides exactly the failures the retry /
+    breaker / degradation machinery exists to account for.
 """
 
 from __future__ import annotations
@@ -268,10 +275,81 @@ class TypedErrorRule(Rule):
             )
 
 
+class SwallowedExceptionRule(Rule):
+    """REPRO005: service/storage code never silently swallows broad excepts."""
+
+    id = "REPRO005"
+    description = (
+        "broad exception handlers in the service and storage layers must "
+        "re-raise or use the bound error; silent swallowing hides faults"
+    )
+
+    #: Exception names considered "broad" — catching these can absorb any
+    #: storage fault, so the handler must demonstrably pass the error on.
+    BROAD_CATCHES = frozenset({"Exception", "BaseException"})
+
+    #: Packages where fault visibility is contractual.
+    FAULT_LAYERS = frozenset({"service", "storage"})
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not any(part in self.FAULT_LAYERS for part in module.parts):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if self._reraises(node) or self._uses_binding(node):
+                continue
+            caught = "bare `except`" if node.type is None else "broad `except`"
+            yield self.finding(
+                module,
+                node,
+                f"{caught} swallows the error silently; re-raise it, pass the "
+                f"bound exception on, or narrow the catch to a typed error",
+            )
+
+    def _is_broad(self, annotation: ast.expr | None) -> bool:
+        if annotation is None:
+            return True  # bare ``except:``
+        caught = (
+            list(annotation.elts)
+            if isinstance(annotation, ast.Tuple)
+            else [annotation]
+        )
+        for item in caught:
+            if isinstance(item, ast.Name):
+                name = item.id
+            elif isinstance(item, ast.Attribute):
+                name = item.attr
+            else:
+                continue
+            if name in self.BROAD_CATCHES:
+                return True
+        return False
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+    @staticmethod
+    def _uses_binding(handler: ast.ExceptHandler) -> bool:
+        if handler.name is None:
+            return False
+        return any(
+            isinstance(node, ast.Name)
+            and node.id == handler.name
+            and isinstance(node.ctx, ast.Load)
+            for statement in handler.body
+            for node in ast.walk(statement)
+        )
+
+
 #: The default rule set, in identifier order.
 DEFAULT_RULES: tuple[Rule, ...] = (
     LockDisciplineRule(),
     ChargingContractRule(),
     DeterminismSeamRule(),
     TypedErrorRule(),
+    SwallowedExceptionRule(),
 )

@@ -116,6 +116,55 @@ class ExecutionError(ReproError):
     """A query plan could not be executed against the given database."""
 
 
+class StorageError(ReproError):
+    """A storage backend failed to complete an access operation.
+
+    The base of the serving fault taxonomy: carries which ``relation`` and
+    ``operation`` (``"fetch"``, ``"scan"``, ``"contains"``) failed, whether
+    the failed attempt had already ``charged`` the access counter before
+    failing (the case charge-safe retries must roll back), and — stamped by
+    the compiled runtime when the failure happened inside plan execution —
+    the fetch ``step`` index it interrupted.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        relation: str | None = None,
+        operation: str | None = None,
+        charged: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.relation = relation
+        self.operation = operation
+        self.charged = charged
+        #: Fetch step index the failure interrupted; stamped between the
+        #: storage layer (which does not know the plan) and the caller by the
+        #: compiled runtime, so retry/degradation decisions and diagnostics
+        #: can name the exact step.
+        self.step: int | None = None
+
+
+class TransientStorageError(StorageError):
+    """A storage access failed in a way that a retry may well fix.
+
+    The model is a dropped connection, a busy replica, a timed-out round
+    trip: the data is intact and an identical re-issued access is expected to
+    succeed.  The serving layer's :class:`~repro.service.RetryPolicy` treats
+    exactly this type as retryable; everything else fails fast.
+    """
+
+
+class StorageUnavailableError(StorageError):
+    """A relation's storage is down and retrying now will not help.
+
+    Raised by fault injection for persistent relation outages, and by the
+    serving layer when a relation's circuit breaker is open (``relation`` and
+    ``operation`` name the refusal point).  Not retried — the breaker's reset
+    timeout, not a backoff loop, decides when to probe again.
+    """
+
+
 class BudgetExceededError(ExecutionError):
     """An executor exceeded its configured tuple-access budget.
 
@@ -124,22 +173,30 @@ class BudgetExceededError(ExecutionError):
     violated access schema or an incorrect plan.
     """
 
-    def __init__(self, accessed: int, budget: int, projected: bool = False) -> None:
+    def __init__(
+        self,
+        accessed: int,
+        budget: int,
+        projected: bool = False,
+        step: int | None = None,
+    ) -> None:
+        at_step = f" at fetch step T{step}" if step is not None else ""
         if projected:
             message = (
-                f"tuple-access budget exceeded: the next fetch step's bound "
-                f"could push accesses to {accessed} tuples, budget was {budget}; "
-                f"aborted before fetching"
+                f"tuple-access budget exceeded{at_step}: the next fetch step's "
+                f"bound could push accesses to {accessed} tuples, budget was "
+                f"{budget}; aborted before fetching"
             )
         else:
             message = (
-                f"tuple-access budget exceeded: accessed {accessed} tuples, "
-                f"budget was {budget}"
+                f"tuple-access budget exceeded{at_step}: accessed {accessed} "
+                f"tuples, budget was {budget}"
             )
         super().__init__(message)
         self.accessed = accessed
         self.budget = budget
         self.projected = projected
+        self.step = step
 
 
 class DeadlineExceededError(ExecutionError):
@@ -147,10 +204,22 @@ class DeadlineExceededError(ExecutionError):
 
     Raised by the compiled runtime *between* fetch steps when an
     :class:`~repro.execution.metrics.ExecutionLimits` deadline has passed, so
-    an aborted execution never returns a half-built answer.  The serving layer
-    (:mod:`repro.service`) converts this into
+    an aborted execution never returns a half-built answer.  Carries the
+    tuples ``accessed`` so far and the fetch ``step`` index at abort (``None``
+    when the deadline expired after the last step, during answer assembly).
+    The serving layer (:mod:`repro.service`) converts this into
     :class:`ServiceTimeout` with request context.
     """
+
+    def __init__(
+        self,
+        message: str,
+        accessed: int | None = None,
+        step: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.accessed = accessed
+        self.step = step
 
 
 class WorkloadError(ReproError):
@@ -167,12 +236,42 @@ class ServiceTimeout(ServiceError):
     Carried as the typed outcome of a :class:`~repro.service.ServiceFuture`
     whose request either expired while queued (admission control) or was
     aborted mid-execution by the executor's deadline check — the caller never
-    receives a half-built row set.
+    receives a half-built row set.  For log-actionability the message (and the
+    structured attributes) name the request's ``plan_key``, the ``elapsed``
+    seconds against the configured ``limit``, and — for mid-execution aborts —
+    the fetch ``step`` index at abort.
     """
 
-    def __init__(self, message: str, deadline: float | None = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        deadline: float | None = None,
+        plan_key: "object | None" = None,
+        elapsed: float | None = None,
+        limit: float | None = None,
+        step: int | None = None,
+    ) -> None:
+        context = []
+        if elapsed is not None and limit is not None:
+            context.append(f"elapsed {elapsed:.3f}s vs limit {limit:.3f}s")
+        if step is not None:
+            context.append(f"aborted at fetch step T{step}")
+        if plan_key is not None:
+            context.append(f"plan key {_shorten(plan_key)}")
+        if context:
+            message = f"{message} [{'; '.join(context)}]"
         super().__init__(message)
         self.deadline = deadline
+        self.plan_key = plan_key
+        self.elapsed = elapsed
+        self.limit = limit
+        self.step = step
+
+
+def _shorten(value: object, limit: int = 120) -> str:
+    """A log-friendly repr, truncated so structured keys stay one-line."""
+    text = repr(value)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
 
 
 class ServiceOverloadedError(ServiceError):

@@ -37,7 +37,13 @@ from typing import Any, Callable, Mapping, Sequence
 
 from ..access.constraint import AccessConstraint
 from ..access.indexes import AccessIndexes, ConstraintView
-from ..errors import BudgetExceededError, DeadlineExceededError, ExecutionError, SchemaError
+from ..errors import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    ExecutionError,
+    SchemaError,
+    StorageError,
+)
 from ..relational.algebra import Row, RowSet, row_extractor
 from ..spc.atoms import AttrEq, AttrRef, ConstEq
 from ..storage.base import as_backend
@@ -252,16 +258,19 @@ class CompiledPlan:
         limits: ExecutionLimits,
         accessed_so_far: int,
         next_bound: int,
+        step: int,
     ) -> None:
         """Abort before a fetch step that could run past the deadline or budget."""
         if limits.deadline is not None and time.monotonic() > limits.deadline:
             raise DeadlineExceededError(
                 f"request deadline passed after accessing {accessed_so_far} tuples; "
-                f"execution aborted between fetch steps"
+                f"execution aborted before fetch step T{step}",
+                accessed=accessed_so_far,
+                step=step,
             )
         if limits.budget is not None and accessed_so_far + next_bound > limits.budget:
             raise BudgetExceededError(
-                accessed_so_far + next_bound, limits.budget, projected=True
+                accessed_so_far + next_bound, limits.budget, projected=True, step=step
             )
 
     def execute(
@@ -292,18 +301,34 @@ class CompiledPlan:
 
         fetched: list[list[Row]] = []
         step_sizes: list[int] = []
-        for program, plan_step, index in zip(self.steps, self.plan.steps, bound):
+        for position, (program, plan_step, index) in enumerate(
+            zip(self.steps, self.plan.steps, bound)
+        ):
             if limits is not None:
-                self._check_limits(limits, counter.since(before).total, plan_step.bound)
-            rows = index.fetch_many(program.candidate_keys(fetched, params))
+                self._check_limits(
+                    limits, counter.since(before).total, plan_step.bound, position
+                )
+            try:
+                rows = index.fetch_many(program.candidate_keys(fetched, params))
+            except StorageError as error:
+                # Stamp the plan position so retry/degradation layers (and
+                # operators reading logs) know exactly which fetch step — not
+                # just which relation — the storage fault interrupted.
+                if error.step is None:
+                    error.step = position
+                if error.relation is None:
+                    error.relation = program.constraint.relation
+                raise
             fetched.append(rows)
             step_sizes.append(len(rows))
         if limits is not None and limits.deadline is not None:
             if time.monotonic() > limits.deadline:
+                accessed = counter.since(before).total
                 raise DeadlineExceededError(
                     f"request deadline passed after accessing "
-                    f"{counter.since(before).total} tuples; execution aborted "
-                    f"before assembling the answer"
+                    f"{accessed} tuples; execution aborted "
+                    f"before assembling the answer",
+                    accessed=accessed,
                 )
 
         answer = self._assemble(fetched, params)

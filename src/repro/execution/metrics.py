@@ -148,6 +148,9 @@ class StatsAccumulator:
         self._elapsed_seconds = 0.0
         self._lookups = 0
         self._scans = 0
+        self._retries = 0
+        self._breaker_trips = 0
+        self._degraded = 0
 
     def merge(self, stats: "ExecutionStats") -> None:
         """Fold one execution's stats into the running totals (atomic)."""
@@ -159,6 +162,23 @@ class StatsAccumulator:
             self._lookups += stats.lookups
             self._scans += stats.scans
 
+    # -- resilience events (the serving layer's fault-tolerance accounting) --------
+
+    def record_retry(self) -> None:
+        """One execution attempt died on a transient fault and was retried."""
+        with self._lock:
+            self._retries += 1
+
+    def record_breaker_trip(self) -> None:
+        """One relation's circuit breaker tripped open."""
+        with self._lock:
+            self._breaker_trips += 1
+
+    def record_degraded(self) -> None:
+        """One request resolved with a degraded (stale or partial) answer."""
+        with self._lock:
+            self._degraded += 1
+
     def summary(self) -> dict[str, Any]:
         """A consistent snapshot of the aggregate counters."""
         with self._lock:
@@ -169,6 +189,9 @@ class StatsAccumulator:
                 "elapsed_seconds": self._elapsed_seconds,
                 "lookups": self._lookups,
                 "scans": self._scans,
+                "retries": self._retries,
+                "breaker_trips": self._breaker_trips,
+                "degraded": self._degraded,
             }
 
     def __repr__(self) -> str:
@@ -187,6 +210,13 @@ class ExecutionResult:
     stats: ExecutionStats
     #: Extra executor-specific details (e.g. per-step fetch sizes).
     details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether this is a degraded substitute answer — always ``False``
+        here; the serving layer's ``DegradedResult`` mirrors this surface
+        and answers ``True``."""
+        return False
 
     @property
     def tuples(self) -> list[tuple]:

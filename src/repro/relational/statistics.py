@@ -190,6 +190,34 @@ class AccessCounter:
             scans=slot.scans - snapshot.scans,
         )
 
+    def restore(self, snapshot: "AccessSnapshot") -> None:
+        """Roll the *calling thread's* slot back to ``snapshot``.
+
+        The charge-safe retry seam: a retried execution attempt must not
+        double-charge ``tuples_accessed``, so the serving layer brackets each
+        attempt with :meth:`snapshot` and, when the attempt dies on a
+        transient storage fault, restores the thread's slot before re-running
+        — the counter then reflects exactly one clean execution, keeping the
+        measured accesses within the plan certificate's Σ Mᵢ even under
+        faults.  Only the calling thread's own accumulation is touched, so
+        concurrent workers' accounting is unaffected.
+
+        Example
+        -------
+        >>> counter = AccessCounter()
+        >>> counter.record_probe(5)
+        >>> mark = counter.snapshot()
+        >>> counter.record_probe(7)   # a doomed attempt's charges...
+        >>> counter.restore(mark)     # ...rolled back before the retry
+        >>> counter.index_probed
+        5
+        """
+        slot = self._slot()
+        slot.scanned = snapshot.scanned
+        slot.index_probed = snapshot.index_probed
+        slot.lookups = snapshot.lookups
+        slot.scans = snapshot.scans
+
     def merge(self, other: "AccessCounter | AccessSnapshot") -> None:
         """Add another counter's aggregate totals into this thread's slot."""
         slot = self._slot()

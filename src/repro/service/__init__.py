@@ -15,24 +15,59 @@ Typical use::
         future = service.submit(template, album="a0", user="u0")
         result = future.result()          # or ServiceTimeout, typed
 
+Fault tolerance is configured per service through
+:class:`~repro.service.resilience.ResiliencePolicy` — charge-safe retries
+with decorrelated-jitter backoff (:class:`RetryPolicy`), per-relation circuit
+breakers (:class:`BreakerConfig` / :class:`CircuitBreaker`), and opt-in
+graceful degradation (:class:`DegradationPolicy`, resolving futures with a
+typed :class:`DegradedResult`)::
+
+    service = QueryService(
+        backend, schema, resilience=ResiliencePolicy.default())
+
 The typed service errors (:class:`~repro.errors.ServiceTimeout`,
 :class:`~repro.errors.ServiceOverloadedError`,
 :class:`~repro.errors.ServiceClosedError`) are re-exported here for
-convenience.
+convenience, as are the storage fault types the resilience layer reacts to.
 """
 
-from ..errors import ServiceClosedError, ServiceError, ServiceOverloadedError, ServiceTimeout
+from ..errors import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeout,
+    StorageUnavailableError,
+    TransientStorageError,
+)
 from .queue import AdmissionQueue
 from .requests import ServiceFuture, ServiceRequest
+from .resilience import (
+    BreakerBoard,
+    BreakerConfig,
+    CircuitBreaker,
+    DegradationPolicy,
+    DegradedResult,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 from .service import QueryService
 
 __all__ = [
     "AdmissionQueue",
+    "BreakerBoard",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "DegradationPolicy",
+    "DegradedResult",
     "QueryService",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "ServiceClosedError",
     "ServiceError",
     "ServiceFuture",
     "ServiceOverloadedError",
     "ServiceRequest",
     "ServiceTimeout",
+    "StorageUnavailableError",
+    "TransientStorageError",
 ]

@@ -1,0 +1,513 @@
+"""Resilience policies for the serving layer: retries, breakers, degradation.
+
+The paper's contract gives this layer an unusual advantage: every prepared
+template carries an *a-priori* access bound Σ Mᵢ (the
+:class:`~repro.analysis.bound.PlanCertificate`), so the cost of retrying a
+request is known **before** the retry is attempted.  Resilience decisions can
+therefore be cost-aware rather than blind:
+
+* :class:`RetryPolicy` — capped decorrelated-jitter backoff for
+  :class:`~repro.errors.TransientStorageError`; ``access_budget`` turns the
+  plan bound into a retry budget (``attempts ≤ budget / Σ Mᵢ``).
+* :class:`CircuitBreaker` / :class:`BreakerBoard` — a per-relation
+  closed/open/half-open breaker; a relation whose storage keeps failing stops
+  being probed at all until a reset-timeout probe succeeds.
+* :class:`DegradationPolicy` / :class:`DegradedResult` — the opt-in "serve
+  something rather than nothing" path: a cached prior answer stamped with its
+  staleness, or a typed partial answer naming exactly which fetch step and
+  relation failed.
+
+Everything here is deterministic by construction: the backoff RNG is an
+injected :class:`~repro.storage.wrapper.SeededJitter` stream and the breaker
+clock is an injected monotonic callable, so the REPRO003 contract (no ambient
+randomness or wall clock in hot-path packages) holds and every backoff trace
+in a test replays from its seed.
+
+The **charge-safe retry** invariant lives in the service integration
+(:meth:`QueryService._serve_request <repro.service.QueryService>`): each
+attempt is bracketed by :meth:`AccessCounter.snapshot()
+<repro.relational.statistics.AccessCounter.snapshot>` and a failed attempt's
+charges are rolled back with :meth:`AccessCounter.restore()
+<repro.relational.statistics.AccessCounter.restore>` before the re-run, so
+the measured ``tuples_accessed`` of a request that needed three attempts is
+exactly that of one clean execution — within the certificate's Σ Mᵢ.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from ..errors import ApiMisuseError
+from ..storage.wrapper import SeededJitter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..execution.metrics import ExecutionResult, ExecutionStats
+
+#: Breaker states (strings, so monitoring snapshots serialize as-is).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how to retry a transient storage failure.
+
+    Backoff is *decorrelated jitter* (capped): each delay is a seeded-uniform
+    draw from ``[base_delay, min(max_delay, previous · multiplier)]``, which
+    spreads concurrent retriers apart instead of synchronizing them into
+    retry storms.  The draw stream is the injected ``rng`` callable —
+    deterministic, replayable, REPRO003-clean.
+
+    ``access_budget`` makes the policy *cost-aware*: with a plan whose
+    certificate proves a per-execution bound of ``B`` tuples, at most
+    ``access_budget // B`` attempts are made, so even the retry loop's
+    worst-case touched-tuple count is bounded a priori.  (Charge-safe
+    rollback means the *measured* count stays ≤ ``B`` regardless; the budget
+    caps work performed, not work recorded.)
+
+    Example
+    -------
+    >>> policy = RetryPolicy(max_attempts=5, base_delay=0.1, max_delay=1.0,
+    ...                      rng=SeededJitter(7).uniform)
+    >>> first = policy.next_delay()
+    >>> 0.1 <= first < 0.3                      # in [base, base·multiplier)
+    True
+    >>> policy.attempts_for(plan_bound=100)     # no access budget: full count
+    5
+    >>> RetryPolicy(max_attempts=5, access_budget=250).attempts_for(plan_bound=100)
+    2
+    """
+
+    #: Total attempts per request, the first execution included.
+    max_attempts: int = 4
+    #: Floor (and first-attempt scale) of the backoff window, in seconds.
+    base_delay: float = 0.05
+    #: Hard cap on any single backoff delay, in seconds.
+    max_delay: float = 2.0
+    #: Window growth per attempt (the "3" of classic decorrelated jitter).
+    multiplier: float = 3.0
+    #: Optional total touched-tuple budget across all attempts of one
+    #: request; caps attempts at ``access_budget // plan_bound``.
+    access_budget: int | None = None
+    #: Injected uniform-[0, 1) stream for the jitter draws.
+    rng: Callable[[], float] = field(
+        default_factory=lambda: SeededJitter(0).uniform, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ApiMisuseError(
+                f"max_attempts must be at least 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0.0 or self.max_delay < self.base_delay:
+            raise ApiMisuseError(
+                f"need 0 <= base_delay <= max_delay, got "
+                f"base_delay={self.base_delay}, max_delay={self.max_delay}"
+            )
+        if self.multiplier < 1.0:
+            raise ApiMisuseError(
+                f"multiplier must be at least 1, got {self.multiplier}"
+            )
+
+    def attempts_for(self, plan_bound: int | None) -> int:
+        """Attempts allowed for a plan with per-execution bound ``plan_bound``."""
+        if self.access_budget is None or not plan_bound:
+            return self.max_attempts
+        affordable = self.access_budget // plan_bound
+        return max(1, min(self.max_attempts, affordable))
+
+    def next_delay(self, previous: float | None = None) -> float:
+        """The next backoff delay after a delay of ``previous`` seconds.
+
+        Pass ``None`` (or nothing) before the first retry.
+        """
+        if previous is None:
+            previous = self.base_delay
+        high = min(self.max_delay, previous * self.multiplier)
+        low = min(self.base_delay, high)
+        return low + (high - low) * self.rng()
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Shared tuning of every per-relation :class:`CircuitBreaker`.
+
+    Example
+    -------
+    >>> BreakerConfig(failure_threshold=3).failure_threshold
+    3
+    """
+
+    #: Consecutive failures that trip a closed breaker open.
+    failure_threshold: int = 5
+    #: Seconds an open breaker waits before admitting a half-open probe.
+    reset_timeout: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ApiMisuseError(
+                f"failure_threshold must be at least 1, got {self.failure_threshold}"
+            )
+        if self.reset_timeout < 0.0:
+            raise ApiMisuseError(
+                f"reset_timeout must be non-negative, got {self.reset_timeout}"
+            )
+
+
+class CircuitBreaker:
+    """One relation's closed / open / half-open circuit breaker.
+
+    *Closed* admits everything and counts consecutive failures; at
+    ``failure_threshold`` it trips *open*, refusing requests without touching
+    storage.  After ``reset_timeout`` the next request is admitted as a
+    *half-open* probe: its success closes the breaker, its failure re-opens
+    it.  A probe whose outcome is never reported (the request died on another
+    relation) is presumed lost after another ``reset_timeout``, so the
+    breaker cannot wedge half-open forever.
+
+    The clock is injected (monotonic seconds), keeping state transitions
+    deterministic in tests.  Thread-safe: every transition runs under one
+    lock (the REPRO001 lock discipline).
+
+    Example
+    -------
+    >>> ticks = iter([0.0, 0.5, 2.0])
+    >>> breaker = CircuitBreaker(
+    ...     "friends", BreakerConfig(failure_threshold=2, reset_timeout=1.0),
+    ...     clock=lambda: next(ticks))
+    >>> breaker.record_failure(), breaker.record_failure()  # second one trips
+    (False, True)
+    >>> breaker.state
+    'open'
+    >>> breaker.allow()           # 1.5s after the trip: half-open probe
+    True
+    >>> breaker.state
+    'half_open'
+    >>> breaker.record_success()  # probe succeeded: closed again
+    >>> breaker.state
+    'closed'
+    """
+
+    def __init__(
+        self,
+        relation: str,
+        config: BreakerConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.relation = relation
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_at = 0.0
+        self._trips = 0
+
+    @property
+    def state(self) -> str:
+        """Current state: ``'closed'``, ``'open'`` or ``'half_open'``."""
+        with self._lock:
+            return self._state
+
+    @property
+    def trips(self) -> int:
+        """How many times this breaker has tripped open."""
+        with self._lock:
+            return self._trips
+
+    def allow(self) -> bool:
+        """Whether a request against this relation may proceed right now.
+
+        May transition open → half-open (and reserves the probe slot when it
+        does), so call it exactly once per admission decision.
+        """
+        with self._lock:
+            now = self._clock()
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if now - self._opened_at >= self.config.reset_timeout:
+                    self._state = HALF_OPEN
+                    self._probe_at = now
+                    return True
+                return False
+            # Half-open: one probe outstanding.  Admit a replacement if the
+            # outstanding probe looks lost (no outcome for a full timeout).
+            if now - self._probe_at >= self.config.reset_timeout:
+                self._probe_at = now
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A request against this relation succeeded: close and reset."""
+        with self._lock:
+            self._failures = 0
+            self._state = CLOSED
+
+    def record_failure(self) -> bool:
+        """A request failed on this relation; returns ``True`` if this trips."""
+        with self._lock:
+            now = self._clock()
+            if self._state == HALF_OPEN:
+                # The probe failed: straight back to open, timeout restarted.
+                self._state = OPEN
+                self._opened_at = now
+                self._trips += 1
+                return True
+            self._failures += 1
+            if self._state == CLOSED and self._failures >= self.config.failure_threshold:
+                self._state = OPEN
+                self._opened_at = now
+                self._trips += 1
+                return True
+            return False
+
+    def describe(self) -> str:
+        with self._lock:
+            return (
+                f"breaker[{self.relation}]: {self._state}, "
+                f"{self._failures} consecutive failures, {self._trips} trips"
+            )
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker({self.relation!r}, {self.state})"
+
+
+class BreakerBoard:
+    """The service's per-relation breakers, created lazily per relation.
+
+    Thread-safe; breakers themselves serialize their transitions, the board's
+    lock only guards the relation → breaker map.
+
+    Example
+    -------
+    >>> board = BreakerBoard(BreakerConfig(failure_threshold=1))
+    >>> board.record_failure("friends")      # first failure trips (threshold 1)
+    True
+    >>> board.first_open(["tagging", "friends"])
+    'friends'
+    >>> board.states() == {'friends': 'open', 'tagging': 'closed'}
+    True
+    """
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, relation: str) -> CircuitBreaker:
+        """The breaker guarding ``relation`` (created closed on first use)."""
+        with self._lock:
+            guard = self._breakers.get(relation)
+            if guard is None:
+                guard = CircuitBreaker(relation, self.config, self._clock)
+                self._breakers[relation] = guard
+            return guard
+
+    def first_open(self, relations: Iterable[str]) -> str | None:
+        """The first relation whose breaker refuses admission, or ``None``.
+
+        A half-open breaker admits (and thereby spends) its probe slot here;
+        if a *later* relation in the same plan then refuses, that probe is
+        presumed lost and re-admitted after the breaker's reset timeout.
+        """
+        for relation in relations:
+            if not self.breaker(relation).allow():
+                return relation
+        return None
+
+    def record_success(self, relations: Iterable[str]) -> None:
+        """All of ``relations`` served a request successfully."""
+        for relation in relations:
+            self.breaker(relation).record_success()
+
+    def record_failure(self, relation: str) -> bool:
+        """One relation failed a request; returns ``True`` on a fresh trip."""
+        return self.breaker(relation).record_failure()
+
+    def states(self) -> dict[str, str]:
+        """Relation → breaker state, for monitoring snapshots."""
+        with self._lock:
+            guards = list(self._breakers.values())
+        return {guard.relation: guard.state for guard in guards}
+
+    def trips(self) -> int:
+        """Total trips across every relation's breaker."""
+        with self._lock:
+            guards = list(self._breakers.values())
+        return sum(guard.trips for guard in guards)
+
+    def __repr__(self) -> str:
+        return f"BreakerBoard({self.states()!r})"
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """What the service may answer when retries and breakers have given up.
+
+    Degradation is strictly opt-in: without a policy the caller gets the
+    typed error.  With one, the service tries — in order —
+
+    1. a **stale** answer: the last successful result of the *same* template
+       binding, if one is cached and not older than ``stale_ttl``;
+    2. a **partial** answer: an empty :class:`DegradedResult` naming the
+       fetch step and relation that failed (``partial=True`` only).
+
+    Example
+    -------
+    >>> DegradationPolicy(stale_ttl=30.0).serve_stale
+    True
+    """
+
+    #: Serve a cached prior answer for the same binding, stamped with age.
+    serve_stale: bool = True
+    #: Maximum acceptable staleness in seconds (``None``: any age).
+    stale_ttl: float | None = None
+    #: When no stale answer exists, resolve with an empty partial answer
+    #: naming the failed fetch step/relation instead of raising.
+    partial: bool = True
+    #: Capacity of the per-service stale-answer LRU cache.
+    cache_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.cache_size < 1:
+            raise ApiMisuseError(
+                f"cache_size must be positive, got {self.cache_size}"
+            )
+        if self.stale_ttl is not None and self.stale_ttl < 0.0:
+            raise ApiMisuseError(
+                f"stale_ttl must be non-negative, got {self.stale_ttl}"
+            )
+
+
+@dataclass
+class DegradedResult:
+    """A degraded answer: stale or partial, never silently wrong.
+
+    Mirrors the read surface of
+    :class:`~repro.execution.metrics.ExecutionResult` (``tuples`` /
+    ``as_set`` / ``is_empty`` / ``stats``), so monitoring code can treat both
+    uniformly — but ``degraded`` is ``True`` and :meth:`describe` states
+    exactly what the caller is holding: a prior answer ``staleness`` seconds
+    old, or no answer plus the fetch step and relation that failed
+    (the "why no?" explanation, per Meliou et al.).
+
+    Example
+    -------
+    >>> partial = DegradedResult(kind="partial", failed_relation="friends",
+    ...                          failed_step=1)
+    >>> partial.degraded, partial.tuples, partial.is_empty
+    (True, [], True)
+    >>> partial.describe()
+    "degraded(partial): no answer; fetch step T1 on relation 'friends' failed"
+    """
+
+    #: ``"stale"`` (cached prior answer) or ``"partial"`` (no answer).
+    kind: str
+    #: The cached prior answer (``stale`` only).
+    result: "ExecutionResult | None" = None
+    #: Age of the cached answer in seconds at resolution time (``stale`` only).
+    staleness: float | None = None
+    #: Relation whose storage failure triggered degradation, when known.
+    failed_relation: str | None = None
+    #: Fetch step index the failure interrupted, when known.
+    failed_step: int | None = None
+    #: The storage error that triggered degradation.
+    cause: BaseException | None = field(default=None, repr=False)
+
+    #: Degraded answers always say so; real results answer ``False``.
+    degraded: bool = field(default=True, init=False)
+
+    @property
+    def tuples(self) -> list[tuple]:
+        """The (stale) answer tuples; empty for a partial answer."""
+        return self.result.tuples if self.result is not None else []
+
+    @property
+    def as_set(self) -> frozenset[tuple]:
+        return frozenset(self.tuples)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.tuples
+
+    @property
+    def boolean_value(self) -> bool:
+        return bool(self.tuples)
+
+    @property
+    def stats(self) -> "ExecutionStats":
+        """The cached answer's stats, or empty degraded-strategy stats."""
+        if self.result is not None:
+            return self.result.stats
+        from ..execution.metrics import ExecutionStats
+
+        return ExecutionStats(strategy="degraded")
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def describe(self) -> str:
+        if self.kind == "stale":
+            age = f"{self.staleness:.3f}s" if self.staleness is not None else "?"
+            return (
+                f"degraded(stale): cached answer aged {age} "
+                f"({len(self.tuples)} rows)"
+            )
+        step = f"T{self.failed_step}" if self.failed_step is not None else "?"
+        return (
+            f"degraded(partial): no answer; fetch step {step} on relation "
+            f"{self.failed_relation!r} failed"
+        )
+
+    def __repr__(self) -> str:
+        return f"DegradedResult({self.describe()})"
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """The service's complete fault-tolerance configuration.
+
+    Every part is independently optional: ``retry=None`` disables retries,
+    ``breaker=None`` disables circuit breaking, ``degradation=None`` (the
+    default everywhere) means failures surface as typed errors.
+
+    Example
+    -------
+    >>> policy = ResiliencePolicy.default()
+    >>> policy.retry.max_attempts >= 1 and policy.degradation is None
+    True
+    """
+
+    retry: RetryPolicy | None = None
+    breaker: BreakerConfig | None = None
+    degradation: DegradationPolicy | None = None
+
+    @classmethod
+    def default(cls) -> "ResiliencePolicy":
+        """Retries plus breakers; degradation stays opt-in."""
+        return cls(retry=RetryPolicy(), breaker=BreakerConfig())
+
+
+#: Re-exported here so service callers can seed backoff without importing
+#: from the storage package directly.
+__all__ = [
+    "BreakerBoard",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "DegradationPolicy",
+    "DegradedResult",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "SeededJitter",
+]

@@ -40,13 +40,18 @@ from ..errors import (
     ServiceError,
     ServiceOverloadedError,
     ServiceTimeout,
+    StorageUnavailableError,
+    TransientStorageError,
 )
+from ..execution.cache import LRUCache
 from ..execution.engine import BoundedEngine
 from ..execution.metrics import ExecutionLimits, ExecutionResult, StatsAccumulator
+from ..execution.prepared import PreparedQuery
 from ..spc.parameters import ParameterizedQuery
 from ..storage.base import StorageBackend, as_backend
 from .queue import AdmissionQueue
 from .requests import ServiceFuture, ServiceRequest
+from .resilience import BreakerBoard, DegradedResult, ResiliencePolicy
 
 #: Default bound on pending (admitted, unserved) requests.
 DEFAULT_MAX_PENDING = 1024
@@ -88,6 +93,14 @@ class QueryService:
     max_batch:
         Micro-batch cap: how many same-template requests one worker serves
         per queue take.
+    resilience:
+        Optional :class:`~repro.service.resilience.ResiliencePolicy`: retries
+        for transient storage faults (charge-safe — a retried attempt's
+        counter charges are rolled back, so measured accesses stay within the
+        plan's Σ Mᵢ bound), per-relation circuit breakers, and opt-in graceful
+        degradation (stale or partial answers as
+        :class:`~repro.service.resilience.DegradedResult`).  ``None``
+        (default): every storage fault surfaces as its typed error.
 
     Thread safety: every public method may be called from any thread.
 
@@ -120,6 +133,7 @@ class QueryService:
         default_budget: int | None = None,
         max_batch: int = DEFAULT_MAX_BATCH,
         engine: BoundedEngine | None = None,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"worker count must be positive, got {workers}")
@@ -151,7 +165,23 @@ class QueryService:
         self._failures = 0
         self._batches = 0
         self._largest_batch = 0
+        self._degraded = 0
         self._closed = False
+        self.resilience = resilience
+        self._breakers = (
+            BreakerBoard(resilience.breaker)
+            if resilience is not None and resilience.breaker is not None
+            else None
+        )
+        degradation = resilience.degradation if resilience is not None else None
+        self._stale_cache = (
+            LRUCache(degradation.cache_size, name="stale-answers")
+            if degradation is not None and degradation.serve_stale
+            else None
+        )
+        #: Set by ``close(drain=False)``: wakes workers out of retry-backoff
+        #: sleeps immediately, so closing never waits out a backoff window.
+        self._interrupt = threading.Event()
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,
@@ -297,7 +327,8 @@ class QueryService:
                 f"request rejected — retry with backoff or raise max_pending"
             )
         # Counted only after a successful offer, so ``submitted`` means
-        # *admitted*: submitted == completed + timeouts + failures + pending.
+        # *admitted*: submitted ==
+        #     completed + timeouts + failures + degraded + pending.
         with self._stats_lock:
             self._submitted += 1
         return request.future
@@ -322,39 +353,221 @@ class QueryService:
             for request in batch:
                 self._resolve_error(request, error)
             return
+        # The plan's relations, in fetch-step order (breaker admission checks).
+        relations = tuple(
+            dict.fromkeys(
+                step.constraint.relation for step in prepared.prepared.plan.steps
+            )
+        )
         for request in batch:
-            if request.expired():
-                self._resolve_error(
-                    request,
-                    ServiceTimeout(
-                        f"request #{request.index} expired while queued "
-                        f"(waited {time.monotonic() - request.submitted_at:.3f}s)",
-                        deadline=request.deadline_at,
-                    ),
-                )
-                continue
-            limits = None
-            if request.deadline_at is not None or request.budget is not None:
-                limits = ExecutionLimits(
-                    deadline=request.deadline_at, budget=request.budget
-                )
+            self._serve_request(prepared, relations, request)
+
+    def _serve_request(
+        self,
+        prepared: PreparedQuery,
+        relations: tuple[str, ...],
+        request: ServiceRequest,
+    ) -> None:
+        """Serve one request: breaker admission, charge-safe retries, degradation."""
+        if request.expired():
+            elapsed = time.monotonic() - request.submitted_at
+            self._resolve_error(
+                request,
+                ServiceTimeout(
+                    f"request #{request.index} expired while queued "
+                    f"(waited {elapsed:.3f}s)",
+                    deadline=request.deadline_at,
+                    plan_key=request.plan_key,
+                    elapsed=elapsed,
+                    limit=self._deadline_limit(request),
+                ),
+            )
+            return
+        limits = None
+        if request.deadline_at is not None or request.budget is not None:
+            limits = ExecutionLimits(deadline=request.deadline_at, budget=request.budget)
+        retry = self.resilience.retry if self.resilience is not None else None
+        attempts_allowed = (
+            retry.attempts_for(prepared.total_bound) if retry is not None else 1
+        )
+        counter = self.backend.counter
+        # Charge-safe retry bracket: a failed attempt's counter charges are
+        # rolled back to this snapshot before the re-run, so the measured
+        # ``tuples_accessed`` is that of exactly one clean execution — within
+        # the certificate's Σ Mᵢ no matter how many attempts were needed.
+        mark = counter.snapshot()
+        attempt = 0
+        delay: float | None = None
+        while True:
+            attempt += 1
+            if self._breakers is not None:
+                blocked = self._breakers.first_open(relations)
+                if blocked is not None:
+                    self._degrade_or_fail(
+                        request,
+                        StorageUnavailableError(
+                            f"circuit breaker for relation {blocked!r} is open; "
+                            f"request #{request.index} refused without touching "
+                            f"storage (probe again after the reset timeout)",
+                            relation=blocked,
+                            operation="admission",
+                        ),
+                    )
+                    return
             try:
                 result = prepared.serve(self.backend, request.params, limits)
             except DeadlineExceededError as error:
+                elapsed = time.monotonic() - request.submitted_at
                 self._resolve_error(
                     request,
                     ServiceTimeout(
                         f"request #{request.index} timed out mid-execution: {error}",
                         deadline=request.deadline_at,
+                        plan_key=request.plan_key,
+                        elapsed=elapsed,
+                        limit=self._deadline_limit(request),
+                        step=error.step,
                     ),
                 )
+                return
+            except TransientStorageError as error:
+                counter.restore(mark)
+                self._note_failure(error.relation)
+                if retry is not None and attempt < attempts_allowed:
+                    delay = retry.next_delay(delay)
+                    if self._backoff(request, delay):
+                        continue
+                    return  # request was resolved inside _backoff
+                self._degrade_or_fail(request, error)
+                return
+            except StorageUnavailableError as error:
+                counter.restore(mark)
+                self._note_failure(error.relation)
+                self._degrade_or_fail(request, error)
+                return
             except BaseException as error:
                 self._resolve_error(request, error)
+                return
             else:
+                if self._breakers is not None:
+                    self._breakers.record_success(relations)
+                self._remember(request, result)
                 self._execution_stats.merge(result.stats)
                 with self._stats_lock:
                     self._completed += 1
                 request.future._resolve(result)
+                return
+
+    def _deadline_limit(self, request: ServiceRequest) -> float | None:
+        """The request's end-to-end deadline window in seconds, if any."""
+        if request.deadline_at is None:
+            return None
+        return request.deadline_at - request.submitted_at
+
+    def _backoff(self, request: ServiceRequest, delay: float) -> bool:
+        """Sleep one retry backoff; ``False`` means the request was resolved.
+
+        The sleep is interruptible: ``close(drain=False)`` sets the interrupt
+        event and the request fails over to
+        :class:`~repro.errors.ServiceClosedError` immediately instead of
+        waiting the backoff out.  A backoff that cannot finish before the
+        request's deadline is not slept at all — the request times out now.
+        """
+        now = time.monotonic()
+        if request.deadline_at is not None and now + delay > request.deadline_at:
+            elapsed = now - request.submitted_at
+            self._resolve_error(
+                request,
+                ServiceTimeout(
+                    f"request #{request.index} abandoned during retry backoff: "
+                    f"waiting {delay:.3f}s more would pass the deadline",
+                    deadline=request.deadline_at,
+                    plan_key=request.plan_key,
+                    elapsed=elapsed,
+                    limit=self._deadline_limit(request),
+                ),
+            )
+            return False
+        self._execution_stats.record_retry()
+        if self._interrupt.wait(delay):
+            self._resolve_error(
+                request,
+                ServiceClosedError(
+                    f"service closed while request #{request.index} waited in "
+                    f"retry backoff"
+                ),
+            )
+            return False
+        return True
+
+    def _note_failure(self, relation: str | None) -> None:
+        """Feed one storage failure to the relation's breaker, if any."""
+        if self._breakers is None or relation is None:
+            return
+        if self._breakers.record_failure(relation):
+            self._execution_stats.record_breaker_trip()
+
+    def _stale_key(self, request: ServiceRequest) -> Any:
+        """The stale-answer cache key of a binding, or ``None`` if unhashable."""
+        try:
+            key = (request.plan_key, tuple(sorted(request.params.items())))
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def _remember(self, request: ServiceRequest, result: ExecutionResult) -> None:
+        """Cache a fresh answer for graceful degradation of later failures."""
+        if self._stale_cache is None:
+            return
+        key = self._stale_key(request)
+        if key is not None:
+            self._stale_cache.put(key, (result, time.monotonic()))
+
+    def _degrade_or_fail(self, request: ServiceRequest, error: BaseException) -> None:
+        """Resolve a given-up request: degraded answer if policy allows, else error."""
+        degradation = (
+            self.resilience.degradation if self.resilience is not None else None
+        )
+        if degradation is not None:
+            degraded = self._degraded_answer(request, error, degradation)
+            if degraded is not None:
+                self._execution_stats.record_degraded()
+                with self._stats_lock:
+                    self._degraded += 1
+                request.future._resolve(degraded)
+                return
+        self._resolve_error(request, error)
+
+    def _degraded_answer(
+        self, request: ServiceRequest, error: BaseException, policy: Any
+    ) -> DegradedResult | None:
+        """The degraded answer for a failed request, or ``None`` to fail typed."""
+        failed_relation = getattr(error, "relation", None)
+        failed_step = getattr(error, "step", None)
+        if self._stale_cache is not None:
+            key = self._stale_key(request)
+            entry = self._stale_cache.get(key) if key is not None else None
+            if entry is not None:
+                result, stored_at = entry
+                age = time.monotonic() - stored_at
+                if policy.stale_ttl is None or age <= policy.stale_ttl:
+                    return DegradedResult(
+                        kind="stale",
+                        result=result,
+                        staleness=age,
+                        failed_relation=failed_relation,
+                        failed_step=failed_step,
+                        cause=error,
+                    )
+        if policy.partial:
+            return DegradedResult(
+                kind="partial",
+                failed_relation=failed_relation,
+                failed_step=failed_step,
+                cause=error,
+            )
+        return None
 
     def _resolve_error(self, request: ServiceRequest, error: BaseException) -> None:
         with self._stats_lock:
@@ -371,12 +584,15 @@ class QueryService:
 
         With ``drain=True`` (default) already-admitted requests are served
         before the workers exit; with ``drain=False`` pending requests are
-        failed immediately with :class:`~repro.errors.ServiceClosedError`.
-        Idempotent; thread-safe.
+        failed immediately with :class:`~repro.errors.ServiceClosedError`,
+        and workers sleeping in a retry backoff are woken at once (their
+        in-flight requests also fail with ``ServiceClosedError``), so the
+        close never waits out a backoff window.  Idempotent; thread-safe.
         """
         with self._stats_lock:
             self._closed = True
         if not drain:
+            self._interrupt.set()
             for request in self._queue.drain():
                 self._resolve_error(
                     request, ServiceClosedError("service closed before execution")
@@ -408,11 +624,14 @@ class QueryService:
                 "completed": self._completed,
                 "timeouts": self._timeouts,
                 "failures": self._failures,
+                "degraded": self._degraded,
                 "batches": self._batches,
                 "largest_batch": self._largest_batch,
             }
         snapshot["pending"] = len(self._queue)
         snapshot["execution"] = self._execution_stats.summary()
+        if self._breakers is not None:
+            snapshot["breakers"] = self._breakers.states()
         return snapshot
 
     def describe(self) -> str:
@@ -429,6 +648,15 @@ class QueryService:
             f"  tuples accessed: {execution['tuples_accessed']} "
             f"over {execution['requests']} executions",
         ]
+        if self.resilience is not None:
+            lines.append(
+                f"  resilience: {execution['retries']} retries, "
+                f"{execution['breaker_trips']} breaker trips, "
+                f"{stats['degraded']} degraded answers"
+            )
+            for relation, state in sorted(stats.get("breakers", {}).items()):
+                if state != "closed":
+                    lines.append(f"    breaker[{relation}]: {state}")
         for name, info in self.engine.cache_info().items():
             lines.append(f"  {name}: {info.describe()}")
         return "\n".join(lines)

@@ -11,22 +11,38 @@ independently:
   out-of-core bounded execution, mapping each access constraint to a SQL
   index with the cardinality bound enforced at fetch time.
 
+Backend *decorators* compose on the shared :class:`WrapperBackend` base:
+
+* :class:`LatencyInjectingBackend` adds one (optionally seeded-jittered)
+  simulated storage round-trip per access operation;
+* :class:`FaultInjectingBackend` injects a deterministic, seeded
+  :class:`FaultPlan` of transient errors, persistent relation outages and
+  latency spikes — the chaos seam the resilience layer
+  (:mod:`repro.service.resilience`) is tested against.
+
 ``as_backend`` resolves either a backend or a ``Database`` (which memoizes
 its own :class:`InMemoryBackend`), so every executor entry point accepts
 both.
 """
 
 from .base import StorageBackend, as_backend
+from .faults import FaultDecision, FaultInjectingBackend, FaultPlan
 from .latency import LatencyInjectingBackend
 from .memory import InMemoryBackend
 from .sqlite import SQLiteBackend, SQLiteConstraintIndex, ThreadLocalConnections
+from .wrapper import SeededJitter, WrapperBackend
 
 __all__ = [
+    "FaultDecision",
+    "FaultInjectingBackend",
+    "FaultPlan",
     "InMemoryBackend",
     "LatencyInjectingBackend",
     "SQLiteBackend",
     "SQLiteConstraintIndex",
+    "SeededJitter",
     "StorageBackend",
     "ThreadLocalConnections",
+    "WrapperBackend",
     "as_backend",
 ]

@@ -1,0 +1,313 @@
+"""Deterministic fault injection: the chaos seam of the storage layer.
+
+A production store fails in three characteristic ways — a *transient* error a
+retry would fix (dropped connection, busy replica), a *persistent* outage of
+one relation's shard (retrying now cannot help), and a *latency spike* (no
+error, just a slow round-trip).  :class:`FaultInjectingBackend` composes any
+:class:`~repro.storage.base.StorageBackend` (same
+:class:`~repro.storage.wrapper.WrapperBackend` pattern as the latency
+decorator) with a seeded :class:`FaultPlan` that injects exactly those three,
+raising the typed taxonomy of :mod:`repro.errors`:
+
+* :class:`~repro.errors.TransientStorageError` — the retryable kind; the
+  serving layer's :class:`~repro.service.RetryPolicy` backs off and re-runs;
+* :class:`~repro.errors.StorageUnavailableError` — the persistent kind;
+  circuit breakers, not retries, are the right response.
+
+Every schedule is **deterministic from its seed** (a splitmix64 stream, no
+``random`` import — the hot-path lint contract REPRO003 holds), so a chaos
+test that found a bug replays it from the seed alone.
+
+The nasty case the plan deliberately produces: with ``post_charge_fraction``
+> 0 a transient fault fires *after* the delegated access has already charged
+the access counter (``error.charged`` is ``True``).  A retry layer that
+simply re-runs would then double-charge ``tuples_accessed`` and break the
+paper's Σ Mᵢ accounting — which is exactly what the serving layer's
+snapshot/rollback retries are tested against.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from ..access.constraint import AccessConstraint
+from ..errors import ApiMisuseError, StorageUnavailableError, TransientStorageError
+from .base import Row
+from .wrapper import SeededJitter, WrapperBackend
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the plan injects into one access operation (pure data)."""
+
+    #: Raise :class:`~repro.errors.TransientStorageError` for this operation.
+    transient: bool = False
+    #: Fire the transient error *after* the inner access charged the counter.
+    after_charge: bool = False
+    #: Raise :class:`~repro.errors.StorageUnavailableError` (relation outage).
+    unavailable: bool = False
+    #: Sleep this long before the access (a latency spike; 0 = none).
+    spike_seconds: float = 0.0
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of storage faults.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the fault stream; one seed reproduces one schedule.
+    transient_fault_rate:
+        Probability that a fetch/containment operation raises
+        :class:`~repro.errors.TransientStorageError`.
+    scan_fault_rate:
+        Same for full scans; defaults to ``transient_fault_rate``.
+    post_charge_fraction:
+        Fraction of transient faults fired *after* the inner access has
+        charged the counter (``error.charged = True``) — the case charge-safe
+        retries must roll back.  The rest fire before any tuple is touched.
+    unavailable_relations:
+        Relations that are persistently down from the start; every access
+        raises :class:`~repro.errors.StorageUnavailableError`.  Outages can
+        also be toggled at runtime with :meth:`fail_relation` /
+        :meth:`restore_relation` (how breaker tests stage an incident).
+    spike_rate / spike_seconds:
+        Probability and duration of injected latency spikes (no error — the
+        operation succeeds, slowly).
+
+    Example
+    -------
+    >>> plan = FaultPlan(seed=7, transient_fault_rate=1.0, post_charge_fraction=0.0)
+    >>> plan.decide("friends", "fetch").transient
+    True
+    >>> FaultPlan(seed=7).decide("friends", "fetch").transient
+    False
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        transient_fault_rate: float = 0.0,
+        scan_fault_rate: float | None = None,
+        post_charge_fraction: float = 0.5,
+        unavailable_relations: Iterable[str] = (),
+        spike_rate: float = 0.0,
+        spike_seconds: float = 0.0,
+    ) -> None:
+        for name, rate in (
+            ("transient_fault_rate", transient_fault_rate),
+            ("scan_fault_rate", scan_fault_rate if scan_fault_rate is not None else 0.0),
+            ("post_charge_fraction", post_charge_fraction),
+            ("spike_rate", spike_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ApiMisuseError(f"{name} must be a probability, got {rate}")
+        self.seed = seed
+        self.transient_fault_rate = transient_fault_rate
+        self.scan_fault_rate = (
+            transient_fault_rate if scan_fault_rate is None else scan_fault_rate
+        )
+        self.post_charge_fraction = post_charge_fraction
+        self.spike_rate = spike_rate
+        self.spike_seconds = spike_seconds
+        self._rng = SeededJitter(seed)
+        self._lock = threading.Lock()
+        self._outages: set[str] = set(unavailable_relations)
+        self._injected_transient = 0
+        self._injected_outages = 0
+        self._injected_spikes = 0
+
+    # -- runtime outage control ------------------------------------------------------
+
+    def fail_relation(self, relation: str) -> None:
+        """Start a persistent outage of ``relation`` (idempotent)."""
+        with self._lock:
+            self._outages.add(relation)
+
+    def restore_relation(self, relation: str) -> None:
+        """End ``relation``'s outage (idempotent)."""
+        with self._lock:
+            self._outages.discard(relation)
+
+    # -- the schedule ----------------------------------------------------------------
+
+    def decide(self, relation: str, operation: str) -> FaultDecision:
+        """The fault (if any) injected into this access operation.
+
+        Consumes a fixed number of draws from the seeded stream per call, so
+        the schedule is a pure function of the seed and the operation
+        sequence.
+        """
+        with self._lock:
+            if relation in self._outages:
+                self._injected_outages += 1
+                return FaultDecision(unavailable=True)
+        rate = self.scan_fault_rate if operation == "scan" else self.transient_fault_rate
+        transient = self._rng.uniform() < rate
+        after_charge = self._rng.uniform() < self.post_charge_fraction and transient
+        spike = self._rng.uniform() < self.spike_rate
+        if transient or spike:
+            with self._lock:
+                if transient:
+                    self._injected_transient += 1
+                if spike:
+                    self._injected_spikes += 1
+        return FaultDecision(
+            transient=transient,
+            after_charge=after_charge,
+            spike_seconds=self.spike_seconds if spike else 0.0,
+        )
+
+    def stats(self) -> dict[str, int]:
+        """Counts of injected faults so far (for tests and bench reporting)."""
+        with self._lock:
+            return {
+                "transient": self._injected_transient,
+                "outages": self._injected_outages,
+                "spikes": self._injected_spikes,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(seed={self.seed}, transient={self.transient_fault_rate}, "
+            f"outages={sorted(self._outages)!r})"
+        )
+
+
+class _FaultView:
+    """A constraint view that consults the fault plan around each delegation."""
+
+    __slots__ = ("_view", "_apply")
+
+    def __init__(self, view: Any, apply: Callable[..., Any]) -> None:
+        self._view = view
+        self._apply = apply
+
+    @property
+    def constraint(self) -> AccessConstraint:
+        return self._view.constraint
+
+    @property
+    def relation(self) -> str:
+        return self._view.relation
+
+    @property
+    def key(self) -> tuple[str, ...]:
+        return self._view.key
+
+    @property
+    def value(self) -> tuple[str, ...]:
+        return self._view.value
+
+    def fetch(self, x_value: Sequence[Any]) -> list[Row]:
+        return self._apply(self.relation, "fetch", lambda: self._view.fetch(x_value))
+
+    def fetch_many(self, x_values: Iterable[Sequence[Any]]) -> list[Row]:
+        return self._apply(
+            self.relation, "fetch", lambda: self._view.fetch_many(x_values)
+        )
+
+    def contains(self, x_value: Sequence[Any]) -> bool:
+        return self._apply(
+            self.relation, "contains", lambda: self._view.contains(x_value)
+        )
+
+    def __repr__(self) -> str:
+        return f"_FaultView({self._view!r})"
+
+
+class FaultInjectingBackend(WrapperBackend):
+    """Delegate to another backend, injecting the plan's faults per access.
+
+    Composes with any backend or ``Database`` — including an already-wrapped
+    :class:`~repro.storage.latency.LatencyInjectingBackend` — and is
+    charging-transparent on the operations it lets through: when the plan
+    injects nothing, results and ``tuples_accessed`` are byte-for-byte those
+    of the inner store.
+
+    Example
+    -------
+    >>> from repro.errors import TransientStorageError
+    >>> from repro.relational import Database
+    >>> from repro.workloads import social_schema
+    >>> db = Database(social_schema())
+    >>> db.extend("friends", [("u0", "u1")])
+    >>> chaotic = FaultInjectingBackend(
+    ...     db, FaultPlan(seed=3, transient_fault_rate=1.0, post_charge_fraction=0.0))
+    >>> try:
+    ...     chaotic.scan("friends")
+    ... except TransientStorageError as error:
+    ...     (error.relation, error.operation, error.charged)
+    ('friends', 'scan', False)
+    """
+
+    def __init__(self, source: Any, plan: FaultPlan) -> None:
+        super().__init__(source)
+        self.plan = plan
+
+    def _apply(self, relation: str, operation: str, call: Callable[[], Any]) -> Any:
+        decision = self.plan.decide(relation, operation)
+        if decision.unavailable:
+            raise StorageUnavailableError(
+                f"relation {relation!r} is unavailable (injected persistent "
+                f"outage; operation {operation!r} refused)",
+                relation=relation,
+                operation=operation,
+            )
+        if decision.spike_seconds > 0.0:
+            time.sleep(decision.spike_seconds)
+        if decision.transient and not decision.after_charge:
+            raise TransientStorageError(
+                f"transient storage fault on {relation!r} (injected before the "
+                f"{operation!r} touched data; a retry is expected to succeed)",
+                relation=relation,
+                operation=operation,
+                charged=False,
+            )
+        result = call()
+        if decision.transient and decision.after_charge:
+            raise TransientStorageError(
+                f"transient storage fault on {relation!r} (injected after the "
+                f"{operation!r} charged the access counter; retries must roll "
+                f"the charge back)",
+                relation=relation,
+                operation=operation,
+                charged=True,
+            )
+        return result
+
+    # -- counted access paths --------------------------------------------------------
+
+    def scan(self, relation: str) -> list[Row]:
+        return self._apply(relation, "scan", lambda: self.inner.scan(relation))
+
+    def fetch(
+        self,
+        constraint: AccessConstraint,
+        x_values: Iterable[Sequence[Any]],
+        enforce_bound: bool = True,
+    ) -> list[Row]:
+        return self._apply(
+            constraint.relation,
+            "fetch",
+            lambda: self.inner.fetch(constraint, x_values, enforce_bound),
+        )
+
+    def contains(self, constraint: AccessConstraint, x_value: Sequence[Any]) -> bool:
+        return self._apply(
+            constraint.relation,
+            "contains",
+            lambda: self.inner.contains(constraint, x_value),
+        )
+
+    # -- indexes --------------------------------------------------------------------
+
+    def wrap_view(self, view: Any) -> Any:
+        """Wrap each fetch view so plan execution experiences the faults."""
+        return _FaultView(view, self._apply)
+
+    def __repr__(self) -> str:
+        return f"FaultInjectingBackend({self.inner!r}, {self.plan!r})"

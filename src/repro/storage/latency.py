@@ -6,12 +6,22 @@ cost: a disk seek, an SSD read, a network hop to a storage tier.  On a
 developer laptop the whole working set is page-cached, so a load test of the
 concurrent service would measure nothing but the Python interpreter.
 :class:`LatencyInjectingBackend` restores the missing dimension by wrapping
-any :class:`~repro.storage.base.StorageBackend` and sleeping a configurable
-interval per *access operation* (fetch batch, scan, containment probe) —
-``time.sleep`` releases the GIL, so overlapping these simulated round-trips
-is exactly what a multi-worker :class:`~repro.service.QueryService` exists
-to do, and a closed-loop benchmark over this wrapper measures that overlap
-honestly even on a single-CPU host.
+any :class:`~repro.storage.base.StorageBackend` (via the shared
+:class:`~repro.storage.wrapper.WrapperBackend` delegation base) and sleeping
+one simulated round-trip per *access operation* (fetch batch, scan,
+containment probe) — ``time.sleep`` releases the GIL, so overlapping these
+simulated round-trips is exactly what a multi-worker
+:class:`~repro.service.QueryService` exists to do, and a closed-loop
+benchmark over this wrapper measures that overlap honestly even on a
+single-CPU host.
+
+Round-trips are not constant in real storage tiers, so the delay is drawn
+per operation from a **seeded jitter** window around ``access_latency``:
+with ``jitter=j`` each sleep is uniform in ``[latency·(1-j), latency·(1+j)]``,
+driven by the deterministic :class:`~repro.storage.wrapper.SeededJitter`
+stream (same seed, same schedule — REPRO003's no-ambient-randomness contract
+holds).  ``jitter=0`` (the default) reproduces the previous fixed delay
+exactly, which the throughput benchmarks rely on for comparable numbers.
 
 The wrapper is charging-transparent: it delegates every operation — and the
 access counter — to the inner backend, so results, ``tuples_accessed`` and
@@ -21,25 +31,22 @@ bound enforcement are byte-for-byte those of the wrapped store.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Any, Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from ..access.constraint import AccessConstraint
-from ..access.indexes import AccessIndexes
-from ..relational.statistics import AccessCounter
-from .base import Row, StorageBackend, as_backend
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..relational.schema import DatabaseSchema
+from ..errors import ApiMisuseError
+from .base import Row
+from .wrapper import SeededJitter, WrapperBackend
 
 
 class _LatencyView:
     """A constraint view that sleeps one round-trip before delegating."""
 
-    __slots__ = ("_view", "_sleep")
+    __slots__ = ("_view", "_delay")
 
-    def __init__(self, view: Any, sleep_seconds: float) -> None:
+    def __init__(self, view: Any, delay) -> None:
         self._view = view
-        self._sleep = sleep_seconds
+        self._delay = delay
 
     @property
     def constraint(self) -> AccessConstraint:
@@ -58,33 +65,40 @@ class _LatencyView:
         return self._view.value
 
     def fetch(self, x_value: Sequence[Any]) -> list[Row]:
-        time.sleep(self._sleep)
+        time.sleep(self._delay())
         return self._view.fetch(x_value)
 
     def fetch_many(self, x_values: Iterable[Sequence[Any]]) -> list[Row]:
-        time.sleep(self._sleep)
+        time.sleep(self._delay())
         return self._view.fetch_many(x_values)
 
     def contains(self, x_value: Sequence[Any]) -> bool:
-        time.sleep(self._sleep)
+        time.sleep(self._delay())
         return self._view.contains(x_value)
 
     def __repr__(self) -> str:
-        return f"_LatencyView({self._view!r}, {self._sleep * 1000:.2f}ms)"
+        return f"_LatencyView({self._view!r})"
 
 
-class LatencyInjectingBackend(StorageBackend):
-    """Delegate to another backend, adding a fixed sleep per access operation.
+class LatencyInjectingBackend(WrapperBackend):
+    """Delegate to another backend, adding one simulated round-trip per access.
 
     Parameters
     ----------
     source:
         The store to wrap — a backend or a ``Database``.
     access_latency:
-        Seconds slept before each counted access operation (a batched
-        constraint fetch, a full scan, a containment probe).  Models one
-        storage round-trip; batched fetches pay it once per batch, like a
+        Center of the simulated round-trip, in seconds, paid before each
+        counted access operation (a batched constraint fetch, a full scan, a
+        containment probe).  Batched fetches pay it once per batch, like a
         real remote store.
+    jitter:
+        Half-width of the round-trip window as a fraction of
+        ``access_latency`` (``0 <= jitter <= 1``): each operation sleeps a
+        seeded-uniform draw from ``[latency·(1-jitter), latency·(1+jitter)]``.
+        ``0`` (default) is the fixed-delay mode.
+    seed:
+        Seed of the jitter stream; same seed, same latency schedule.
 
     Example
     -------
@@ -92,48 +106,40 @@ class LatencyInjectingBackend(StorageBackend):
     >>> from repro.workloads import social_schema
     >>> db = Database(social_schema())
     >>> db.extend("in_album", [("p1", "a0")])
-    >>> slow = LatencyInjectingBackend(db, access_latency=0.0001)
+    >>> slow = LatencyInjectingBackend(db, access_latency=0.0001, jitter=0.5)
     >>> slow.scan("in_album")
     [('p1', 'a0')]
     >>> slow.kind == db.backend.kind    # charging- and kind-transparent
     True
     """
 
-    def __init__(self, source: Any, access_latency: float = 0.001) -> None:
-        self.inner = as_backend(source)
+    def __init__(
+        self,
+        source: Any,
+        access_latency: float = 0.001,
+        jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(source)
+        if not 0.0 <= jitter <= 1.0:
+            raise ApiMisuseError(
+                f"jitter must be a fraction in [0, 1], got {jitter}"
+            )
         self.access_latency = access_latency
+        self.jitter = jitter
+        self._rng = SeededJitter(seed)
 
-    # -- transparent metadata -------------------------------------------------------
-
-    @property
-    def kind(self) -> str:  # type: ignore[override]
-        return self.inner.kind
-
-    @property
-    def schema(self) -> "DatabaseSchema":  # type: ignore[override]
-        return self.inner.schema
-
-    @property
-    def counter(self) -> AccessCounter:  # type: ignore[override]
-        return self.inner.counter
-
-    @property
-    def data_version(self) -> int:
-        return self.inner.data_version
-
-    def relation_names(self) -> tuple[str, ...]:
-        return self.inner.relation_names()
-
-    def cardinality(self, relation: str) -> int:
-        return self.inner.cardinality(relation)
-
-    def populate(self, relation: str, rows: Iterable[Sequence[Any]]) -> None:
-        self.inner.populate(relation, rows)
+    def _delay(self) -> float:
+        """One round-trip's duration: fixed, or a seeded draw from the window."""
+        if self.jitter == 0.0:
+            return self.access_latency
+        spread = self.access_latency * self.jitter
+        return self.access_latency - spread + 2.0 * spread * self._rng.uniform()
 
     # -- counted access paths (one simulated round-trip each) -----------------------
 
     def scan(self, relation: str) -> list[Row]:
-        time.sleep(self.access_latency)
+        time.sleep(self._delay())
         return self.inner.scan(relation)
 
     def fetch(
@@ -142,34 +148,23 @@ class LatencyInjectingBackend(StorageBackend):
         x_values: Iterable[Sequence[Any]],
         enforce_bound: bool = True,
     ) -> list[Row]:
-        time.sleep(self.access_latency)
+        time.sleep(self._delay())
         return self.inner.fetch(constraint, x_values, enforce_bound)
 
     def contains(self, constraint: AccessConstraint, x_value: Sequence[Any]) -> bool:
-        time.sleep(self.access_latency)
+        time.sleep(self._delay())
         return self.inner.contains(constraint, x_value)
 
     # -- indexes --------------------------------------------------------------------
 
-    def build_indexes(
-        self,
-        constraints: Iterable[AccessConstraint],
-        enforce_bounds: bool = True,
-    ) -> AccessIndexes:
-        """Build the inner backend's indexes, wrapping each fetch view.
-
-        The bounded executor probes through the views this returns, so the
-        wrapping is what makes plan execution (not just protocol-level
-        ``fetch``) pay the simulated round-trips.
-        """
-        inner_indexes = self.inner.build_indexes(constraints, enforce_bounds)
-        wrapped = AccessIndexes()
-        for view in inner_indexes:
-            wrapped.add(_LatencyView(view, self.access_latency))
-        return wrapped
+    def wrap_view(self, view: Any) -> Any:
+        """Wrap each fetch view so plan execution pays the round-trips too."""
+        return _LatencyView(view, self._delay)
 
     def __repr__(self) -> str:
-        return (
-            f"LatencyInjectingBackend({self.inner!r}, "
-            f"{self.access_latency * 1000:.2f}ms/access)"
+        window = (
+            f"{self.access_latency * 1000:.2f}ms/access"
+            if self.jitter == 0.0
+            else f"{self.access_latency * 1000:.2f}ms±{self.jitter * 100:.0f}%/access"
         )
+        return f"LatencyInjectingBackend({self.inner!r}, {window})"

@@ -1,0 +1,177 @@
+"""The delegating backend base every storage decorator composes on.
+
+Two decorator backends exist today — :class:`~repro.storage.latency.
+LatencyInjectingBackend` (simulated round-trips) and :class:`~repro.storage.
+faults.FaultInjectingBackend` (injected failures) — and both need the same
+skeleton: delegate *everything* to an inner :class:`~repro.storage.base.
+StorageBackend` transparently (metadata, charging, index construction), then
+override only the counted access paths.  :class:`WrapperBackend` is that
+skeleton, so a decorator states nothing but its delta and two decorators
+compose freely::
+
+    chaotic = FaultInjectingBackend(
+        LatencyInjectingBackend(SQLiteBackend.from_database(db)), plan)
+
+The wrapper is charging-transparent by construction: ``counter`` is the inner
+backend's counter, so results, ``tuples_accessed`` and bound enforcement are
+byte-for-byte those of the wrapped store unless a subclass deliberately
+intervenes.
+
+A deterministic pseudo-random seam lives here too: :class:`SeededJitter`, a
+tiny splitmix64 generator.  Storage is a hot-path package, so the contract
+linter (REPRO003) forbids ``import random`` — decorators that need jitter or
+fault draws take a seed and draw from this self-contained arithmetic
+generator instead, which also makes every schedule reproducible from its
+seed.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from ..access.constraint import AccessConstraint
+from ..access.indexes import AccessIndexes
+from ..relational.statistics import AccessCounter
+from .base import Row, StorageBackend, as_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..relational.schema import DatabaseSchema
+
+#: splitmix64 constants (Steele et al.); chosen for full-period mixing with
+#: nothing but adds, xors and shifts — no stdlib randomness involved.
+_MASK64 = (1 << 64) - 1
+_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _mix64(state: int) -> int:
+    """One splitmix64 output step over a 64-bit state."""
+    z = state & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+class SeededJitter:
+    """A deterministic uniform-[0, 1) stream from a seed (splitmix64).
+
+    The injected-randomness seam for storage decorators and the serving
+    layer's retry backoff: same seed, same draw sequence, so every latency
+    schedule, fault schedule and backoff trace in a test or benchmark is
+    reproducible.  Thread-safe — draws are serialized by a small lock, which
+    is fine off the measured fast path.
+
+    Example
+    -------
+    >>> a, b = SeededJitter(7), SeededJitter(7)
+    >>> [round(a.uniform(), 6) == round(b.uniform(), 6) for _ in range(3)]
+    [True, True, True]
+    >>> 0.0 <= SeededJitter(1).uniform() < 1.0
+    True
+    """
+
+    __slots__ = ("_state", "_lock")
+
+    def __init__(self, seed: int = 0) -> None:
+        self._state = _mix64(seed ^ _GAMMA)
+        self._lock = threading.Lock()
+
+    def uniform(self) -> float:
+        """The next draw in [0, 1)."""
+        with self._lock:
+            self._state = (self._state + _GAMMA) & _MASK64
+            return _mix64(self._state) / float(1 << 64)
+
+
+class WrapperBackend(StorageBackend):
+    """Delegate every backend operation to ``inner``; subclasses override deltas.
+
+    Metadata (``kind``, ``schema``, ``counter``, ``data_version``,
+    cardinalities) always comes from the wrapped store, so a wrapper is
+    indistinguishable from its inner backend to the execution stack; the
+    counted access paths and ``build_indexes`` delegate too, and are exactly
+    what decorating subclasses override.
+
+    Example
+    -------
+    >>> from repro.relational import Database
+    >>> from repro.workloads import social_schema
+    >>> db = Database(social_schema())
+    >>> db.extend("friends", [("u0", "u1")])
+    >>> wrapped = WrapperBackend(db)
+    >>> wrapped.kind, wrapped.scan("friends")
+    ('memory', [('u0', 'u1')])
+    """
+
+    def __init__(self, source: Any) -> None:
+        self.inner = as_backend(source)
+
+    # -- transparent metadata -------------------------------------------------------
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return self.inner.kind
+
+    @property
+    def schema(self) -> "DatabaseSchema":  # type: ignore[override]
+        return self.inner.schema
+
+    @property
+    def counter(self) -> AccessCounter:  # type: ignore[override]
+        return self.inner.counter
+
+    @property
+    def data_version(self) -> int:
+        return self.inner.data_version
+
+    def relation_names(self) -> tuple[str, ...]:
+        return self.inner.relation_names()
+
+    def cardinality(self, relation: str) -> int:
+        return self.inner.cardinality(relation)
+
+    def populate(self, relation: str, rows: Iterable[Sequence[Any]]) -> None:
+        self.inner.populate(relation, rows)
+
+    # -- counted access paths (delegating; decorators override) ---------------------
+
+    def scan(self, relation: str) -> list[Row]:
+        return self.inner.scan(relation)
+
+    def fetch(
+        self,
+        constraint: AccessConstraint,
+        x_values: Iterable[Sequence[Any]],
+        enforce_bound: bool = True,
+    ) -> list[Row]:
+        return self.inner.fetch(constraint, x_values, enforce_bound)
+
+    def contains(self, constraint: AccessConstraint, x_value: Sequence[Any]) -> bool:
+        return self.inner.contains(constraint, x_value)
+
+    # -- indexes --------------------------------------------------------------------
+
+    def build_indexes(
+        self,
+        constraints: Iterable[AccessConstraint],
+        enforce_bounds: bool = True,
+    ) -> AccessIndexes:
+        """Build the inner backend's indexes, rewrapping each fetch view.
+
+        The bounded executor probes through the views this returns, so a
+        decorator that wants plan execution (not just protocol-level
+        ``fetch``) to see its behavior must intercept here; the hook is
+        :meth:`wrap_view` — the default is the identity.
+        """
+        inner_indexes = self.inner.build_indexes(constraints, enforce_bounds)
+        wrapped = AccessIndexes()
+        for view in inner_indexes:
+            wrapped.add(self.wrap_view(view))
+        return wrapped
+
+    def wrap_view(self, view: Any) -> Any:
+        """Decorate one constraint fetch view; identity unless overridden."""
+        return view
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.inner!r})"

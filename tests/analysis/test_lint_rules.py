@@ -26,6 +26,7 @@ from repro.analysis.lint.rules import (
     ChargingContractRule,
     DeterminismSeamRule,
     LockDisciplineRule,
+    SwallowedExceptionRule,
     TypedErrorRule,
 )
 from repro.errors import ApiMisuseError
@@ -196,6 +197,70 @@ def test_repro004_flags_untyped_raises_only(tmp_path):
     )
     assert [f.rule for f in findings] == ["REPRO004"]
     assert "ValueError" in findings[0].message
+
+
+# -- REPRO005: no swallowed broad excepts in the fault layers ----------------------
+
+_SWALLOW_FIXTURE = """
+    def swallowing():
+        try:
+            risky()
+        except Exception:
+            return None               # VIOLATION: fault silently absorbed
+
+    def bare_swallow():
+        try:
+            risky()
+        except:                       # VIOLATION: bare except, nothing passed on
+            pass
+
+    def reraising():
+        try:
+            risky()
+        except BaseException:
+            cleanup()
+            raise                     # re-raises: ok
+
+    def forwarding(sink):
+        try:
+            risky()
+        except BaseException as error:
+            sink(error)               # bound error passed on: ok
+
+    def narrow():
+        try:
+            risky()
+        except ValueError:
+            return None               # narrow catch: out of scope
+    """
+
+
+def test_repro005_flags_swallowed_broad_excepts(tmp_path):
+    findings = _lint_fixture(
+        tmp_path,
+        "service/handlers.py",
+        _SWALLOW_FIXTURE,
+        [SwallowedExceptionRule()],
+    )
+    assert [f.rule for f in findings] == ["REPRO005", "REPRO005"]
+    assert "bare `except`" in findings[1].message
+
+
+def test_repro005_scope_is_service_and_storage_only(tmp_path):
+    findings = _lint_fixture(
+        tmp_path,
+        "analysis/handlers.py",
+        _SWALLOW_FIXTURE,
+        [SwallowedExceptionRule()],
+    )
+    assert findings == []
+    findings = _lint_fixture(
+        tmp_path,
+        "storage/handlers.py",
+        _SWALLOW_FIXTURE,
+        [SwallowedExceptionRule()],
+    )
+    assert len(findings) == 2
 
 
 # -- suppression + baseline --------------------------------------------------------

@@ -1,0 +1,176 @@
+"""Chaos properties: random seeded fault schedules against the resilient service.
+
+Hypothesis drives :class:`FaultPlan` schedules (seed, fault rate, post-charge
+fraction, spikes) and service shapes (worker count, request mix) over the
+TFACC and MOT workloads, asserting the resilience subsystem's contract on
+every schedule:
+
+* **no deadlocks** — every future resolves within a bounded wait and
+  ``close()`` drains cleanly;
+* **byte-identical results** whenever retries ultimately succeed, against a
+  fault-free serial reference;
+* **charging contract intact** — measured ``tuples_accessed`` never exceeds
+  the plan's a-priori bound, even with post-charge faults (the charge-safe
+  rollback invariant);
+* retry exhaustion surfaces only as the typed
+  :class:`~repro.errors.TransientStorageError`.
+
+Every failing example is reproducible: the fault schedule is a pure function
+of the drawn seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TransientStorageError
+from repro.execution import BoundedEngine
+from repro.service import QueryService, ResiliencePolicy, RetryPolicy
+from repro.spc import ParameterizedQuery
+from repro.spc.builder import SPCQueryBuilder
+from repro.storage import FaultInjectingBackend, FaultPlan, SeededJitter
+from repro.workloads import (
+    generate_mot_database,
+    generate_tfacc_database,
+    mot_access_schema,
+    mot_schema,
+    tfacc_access_schema,
+    tfacc_schema,
+)
+
+#: Bounded wait for any single future: far beyond any healthy resolution
+#: time, so hitting it means a deadlock, not slowness.
+RESOLVE_TIMEOUT = 30.0
+
+#: Retries are cheap and patient here: chaos schedules go up to 25% faults.
+def _retry(seed: int) -> RetryPolicy:
+    return RetryPolicy(
+        max_attempts=8,
+        base_delay=0.0005,
+        max_delay=0.002,
+        rng=SeededJitter(seed).uniform,
+    )
+
+
+def _tfacc_template() -> ParameterizedQuery:
+    query = (
+        SPCQueryBuilder(tfacc_schema(), name="chaos_force_vehicles")
+        .add_atom("accident", alias="a")
+        .add_atom("vehicle", alias="v")
+        .where_eq("a.accident_id", "v.accident_id")
+        .select("a.accident_id")
+        .select("v.vehicle_id")
+        .select("v.vehicle_type")
+        .build()
+    )
+    return ParameterizedQuery(
+        query,
+        {"date": query.ref("a", "date"), "force": query.ref("a", "police_force")},
+    )
+
+
+def _mot_template() -> ParameterizedQuery:
+    query = (
+        SPCQueryBuilder(mot_schema(), name="chaos_vehicle_history")
+        .add_atom("mot_test", alias="t")
+        .add_atom("garage", alias="g")
+        .where_eq("t.garage_id", "g.garage_id")
+        .select("t.test_id")
+        .select("t.test_result")
+        .select("g.region")
+        .build()
+    )
+    return ParameterizedQuery(query, {"vehicle": query.ref("t", "vehicle_id")})
+
+
+@pytest.fixture(scope="module", params=["tfacc", "mot"])
+def scenario(request):
+    """(database, access schema, engine, template, bindings, references)."""
+    if request.param == "tfacc":
+        database = generate_tfacc_database(scale=0.1, seed=1)
+        access = tfacc_access_schema()
+        template = _tfacc_template()
+        bindings = [
+            {"date": f"2004-{month:02d}-{day:02d}", "force": f"force_{force:02d}"}
+            for month, day, force in [
+                (1, 3, 1), (2, 5, 7), (3, 7, 13), (4, 9, 21), (5, 11, 33),
+                (6, 13, 41), (7, 15, 5), (8, 17, 11), (9, 19, 25), (10, 1, 37),
+            ]
+        ]
+    else:
+        database = generate_mot_database(scale=0.1, seed=1)
+        access = mot_access_schema()
+        template = _mot_template()
+        bindings = [{"vehicle": f"v{i:07d}"} for i in range(10)]
+    engine = BoundedEngine(access)
+    prepared = engine.prepare_query(template)
+    prepared.warm(database)
+    references = [prepared.execute(database, **binding) for binding in bindings]
+    return database, access, engine, template, bindings, references
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    rate=st.floats(min_value=0.0, max_value=0.25),
+    post_charge=st.floats(min_value=0.0, max_value=1.0),
+    workers=st.integers(min_value=1, max_value=3),
+    picks=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=8),
+)
+@settings(max_examples=10, deadline=None)
+def test_random_fault_schedules_preserve_results_and_charging(
+    scenario, seed, rate, post_charge, workers, picks
+):
+    database, access, engine, template, bindings, references = scenario
+    plan = FaultPlan(
+        seed=seed,
+        transient_fault_rate=rate,
+        post_charge_fraction=post_charge,
+        spike_rate=0.05,
+        spike_seconds=0.0005,
+    )
+    backend = FaultInjectingBackend(database, plan)
+    service = QueryService(
+        backend,
+        access,
+        workers=workers,
+        engine=engine,
+        resilience=ResiliencePolicy(retry=_retry(seed)),
+    )
+    try:
+        futures = [service.submit(template, **bindings[pick]) for pick in picks]
+        for pick, future in zip(picks, futures):
+            error = future.exception(timeout=RESOLVE_TIMEOUT)  # bounded: no deadlock
+            if error is None:
+                result = future.result()
+                reference = references[pick]
+                assert result.rows.rows == reference.rows.rows
+                assert result.stats.tuples_accessed == reference.stats.tuples_accessed
+                assert result.stats.tuples_accessed <= result.stats.plan_bound
+            else:
+                # Retries exhausted under a hostile schedule: typed, never raw.
+                assert isinstance(error, TransientStorageError)
+    finally:
+        service.close()  # clean drain on every schedule
+    assert service.stats()["pending"] == 0
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=5, deadline=None)
+def test_abrupt_close_under_faults_resolves_every_future(scenario, seed):
+    """close(drain=False) mid-chaos: everything resolves, nothing hangs."""
+    database, access, engine, template, bindings, _ = scenario
+    plan = FaultPlan(seed=seed, transient_fault_rate=0.5, post_charge_fraction=0.5)
+    backend = FaultInjectingBackend(database, plan)
+    service = QueryService(
+        backend,
+        access,
+        workers=2,
+        engine=engine,
+        resilience=ResiliencePolicy(retry=_retry(seed)),
+    )
+    futures = [service.submit(template, **binding) for binding in bindings]
+    service.close(drain=False)
+    for future in futures:
+        future.exception(timeout=RESOLVE_TIMEOUT)  # resolved — outcome is free
+        assert future.done()

@@ -1,0 +1,318 @@
+"""Fault-tolerant serving: retries, breakers, degradation, interruptible close.
+
+The integration tests drive a real :class:`QueryService` over a
+:class:`FaultInjectingBackend` with seeded schedules (``workers=1`` keeps the
+fault stream's request interleaving — hence the whole test — deterministic)
+and pin the PR's acceptance criteria:
+
+* under transient faults, retried requests return **byte-identical** answers
+  to the fault-free serial reference;
+* **charge-safe retries**: measured ``tuples_accessed`` never exceeds the
+  plan's a-priori bound, even when faults fire *after* the counter was
+  charged (``post_charge_fraction=1``);
+* the negative control (retries disabled) demonstrably fails requests;
+* breakers trip after consecutive failures and recover after the reset
+  timeout; degradation serves stale or partial answers only when opted in;
+* ``close(drain=False)`` never hangs — even with a worker mid-retry-backoff.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import (
+    ApiMisuseError,
+    ServiceClosedError,
+    ServiceTimeout,
+    StorageUnavailableError,
+    TransientStorageError,
+)
+from repro.service import (
+    BreakerConfig,
+    CircuitBreaker,
+    DegradationPolicy,
+    DegradedResult,
+    QueryService,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.storage import FaultInjectingBackend, FaultPlan, SeededJitter
+
+#: Fast backoff for tests: retries resolve in milliseconds.
+FAST_RETRY = RetryPolicy(
+    max_attempts=6, base_delay=0.001, max_delay=0.005, rng=SeededJitter(0).uniform
+)
+
+
+# -- RetryPolicy -------------------------------------------------------------------
+
+
+def test_retry_delays_are_capped_jittered_and_replayable():
+    policy = RetryPolicy(
+        max_attempts=8, base_delay=0.1, max_delay=1.0, rng=SeededJitter(5).uniform
+    )
+    replay = RetryPolicy(
+        max_attempts=8, base_delay=0.1, max_delay=1.0, rng=SeededJitter(5).uniform
+    )
+    delay = None
+    delays = []
+    for _ in range(30):
+        delay = policy.next_delay(delay)
+        delays.append(delay)
+    assert all(0.1 <= d <= 1.0 for d in delays)
+    assert max(delays) > 0.2  # the window actually grows
+    other = None
+    assert delays == [other := replay.next_delay(other) for _ in range(30)]
+
+
+def test_retry_attempts_are_cost_aware():
+    policy = RetryPolicy(max_attempts=10, access_budget=5000)
+    assert policy.attempts_for(plan_bound=1000) == 5
+    assert policy.attempts_for(plan_bound=100) == 10  # capped by max_attempts
+    assert policy.attempts_for(plan_bound=100000) == 1  # always one real try
+    assert policy.attempts_for(plan_bound=None) == 10
+    assert RetryPolicy(max_attempts=3).attempts_for(plan_bound=10**9) == 3
+
+
+def test_retry_policy_validates_configuration():
+    with pytest.raises(ApiMisuseError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ApiMisuseError):
+        RetryPolicy(base_delay=1.0, max_delay=0.5)
+    with pytest.raises(ApiMisuseError):
+        RetryPolicy(multiplier=0.5)
+
+
+# -- CircuitBreaker ----------------------------------------------------------------
+
+
+def test_breaker_state_machine_with_scripted_clock():
+    ticks = iter([0.0, 0.1, 0.2, 0.9, 1.3, 1.4, 1.5, 2.6])
+    breaker = CircuitBreaker(
+        "friends",
+        BreakerConfig(failure_threshold=2, reset_timeout=1.0),
+        clock=lambda: next(ticks),
+    )
+    assert breaker.state == "closed"
+    assert breaker.record_failure() is False  # t=0.0
+    assert breaker.record_failure() is True  # t=0.1: trips
+    assert breaker.state == "open"
+    assert breaker.allow() is False  # t=0.2: still open
+    assert breaker.allow() is False  # t=0.9: still open
+    assert breaker.allow() is True  # t=1.3: half-open probe admitted
+    assert breaker.state == "half_open"
+    assert breaker.allow() is False  # t=1.4: probe outstanding
+    assert breaker.record_failure() is True  # t=1.5: probe failed, re-open
+    assert breaker.state == "open"
+    assert breaker.allow() is True  # t=2.6: next probe window
+    breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.trips == 2
+
+
+def test_breaker_success_resets_the_failure_streak():
+    clock = iter(float(i) * 0.001 for i in range(100))
+    breaker = CircuitBreaker(
+        "friends", BreakerConfig(failure_threshold=3), clock=lambda: next(clock)
+    )
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()  # streak broken
+    assert breaker.record_failure() is False
+    assert breaker.state == "closed"
+
+
+def test_breaker_half_open_readmits_a_lost_probe():
+    ticks = iter([0.0, 5.0, 5.1, 12.0])
+    breaker = CircuitBreaker(
+        "friends",
+        BreakerConfig(failure_threshold=1, reset_timeout=2.0),
+        clock=lambda: next(ticks),
+    )
+    breaker.record_failure()  # t=0.0: open
+    assert breaker.allow() is True  # t=5.0: half-open probe
+    assert breaker.allow() is False  # t=5.1: outstanding
+    assert breaker.allow() is True  # t=12.0: probe presumed lost, re-admit
+    assert breaker.state == "half_open"
+
+
+# -- integration: charge-safe retries ----------------------------------------------
+
+
+@pytest.fixture
+def chaotic_backend(social_db):
+    """The social database behind a 10% transient-fault schedule.
+
+    ``post_charge_fraction=1.0`` makes every fault the nasty kind: the inner
+    access has already charged the counter when the error fires, so any
+    retry loop that fails to roll back double-charges visibly.
+    """
+    plan = FaultPlan(seed=13, transient_fault_rate=0.10, post_charge_fraction=1.0)
+    return FaultInjectingBackend(social_db, plan), plan
+
+
+def test_retried_requests_match_the_serial_reference_and_stay_charged_within_bounds(
+    chaotic_backend, access, form_template, bindings, serial_reference
+):
+    backend, plan = chaotic_backend
+    with QueryService(
+        backend,
+        access,
+        workers=1,
+        resilience=ResiliencePolicy(retry=FAST_RETRY),
+    ) as service:
+        results = service.run_many(form_template, bindings)
+        stats = service.stats()
+    assert plan.stats()["transient"] > 0, "the schedule must actually inject faults"
+    assert stats["execution"]["retries"] > 0, "faults must actually be retried"
+    assert stats["completed"] == len(bindings)
+    assert stats["failures"] == 0
+    for result, reference in zip(results, serial_reference):
+        # Byte-identical answers whenever retries ultimately succeed.
+        assert result.rows.rows == reference.rows.rows
+        # Charge-safe: the measured |D_Q| is one clean execution's, within
+        # the plan's a-priori bound — retries never double-charge.
+        assert result.stats.tuples_accessed == reference.stats.tuples_accessed
+        assert result.stats.tuples_accessed <= result.stats.plan_bound
+
+
+def test_negative_control_without_retries_fails_requests(
+    chaotic_backend, access, form_template, bindings
+):
+    backend, _ = chaotic_backend
+    with QueryService(backend, access, workers=1) as service:
+        futures = service.submit_many(form_template, bindings)
+        errors = [future.exception() for future in futures]
+        stats = service.stats()
+    failed = [error for error in errors if error is not None]
+    assert failed, "without retries the fault schedule must fail requests"
+    assert all(isinstance(error, TransientStorageError) for error in failed)
+    assert stats["failures"] == len(failed)
+    assert stats["execution"]["retries"] == 0
+
+
+# -- integration: breakers ---------------------------------------------------------
+
+
+def test_breaker_trips_on_outage_and_recovers_after_reset(
+    social_db, access, form_template, bindings
+):
+    plan = FaultPlan(seed=0)
+    backend = FaultInjectingBackend(social_db, plan)
+    resilience = ResiliencePolicy(
+        breaker=BreakerConfig(failure_threshold=2, reset_timeout=0.05)
+    )
+    with QueryService(backend, access, workers=1, resilience=resilience) as service:
+        assert not service.run(form_template, **bindings[0]).degraded
+
+        plan.fail_relation("friends")
+        outage_errors = [
+            service.submit(form_template, **binding).exception()
+            for binding in bindings[:3]
+        ]
+        assert all(isinstance(error, StorageUnavailableError) for error in outage_errors)
+        # The third request was refused by the breaker, not by storage.
+        assert "circuit breaker" in str(outage_errors[2])
+        assert service.stats()["breakers"]["friends"] == "open"
+        assert service.stats()["execution"]["breaker_trips"] >= 1
+
+        plan.restore_relation("friends")
+        time.sleep(0.06)  # past the reset timeout: next request is the probe
+        result = service.run(form_template, **bindings[0])
+        assert not result.degraded
+        assert service.stats()["breakers"]["friends"] == "closed"
+        assert "breaker trips" in service.describe()
+
+
+# -- integration: graceful degradation ---------------------------------------------
+
+
+def test_degradation_serves_stale_then_partial_answers(
+    social_db, access, form_template, bindings
+):
+    plan = FaultPlan(seed=0)
+    backend = FaultInjectingBackend(social_db, plan)
+    resilience = ResiliencePolicy(degradation=DegradationPolicy())
+    with QueryService(backend, access, workers=1, resilience=resilience) as service:
+        fresh = service.run(form_template, **bindings[0])
+        assert not fresh.degraded
+
+        plan.fail_relation("friends")
+        stale = service.run(form_template, **bindings[0])
+        assert isinstance(stale, DegradedResult)
+        assert stale.degraded and stale.kind == "stale"
+        assert stale.tuples == fresh.tuples  # the cached prior answer
+        assert stale.staleness is not None and stale.staleness >= 0.0
+        assert isinstance(stale.cause, StorageUnavailableError)
+
+        partial = service.run(form_template, **bindings[1])  # never served before
+        assert isinstance(partial, DegradedResult)
+        assert partial.kind == "partial" and partial.is_empty
+        assert partial.failed_relation == "friends"
+        assert "friends" in partial.describe()
+
+        stats = service.stats()
+        assert stats["degraded"] == 2
+        assert stats["execution"]["degraded"] == 2
+        assert stats["failures"] == 0
+
+
+def test_degradation_respects_the_stale_ttl(social_db, access, form_template, bindings):
+    plan = FaultPlan(seed=0)
+    backend = FaultInjectingBackend(social_db, plan)
+    resilience = ResiliencePolicy(
+        degradation=DegradationPolicy(stale_ttl=0.0, partial=False)
+    )
+    with QueryService(backend, access, workers=1, resilience=resilience) as service:
+        service.run(form_template, **bindings[0])
+        plan.fail_relation("friends")
+        # TTL 0 rejects the cached answer and partial is off: the typed
+        # error surfaces instead of a degraded answer.
+        with pytest.raises(StorageUnavailableError):
+            service.run(form_template, **bindings[0])
+
+
+# -- satellite: richer timeout context ---------------------------------------------
+
+
+def test_service_timeout_names_plan_key_elapsed_and_limit(
+    social_db, access, form_template, bindings
+):
+    with QueryService(social_db, access, workers=1) as service:
+        error = service.submit(form_template, deadline=0.0, **bindings[0]).exception()
+    assert isinstance(error, ServiceTimeout)
+    assert error.plan_key == form_template.plan_key()
+    assert error.elapsed is not None
+    assert error.limit == pytest.approx(0.0, abs=1e-3)
+    assert "elapsed" in str(error) and "plan key" in str(error)
+
+
+# -- satellite: close(drain=False) never hangs -------------------------------------
+
+
+def test_close_without_drain_interrupts_retry_backoff(
+    social_db, access, form_template, bindings
+):
+    """A worker sleeping out a long backoff must not delay close(drain=False)."""
+    plan = FaultPlan(seed=1, transient_fault_rate=1.0, post_charge_fraction=0.0)
+    backend = FaultInjectingBackend(social_db, plan)
+    slow_retry = RetryPolicy(
+        max_attempts=5, base_delay=30.0, max_delay=30.0, rng=SeededJitter(0).uniform
+    )
+    service = QueryService(
+        backend, access, workers=1, resilience=ResiliencePolicy(retry=slow_retry)
+    )
+    futures = service.submit_many(form_template, bindings[:3])
+    deadline = time.monotonic() + 5.0
+    while service.stats()["execution"]["retries"] == 0:
+        assert time.monotonic() < deadline, "worker never reached its backoff"
+        time.sleep(0.01)
+    started = time.monotonic()
+    service.close(drain=False)
+    assert time.monotonic() - started < 5.0, "close waited out the retry backoff"
+    errors = [future.exception(timeout=1.0) for future in futures]
+    assert all(isinstance(error, ServiceClosedError) for error in errors)
+    assert "retry backoff" in str(errors[0])
+    service.close()  # idempotent

@@ -1,0 +1,241 @@
+"""Fault injection and wrapper-backend behavior: deterministic chaos at the seam.
+
+Covers the storage half of the resilience subsystem: the seeded
+:class:`FaultPlan` schedule (reproducible from its seed alone), the typed
+fault taxonomy (transient vs unavailable, pre- vs post-charge), runtime
+outage toggling, charging transparency of the wrappers, decorator
+composition, and the seeded-jitter latency mode of the refactored
+:class:`LatencyInjectingBackend`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ApiMisuseError,
+    StorageUnavailableError,
+    TransientStorageError,
+)
+from repro.execution import BoundedEngine
+from repro.spc import ParameterizedQuery
+from repro.storage import (
+    FaultInjectingBackend,
+    FaultPlan,
+    LatencyInjectingBackend,
+    SeededJitter,
+    WrapperBackend,
+    as_backend,
+)
+from repro.workloads import (
+    generate_social_database,
+    query_q1,
+    social_access_schema,
+)
+
+
+@pytest.fixture(scope="module")
+def social_db():
+    return generate_social_database(scale=0.25, seed=3)
+
+
+def _template():
+    q1 = query_q1()
+    return ParameterizedQuery(
+        q1, {"album": q1.ref("ia", "album_id"), "user": q1.ref("f", "user_id")}
+    )
+
+
+# -- SeededJitter ------------------------------------------------------------------
+
+
+def test_seeded_jitter_is_deterministic_and_uniform_range():
+    a, b = SeededJitter(42), SeededJitter(42)
+    draws = [a.uniform() for _ in range(200)]
+    assert draws == [b.uniform() for _ in range(200)]
+    assert all(0.0 <= draw < 1.0 for draw in draws)
+    # Different seeds give different streams.
+    assert draws != [SeededJitter(43).uniform() for _ in range(200)]
+    # Crude uniformity: the mean of 200 draws is nowhere near the edges.
+    assert 0.3 < sum(draws) / len(draws) < 0.7
+
+
+# -- FaultPlan: the deterministic schedule -----------------------------------------
+
+
+def test_fault_plan_is_deterministic_from_its_seed():
+    operations = [("friends", "fetch"), ("tagging", "scan"), ("in_album", "fetch")] * 20
+    plans = [
+        FaultPlan(seed=11, transient_fault_rate=0.4, spike_rate=0.2, spike_seconds=0.01)
+        for _ in range(2)
+    ]
+    schedules = [
+        [plan.decide(relation, operation) for relation, operation in operations]
+        for plan in plans
+    ]
+    assert schedules[0] == schedules[1]
+    assert any(decision.transient for decision in schedules[0])
+    assert any(decision.spike_seconds > 0 for decision in schedules[0])
+
+
+def test_fault_plan_rate_zero_injects_nothing():
+    plan = FaultPlan(seed=5)
+    for _ in range(100):
+        decision = plan.decide("friends", "fetch")
+        assert not decision.transient and not decision.unavailable
+        assert decision.spike_seconds == 0.0
+    assert plan.stats() == {"transient": 0, "outages": 0, "spikes": 0}
+
+
+def test_fault_plan_post_charge_fraction_splits_the_faults():
+    always_after = FaultPlan(seed=1, transient_fault_rate=1.0, post_charge_fraction=1.0)
+    always_before = FaultPlan(seed=1, transient_fault_rate=1.0, post_charge_fraction=0.0)
+    for _ in range(20):
+        assert always_after.decide("friends", "fetch").after_charge
+        assert not always_before.decide("friends", "fetch").after_charge
+
+
+def test_fault_plan_outages_toggle_at_runtime():
+    plan = FaultPlan(seed=0, unavailable_relations=["friends"])
+    assert plan.decide("friends", "fetch").unavailable
+    assert not plan.decide("tagging", "fetch").unavailable
+    plan.restore_relation("friends")
+    assert not plan.decide("friends", "fetch").unavailable
+    plan.fail_relation("tagging")
+    assert plan.decide("tagging", "scan").unavailable
+    assert plan.stats()["outages"] == 2
+
+
+def test_fault_plan_scan_rate_defaults_and_overrides():
+    plan = FaultPlan(seed=2, transient_fault_rate=1.0, scan_fault_rate=0.0)
+    assert not plan.decide("friends", "scan").transient
+    assert plan.decide("friends", "fetch").transient
+
+
+def test_fault_plan_validates_probabilities():
+    with pytest.raises(ApiMisuseError):
+        FaultPlan(transient_fault_rate=1.5)
+    with pytest.raises(ApiMisuseError):
+        FaultPlan(post_charge_fraction=-0.1)
+
+
+# -- FaultInjectingBackend ---------------------------------------------------------
+
+
+def test_injected_faults_carry_the_typed_taxonomy(social_db):
+    chaotic = FaultInjectingBackend(
+        social_db, FaultPlan(seed=3, transient_fault_rate=1.0, post_charge_fraction=0.0)
+    )
+    with pytest.raises(TransientStorageError) as transient:
+        chaotic.scan("friends")
+    assert transient.value.relation == "friends"
+    assert transient.value.operation == "scan"
+    assert transient.value.charged is False
+
+    down = FaultInjectingBackend(social_db, FaultPlan(unavailable_relations=["friends"]))
+    with pytest.raises(StorageUnavailableError) as outage:
+        down.scan("friends")
+    assert outage.value.relation == "friends"
+
+
+def test_post_charge_fault_fires_after_the_counter_was_charged(social_db):
+    backend = as_backend(social_db)
+    chaotic = FaultInjectingBackend(
+        backend, FaultPlan(seed=3, transient_fault_rate=1.0, post_charge_fraction=1.0)
+    )
+    mark = backend.counter.snapshot()
+    with pytest.raises(TransientStorageError) as caught:
+        chaotic.scan("friends")
+    assert caught.value.charged is True
+    charged = backend.counter.since(mark).total
+    assert charged > 0  # the inner access went through before the fault
+    backend.counter.restore(mark)
+    assert backend.counter.since(mark).total == 0
+
+
+def test_quiet_plan_is_charging_and_result_transparent(social_db):
+    backend = as_backend(social_db)
+    quiet = FaultInjectingBackend(backend, FaultPlan(seed=9))
+    mark = backend.counter.snapshot()
+    direct = backend.scan("friends")
+    direct_cost = backend.counter.since(mark).total
+    mark = backend.counter.snapshot()
+    wrapped = quiet.scan("friends")
+    assert wrapped == direct
+    assert backend.counter.since(mark).total == direct_cost
+    assert quiet.kind == backend.kind
+    assert quiet.counter is backend.counter
+
+
+def test_plan_execution_experiences_faults_through_views(social_db):
+    """The bounded executor probes via build_indexes views, not raw fetch."""
+    chaotic = FaultInjectingBackend(
+        social_db, FaultPlan(seed=7, transient_fault_rate=1.0, post_charge_fraction=0.0)
+    )
+    engine = BoundedEngine(social_access_schema())
+    prepared = engine.prepare_query(_template())
+    prepared.warm(chaotic)
+    with pytest.raises(TransientStorageError) as caught:
+        prepared.execute(chaotic, album="a0", user="u0")
+    # The compiled runtime stamps which fetch step the fault interrupted.
+    assert caught.value.step is not None
+    assert caught.value.relation is not None
+
+
+def test_decorators_compose(social_db):
+    stacked = FaultInjectingBackend(
+        LatencyInjectingBackend(social_db, access_latency=0.0001),
+        FaultPlan(seed=1, transient_fault_rate=1.0, post_charge_fraction=0.0),
+    )
+    with pytest.raises(TransientStorageError):
+        stacked.scan("friends")
+    quiet = FaultInjectingBackend(
+        LatencyInjectingBackend(social_db, access_latency=0.0001), FaultPlan(seed=1)
+    )
+    assert quiet.scan("friends") == as_backend(social_db).scan("friends")
+
+
+# -- WrapperBackend + latency jitter (the shared decorator base) -------------------
+
+
+def test_wrapper_backend_is_a_transparent_identity(social_db):
+    backend = as_backend(social_db)
+    wrapped = WrapperBackend(social_db)
+    assert wrapped.inner is backend
+    assert wrapped.kind == backend.kind
+    assert wrapped.relation_names() == backend.relation_names()
+    assert wrapped.scan("friends") == backend.scan("friends")
+    assert wrapped.cardinality("friends") == backend.cardinality("friends")
+
+
+def test_latency_jitter_draws_stay_in_the_window_and_replay():
+    slow = LatencyInjectingBackend(
+        generate_social_database(scale=0.1, seed=0),
+        access_latency=0.01,
+        jitter=0.5,
+        seed=4,
+    )
+    replay = LatencyInjectingBackend(
+        generate_social_database(scale=0.1, seed=0),
+        access_latency=0.01,
+        jitter=0.5,
+        seed=4,
+    )
+    delays = [slow._delay() for _ in range(50)]
+    assert delays == [replay._delay() for _ in range(50)]
+    assert all(0.005 <= delay <= 0.015 for delay in delays)
+    assert len(set(delays)) > 1  # genuinely jittered
+
+
+def test_latency_jitter_zero_is_the_fixed_delay_mode():
+    slow = LatencyInjectingBackend(
+        generate_social_database(scale=0.1, seed=0), access_latency=0.002
+    )
+    assert [slow._delay() for _ in range(5)] == [0.002] * 5
+
+
+def test_latency_jitter_validates_fraction():
+    with pytest.raises(ApiMisuseError):
+        LatencyInjectingBackend(
+            generate_social_database(scale=0.1, seed=0), jitter=1.5
+        )
