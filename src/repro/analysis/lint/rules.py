@@ -28,11 +28,18 @@ the linter proves the *lexical* half statically, on every file, every CI run:
     ``AssertionError`` for invariant checks).
 ``REPRO005``
     Fault visibility (the resilience contract of PR 7): in the serving and
-    storage layers (``service/``, ``storage/``) a *broad* exception handler
-    (bare ``except``, ``except Exception``, ``except BaseException``) must
-    either re-raise or bind the error and pass it on — a handler that
-    silently swallows a storage fault hides exactly the failures the retry /
-    breaker / degradation machinery exists to account for.
+    storage layers (``service/``, ``storage/``, ``sharding/``) a *broad*
+    exception handler (bare ``except``, ``except Exception``,
+    ``except BaseException``) must either re-raise or bind the error and pass
+    it on — a handler that silently swallows a storage fault hides exactly
+    the failures the retry / breaker / degradation machinery exists to
+    account for.
+``REPRO006``
+    Process-stable hashing (the sharding contract of PR 8): cross-process
+    routing and partitioning decisions (``sharding/``) never use builtin
+    ``hash()`` — string hashing is salted per process (``PYTHONHASHSEED``),
+    so a router and its shard workers would disagree about where keys live.
+    :mod:`repro.util.stablehash` is the sanctioned seam.
 """
 
 from __future__ import annotations
@@ -70,7 +77,7 @@ UNCHARGED_CALLS = frozenset({"probe", "probe_shared", "record_scan", "record_pro
 DATA_LAYERS = frozenset({"relational", "access", "storage"})
 
 #: Hot-path packages for the determinism rule.
-HOT_PATH_PACKAGES = frozenset({"execution", "service", "storage"})
+HOT_PATH_PACKAGES = frozenset({"execution", "service", "storage", "sharding"})
 
 #: Methods where unguarded writes establish (not share) state.
 _SETUP_METHODS = frozenset({"__init__", "__post_init__", "__new__", "__set_name__"})
@@ -100,7 +107,7 @@ class LockDisciplineRule(Rule):
 
     def _applies(self, module: Module) -> bool:
         parts = module.parts
-        if "service" in parts:
+        if "service" in parts or "sharding" in parts:
             return True
         return "execution" in parts and parts[-1] in {"cache.py", "metrics.py"}
 
@@ -289,7 +296,7 @@ class SwallowedExceptionRule(Rule):
     BROAD_CATCHES = frozenset({"Exception", "BaseException"})
 
     #: Packages where fault visibility is contractual.
-    FAULT_LAYERS = frozenset({"service", "storage"})
+    FAULT_LAYERS = frozenset({"service", "storage", "sharding"})
 
     def check(self, module: Module) -> Iterator[Finding]:
         if not any(part in self.FAULT_LAYERS for part in module.parts):
@@ -345,6 +352,36 @@ class SwallowedExceptionRule(Rule):
         )
 
 
+class StableHashRule(Rule):
+    """REPRO006: routing/partitioning decisions use process-stable hashing."""
+
+    id = "REPRO006"
+    description = (
+        "builtin hash() is salted per process and must not decide cross-process "
+        "routing or partitioning; use repro.util.stablehash"
+    )
+
+    #: Packages whose modules make cross-process placement decisions.
+    ROUTING_LAYERS = frozenset({"sharding"})
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not any(part in self.ROUTING_LAYERS for part in module.parts):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "builtin `hash()` in a cross-process routing module; its "
+                    "string hashing is salted per process — use "
+                    "repro.util.stablehash.stable_hash/stable_shard",
+                )
+
+
 #: The default rule set, in identifier order.
 DEFAULT_RULES: tuple[Rule, ...] = (
     LockDisciplineRule(),
@@ -352,4 +389,5 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     DeterminismSeamRule(),
     TypedErrorRule(),
     SwallowedExceptionRule(),
+    StableHashRule(),
 )

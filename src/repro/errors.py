@@ -8,8 +8,36 @@ being able to distinguish schema problems from planning problems.
 from __future__ import annotations
 
 
+def _rebuild_error(cls: type, args: tuple, state: dict) -> "ReproError":
+    """Reconstruct a typed error from its pickled ``(class, args, state)``.
+
+    The stdlib pickles an exception as ``cls(*self.args)``, which breaks for
+    the richer constructors in this taxonomy twice over: subclasses whose
+    ``__init__`` takes structured fields (``BudgetExceededError(accessed,
+    budget, ...)``) cannot be re-called with the rendered message, and
+    message-decorating constructors (``UnknownRelationError``) would decorate
+    a second time on the way back in.  Rebuilding via ``__new__`` and
+    restoring ``args`` + ``__dict__`` wholesale round-trips every error —
+    message, structured fields (``relation``/``step``/``charged``/...) and
+    all — which is what faithful cross-process propagation needs.
+    """
+    error = cls.__new__(cls)
+    error.args = args
+    error.__dict__.update(state)
+    return error
+
+
 class ReproError(Exception):
-    """Base class for all errors raised by the library."""
+    """Base class for all errors raised by the library.
+
+    Every subclass pickle-round-trips safely (message and structured
+    attributes preserved) regardless of its constructor signature — the
+    serving layer's shard router depends on this to propagate typed errors
+    across process boundaries.
+    """
+
+    def __reduce__(self):
+        return (_rebuild_error, (type(self), self.args, dict(self.__dict__)))
 
 
 class SchemaError(ReproError):
@@ -285,3 +313,42 @@ class ServiceOverloadedError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """A request was submitted to a service that has been closed."""
+
+
+class ShardError(ServiceError):
+    """Base class for failures of the sharded serving layer (:mod:`repro.sharding`).
+
+    Carries the ``shard`` index the failure is attributed to, when known
+    (``None`` for router-side failures that never reached a shard).
+    """
+
+    def __init__(self, message: str, shard: int | None = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
+class ShardRoutingError(ShardError):
+    """A template cannot be routed under the service's partitioning scheme.
+
+    Raised at registration time — before any request of the template is
+    dispatched — when the router's per-step safety analysis cannot prove that
+    executing the plan on a single shard returns byte-identical results to
+    executing it against the full data (e.g. a step probes a partitioned
+    relation on keys that may match rows living on other shards).  The fix is
+    a different partition key, replicating the relation, or an unsharded
+    service.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, shard=None)
+
+
+class ShardCrashedError(ShardError):
+    """A shard worker process died with requests in flight.
+
+    Every pending request routed to the dead shard resolves to this error,
+    and later submissions that route to it are rejected with it synchronously
+    — the shard is not restarted (restart policy belongs to the operator, not
+    the router), so the failure stays visible instead of silently shrinking
+    the data.
+    """

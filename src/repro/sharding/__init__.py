@@ -1,0 +1,32 @@
+"""Multi-process sharded serving: a router + per-shard engines past the GIL.
+
+The thread-based :class:`~repro.service.QueryService` scales while workers
+wait (storage round-trips release the GIL) and flatlines when per-request
+cost is interpreter work — the GIL admits one thread of bytecode per process.
+This package is the tier past that ceiling:
+
+* :class:`ShardMap` (:mod:`~repro.sharding.partition`) — the data placement:
+  partitioned relations are split across shards by a **process-stable hash**
+  (:mod:`repro.util.stablehash`) of their partition key, everything else is
+  replicated to every shard;
+* :class:`ShardedQueryService` (:mod:`~repro.sharding.router`) — the serving
+  front-end: routes each request to one shard worker **process**, performs
+  certificate-based admission control (the paper's a-priori Σ Mᵢ bound costs
+  a request *before* any IPC), batches request envelopes per shard, and
+  merges results, errors and stats back;
+* :mod:`~repro.sharding.worker` — the shard child process: a full
+  :class:`~repro.service.QueryService` (own engine, own compiled-plan/EBCheck
+  caches, own resilience policy) over its slice of the data;
+* :mod:`~repro.sharding.messages` — the typed IPC envelopes; every error
+  crossing the boundary is a pickle-safe member of :mod:`repro.errors`.
+
+The routing analysis (:func:`~repro.sharding.partition.resolve_route`) only
+admits templates it can *prove* return byte-identical results on one shard —
+anything else is a typed :class:`~repro.errors.ShardRoutingError` at
+registration time, never a silently partial answer.
+"""
+
+from .partition import Route, ShardMap, resolve_route
+from .router import ShardedQueryService
+
+__all__ = ["Route", "ShardMap", "ShardedQueryService", "resolve_route"]

@@ -1,0 +1,113 @@
+"""Typed IPC envelopes between the router and its shard worker processes.
+
+Everything crossing the process boundary is one of these frozen dataclasses,
+pickled over a :func:`multiprocessing.Pipe`.  The serialization contract:
+
+========================  =========================================================
+crosses the boundary      how
+========================  =========================================================
+templates                 :class:`~repro.spc.parameters.ParameterizedQuery`
+                          pickles whole, **once per (template, shard)** — requests
+                          then carry only the small router-assigned ``template_id``
+parameters / results      plain attribute-domain values;
+                          :class:`~repro.execution.metrics.ExecutionResult` pickles
+                          with its rows and stats intact
+errors                    the typed taxonomy of :mod:`repro.errors`
+                          (pickle-round-trip safe via ``ReproError.__reduce__``);
+                          anything unpicklable is downgraded to a
+                          :class:`~repro.errors.ShardError` carrying its repr
+deadlines                 **remaining seconds**, never absolute timestamps —
+                          monotonic clocks are per-process, so the worker re-anchors
+                          the deadline on its own clock on receipt
+========================  =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..execution.metrics import ExecutionResult
+from ..spc.parameters import ParameterizedQuery
+
+
+@dataclass(frozen=True)
+class RegisterTemplate:
+    """Router → shard: introduce a template under a small integer id.
+
+    Sent once per (template, shard), always ahead of the first request that
+    references ``template_id`` on the same FIFO pipe, so the worker never
+    sees an unknown id.  The worker prepares and warms the template in its
+    own engine; a failure is remembered and replayed as the typed error of
+    every request that references the id.
+    """
+
+    template_id: int
+    template: ParameterizedQuery
+
+
+@dataclass(frozen=True)
+class ShardRequest:
+    """One routed request inside an :class:`ExecuteBatch` envelope."""
+
+    request_id: int
+    template_id: int
+    params: Mapping[str, Any]
+    #: Remaining seconds until the request's deadline (``None``: none).
+    deadline_seconds: float | None
+    #: Tuple-access budget (``None``: the plan's own bound).
+    budget: int | None
+
+
+@dataclass(frozen=True)
+class ExecuteBatch:
+    """Router → shard: a batch of same-shard requests, answered as one
+    :class:`BatchDone` (micro-batching amortizes the IPC round-trip, the
+    sharded analogue of the thread service's same-template queue drains)."""
+
+    requests: tuple[ShardRequest, ...]
+
+
+@dataclass(frozen=True)
+class RequestDone:
+    """One request's outcome: exactly one of ``result``/``error`` is set."""
+
+    request_id: int
+    result: ExecutionResult | Any | None = None
+    error: BaseException | None = None
+
+
+@dataclass(frozen=True)
+class BatchDone:
+    """Shard → router: the outcomes of one :class:`ExecuteBatch`, in order."""
+
+    outcomes: tuple[RequestDone, ...]
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Router → shard: ask for the worker's service stats snapshot."""
+
+    serial: int
+
+
+@dataclass(frozen=True)
+class StatsReply:
+    """Shard → router: the stats snapshot (plain dict of primitives)."""
+
+    serial: int
+    stats: Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Router → shard: stop serving and exit the process cleanly."""
+
+    drain: bool = True
+
+
+@dataclass(frozen=True)
+class ShardFatal:
+    """Shard → router: the worker's dispatch loop died; the process is exiting."""
+
+    error: BaseException

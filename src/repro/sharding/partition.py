@@ -1,0 +1,296 @@
+"""Data placement and routing analysis for the sharded service.
+
+**Placement** (:class:`ShardMap`): each *partitioned* relation is split
+across ``num_shards`` buckets by a process-stable hash of its partition-key
+attributes; every other relation is *replicated* to all shards.  The hash is
+:func:`repro.util.stablehash.stable_shard` — builtin ``hash()`` is salted per
+process and would place the same key differently in router and workers
+(REPRO006 lints this contract).
+
+**Routing analysis** (:func:`resolve_route`): before a template's first
+request is dispatched, the router must prove that executing its bounded plan
+against one shard's slice returns **byte-identical** results to executing it
+against the full data.  The proof is per fetch step:
+
+* a step on a replicated relation is trivially identical;
+* a step on partitioned relation ``R`` (partition key ``P``) is safe when
+
+  - **anchored**: its constraint key ``X ⊇ P`` and every ``P`` attribute is
+    bound from the request itself (a parameter slot or a plan constant) —
+    then every matching row carries the routing key and lives on the routed
+    shard; or
+  - **a unique self-lookup**: the constraint bound is ``N = 1`` and every
+    ``X`` attribute is a column of ``R`` produced by one earlier step on
+    ``R`` — the probed key is then the ``X``-projection of a row already on
+    this shard, and ``N = 1`` makes that row the only match anywhere.
+
+The first anchored step supplies the routing key (the "fetch step's first
+constraint key").  Plans with no partitioned relation are **spread**-routed:
+any shard holds all their data, so the router picks one deterministically
+from the bound parameter values.  Everything else raises a typed
+:class:`~repro.errors.ShardRoutingError` — the router refuses to guess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..errors import ApiMisuseError, ShardRoutingError, UnknownAttributeError
+from ..planning.plan import ColumnSource, ConstSource, ParamSource, PreparedPlan
+from ..util.stablehash import stable_shard
+
+Row = tuple[Any, ...]
+
+#: One routing-key ingredient: ``("param", slot_name)`` or ``("const", value)``.
+KeySpec = tuple[str, Any]
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """The placement scheme: which relations are partitioned, on what, how many ways.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of shard worker processes.
+    partitioned:
+        ``relation -> partition-key attributes``.  A relation listed here is
+        split across shards by the stable hash of those attributes' values;
+        relations not listed are replicated to every shard.
+    seed:
+        Hash seed, so disjoint services can use decorrelated placements.
+
+    Example
+    -------
+    >>> shard_map = ShardMap(4, {"accident": ("date",)})
+    >>> shard_map.is_partitioned("accident"), shard_map.is_partitioned("vehicle")
+    (True, False)
+    >>> shard_map.shard_of_key("accident", ("2019-03-07",)) in range(4)
+    True
+    """
+
+    num_shards: int
+    partitioned: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ApiMisuseError(
+                f"num_shards must be positive, got {self.num_shards}"
+            )
+        normalized = {
+            relation: tuple(attrs) for relation, attrs in self.partitioned.items()
+        }
+        for relation, attrs in normalized.items():
+            if not attrs:
+                raise ApiMisuseError(
+                    f"partition key for relation {relation!r} must name at "
+                    f"least one attribute"
+                )
+        object.__setattr__(self, "partitioned", normalized)
+
+    @classmethod
+    def for_template(
+        cls,
+        template: Any,
+        access_schema: Any,
+        num_shards: int,
+        seed: int = 0,
+    ) -> "ShardMap":
+        """The natural placement for one template: partition on its routing key.
+
+        Compiles the template (plan only — no data touched), takes the first
+        fetch step's constraint key ``X`` as the partition key of that step's
+        relation, and replicates everything else.  The result routes the
+        template "keyed" by construction; whether *other* templates remain
+        routable under it is checked per template by :func:`resolve_route`.
+
+        >>> from repro.spc import ParameterizedQuery
+        >>> from repro.workloads import query_q1, social_access_schema
+        >>> q1 = query_q1()
+        >>> template = ParameterizedQuery(
+        ...     q1, {"album": q1.ref("ia", "album_id"), "user": q1.ref("f", "user_id")})
+        >>> shard_map = ShardMap.for_template(
+        ...     template, social_access_schema(), num_shards=4)
+        >>> shard_map.partitioned
+        {'in_album': ('album_id',)}
+        """
+        from ..planning.qplan import prepare_plan
+
+        prepared = prepare_plan(template, access_schema)
+        first = prepared.plan.steps[0]
+        return cls(
+            num_shards,
+            {first.constraint.relation: tuple(first.constraint.x)},
+            seed=seed,
+        )
+
+    def is_partitioned(self, relation: str) -> bool:
+        """Whether ``relation`` is split across shards (vs replicated)."""
+        return relation in self.partitioned
+
+    def partition_key(self, relation: str) -> tuple[str, ...]:
+        """The partition-key attributes of a partitioned relation."""
+        return self.partitioned[relation]
+
+    def shard_of_key(self, relation: str, key_values: Sequence[Any]) -> int:
+        """The shard holding every ``relation`` row with this partition-key value."""
+        return stable_shard((relation, tuple(key_values)), self.num_shards, self.seed)
+
+    def shard_of_spread(self, token: Any) -> int:
+        """A deterministic shard for requests any shard can answer."""
+        return stable_shard(("spread", token), self.num_shards, self.seed)
+
+    def slice_rows(
+        self, attribute_names: Sequence[str], relation: str, rows: Sequence[Row]
+    ) -> list[list[Row]]:
+        """Bucket a partitioned relation's rows into per-shard slices."""
+        key = self.partitioned[relation]
+        positions = []
+        for attribute in key:
+            if attribute not in attribute_names:
+                raise UnknownAttributeError(relation, attribute)
+            positions.append(list(attribute_names).index(attribute))
+        slices: list[list[Row]] = [[] for _ in range(self.num_shards)]
+        for row in rows:
+            shard = self.shard_of_key(relation, tuple(row[p] for p in positions))
+            slices[shard].append(row)
+        return slices
+
+
+@dataclass(frozen=True)
+class Route:
+    """A proved routing decision for one template.
+
+    ``kind`` is ``"keyed"`` (requests go to the shard owning their partition
+    key; ``relation``/``key_attrs``/``key_specs`` say which key and where its
+    values come from) or ``"spread"`` (any shard can answer; the router
+    spreads deterministically over the bound parameter values).
+    """
+
+    kind: str
+    relation: str | None = None
+    key_attrs: tuple[str, ...] = ()
+    key_specs: tuple[KeySpec, ...] = ()
+
+    def shard_for(self, shard_map: ShardMap, slot_values: Mapping[str, Any]) -> int:
+        """The shard index of one request, given its bound slot values."""
+        if self.kind == "keyed":
+            key = tuple(
+                slot_values[spec] if source == "param" else spec
+                for source, spec in self.key_specs
+            )
+            return shard_map.shard_of_key(self.relation, key)
+        token = tuple(sorted(slot_values.items()))
+        return shard_map.shard_of_spread(token)
+
+
+def resolve_route(prepared_plan: PreparedPlan, shard_map: ShardMap) -> Route:
+    """Prove a template routable under ``shard_map``, or raise typed.
+
+    Performs the per-step safety analysis described in the module docstring
+    and returns the :class:`Route`.  Raises
+    :class:`~repro.errors.ShardRoutingError` when any step could touch rows
+    outside the routed shard — the error message names the offending step so
+    the fix (different partition key, replicate the relation) is actionable.
+    """
+    plan = prepared_plan.plan
+    query = prepared_plan.template.query
+    steps = plan.steps
+    partitioned_steps = [
+        step for step in steps if shard_map.is_partitioned(step.constraint.relation)
+    ]
+    if not partitioned_steps:
+        return Route(kind="spread")
+
+    relations = {step.constraint.relation for step in partitioned_steps}
+    if len(relations) > 1:
+        raise ShardRoutingError(
+            f"plan touches multiple partitioned relations {sorted(relations)}; "
+            f"a request can be routed to only one shard — replicate all but one"
+        )
+    relation = next(iter(relations))
+    key = shard_map.partition_key(relation)
+
+    anchor = None
+    for step in partitioned_steps:
+        specs = _anchor_specs(step, key)
+        if specs is not None:
+            anchor = (step, specs)
+            break
+    if anchor is None:
+        raise ShardRoutingError(
+            f"no fetch step binds partitioned relation {relation!r} on its full "
+            f"partition key {key} from request parameters or constants; the "
+            f"router cannot derive a shard before dispatch"
+        )
+    anchor_step, anchor_specs = anchor
+
+    for step in partitioned_steps:
+        if step.index == anchor_step.index:
+            continue
+        specs = _anchor_specs(step, key)
+        if specs is not None:
+            if specs != anchor_specs:
+                raise ShardRoutingError(
+                    f"fetch step T{step.index} constrains {relation!r} on "
+                    f"partition key {key} with different values than the "
+                    f"routing step T{anchor_step.index}; its matches may live "
+                    f"on another shard"
+                )
+            continue
+        if _is_unique_self_lookup(step, relation, steps, query):
+            continue
+        raise ShardRoutingError(
+            f"fetch step T{step.index} probes partitioned relation "
+            f"{relation!r} via {step.constraint.x} with keys that may match "
+            f"rows on other shards; partition on a key every step constrains, "
+            f"or replicate the relation"
+        )
+
+    return Route(
+        kind="keyed",
+        relation=relation,
+        key_attrs=key,
+        key_specs=anchor_specs,
+    )
+
+
+def _anchor_specs(step: Any, key: tuple[str, ...]) -> tuple[KeySpec, ...] | None:
+    """The routing-key specs if ``step`` binds the full partition key from the
+    request (parameter slots / plan constants), else ``None``."""
+    if not set(key).issubset(step.constraint.x):
+        return None
+    specs: list[KeySpec] = []
+    for attribute in key:
+        source = step.key_sources[attribute]
+        if isinstance(source, ParamSource):
+            specs.append(("param", source.name))
+        elif isinstance(source, ConstSource):
+            specs.append(("const", source.value))
+        else:
+            return None
+    return tuple(specs)
+
+
+def _is_unique_self_lookup(
+    step: Any, relation: str, steps: Sequence[Any], query: Any
+) -> bool:
+    """Whether ``step`` is an ``N = 1`` lookup keyed entirely by columns of
+    ``relation`` produced by one earlier step on ``relation`` (see module
+    docstring: the only possible match is a row already on the shard)."""
+    if step.constraint.bound != 1:
+        return False
+    origins = set()
+    for attribute in step.constraint.x:
+        source = step.key_sources[attribute]
+        if not isinstance(source, ColumnSource):
+            return False
+        column = source.column
+        if column.attribute != attribute:
+            return False
+        if query.atoms[column.atom].relation_name != relation:
+            return False
+        origins.add((source.step, column.atom))
+    return len(origins) == 1

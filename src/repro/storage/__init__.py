@@ -15,6 +15,9 @@ Backend *decorators* compose on the shared :class:`WrapperBackend` base:
 
 * :class:`LatencyInjectingBackend` adds one (optionally seeded-jittered)
   simulated storage round-trip per access operation;
+* :class:`CpuCostInjectingBackend` adds interpreter-exclusive CPU work per
+  access operation — the GIL-bound regime the sharded service
+  (:mod:`repro.sharding`) is measured against;
 * :class:`FaultInjectingBackend` injects a deterministic, seeded
   :class:`FaultPlan` of transient errors, persistent relation outages and
   latency spikes — the chaos seam the resilience layer
@@ -26,6 +29,7 @@ both.
 """
 
 from .base import StorageBackend, as_backend
+from .cpuwork import CpuCostInjectingBackend
 from .faults import FaultDecision, FaultInjectingBackend, FaultPlan
 from .latency import LatencyInjectingBackend
 from .memory import InMemoryBackend
@@ -33,6 +37,7 @@ from .sqlite import SQLiteBackend, SQLiteConstraintIndex, ThreadLocalConnections
 from .wrapper import SeededJitter, WrapperBackend
 
 __all__ = [
+    "CpuCostInjectingBackend",
     "FaultDecision",
     "FaultInjectingBackend",
     "FaultPlan",

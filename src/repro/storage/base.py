@@ -104,6 +104,17 @@ class StorageBackend(abc.ABC):
         """Total number of tuples across all relations (the paper's ``|D|``)."""
         return sum(self.cardinality(name) for name in self.relation_names())
 
+    @abc.abstractmethod
+    def dump(self, relation: str) -> list[Row]:
+        """All tuples of ``relation``, **without** charging the access counter.
+
+        The bulk-export seam: loading, replication and shard slicing move
+        data between stores, and data movement is not query answering — the
+        paper's ``|D_Q|`` accounting measures retrieval during execution, so
+        an export must not perturb it.  Counted reads go through
+        :meth:`scan`.
+        """
+
     @property
     def data_version(self) -> int:
         """Monotonic fingerprint of the stored data; 0 when always live.

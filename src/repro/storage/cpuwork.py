@@ -1,0 +1,167 @@
+"""A CPU-cost-injecting backend decorator: the GIL made measurable.
+
+The latency decorator (:mod:`repro.storage.latency`) simulates *I/O-bound*
+serving — its sleeps release the GIL, so thread workers overlap them and the
+thread tier scales.  The complementary regime is **CPU-bound** serving: when
+per-request cost is interpreter work (evaluating plans over page-cached
+data), the GIL serializes every thread in the process and the thread tier
+flatlines — the negative control the sharded service exists to beat.
+
+:class:`CpuCostInjectingBackend` models that regime explicitly: each counted
+access operation performs ``cpu_cost`` seconds of **interpreter-exclusive
+work** — work that, like bytecode execution under the GIL, at most one thread
+per process can perform at a time.  Two modes realize it:
+
+``"lock"`` (default)
+    Hold a module-level (hence per-process) lock for ``cpu_cost`` seconds.
+    Deterministic and host-independent: threads in one process serialize on
+    the lock exactly as they would on the GIL, while shard *processes* each
+    own their lock and overlap freely.  This is a **simulation** of CPU
+    work (the wait itself is a sleep), chosen so the thread-flatline /
+    process-scaling contrast is measurable even on a single-CPU host; the
+    benchmark records the mode so the number's provenance is explicit.
+``"spin"``
+    Busy-loop on the monotonic clock while holding the same lock — real CPU
+    burn for multi-core hosts, at the price of host-dependent timing.
+
+The wrapper is charging-transparent: results, ``tuples_accessed`` and bound
+enforcement are byte-for-byte those of the wrapped store.
+
+Example
+-------
+>>> from repro.relational import Database
+>>> from repro.workloads import social_schema
+>>> db = Database(social_schema())
+>>> db.extend("friends", [("u0", "u1")])
+>>> cpu = CpuCostInjectingBackend(db, cpu_cost=0.0001)
+>>> cpu.scan("friends")
+[('u0', 'u1')]
+>>> cpu.kind == db.backend.kind    # charging- and kind-transparent
+True
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterable, Sequence
+
+from ..access.constraint import AccessConstraint
+from ..errors import ApiMisuseError
+from .base import Row
+from .wrapper import WrapperBackend
+
+#: The per-process "GIL": at most one thread in this interpreter performs
+#: simulated CPU work at a time.  Module-level on purpose — a forked shard
+#: worker re-creates the module state, so every process owns its own lock.
+_INTERPRETER_EXCLUSIVE = threading.Lock()
+
+
+def _burn(cpu_cost: float, spin: bool) -> None:
+    """Perform one slice of interpreter-exclusive work."""
+    with _INTERPRETER_EXCLUSIVE:
+        if spin:
+            end = time.monotonic() + cpu_cost
+            while time.monotonic() < end:
+                pass
+        else:
+            time.sleep(cpu_cost)
+
+
+class _CpuCostView:
+    """A constraint view that performs one CPU-work slice before delegating."""
+
+    __slots__ = ("_view", "_cpu_cost", "_spin")
+
+    def __init__(self, view: Any, cpu_cost: float, spin: bool) -> None:
+        self._view = view
+        self._cpu_cost = cpu_cost
+        self._spin = spin
+
+    @property
+    def constraint(self) -> AccessConstraint:
+        return self._view.constraint
+
+    @property
+    def relation(self) -> str:
+        return self._view.relation
+
+    @property
+    def key(self) -> tuple[str, ...]:
+        return self._view.key
+
+    @property
+    def value(self) -> tuple[str, ...]:
+        return self._view.value
+
+    def fetch(self, x_value: Sequence[Any]) -> list[Row]:
+        _burn(self._cpu_cost, self._spin)
+        return self._view.fetch(x_value)
+
+    def fetch_many(self, x_values: Iterable[Sequence[Any]]) -> list[Row]:
+        _burn(self._cpu_cost, self._spin)
+        return self._view.fetch_many(x_values)
+
+    def contains(self, x_value: Sequence[Any]) -> bool:
+        _burn(self._cpu_cost, self._spin)
+        return self._view.contains(x_value)
+
+    def __repr__(self) -> str:
+        return f"_CpuCostView({self._view!r})"
+
+
+class CpuCostInjectingBackend(WrapperBackend):
+    """Delegate to another backend, adding interpreter-exclusive CPU work.
+
+    Parameters
+    ----------
+    source:
+        The store to wrap — a backend or a ``Database``.
+    cpu_cost:
+        Seconds of interpreter-exclusive work per counted access operation
+        (a batched constraint fetch, a full scan, a containment probe).
+    mode:
+        ``"lock"`` (deterministic per-process-lock simulation, default) or
+        ``"spin"`` (real busy-loop burn); see the module docstring for the
+        trade-off.
+    """
+
+    def __init__(self, source: Any, cpu_cost: float = 0.001, mode: str = "lock") -> None:
+        super().__init__(source)
+        if mode not in ("lock", "spin"):
+            raise ApiMisuseError(f"mode must be 'lock' or 'spin', got {mode!r}")
+        if cpu_cost < 0:
+            raise ApiMisuseError(f"cpu_cost must be non-negative, got {cpu_cost}")
+        self.cpu_cost = cpu_cost
+        self.mode = mode
+
+    # -- counted access paths (one CPU-work slice each) -----------------------------
+
+    def scan(self, relation: str) -> list[Row]:
+        _burn(self.cpu_cost, self.mode == "spin")
+        return self.inner.scan(relation)
+
+    def fetch(
+        self,
+        constraint: AccessConstraint,
+        x_values: Iterable[Sequence[Any]],
+        enforce_bound: bool = True,
+    ) -> list[Row]:
+        _burn(self.cpu_cost, self.mode == "spin")
+        return self.inner.fetch(constraint, x_values, enforce_bound)
+
+    def contains(self, constraint: AccessConstraint, x_value: Sequence[Any]) -> bool:
+        _burn(self.cpu_cost, self.mode == "spin")
+        return self.inner.contains(constraint, x_value)
+
+    # -- indexes --------------------------------------------------------------------
+
+    def wrap_view(self, view: Any) -> Any:
+        """Wrap each fetch view so plan execution pays the CPU work too."""
+        return _CpuCostView(view, self.cpu_cost, self.mode == "spin")
+
+    def __repr__(self) -> str:
+        return (
+            f"CpuCostInjectingBackend({self.inner!r}, "
+            f"{self.cpu_cost * 1000:.2f}ms/{self.mode}/access)"
+        )

@@ -72,6 +72,10 @@ class InMemoryBackend(StorageBackend):
         """
         self.database.extend(relation, rows)
 
+    def dump(self, relation: str) -> list[Row]:
+        """All tuples, uncounted — delegates to ``Relation.tuples``."""
+        return self.database.relation(relation).tuples()
+
     # -- counted access paths ------------------------------------------------------
 
     def scan(self, relation: str) -> list[Row]:

@@ -324,14 +324,18 @@ class SQLiteBackend(StorageBackend):
         ).fetchone()
         return int(row[0])
 
+    def dump(self, relation: str) -> list[Row]:
+        """All tuples, uncounted — bulk export for replication/slicing."""
+        schema = self._relation_schema(relation)
+        columns = ", ".join(_quote(a) for a in schema.attribute_names)
+        return self._connection.execute(
+            f"SELECT {columns} FROM {_quote(relation)}"
+        ).fetchall()
+
     # -- counted access paths ------------------------------------------------------
 
     def scan(self, relation: str) -> list[Row]:
-        schema = self._relation_schema(relation)
-        columns = ", ".join(_quote(a) for a in schema.attribute_names)
-        rows = self._connection.execute(
-            f"SELECT {columns} FROM {_quote(relation)}"
-        ).fetchall()
+        rows = self.dump(relation)
         self.counter.record_scan(len(rows))
         return rows
 

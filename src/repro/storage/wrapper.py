@@ -82,6 +82,21 @@ class SeededJitter:
             self._state = (self._state + _GAMMA) & _MASK64
             return _mix64(self._state) / float(1 << 64)
 
+    def __getstate__(self) -> int:
+        """Pickle as the bare 64-bit state; the lock is process-local.
+
+        Lets configuration objects that embed a jitter stream (e.g. a
+        :class:`~repro.service.resilience.RetryPolicy` whose ``rng`` is a
+        bound :meth:`uniform`) ship to shard worker processes.  The clone
+        continues the stream from the pickled state with its own fresh lock.
+        """
+        with self._lock:
+            return self._state
+
+    def __setstate__(self, state: int) -> None:
+        self._state = state
+        self._lock = threading.Lock()
+
 
 class WrapperBackend(StorageBackend):
     """Delegate every backend operation to ``inner``; subclasses override deltas.
@@ -132,6 +147,9 @@ class WrapperBackend(StorageBackend):
 
     def populate(self, relation: str, rows: Iterable[Sequence[Any]]) -> None:
         self.inner.populate(relation, rows)
+
+    def dump(self, relation: str) -> list[Row]:
+        return self.inner.dump(relation)
 
     # -- counted access paths (delegating; decorators override) ---------------------
 

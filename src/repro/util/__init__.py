@@ -1,0 +1,9 @@
+"""Small cross-cutting utilities shared across layers.
+
+Currently home to :mod:`repro.util.stablehash`, the process-stable hashing
+every cross-process routing decision must use (the contract REPRO006 lints).
+"""
+
+from .stablehash import canonical_bytes, stable_hash, stable_shard
+
+__all__ = ["canonical_bytes", "stable_hash", "stable_shard"]

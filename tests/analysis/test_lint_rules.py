@@ -26,6 +26,7 @@ from repro.analysis.lint.rules import (
     ChargingContractRule,
     DeterminismSeamRule,
     LockDisciplineRule,
+    StableHashRule,
     SwallowedExceptionRule,
     TypedErrorRule,
 )
@@ -257,6 +258,74 @@ def test_repro005_scope_is_service_and_storage_only(tmp_path):
     findings = _lint_fixture(
         tmp_path,
         "storage/handlers.py",
+        _SWALLOW_FIXTURE,
+        [SwallowedExceptionRule()],
+    )
+    assert len(findings) == 2
+
+
+# -- REPRO006: process-stable hashing in routing layers ----------------------------
+
+_HASH_FIXTURE = """
+    from repro.util import stable_shard
+
+    def route(key, shards):
+        return hash(key) % shards         # VIOLATION: salted per process
+
+    def route_stable(key, shards):
+        return stable_shard(key, shards)  # the sanctioned primitive
+
+    class Map:
+        def bucket(self, key):
+            return hash(key) % self.n     # VIOLATION: method context too
+
+        def hashes_are_fine_as_names(self):
+            hash_value = self.hash(1)     # attribute named hash: not builtin
+            return hash_value
+    """
+
+
+def test_repro006_flags_builtin_hash_in_sharding(tmp_path):
+    findings = _lint_fixture(
+        tmp_path, "sharding/partition.py", _HASH_FIXTURE, [StableHashRule()]
+    )
+    assert [f.rule for f in findings] == ["REPRO006", "REPRO006"]
+    assert all("stable_hash" in f.message for f in findings)
+
+
+def test_repro006_scope_is_routing_layers_only(tmp_path):
+    # hash() is fine outside cross-process routing decisions (e.g. an
+    # in-process dict key in the execution layer).
+    findings = _lint_fixture(
+        tmp_path, "execution/cache.py", _HASH_FIXTURE, [StableHashRule()]
+    )
+    assert findings == []
+
+
+# -- sharding joins the concurrency/fault/determinism scopes -----------------------
+
+
+def test_sharding_is_in_scope_for_lock_discipline(tmp_path):
+    findings = _lint_fixture(
+        tmp_path, "sharding/router.py", _LOCK_FIXTURE, [LockDisciplineRule()]
+    )
+    assert len(findings) == 2
+
+
+def test_sharding_is_in_scope_for_determinism(tmp_path):
+    findings = _lint_fixture(
+        tmp_path,
+        "sharding/router.py",
+        "import time\n\ndef stamp():\n    return time.time()\n",
+        [DeterminismSeamRule()],
+    )
+    assert [f.rule for f in findings] == ["REPRO003"]
+
+
+def test_sharding_is_in_scope_for_swallowed_excepts(tmp_path):
+    findings = _lint_fixture(
+        tmp_path,
+        "sharding/worker.py",
         _SWALLOW_FIXTURE,
         [SwallowedExceptionRule()],
     )

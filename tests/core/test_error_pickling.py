@@ -1,0 +1,158 @@
+"""Every typed error pickles round-trip with its structured fields intact.
+
+The sharded service propagates failures across process boundaries by
+pickling them over a pipe (:mod:`repro.sharding.messages`).  An error that
+loses its ``relation``/``step``/``charged``/``shard`` fields in transit — or
+worse, raises ``TypeError`` inside ``pickle.loads`` because its ``__init__``
+signature does not match ``Exception``'s default ``cls(*args)`` reconstruction
+— would turn a precise diagnosis into a crash of the transport itself.
+``ReproError.__reduce__`` guarantees reconstruction without re-running
+``__init__``; this module proves it for the **complete** taxonomy, with a
+meta-test that fails when a new error class is added without an example here.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    AccessSchemaError,
+    ApiMisuseError,
+    ArityError,
+    BudgetExceededError,
+    ConstraintViolationError,
+    DeadlineExceededError,
+    DomainValueError,
+    ExecutionError,
+    NotEffectivelyBoundedError,
+    ParseError,
+    PlanningError,
+    PlanVerificationError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeout,
+    ShardCrashedError,
+    ShardError,
+    ShardRoutingError,
+    StorageError,
+    StorageUnavailableError,
+    TransientStorageError,
+    UnknownAttributeError,
+    UnknownRelationError,
+    UnsatisfiableQueryError,
+    WorkloadError,
+)
+
+
+def _stamped_storage_error() -> StorageError:
+    """A StorageError whose ``step`` was stamped after construction, the way
+    the compiled runtime annotates in-plan failures."""
+    error = StorageError("disk gone", relation="accident", operation="fetch", charged=True)
+    error.step = 3
+    return error
+
+
+#: One representative instance per concrete error class, exercising every
+#: structured field the class carries.
+EXAMPLES: dict[type, ReproError] = {
+    ReproError: ReproError("base failure"),
+    SchemaError: SchemaError("bad schema"),
+    UnknownRelationError: UnknownRelationError("accidnet"),
+    UnknownAttributeError: UnknownAttributeError("accident", "dat"),
+    ArityError: ArityError("3 values for 2 attributes"),
+    QueryError: QueryError("bad query"),
+    UnsatisfiableQueryError: UnsatisfiableQueryError("x = 1 and x = 2"),
+    ParseError: ParseError("unexpected token", position=17),
+    AccessSchemaError: AccessSchemaError("bad constraint"),
+    ConstraintViolationError: ConstraintViolationError(
+        "bound violated", constraint=("accident", ("date",), 40), witness=("2019-03-07",)
+    ),
+    NotEffectivelyBoundedError: NotEffectivelyBoundedError("EBCheck rejected"),
+    PlanningError: PlanningError("no plan"),
+    PlanVerificationError: PlanVerificationError(
+        "V3", "step bound unproven", step=2
+    ),
+    DomainValueError: DomainValueError("not a date"),
+    ApiMisuseError: ApiMisuseError("negative shard count"),
+    ExecutionError: ExecutionError("executor failed"),
+    StorageError: _stamped_storage_error(),
+    TransientStorageError: TransientStorageError(
+        "connection dropped", relation="vehicle", operation="scan", charged=False
+    ),
+    StorageUnavailableError: StorageUnavailableError(
+        "breaker open", relation="vehicle", operation="contains", charged=False
+    ),
+    BudgetExceededError: BudgetExceededError(120, 100, projected=True, step=1),
+    DeadlineExceededError: DeadlineExceededError("past deadline", accessed=55, step=2),
+    WorkloadError: WorkloadError("scale must be positive"),
+    ServiceError: ServiceError("service broke"),
+    ServiceTimeout: ServiceTimeout(
+        "request expired", deadline=1.5, plan_key=("q", 1), elapsed=2.0, limit=1.5, step=4
+    ),
+    ServiceOverloadedError: ServiceOverloadedError("queue full"),
+    ServiceClosedError: ServiceClosedError("closed"),
+    ShardError: ShardError("shard trouble", shard=2),
+    ShardRoutingError: ShardRoutingError("step T1 probes other shards"),
+    ShardCrashedError: ShardCrashedError("worker died", shard=1),
+}
+
+
+def _all_error_classes() -> list[type]:
+    """Every ReproError subclass defined in :mod:`repro.errors`."""
+    classes = [
+        obj
+        for obj in vars(errors_module).values()
+        if isinstance(obj, type) and issubclass(obj, ReproError)
+    ]
+    return sorted(classes, key=lambda cls: cls.__name__)
+
+
+def test_example_table_covers_the_full_taxonomy():
+    """Adding an error class without a pickling example here must fail CI."""
+    missing = [cls.__name__ for cls in _all_error_classes() if cls not in EXAMPLES]
+    assert not missing, (
+        f"error classes with no pickle-round-trip example: {missing}; "
+        f"add one to EXAMPLES in {__file__}"
+    )
+
+
+@pytest.mark.parametrize(
+    "error", EXAMPLES.values(), ids=[cls.__name__ for cls in EXAMPLES]
+)
+def test_pickle_round_trip_preserves_everything(error: ReproError):
+    revived = pickle.loads(pickle.dumps(error))
+    assert type(revived) is type(error)
+    assert revived.args == error.args
+    assert str(revived) == str(error)
+    # Every structured field survives — including attributes stamped after
+    # construction (StorageError.step) that cls(*args) reconstruction loses.
+    assert revived.__dict__ == error.__dict__
+
+
+@pytest.mark.parametrize(
+    "error", EXAMPLES.values(), ids=[cls.__name__ for cls in EXAMPLES]
+)
+def test_round_trip_is_stable(error: ReproError):
+    """A second trip changes nothing: no message double-decoration, no
+    accumulating state (the historical failure mode was UnknownRelationError
+    re-running __init__ on its already-decorated message)."""
+    once = pickle.loads(pickle.dumps(error))
+    twice = pickle.loads(pickle.dumps(once))
+    assert str(twice) == str(error)
+    assert twice.args == error.args
+    assert twice.__dict__ == error.__dict__
+
+
+def test_revived_errors_still_raise_and_catch_as_their_type():
+    revived = pickle.loads(pickle.dumps(EXAMPLES[BudgetExceededError]))
+    with pytest.raises(ExecutionError) as caught:
+        raise revived
+    assert caught.value.accessed == 120
+    assert caught.value.budget == 100

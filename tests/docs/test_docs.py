@@ -30,7 +30,7 @@ DOCUMENTS = sorted(
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 #: Packages whose docstring examples are executable documentation.
-DOCTEST_PACKAGES = ["repro.execution", "repro.service", "repro.storage"]
+DOCTEST_PACKAGES = ["repro.execution", "repro.service", "repro.sharding", "repro.storage", "repro.util"]
 
 
 def _intra_repo_links(document: Path) -> list[str]:

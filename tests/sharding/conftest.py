@@ -1,0 +1,66 @@
+"""Shared fixtures for the sharded-serving tests.
+
+Process spawning is the expensive part of these tests, so the standing
+services are module-scoped: one 2-shard keyed service and one spread service
+serve many tests.  The data is the generated social-network instance (small,
+deterministic), partitioned on ``in_album.album_id`` — the routing key of the
+Q1 form template.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.execution import BoundedEngine
+from repro.sharding import ShardMap, ShardedQueryService
+from repro.spc import ParameterizedQuery
+from repro.workloads import generate_social_database, query_q1, social_access_schema
+
+
+@pytest.fixture(scope="module")
+def social_db():
+    return generate_social_database(scale=0.5, seed=3)
+
+
+@pytest.fixture(scope="module")
+def access():
+    return social_access_schema()
+
+
+@pytest.fixture(scope="module")
+def form_template():
+    q1 = query_q1()
+    return ParameterizedQuery(
+        q1, {"album": q1.ref("ia", "album_id"), "user": q1.ref("f", "user_id")}
+    )
+
+
+@pytest.fixture(scope="module")
+def bindings():
+    return [{"album": f"a{i % 40}", "user": f"u{i % 100}"} for i in range(120)]
+
+
+@pytest.fixture(scope="module")
+def serial_reference(social_db, access, form_template, bindings):
+    """The single-process ground truth every sharded run must reproduce."""
+    engine = BoundedEngine(access)
+    prepared = engine.prepare_query(form_template)
+    prepared.warm(social_db)
+    return [prepared.execute(social_db, **binding) for binding in bindings]
+
+
+@pytest.fixture(scope="module")
+def keyed_map():
+    return ShardMap(2, {"in_album": ("album_id",)})
+
+
+@pytest.fixture(scope="module")
+def keyed_service(social_db, access, keyed_map):
+    with ShardedQueryService(social_db, access, shard_map=keyed_map) as service:
+        yield service
+
+
+@pytest.fixture(scope="module")
+def spread_service(social_db, access):
+    with ShardedQueryService(social_db, access, shards=2) as service:
+        yield service

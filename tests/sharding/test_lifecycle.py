@@ -1,0 +1,112 @@
+"""Lifecycle: clean shutdown with no orphaned processes, crash containment."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import ServiceClosedError, ShardCrashedError
+from repro.sharding import ShardedQueryService
+from repro.storage.latency import LatencyInjectingBackend
+
+
+def _shard_children():
+    return [
+        p for p in multiprocessing.active_children() if p.name.startswith("repro-shard-")
+    ]
+
+
+def test_close_leaves_no_orphaned_processes(social_db, access, keyed_map, form_template):
+    service = ShardedQueryService(social_db, access, shard_map=keyed_map)
+    procs = [handle.process for handle in service._handles]
+    assert all(p.is_alive() for p in procs)
+    assert len(_shard_children()) >= 2
+    service.run(form_template, album="a1", user="u1")
+    service.close()
+    assert all(not p.is_alive() for p in procs)
+    assert _shard_children() == []
+    # Shutdown was graceful (exit 0), not a terminate() kill.
+    assert all(p.exitcode == 0 for p in procs)
+
+
+def test_close_is_idempotent_and_context_manager_closes(social_db, access, keyed_map):
+    with ShardedQueryService(social_db, access, shard_map=keyed_map) as service:
+        pass
+    assert _shard_children() == []
+    service.close()  # second close is a no-op
+    service.close(drain=False)
+
+
+def test_submit_after_close_raises(social_db, access, keyed_map, form_template):
+    service = ShardedQueryService(social_db, access, shard_map=keyed_map)
+    service.close()
+    with pytest.raises(ServiceClosedError):
+        service.submit(form_template, album="a1", user="u1")
+
+
+def test_close_drain_serves_inflight(social_db, access, keyed_map, form_template):
+    def slow(backend):
+        return LatencyInjectingBackend(backend, access_latency=0.05, seed=4)
+
+    service = ShardedQueryService(social_db, access, shard_map=keyed_map, wrap=slow)
+    futures = [
+        service.submit(form_template, album=f"a{i}", user=f"u{i}") for i in range(4)
+    ]
+    service.close(drain=True)
+    for future in futures:
+        assert future.result(timeout=0).tuples is not None
+    assert _shard_children() == []
+
+
+def test_close_no_drain_fails_unserved_requests(social_db, access, keyed_map, form_template):
+    def slow(backend):
+        return LatencyInjectingBackend(backend, access_latency=0.2, seed=5)
+
+    service = ShardedQueryService(social_db, access, shard_map=keyed_map, wrap=slow)
+    futures = [
+        service.submit(form_template, album=f"a{i}", user=f"u{i}") for i in range(8)
+    ]
+    service.close(drain=False)
+    outcomes = [future.exception(timeout=5.0) for future in futures]
+    # Every future settled; the abandoned ones carry the typed closed error.
+    assert any(isinstance(error, ServiceClosedError) for error in outcomes)
+    assert _shard_children() == []
+
+
+def test_killed_shard_fails_its_requests_typed(social_db, access, keyed_map, form_template):
+    """SIGKILL one shard mid-request: its in-flight requests fail with the
+    typed ShardCrashedError naming the shard; the service survives to close."""
+
+    def slow(backend):
+        return LatencyInjectingBackend(backend, access_latency=0.3, seed=6)
+
+    service = ShardedQueryService(social_db, access, shard_map=keyed_map, wrap=slow)
+    try:
+        futures = [
+            service.submit(form_template, album=f"a{i}", user=f"u{i}")
+            for i in range(8)
+        ]
+        time.sleep(0.2)  # let dispatch reach the shards
+        with service._lock:
+            victim = max(service._handles, key=lambda h: h.pending)
+        os.kill(victim.process.pid, signal.SIGKILL)
+        errors = []
+        for future in futures:
+            error = future.exception(timeout=30.0)
+            if error is not None:
+                errors.append(error)
+        assert errors, "killing a busy shard must fail at least one request"
+        assert all(isinstance(error, ShardCrashedError) for error in errors)
+        assert all(error.shard == victim.index for error in errors)
+        # New submissions routed to the dead shard are refused, typed.
+        with pytest.raises(ShardCrashedError):
+            for i in range(40):
+                future = service.submit(form_template, album=f"a{i}", user="u1")
+                future.result(timeout=30.0)
+    finally:
+        service.close()
+    assert _shard_children() == []

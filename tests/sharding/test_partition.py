@@ -1,0 +1,202 @@
+"""Placement (ShardMap), stable hashing, and the routing safety analysis."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ApiMisuseError, ShardRoutingError, UnknownAttributeError
+from repro.planning.qplan import prepare_plan
+from repro.sharding import Route, ShardMap, resolve_route
+from repro.spc import ParameterizedQuery
+from repro.spc.builder import SPCQueryBuilder
+from repro.util import canonical_bytes, stable_hash, stable_shard
+from repro.workloads import query_q1, social_access_schema
+from repro.workloads.tfacc import tfacc_access_schema, tfacc_schema
+
+# -- stable hashing ------------------------------------------------------------------
+
+
+def test_stable_hash_is_process_stable():
+    """The routing contract: the same key hashes identically in *every*
+    process, regardless of interpreter hash randomization.  Builtin ``hash()``
+    fails exactly this (PYTHONHASHSEED salts str/bytes hashing per process)."""
+    values = [("accident", ("2019-03-07",)), ("spread", (("album", "a1"),)), 42, "x"]
+    local = [stable_hash(value) for value in values]
+    script = (
+        "from repro.util import stable_hash\n"
+        "print([stable_hash(v) for v in ["
+        "('accident', ('2019-03-07',)), ('spread', (('album', 'a1'),)), 42, 'x']])"
+    )
+    env = dict(os.environ, PYTHONHASHSEED="12345", PYTHONPATH="src")
+    output = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+    ).stdout
+    assert eval(output.strip()) == local
+
+
+def test_stable_hash_folds_numerics_like_dict_keys():
+    assert stable_hash(1) == stable_hash(1.0) == stable_hash(True)
+    assert stable_hash(0) == stable_hash(0.0) == stable_hash(False)
+    assert stable_hash(1.5) != stable_hash(1)
+
+
+def test_stable_hash_distinguishes_types_and_structure():
+    assert stable_hash("a") != stable_hash(b"a")
+    assert stable_hash(("ab",)) != stable_hash(("a", "b"))
+    assert stable_hash(None) != stable_hash("")
+    assert canonical_bytes(("a", "b")) != canonical_bytes(("ab",))
+
+
+def test_stable_hash_rejects_unsupported_types():
+    with pytest.raises(ApiMisuseError):
+        stable_hash({"a": 1})
+
+
+def test_stable_shard_range_and_seed():
+    shards = [stable_shard(("r", (i,)), 4) for i in range(100)]
+    assert set(shards) == {0, 1, 2, 3}
+    reseeded = [stable_shard(("r", (i,)), 4, seed=1) for i in range(100)]
+    assert shards != reseeded
+    with pytest.raises(ApiMisuseError):
+        stable_shard("x", 0)
+
+
+# -- ShardMap ------------------------------------------------------------------------
+
+
+def test_shard_map_validation():
+    with pytest.raises(ApiMisuseError):
+        ShardMap(0)
+    with pytest.raises(ApiMisuseError):
+        ShardMap(2, {"accident": ()})
+
+
+def test_slice_rows_partitions_exactly(social_db=None):
+    shard_map = ShardMap(3, {"accident": ("date",)})
+    rows = [(f"a{i}", f"2019-03-{i % 5:02d}", i) for i in range(50)]
+    slices = shard_map.slice_rows(("accident_id", "date", "severity"), "accident", rows)
+    assert sum(len(s) for s in slices) == len(rows)
+    assert sorted(row for s in slices for row in s) == sorted(rows)
+    for shard, bucket in enumerate(slices):
+        for row in bucket:
+            assert shard_map.shard_of_key("accident", (row[1],)) == shard
+    # Same date -> same shard, always.
+    by_date: dict[str, set[int]] = {}
+    for shard, bucket in enumerate(slices):
+        for row in bucket:
+            by_date.setdefault(row[1], set()).add(shard)
+    assert all(len(shards) == 1 for shards in by_date.values())
+
+
+def test_slice_rows_unknown_attribute():
+    shard_map = ShardMap(2, {"accident": ("nope",)})
+    with pytest.raises(UnknownAttributeError):
+        shard_map.slice_rows(("accident_id", "date"), "accident", [("a1", "d1")])
+
+
+# -- routing analysis ----------------------------------------------------------------
+
+
+def _tfacc_template() -> ParameterizedQuery:
+    """The serving-benchmark form: vehicles in a force's accidents on a date.
+
+    Its plan touches ``accident`` at three fetch steps — the parameter-keyed
+    anchor, an ``N = 1`` self-lookup, and a second anchored step — so it
+    exercises every branch of the per-step safety proof.
+    """
+    query = (
+        SPCQueryBuilder(tfacc_schema(), name="force_vehicles_on_date")
+        .add_atom("accident", alias="a")
+        .add_atom("vehicle", alias="v")
+        .where_eq("a.accident_id", "v.accident_id")
+        .select("a.accident_id")
+        .select("v.vehicle_id")
+        .select("v.vehicle_type")
+        .build()
+    )
+    return ParameterizedQuery(
+        query,
+        {"date": query.ref("a", "date"), "force": query.ref("a", "police_force")},
+    )
+
+
+def _q1_template() -> ParameterizedQuery:
+    q1 = query_q1()
+    return ParameterizedQuery(
+        q1, {"album": q1.ref("ia", "album_id"), "user": q1.ref("f", "user_id")}
+    )
+
+
+def test_resolve_route_keyed_on_the_anchor_step():
+    plan = prepare_plan(_tfacc_template(), tfacc_access_schema())
+    route = resolve_route(plan, ShardMap(4, {"accident": ("date",)}))
+    assert route.kind == "keyed"
+    assert route.relation == "accident"
+    assert route.key_attrs == ("date",)
+    assert route.key_specs == (("param", "date"),)
+
+
+def test_resolve_route_spread_when_nothing_is_partitioned():
+    plan = prepare_plan(_tfacc_template(), tfacc_access_schema())
+    route = resolve_route(plan, ShardMap(4))
+    assert route.kind == "spread"
+
+
+def test_resolve_route_rejects_unroutable_partitioning():
+    """Partitioning ``vehicle`` on vehicle_id is unsafe: the plan probes
+    vehicle by *accident_id*, whose matches may live on any shard."""
+    plan = prepare_plan(_tfacc_template(), tfacc_access_schema())
+    with pytest.raises(ShardRoutingError) as caught:
+        resolve_route(plan, ShardMap(4, {"vehicle": ("vehicle_id",)}))
+    assert "vehicle" in str(caught.value)
+
+
+def test_resolve_route_rejects_two_partitioned_relations():
+    plan = prepare_plan(_tfacc_template(), tfacc_access_schema())
+    with pytest.raises(ShardRoutingError) as caught:
+        resolve_route(
+            plan,
+            ShardMap(4, {"accident": ("date",), "vehicle": ("vehicle_id",)}),
+        )
+    assert "one shard" in str(caught.value)
+
+
+def test_route_shard_for_agrees_with_placement():
+    shard_map = ShardMap(4, {"accident": ("date",)})
+    plan = prepare_plan(_tfacc_template(), tfacc_access_schema())
+    route = resolve_route(plan, shard_map)
+    slot_values = plan.bind_values({"date": "2019-03-07", "force": "force_01"})
+    assert route.shard_for(shard_map, slot_values) == shard_map.shard_of_key(
+        "accident", ("2019-03-07",)
+    )
+
+
+def test_spread_route_is_deterministic_per_binding():
+    shard_map = ShardMap(4)
+    route = Route(kind="spread")
+    a = route.shard_for(shard_map, {"date": "d1", "force": "f1"})
+    assert a == route.shard_for(shard_map, {"force": "f1", "date": "d1"})
+    assert a in range(4)
+
+
+def test_for_template_partitions_on_the_first_constraint_key():
+    shard_map = ShardMap.for_template(
+        _q1_template(), social_access_schema(), num_shards=4
+    )
+    assert shard_map.partitioned == {"in_album": ("album_id",)}
+    plan = prepare_plan(_q1_template(), social_access_schema())
+    assert resolve_route(plan, shard_map).kind == "keyed"
+    tfacc_map = ShardMap.for_template(
+        _tfacc_template(), tfacc_access_schema(), num_shards=4
+    )
+    plan = prepare_plan(_tfacc_template(), tfacc_access_schema())
+    assert resolve_route(plan, tfacc_map).kind == "keyed"

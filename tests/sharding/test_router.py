@@ -1,0 +1,194 @@
+"""Router behavior: parity, typed errors across the boundary, admission control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    BudgetExceededError,
+    QueryError,
+    ServiceOverloadedError,
+    ServiceTimeout,
+    ShardRoutingError,
+)
+from repro.execution import BoundedEngine
+from repro.sharding import ShardMap, ShardedQueryService
+from repro.spc import ParameterizedQuery
+from repro.storage.latency import LatencyInjectingBackend
+from repro.workloads import query_q1
+
+
+# -- parity --------------------------------------------------------------------------
+
+
+def test_keyed_parity_with_serial(keyed_service, form_template, bindings, serial_reference):
+    """Byte-identical answers *and* identical charges, per binding."""
+    served = keyed_service.run_many(form_template, bindings)
+    assert [r.tuples for r in served] == [r.tuples for r in serial_reference]
+    assert [r.stats.tuples_accessed for r in served] == [
+        r.stats.tuples_accessed for r in serial_reference
+    ]
+
+
+def test_spread_parity_with_serial(spread_service, form_template, bindings, serial_reference):
+    served = spread_service.run_many(form_template, bindings)
+    assert [r.tuples for r in served] == [r.tuples for r in serial_reference]
+    assert [r.stats.tuples_accessed for r in served] == [
+        r.stats.tuples_accessed for r in serial_reference
+    ]
+
+
+def test_keyed_routing_spreads_over_shards(keyed_service, form_template, bindings):
+    """The album keys must actually land on both shards (placement sanity)."""
+    keyed_service.run_many(form_template, bindings)
+    routed = keyed_service.stats(shard_timeout=None)["routed"]
+    assert all(count > 0 for count in routed.values()), routed
+
+
+def test_sharded_charge_accounting(keyed_service, form_template, bindings, serial_reference):
+    """Summed per-shard ``tuples_accessed`` equals the unsharded charge, and
+    every execution stays under the certified Σ Mᵢ bound."""
+    before = keyed_service.stats(shard_timeout=None)["execution"]["tuples_accessed"]
+    keyed_service.run_many(form_template, bindings)
+    after = keyed_service.stats(shard_timeout=None)["execution"]["tuples_accessed"]
+    serial_total = sum(r.stats.tuples_accessed for r in serial_reference)
+    assert after - before == serial_total
+    per_shard = keyed_service.shard_stats()
+    shard_total = sum(
+        stats["execution"]["tuples_accessed"]
+        for stats in per_shard.values()
+        if stats.get("alive")
+    )
+    assert shard_total >= after  # shard counters also cover earlier tests' requests
+
+
+# -- typed errors across the process boundary ----------------------------------------
+
+
+def test_unroutable_template_raises_before_any_ipc(social_db, access, form_template):
+    """A template the analysis cannot prove safe is refused at submit time,
+    synchronously, with the typed routing error.  Partitioning ``tagging`` on
+    ``photo_id`` is unsafe for Q1: its tagging probe keys photo_id from an
+    ``in_album`` join column, so matches may live on any shard."""
+    with ShardedQueryService(
+        social_db, access, shard_map=ShardMap(2, {"tagging": ("photo_id",)})
+    ) as service:
+        with pytest.raises(ShardRoutingError):
+            service.submit(form_template, album="a1", user="u1")
+        assert service.stats(shard_timeout=None)["submitted"] == 0
+
+
+def test_budget_error_propagates_typed(keyed_service, form_template):
+    future = keyed_service.submit(form_template, album="a1", user="u1", budget=1)
+    with pytest.raises(BudgetExceededError) as caught:
+        future.result()
+    assert caught.value.budget == 1
+    assert caught.value.accessed > 1
+
+
+def test_binding_errors_raise_synchronously(keyed_service, form_template):
+    with pytest.raises(QueryError):
+        keyed_service.submit(form_template, album="a1")  # missing "user"
+    with pytest.raises(QueryError):
+        keyed_service.submit(form_template, album="a1", user="u1", extra="x")
+
+
+def test_deadline_exceeded_becomes_service_timeout(social_db, access, keyed_map):
+    """A deadline shorter than one storage access times out across the
+    boundary as the typed ServiceTimeout."""
+
+    def slow(backend):
+        return LatencyInjectingBackend(backend, access_latency=0.2, seed=1)
+
+    with ShardedQueryService(
+        social_db, access, shard_map=keyed_map, wrap=slow
+    ) as service:
+        q1 = query_q1()
+        template = ParameterizedQuery(
+            q1, {"album": q1.ref("ia", "album_id"), "user": q1.ref("f", "user_id")}
+        )
+        future = service.submit(template, album="a1", user="u1", deadline=0.05)
+        with pytest.raises(ServiceTimeout):
+            future.result()
+        assert service.stats(shard_timeout=None)["timeouts"] >= 1
+
+
+# -- certificate-based admission control ---------------------------------------------
+
+
+def test_certified_bound_admission_sheds_before_dispatch(social_db, access, keyed_map, form_template):
+    """With ``max_inflight_bound`` below one certificate, every request is
+    shed router-side — the shard processes never see a byte of it."""
+    engine = BoundedEngine(access)
+    bound = engine.prepare_query(form_template).certificate.total_bound
+    with ShardedQueryService(
+        social_db,
+        access,
+        shard_map=keyed_map,
+        max_inflight_bound=bound - 1,
+    ) as service:
+        with pytest.raises(ServiceOverloadedError) as caught:
+            service.submit(form_template, album="a1", user="u1")
+        assert "max_inflight_bound" in str(caught.value)
+        stats = service.stats()
+        assert stats["shed_by_bound"] == 1
+        assert stats["submitted"] == 0
+        # No shard ever saw a request.
+        assert all(
+            shard["batches"] == 0
+            for shard in stats["per_shard"].values()
+            if shard.get("alive")
+        )
+
+
+def test_admission_admits_within_bound_and_releases(social_db, access, keyed_map, form_template):
+    engine = BoundedEngine(access)
+    bound = engine.prepare_query(form_template).certificate.total_bound
+    with ShardedQueryService(
+        social_db,
+        access,
+        shard_map=keyed_map,
+        max_inflight_bound=bound,  # room for exactly one request at a time
+    ) as service:
+        for _ in range(3):  # serial requests each release their charge
+            result = service.run(form_template, album="a1", user="u1")
+            assert result.stats.tuples_accessed <= bound
+        stats = service.stats(shard_timeout=None)
+        assert stats["completed"] == 3
+        assert stats["certified_bound_completed"] == 3 * bound
+        assert all(v == 0 for v in stats["inflight_bound"].values())
+
+
+def test_max_pending_sheds(social_db, access, keyed_map, form_template):
+    def slow(backend):
+        return LatencyInjectingBackend(backend, access_latency=0.05, seed=2)
+
+    with ShardedQueryService(
+        social_db, access, shard_map=keyed_map, max_pending=1, wrap=slow
+    ) as service:
+        first = service.submit(form_template, album="a1", user="u1")
+        with pytest.raises(ServiceOverloadedError):
+            for _ in range(20):  # both shards' slots must fill
+                service.submit(form_template, album="a1", user="u1")
+        first.result()
+
+
+# -- merged monitoring ----------------------------------------------------------------
+
+
+def test_stats_and_describe_merge_all_shards(keyed_service, form_template):
+    keyed_service.run(form_template, album="a2", user="u2")
+    stats = keyed_service.stats()
+    assert stats["shards"] == 2
+    assert set(stats["per_shard"]) == {0, 1}
+    for shard in stats["per_shard"].values():
+        assert shard["alive"]
+        assert "execution" in shard
+    text = keyed_service.describe()
+    assert "2 shard processes" in text
+    assert "shard 0" in text and "shard 1" in text
+    assert "tuples accessed" in text
+
+
+def test_repr(keyed_service):
+    assert "ShardedQueryService" in repr(keyed_service)

@@ -1,0 +1,131 @@
+"""Hypothesis: sharded-vs-serial parity on random TFACC / MOT batches.
+
+The sharded router's contract is the thread service's, one tier up: N shard
+*processes* must never change an answer or a charge.  For random request
+batches (random bindings, random sizes, hit-and-miss keys) the sharded
+results must be **byte-identical** to a serial prepared-execution loop, the
+summed per-shard ``tuples_accessed`` must equal the unsharded charge, and
+every charge must respect the statically proven Σ Mᵢ certificate — summed
+over the batch, summed certificates are the ceiling.
+
+The shard services are module-cached: Hypothesis redraws batches, not
+process fleets.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.execution import BoundedEngine
+from repro.sharding import ShardMap, ShardedQueryService
+from repro.spc import ParameterizedQuery
+from repro.spc.builder import SPCQueryBuilder
+from repro.workloads import get_workload
+from repro.workloads.mot import mot_access_schema, mot_schema
+from repro.workloads.tfacc import tfacc_access_schema, tfacc_schema
+
+
+def _tfacc_template() -> ParameterizedQuery:
+    """Vehicles in a force's accidents on a date (the serving-benchmark form)."""
+    query = (
+        SPCQueryBuilder(tfacc_schema(), name="force_vehicles_on_date")
+        .add_atom("accident", alias="a")
+        .add_atom("vehicle", alias="v")
+        .where_eq("a.accident_id", "v.accident_id")
+        .select("a.accident_id")
+        .select("v.vehicle_id")
+        .select("v.vehicle_type")
+        .build()
+    )
+    return ParameterizedQuery(
+        query,
+        {"date": query.ref("a", "date"), "force": query.ref("a", "police_force")},
+    )
+
+
+def _mot_template() -> ParameterizedQuery:
+    """A vehicle's test history with its garage's details."""
+    query = (
+        SPCQueryBuilder(mot_schema(), name="vehicle_history")
+        .add_atom("mot_test", alias="m")
+        .add_atom("garage", alias="g")
+        .where_eq("m.garage_id", "g.garage_id")
+        .select("m.test_id")
+        .select("m.test_result")
+        .select("g.garage_name")
+        .build()
+    )
+    return ParameterizedQuery(query, {"vehicle": query.ref("m", "vehicle_id")})
+
+
+_TFACC_BINDINGS = st.fixed_dictionaries(
+    {
+        # A mix of present and absent keys: parity must hold for misses too.
+        "date": st.sampled_from(
+            ["2004-01-03", "2004-02-11", "2004-03-07", "2004-06-19", "2030-01-01"]
+        ),
+        "force": st.sampled_from([f"force_{i:02d}" for i in (1, 2, 3, 7, 11, 49)]),
+    }
+)
+
+_MOT_BINDINGS = st.fixed_dictionaries(
+    {"vehicle": st.sampled_from([f"v{i:07d}" for i in range(0, 60, 3)] + ["missing"])}
+)
+
+_CASES = {
+    "tfacc": (_tfacc_template, tfacc_access_schema, _TFACC_BINDINGS),
+    "mot": (_mot_template, mot_access_schema, _MOT_BINDINGS),
+}
+
+#: workload -> (service, serial prepared, database); built once, closed at exit.
+_FIXTURES: dict[str, tuple] = {}
+
+
+@pytest.fixture(scope="module")
+def sharded_case(request):
+    def _build(workload: str):
+        if workload not in _FIXTURES:
+            template_factory, access_factory, _ = _CASES[workload]
+            template = template_factory()
+            access = access_factory()
+            database = get_workload(workload).database(scale=0.02, seed=7)
+            engine = BoundedEngine(access)
+            prepared = engine.prepare_query(template)
+            prepared.warm(database)
+            shard_map = ShardMap.for_template(template, access, num_shards=2)
+            service = ShardedQueryService(database, access, shard_map=shard_map)
+            _FIXTURES[workload] = (service, template, prepared, database)
+        return _FIXTURES[workload]
+
+    yield _build
+    for service, *_ in _FIXTURES.values():
+        service.close()
+    _FIXTURES.clear()
+
+
+@pytest.mark.parametrize("workload", sorted(_CASES))
+@given(data=st.data())
+@settings(max_examples=10, deadline=None)
+def test_sharded_batches_match_serial(sharded_case, workload, data):
+    service, template, prepared, database = sharded_case(workload)
+    binding_strategy = _CASES[workload][2]
+    batch = data.draw(st.lists(binding_strategy, min_size=1, max_size=25))
+
+    serial = [prepared.execute(database, **binding) for binding in batch]
+    sharded = service.run_many(template, batch)
+
+    # Byte-identical answers, identical per-request charges.
+    assert [r.tuples for r in sharded] == [r.tuples for r in serial]
+    assert [r.stats.tuples_accessed for r in sharded] == [
+        r.stats.tuples_accessed for r in serial
+    ]
+    # Summed per-shard charge == the unsharded charge of the batch, and the
+    # batch's summed certificates bound it from above.
+    certificate = prepared.certificate
+    assert certificate is not None
+    sharded_total = sum(r.stats.tuples_accessed for r in sharded)
+    serial_total = sum(r.stats.tuples_accessed for r in serial)
+    assert sharded_total == serial_total
+    assert sharded_total <= certificate.total_bound * len(batch)
+    assert all(r.stats.tuples_accessed <= certificate.total_bound for r in sharded)
