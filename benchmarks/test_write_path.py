@@ -1,0 +1,162 @@
+"""Serving throughput under a live write mix: the cost of staying consistent.
+
+PR 9 made the store writable while serving: every committed batch bumps the
+version, maintains indexes incrementally (copy-on-write, touched buckets
+only) and scope-invalidates the serving caches.  This benchmark prices that
+machinery: the Example-1 social form served closed-loop through a
+:class:`~repro.service.QueryService`, once read-only and once with a write
+batch committed before every tenth request (a 10% write mix).
+
+The writes are crafted to be answer-neutral — each batch inserts fresh
+tagging rows under never-probed photo ids and deletes the previous batch's
+rows — so the two runs must produce **byte-identical** answers with
+**identical** ``tuples_accessed``: the paper's bound is per-request and
+data-size-independent, so a growing-and-shrinking store must not move
+``|D_Q|`` by a single tuple.  Those two gates always run; the throughput
+ratio gate (write mix retains >= 40% of read-only throughput) is skipped
+under ``--benchmark-disable`` like every timing gate here.
+
+Headline numbers land in ``BENCH_serving.json`` under ``"write_path"``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.service import QueryService
+from repro.spc import ParameterizedQuery
+from repro.storage import as_backend
+from repro.workloads import generate_social_database, query_q1, social_access_schema
+
+#: Requests per measured run (closed loop).
+NUM_REQUESTS = int(os.environ.get("WRITE_BENCH_REQUESTS", "300"))
+#: One write batch committed before every WRITE_EVERY-th request (10% mix).
+WRITE_EVERY = int(os.environ.get("WRITE_BENCH_EVERY", "10"))
+#: Rows inserted (and later deleted) per write batch.
+ROWS_PER_BATCH = 4
+#: Timing gate: the write mix must retain this fraction of read-only rps.
+MIN_RETAINED = 0.4
+
+WORKERS = 2
+
+
+def _template() -> ParameterizedQuery:
+    q1 = query_q1()
+    return ParameterizedQuery(
+        q1, {"album": q1.ref("ia", "album_id"), "user": q1.ref("f", "user_id")}
+    )
+
+
+def _signature(results) -> list[tuple[str, int]]:
+    return [(repr(sorted(r.rows.rows)), r.stats.tuples_accessed) for r in results]
+
+
+def _write_batches(count: int):
+    """Answer-neutral batches: fresh-photo tagging rows, inserted then deleted.
+
+    Fresh photo ids are never probed by any binding (no in_album row), so the
+    store grows and shrinks without moving any request's ``|D_Q|``.
+    """
+    batches = []
+    previous: list[tuple] = []
+    for batch in range(count):
+        rows = [
+            (f"bench_p{batch}_{i}", f"u{i}", f"u{i + 1}")
+            for i in range(ROWS_PER_BATCH)
+        ]
+        batches.append({"inserts": {"tagging": rows}, "deletes": {"tagging": previous}})
+        previous = rows
+    return batches
+
+
+@pytest.fixture(scope="module")
+def write_mix_runs():
+    """(read-only measurement, write-mix measurement) over identical requests."""
+    base = generate_social_database(scale=0.5, seed=3)
+    access = social_access_schema()
+    template = _template()
+    bindings = [
+        {"album": f"a{i % 40}", "user": f"u{i % 100}"} for i in range(NUM_REQUESTS)
+    ]
+    runs = {}
+    for mode in ("read_only", "write_mix"):
+        database = generate_social_database(scale=0.5, seed=3)
+        backend = as_backend(database)
+        batches = iter(_write_batches(NUM_REQUESTS // WRITE_EVERY + 1))
+        with QueryService(backend, access, workers=WORKERS) as service:
+            service.run(template, **bindings[0])  # warm compile + indexes
+            started = time.perf_counter()
+            futures = []
+            for i, binding in enumerate(bindings):
+                if mode == "write_mix" and i % WRITE_EVERY == 0:
+                    service.apply_writes(**next(batches))
+                futures.append(service.submit(template, **binding))
+            results = [future.result(timeout=60.0) for future in futures]
+            elapsed = time.perf_counter() - started
+            stats = service.stats()
+        runs[mode] = {
+            "rps": NUM_REQUESTS / elapsed,
+            "signature": _signature(results),
+            "max_accessed": max(r.stats.tuples_accessed for r in results),
+            "bound": max(r.stats.plan_bound for r in results),
+            "write_batches": stats["write_batches"],
+            "rows_written": stats["rows_written"],
+            "final_version": backend.data_version,
+        }
+    assert base.data_version  # the generator committed something
+    return runs
+
+
+def test_write_mix_answers_identical_and_access_flat(write_mix_runs):
+    """Always-run gates: byte-identical answers, |D_Q| unmoved by writes."""
+    read_only, write_mix = write_mix_runs["read_only"], write_mix_runs["write_mix"]
+    assert write_mix["write_batches"] == NUM_REQUESTS // WRITE_EVERY
+    assert write_mix["signature"] == read_only["signature"], (
+        "answer-neutral writes changed an answer or an access count"
+    )
+    assert write_mix["max_accessed"] == read_only["max_accessed"]
+    assert write_mix["max_accessed"] <= write_mix["bound"]
+
+
+@pytest.mark.benchmark(group="write-path")
+def test_write_path_throughput(write_mix_runs, record_result, record_json, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    read_only, write_mix = write_mix_runs["read_only"], write_mix_runs["write_mix"]
+    retained = write_mix["rps"] / read_only["rps"]
+    lines = [
+        f"Serving under a live write mix: social form, {NUM_REQUESTS} requests, "
+        f"{WORKERS} workers",
+        f"  read-only baseline : {read_only['rps']:8.0f} req/s",
+        f"  10% write mix      : {write_mix['rps']:8.0f} req/s "
+        f"({retained:4.2f}x of read-only; {write_mix['write_batches']} batches, "
+        f"{write_mix['rows_written']} rows written)",
+        f"  |D_Q| flat at {write_mix['max_accessed']} tuples "
+        f"(bound {write_mix['bound']}), answers byte-identical",
+    ]
+    record_result("write_path", "\n".join(lines))
+    record_json(
+        "write_path",
+        {
+            "num_requests": NUM_REQUESTS,
+            "workers": WORKERS,
+            "write_every": WRITE_EVERY,
+            "backend": "memory",
+            "read_only_rps": round(read_only["rps"], 1),
+            "write_mix_rps": round(write_mix["rps"], 1),
+            "retained_fraction": round(retained, 3),
+            "write_batches": write_mix["write_batches"],
+            "rows_written": write_mix["rows_written"],
+            "max_tuples_accessed": write_mix["max_accessed"],
+            "plan_bound": write_mix["bound"],
+        },
+    )
+    if benchmark.disabled:
+        # --benchmark-disable (CI): correctness-only; wall-clock ratios are
+        # not judged on shared, noisy runners.
+        return
+    assert retained >= MIN_RETAINED, (
+        f"a 10% write mix kept only {retained:.2f}x of read-only throughput"
+    )

@@ -148,10 +148,17 @@ class AccessIndexes:
     :class:`ConstraintIndex` surface (``fetch`` / ``fetch_many`` /
     ``contains`` plus ``key``/``value`` metadata); one collection never mixes
     backends.
+
+    ``data_version`` records the backend's committed version these views
+    were built against (stamped by the executor's prepare path).  Snapshot
+    backends keep superseded views valid forever — copy-on-write index
+    maintenance never mutates an old bucket — so an execution bound to this
+    collection reports the stamped version as the version it read.
     """
 
     def __init__(self) -> None:
         self._by_constraint: dict[AccessConstraint, ConstraintView] = {}
+        self.data_version: int = 0
 
     def add(self, index: ConstraintView) -> None:
         self._by_constraint[index.constraint] = index

@@ -127,7 +127,21 @@ class BoundedExecutor:
             # First preparation, or the backend's data changed since the
             # cached AccessIndexes were built (its views wrap discarded
             # snapshots): rebuild from scratch and forget the schema memo.
-            cached = build_access_indexes(backend, access_schema, self.enforce_bounds)
+            # The rebuild follows the backend's seqlock protocol so a write
+            # batch committing mid-build can never pair new index data with
+            # an old version stamp (or vice versa): observe an even write
+            # epoch, read the version, build, and retry if the epoch moved.
+            while True:
+                epoch = backend.write_epoch
+                if epoch % 2:
+                    continue  # a commit is in progress; re-observe
+                version = backend.data_version
+                cached = build_access_indexes(
+                    backend, access_schema, self.enforce_bounds
+                )
+                if backend.write_epoch == epoch:
+                    break
+            cached.data_version = version
             self._index_cache[backend] = cached
             self._index_versions[backend] = version
             seen = None
@@ -204,10 +218,13 @@ class BoundedExecutor:
 
         fetched: list[RowSet] = []
         step_sizes: list[int] = []
-        for step in plan.steps:
-            rowset = self._execute_step(step, fetched, indexes, params)
-            fetched.append(rowset)
-            step_sizes.append(len(rowset))
+        with backend.read_view() as view_version:
+            if view_version is None:
+                view_version = getattr(indexes, "data_version", 0)
+            for step in plan.steps:
+                rowset = self._execute_step(step, fetched, indexes, params)
+                fetched.append(rowset)
+                step_sizes.append(len(rowset))
 
         answer = self._assemble(query, plan, fetched, params)
 
@@ -221,7 +238,11 @@ class BoundedExecutor:
             plan_bound=plan.total_bound,
             backend=backend.kind,
         )
-        return ExecutionResult(rows=answer, stats=stats, details={"step_sizes": step_sizes})
+        return ExecutionResult(
+            rows=answer,
+            stats=stats,
+            details={"step_sizes": step_sizes, "data_version": view_version},
+        )
 
     # -- fetch steps -------------------------------------------------------------------------
 

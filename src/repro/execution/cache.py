@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Generic, Hashable, TypeVar
+from typing import Any, Generic, Hashable, Iterable, TypeVar
 
 from ..errors import ExecutionError
 
@@ -82,17 +82,23 @@ class LRUCache(Generic[K, V]):
     second ``put`` wins; for the engine's caches that duplicate work is
     benign because compilations of equal keys are interchangeable.
 
+    Entries may carry a *relation dependency set* (``put(..., relations=...)``)
+    so the live write path can invalidate precisely: ``invalidate(relations)``
+    drops exactly the entries depending on a written relation, leaving the
+    rest of a warm cache intact.
+
     Example
     -------
     >>> cache = LRUCache(capacity=2, name="demo")
-    >>> cache.put("a", 1); cache.put("b", 2)
+    >>> cache.put("a", 1); cache.put("b", 2, relations=("friends",))
     >>> cache.get("a")
     1
-    >>> cache.put("c", 3)          # evicts "b", the least recently used
+    >>> cache.invalidate(["friends"])
+    1
     >>> cache.get("b") is None
     True
     >>> cache.stats.describe()
-    'demo: hits=1, misses=1, hit_rate=50.0%, evictions=1, size=2/2'
+    'demo: hits=1, misses=1, hit_rate=50.0%, evictions=0, size=1/2'
     """
 
     def __init__(self, capacity: int, name: str = "cache") -> None:
@@ -102,9 +108,23 @@ class LRUCache(Generic[K, V]):
         self.name = name
         self._lock = threading.Lock()
         self._entries: "OrderedDict[K, V]" = OrderedDict()
+        # Relation dependency tracking, both directions: entry key -> the
+        # relations it depends on, and relation -> the entry keys depending
+        # on it.  Kept exactly in sync with _entries (under the same lock).
+        self._key_relations: dict[K, tuple[str, ...]] = {}
+        self._by_relation: dict[str, set[K]] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+
+    def _untag_locked(self, key: K) -> None:
+        """Drop ``key`` from the dependency maps (lock already held)."""
+        for relation in self._key_relations.pop(key, ()):
+            keys = self._by_relation.get(relation)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._by_relation[relation]
 
     def get(self, key: K, default: Any = None) -> Any:
         """Look up ``key``, refreshing its recency; counts a hit or a miss."""
@@ -117,15 +137,45 @@ class LRUCache(Generic[K, V]):
             self._hits += 1
             return value
 
-    def put(self, key: K, value: V) -> None:
-        """Insert or refresh an entry, evicting the oldest when over capacity."""
+    def put(self, key: K, value: V, relations: "tuple[str, ...] | list[str]" = ()) -> None:
+        """Insert or refresh an entry, evicting the oldest when over capacity.
+
+        ``relations`` declares the stored-data dependencies of the entry:
+        a later ``invalidate`` naming any of them drops this entry.  A
+        refresh replaces the previous dependency set.
+        """
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
+                self._untag_locked(key)
             self._entries[key] = value
+            if relations:
+                tags = tuple(dict.fromkeys(relations))
+                self._key_relations[key] = tags
+                for relation in tags:
+                    self._by_relation.setdefault(relation, set()).add(key)
             if len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self._untag_locked(evicted)
                 self._evictions += 1
+
+    def invalidate(self, relations: "Iterable[str]") -> int:
+        """Drop every entry depending on any of ``relations``; return the count.
+
+        Scoped invalidation for the live write path: only entries that were
+        ``put`` with a dependency on a named relation are removed — untagged
+        entries and entries over other relations stay warm.  Dropped entries
+        are not counted as evictions (they are invalidations, not capacity
+        pressure).
+        """
+        with self._lock:
+            doomed: set[K] = set()
+            for relation in relations:
+                doomed.update(self._by_relation.get(relation, ()))
+            for key in doomed:
+                del self._entries[key]
+                self._untag_locked(key)
+            return len(doomed)
 
     def __contains__(self, key: K) -> bool:
         """Membership test; does not touch recency or the counters."""
@@ -139,6 +189,8 @@ class LRUCache(Generic[K, V]):
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._key_relations.clear()
+            self._by_relation.clear()
 
     @property
     def stats(self) -> CacheStats:

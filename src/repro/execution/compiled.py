@@ -292,6 +292,11 @@ class CompiledPlan:
 
         Thread-safe for concurrent calls with distinct ``params``: execution
         reads only frozen program state, and access accounting is per-thread.
+        Against a live store, the whole fetch loop runs inside the backend's
+        :meth:`~repro.storage.base.StorageBackend.read_view`, so a write
+        batch committing mid-request can never make two steps observe
+        different versions; ``details["data_version"]`` records the committed
+        version the request read.
         """
         bound = self.bind(indexes)
         backend = as_backend(source)
@@ -301,26 +306,32 @@ class CompiledPlan:
 
         fetched: list[list[Row]] = []
         step_sizes: list[int] = []
-        for position, (program, plan_step, index) in enumerate(
-            zip(self.steps, self.plan.steps, bound)
-        ):
-            if limits is not None:
-                self._check_limits(
-                    limits, counter.since(before).total, plan_step.bound, position
-                )
-            try:
-                rows = index.fetch_many(program.candidate_keys(fetched, params))
-            except StorageError as error:
-                # Stamp the plan position so retry/degradation layers (and
-                # operators reading logs) know exactly which fetch step — not
-                # just which relation — the storage fault interrupted.
-                if error.step is None:
-                    error.step = position
-                if error.relation is None:
-                    error.relation = program.constraint.relation
-                raise
-            fetched.append(rows)
-            step_sizes.append(len(rows))
+        with backend.read_view() as view_version:
+            # Live-index backends (SQLite) pin the version via a shared lock
+            # and yield it; snapshot backends yield None and the version is
+            # the one stamped on the bound (copy-on-write) AccessIndexes.
+            if view_version is None:
+                view_version = getattr(indexes, "data_version", 0)
+            for position, (program, plan_step, index) in enumerate(
+                zip(self.steps, self.plan.steps, bound)
+            ):
+                if limits is not None:
+                    self._check_limits(
+                        limits, counter.since(before).total, plan_step.bound, position
+                    )
+                try:
+                    rows = index.fetch_many(program.candidate_keys(fetched, params))
+                except StorageError as error:
+                    # Stamp the plan position so retry/degradation layers (and
+                    # operators reading logs) know exactly which fetch step — not
+                    # just which relation — the storage fault interrupted.
+                    if error.step is None:
+                        error.step = position
+                    if error.relation is None:
+                        error.relation = program.constraint.relation
+                    raise
+                fetched.append(rows)
+                step_sizes.append(len(rows))
         if limits is not None and limits.deadline is not None:
             if time.monotonic() > limits.deadline:
                 accessed = counter.since(before).total
@@ -343,7 +354,11 @@ class CompiledPlan:
             plan_bound=self.plan.total_bound,
             backend=backend.kind,
         )
-        return ExecutionResult(rows=answer, stats=stats, details={"step_sizes": step_sizes})
+        return ExecutionResult(
+            rows=answer,
+            stats=stats,
+            details={"step_sizes": step_sizes, "data_version": view_version},
+        )
 
     def _assemble(
         self,

@@ -8,13 +8,16 @@ coherent access count regardless of how many relations it touches.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+import threading
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..errors import SchemaError, UnknownRelationError
 from .indexes import HashIndex, IndexCatalog
 from .relation import Relation
 from .schema import DatabaseSchema, RelationSchema
 from .statistics import AccessCounter, AccessSnapshot
+
+Row = tuple[Any, ...]
 
 
 class Database:
@@ -27,6 +30,9 @@ class Database:
         "indexes",
         "_backend",
         "_data_version",
+        "_relation_versions",
+        "_write_epoch",
+        "_write_lock",
         "__weakref__",
     )
 
@@ -36,6 +42,9 @@ class Database:
         self.indexes = IndexCatalog()
         self._backend = None
         self._data_version = 0
+        self._relation_versions: dict[str, int] = {}
+        self._write_epoch = 0
+        self._write_lock = threading.RLock()
         self._relations: dict[str, Relation] = {}
         for relation_schema in schema:
             relation = Relation(relation_schema, counter=self.counter)
@@ -110,7 +119,7 @@ class Database:
 
     @property
     def data_version(self) -> int:
-        """Monotonic counter bumped by every database-level mutation.
+        """Monotonic counter bumped once per committed write batch.
 
         Index caches (the backend's views, the executor's prepared
         :class:`~repro.access.indexes.AccessIndexes`) fingerprint themselves
@@ -120,31 +129,109 @@ class Database:
         """
         return self._data_version
 
-    def _mutated(self, relation_name: str) -> None:
-        """Record a data change: drop the relation's (now stale) indexes.
+    @property
+    def write_epoch(self) -> int:
+        """Seqlock word for lock-free consistent reads of the index catalog.
 
-        Hash indexes are bucket-map snapshots; rebuilding lazily on next use
-        mirrors a bulk load followed by index construction and keeps the
-        in-memory backend observationally identical to SQLite, whose SQL
-        indexes always see live tables.
+        Even while no write batch is committing, odd while one is.  A reader
+        that (1) observes an even epoch, (2) reads ``data_version`` and binds
+        indexes from the catalog, then (3) observes the *same* epoch, has a
+        snapshot consistent with that version; otherwise it must retry.
         """
-        self._data_version += 1
-        self.indexes.discard_relation(relation_name)
+        return self._write_epoch
+
+    def relation_version(self, name: str) -> int:
+        """Monotonic per-relation write counter (0 until first write).
+
+        Lets caches scope their invalidation to the relations a write batch
+        actually touched instead of discarding everything on any change.
+        """
+        return self._relation_versions.get(name, 0)
+
+    def apply_writes(
+        self,
+        inserts: Mapping[str, Iterable[Sequence[Any]]] | None = None,
+        deletes: Mapping[str, Iterable[Sequence[Any]]] | None = None,
+    ) -> dict[str, tuple[int, int]]:
+        """Atomically apply one batch of inserts and row-deletes.
+
+        Every row of every relation is validated before anything is applied
+        (all-or-nothing at the batch level); per relation, deletes land before
+        inserts.  Hash indexes are maintained *incrementally*: each index on a
+        written relation is replaced by its copy-on-write
+        :meth:`~repro.relational.indexes.HashIndex.derived` successor (only
+        touched buckets rebuilt), and the superseded snapshots stay valid for
+        in-flight executions that already bound them.  The batch commits with
+        a single ``data_version`` bump — the linearization point every
+        version-stamped reader observes.
+
+        Returns ``{relation: (inserted, deleted)}`` counts for the relations
+        the batch changed.  Deletes remove every stored copy of each given
+        row (``DELETE WHERE`` multiset semantics); absent rows delete zero
+        copies and do not count as a change.
+        """
+        with self._write_lock:
+            staged: list[tuple[str, Relation, list[Row], list[Row]]] = []
+            names = dict.fromkeys(list(deletes or ()) + list(inserts or ()))
+            for name in names:
+                relation = self.relation(name)
+                ins = [relation._validated(row) for row in (inserts or {}).get(name, ())]
+                dels = [relation._validated(row) for row in (deletes or {}).get(name, ())]
+                if ins or dels:
+                    staged.append((name, relation, ins, dels))
+            if not staged:
+                return {}
+            counts: dict[str, tuple[int, int]] = {}
+            self._write_epoch += 1  # odd: commit in progress
+            try:
+                for name, relation, ins, dels in staged:
+                    removed = relation.delete_rows(dels) if dels else []
+                    if ins:
+                        relation.extend(ins)
+                    if not ins and not removed:
+                        continue
+                    self.indexes.apply_writes(name, inserted=ins, deleted=dels)
+                    self._relation_versions[name] = self.relation_version(name) + 1
+                    counts[name] = (len(ins), len(removed))
+                if counts:
+                    self._data_version += 1
+            finally:
+                self._write_epoch += 1  # even: committed
+            return counts
 
     def insert(self, relation_name: str, row: Sequence[Any]) -> None:
-        """Insert a tuple; any indexes on the relation are dropped as stale.
+        """Insert a tuple (a one-row write batch; indexes maintained in place).
 
-        Row-at-a-time inserts interleaved with fetches force an index rebuild
-        per insert; prefer :meth:`extend` for bulk loads (one invalidation
-        per batch).
+        Prefer :meth:`extend` or :meth:`apply_writes` for bulk loads — each
+        call commits one version.
         """
-        self.relation(relation_name).insert(row)
-        self._mutated(relation_name)
+        self.apply_writes(inserts={relation_name: [row]})
 
     def extend(self, relation_name: str, rows: Iterable[Sequence[Any]]) -> None:
-        """Insert several tuples into one relation (indexes dropped as stale)."""
-        self.relation(relation_name).extend(rows)
-        self._mutated(relation_name)
+        """Insert several tuples into one relation as one committed batch."""
+        self.apply_writes(inserts={relation_name: rows})
+
+    def delete(
+        self,
+        relation_name: str,
+        rows_or_predicate: Iterable[Sequence[Any]] | Callable[[Row], bool],
+    ) -> int:
+        """Delete by explicit rows or by predicate; returns tuples removed.
+
+        A callable argument is evaluated as ``DELETE WHERE predicate(row)``
+        against the current tuples; an iterable names the exact rows to
+        remove (every stored copy of each).  Both forms commit through
+        :meth:`apply_writes`, so indexes are maintained incrementally and the
+        change is one version bump.
+        """
+        with self._write_lock:
+            if callable(rows_or_predicate):
+                relation = self.relation(relation_name)
+                targets = [row for row in relation.tuples() if rows_or_predicate(row)]
+            else:
+                targets = [tuple(row) for row in rows_or_predicate]
+            counts = self.apply_writes(deletes={relation_name: targets})
+            return counts.get(relation_name, (0, 0))[1]
 
     # -- indexing ------------------------------------------------------------------
 

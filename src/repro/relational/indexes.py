@@ -113,6 +113,46 @@ class HashIndex:
             for (key, value), buckets in zip(specs, bucket_maps)
         ]
 
+    def derived(
+        self,
+        inserted: Iterable[Sequence[Any]] = (),
+        deleted: Iterable[Sequence[Any]] = (),
+    ) -> "HashIndex":
+        """A new index equal to this one after applying a write batch (copy-on-write).
+
+        Only the buckets whose key value appears in ``inserted`` or ``deleted``
+        are rebuilt; every untouched bucket (and its memoized distinct
+        projection) is shared with this index by reference.  ``self`` is not
+        modified, so an in-flight execution that already bound this index
+        keeps reading the pre-write snapshot — this is the MVCC-lite seam the
+        live write path builds on.  Deletion removes every copy of each
+        deleted row, mirroring :meth:`Relation.delete_rows`.
+        """
+        extract = row_extractor(self._key_positions)
+        deleted_rows = {tuple(row) for row in deleted}
+        inserted_rows = [tuple(row) for row in inserted]
+        touched = {extract(row) for row in deleted_rows}
+        touched.update(extract(row) for row in inserted_rows)
+        buckets = dict(self._buckets)
+        for key in touched:
+            rows = [r for r in buckets.get(key, ()) if r not in deleted_rows]
+            rows.extend(r for r in inserted_rows if extract(r) == key)
+            if rows:
+                buckets[key] = rows
+            else:
+                buckets.pop(key, None)
+        derived = HashIndex(
+            self.relation,
+            self.key,
+            self.value,
+            counter=self._counter,
+            buckets=buckets,
+        )
+        for key, projected in self._projected.items():
+            if key not in touched:
+                derived._projected[key] = projected
+        return derived
+
     # -- metadata -----------------------------------------------------------------
 
     @property
@@ -244,6 +284,32 @@ class IndexCatalog:
     def indexes_for(self, relation: str) -> list[HashIndex]:
         """All indices built on ``relation``."""
         return [idx for (rel, _k, _v), idx in self._indexes.items() if rel == relation]
+
+    def apply_writes(
+        self,
+        relation: str,
+        inserted: Iterable[Sequence[Any]] = (),
+        deleted: Iterable[Sequence[Any]] = (),
+    ) -> int:
+        """Incrementally maintain every index on ``relation`` for a write batch.
+
+        Each registered index is replaced by its copy-on-write
+        :meth:`HashIndex.derived` successor — only the touched buckets are
+        rebuilt, never the whole relation — and the superseded objects stay
+        valid for executions that already bound them.  Returns how many
+        indexes were maintained.
+        """
+        if not self._indexes:
+            return 0
+        inserted = [tuple(row) for row in inserted]
+        deleted = [tuple(row) for row in deleted]
+        maintained = 0
+        for spec, index in list(self._indexes.items()):
+            if spec[0] != relation:
+                continue
+            self._indexes[spec] = index.derived(inserted=inserted, deleted=deleted)
+            maintained += 1
+        return maintained
 
     def discard_relation(self, relation: str) -> int:
         """Drop every index built on ``relation``; returns how many were dropped.

@@ -1,9 +1,13 @@
 """In-memory relations (tables).
 
 A :class:`Relation` stores tuples as plain Python tuples aligned with its
-:class:`~repro.relational.schema.RelationSchema`.  Relations are append-only
-from the public API's point of view; workload generators build them once and
-queries never mutate them.
+:class:`~repro.relational.schema.RelationSchema`.  Workload generators build
+them once; the live write path mutates them only through the batch methods
+(:meth:`Relation.extend`, :meth:`Relation.delete_rows`,
+:meth:`Relation.delete_where`), which validate every row first and then
+publish the change with a single atomic list operation — a reader holding the
+previous row list (or an index bucket snapshot built from it) never observes a
+half-applied batch.
 
 Relations expose *counted* and *uncounted* access paths.  The counted paths
 (:meth:`Relation.scan`) report the tuples they touch to an
@@ -53,13 +57,17 @@ class Relation:
 
     def insert(self, row: Sequence[Any]) -> None:
         """Append a tuple given in schema attribute order."""
+        self._rows.append(self._validated(row))
+
+    def _validated(self, row: Sequence[Any]) -> tuple[Any, ...]:
+        """``row`` as a tuple, or :class:`~repro.errors.ArityError`."""
         values = tuple(row)
         if len(values) != self.schema.arity:
             raise ArityError(
                 f"relation {self.schema.name!r} expects arity {self.schema.arity}, "
                 f"got tuple of length {len(values)}"
             )
-        self._rows.append(values)
+        return values
 
     def insert_dict(self, record: Mapping[str, Any]) -> None:
         """Append a tuple given as an ``{attribute: value}`` mapping."""
@@ -71,9 +79,44 @@ class Relation:
         self.insert(tuple(record[a] for a in self.schema.attribute_names))
 
     def extend(self, rows: Iterable[Sequence[Any]]) -> None:
-        """Append many tuples."""
-        for row in rows:
-            self.insert(row)
+        """Append many tuples, all-or-nothing.
+
+        Every row is arity-validated before any is appended, and the batch is
+        published with one ``list.extend`` — concurrent readers see either
+        none or all of it.
+        """
+        validated = [self._validated(row) for row in rows]
+        if validated:
+            self._rows.extend(validated)
+
+    def delete_where(
+        self, predicate: Callable[[tuple[Any, ...]], bool]
+    ) -> list[tuple[Any, ...]]:
+        """Remove every tuple satisfying ``predicate``; return the removed tuples.
+
+        The surviving rows are published with a single list rebind, so a
+        concurrent reader sees either the old multiset or the new one — never
+        a partially filtered state.
+        """
+        kept: list[tuple[Any, ...]] = []
+        removed: list[tuple[Any, ...]] = []
+        for row in self._rows:
+            (removed if predicate(row) else kept).append(row)
+        if removed:
+            self._rows = kept
+        return removed
+
+    def delete_rows(self, rows: Iterable[Sequence[Any]]) -> list[tuple[Any, ...]]:
+        """Remove every copy of each given tuple; return the removed tuples.
+
+        Matches SQL ``DELETE WHERE`` semantics on a multiset: a target row
+        appearing k times in the relation is removed k times regardless of how
+        often it appears in ``rows``.  Each target is arity-validated.
+        """
+        targets = {self._validated(row) for row in rows}
+        if not targets:
+            return []
+        return self.delete_where(lambda row: row in targets)
 
     # -- inspection (uncounted) ----------------------------------------------------
 

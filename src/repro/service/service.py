@@ -49,6 +49,7 @@ from ..execution.metrics import ExecutionLimits, ExecutionResult, StatsAccumulat
 from ..execution.prepared import PreparedQuery
 from ..spc.parameters import ParameterizedQuery
 from ..storage.base import StorageBackend, as_backend
+from ..storage.writes import WriteBatch, as_write_batch
 from .queue import AdmissionQueue
 from .requests import ServiceFuture, ServiceRequest
 from .resilience import BreakerBoard, DegradedResult, ResiliencePolicy
@@ -166,6 +167,8 @@ class QueryService:
         self._batches = 0
         self._largest_batch = 0
         self._degraded = 0
+        self._write_batches = 0
+        self._rows_written = 0
         self._closed = False
         self.resilience = resilience
         self._breakers = (
@@ -333,6 +336,78 @@ class QueryService:
             self._submitted += 1
         return request.future
 
+    # -- the write path ----------------------------------------------------------------
+
+    def apply_writes(
+        self,
+        batch: WriteBatch | None = None,
+        *,
+        inserts: Mapping[str, Iterable[Any]] | None = None,
+        deletes: Mapping[str, Iterable[Any]] | None = None,
+    ) -> dict[str, tuple[int, int]]:
+        """Commit one atomic write batch and scope-invalidate the serving caches.
+
+        The batch commits through the backend (one ``data_version`` bump,
+        incremental index maintenance), then exactly the caches that could
+        serve stale state for the *touched relations* are invalidated: the
+        engine's plan / negative-verdict / prepared caches and the graceful-
+        degradation stale-answer cache.  Entries over untouched relations
+        stay warm.  In-flight requests are unaffected — each one reads the
+        consistent version it bound (``details["data_version"]``).
+
+        Returns the backend's per-relation ``(inserted, deleted)`` counts.
+        Thread-safe; may be called concurrently with query traffic.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed; no writes accepted")
+        resolved = as_write_batch(batch, inserts=inserts, deletes=deletes)
+        if not resolved:
+            return {}
+        counts = self.backend.apply_writes(resolved)
+        self._invalidate_for(tuple(counts))
+        if counts:
+            with self._stats_lock:
+                self._write_batches += 1
+                self._rows_written += sum(
+                    inserted + deleted for inserted, deleted in counts.values()
+                )
+        return counts
+
+    def insert(self, relation: str, rows: Iterable[Any]) -> int:
+        """Insert ``rows`` into ``relation`` as one batch; returns the count."""
+        counts = self.apply_writes(inserts={relation: [tuple(row) for row in rows]})
+        return counts.get(relation, (0, 0))[0]
+
+    def delete(self, relation: str, rows_or_predicate: Any) -> int:
+        """Delete rows (every stored copy) by explicit list or predicate.
+
+        A callable predicate is evaluated by the backend under its write
+        exclusion, so no row can slip between the match and the removal.
+        Returns the number of rows removed.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed; no writes accepted")
+        if callable(rows_or_predicate):
+            removed = self.backend.delete(relation, rows_or_predicate)
+            if removed:
+                self._invalidate_for((relation,))
+                with self._stats_lock:
+                    self._write_batches += 1
+                    self._rows_written += removed
+            return removed
+        counts = self.apply_writes(
+            deletes={relation: [tuple(row) for row in rows_or_predicate]}
+        )
+        return counts.get(relation, (0, 0))[1]
+
+    def _invalidate_for(self, relations: tuple[str, ...]) -> None:
+        """Scope-invalidate every serving-path cache for the written relations."""
+        if not relations:
+            return
+        self.engine.invalidate(relations)
+        if self._stale_cache is not None:
+            self._stale_cache.invalidate(relations)
+
     # -- the worker loop ---------------------------------------------------------------
 
     def _worker_loop(self) -> None:
@@ -451,7 +526,7 @@ class QueryService:
             else:
                 if self._breakers is not None:
                     self._breakers.record_success(relations)
-                self._remember(request, result)
+                self._remember(request, result, relations)
                 self._execution_stats.merge(result.stats)
                 with self._stats_lock:
                     self._completed += 1
@@ -516,13 +591,23 @@ class QueryService:
             return None
         return key
 
-    def _remember(self, request: ServiceRequest, result: ExecutionResult) -> None:
-        """Cache a fresh answer for graceful degradation of later failures."""
+    def _remember(
+        self,
+        request: ServiceRequest,
+        result: ExecutionResult,
+        relations: tuple[str, ...] = (),
+    ) -> None:
+        """Cache a fresh answer for graceful degradation of later failures.
+
+        The entry is tagged with the plan's relations, so a later write to
+        any of them drops it — degraded answers are stale by *policy* (TTL),
+        never because a write silently outdated them.
+        """
         if self._stale_cache is None:
             return
         key = self._stale_key(request)
         if key is not None:
-            self._stale_cache.put(key, (result, time.monotonic()))
+            self._stale_cache.put(key, (result, time.monotonic()), relations=relations)
 
     def _degrade_or_fail(self, request: ServiceRequest, error: BaseException) -> None:
         """Resolve a given-up request: degraded answer if policy allows, else error."""
@@ -627,6 +712,8 @@ class QueryService:
                 "degraded": self._degraded,
                 "batches": self._batches,
                 "largest_batch": self._largest_batch,
+                "write_batches": self._write_batches,
+                "rows_written": self._rows_written,
             }
         snapshot["pending"] = len(self._queue)
         snapshot["execution"] = self._execution_stats.summary()

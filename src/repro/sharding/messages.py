@@ -19,6 +19,9 @@ errors                    the typed taxonomy of :mod:`repro.errors`
 deadlines                 **remaining seconds**, never absolute timestamps —
                           monotonic clocks are per-process, so the worker re-anchors
                           the deadline on its own clock on receipt
+write batches             :class:`~repro.storage.writes.WriteBatch` pickles whole
+                          (plain tuples of attribute-domain values); the router
+                          ships each shard only its slice of the batch
 ========================  =========================================================
 """
 
@@ -29,6 +32,7 @@ from typing import Any, Mapping
 
 from ..execution.metrics import ExecutionResult
 from ..spc.parameters import ParameterizedQuery
+from ..storage.writes import WriteBatch
 
 
 @dataclass(frozen=True)
@@ -97,6 +101,30 @@ class StatsReply:
 
     serial: int
     stats: Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class ApplyWrites:
+    """Router → shard: commit this shard's slice of one write batch.
+
+    Rides the same FIFO outbox as :class:`ExecuteBatch`, so a write lands
+    *after* every request admitted before it and *before* every request
+    admitted after it — per-shard ordering needs no extra machinery.  The
+    shard answers with a :class:`WritesApplied` carrying the same serial.
+    """
+
+    serial: int
+    batch: WriteBatch
+
+
+@dataclass(frozen=True)
+class WritesApplied:
+    """Shard → router: one write batch's outcome (counts, or a typed error)."""
+
+    serial: int
+    #: Per-relation ``(inserted, deleted)`` counts on this shard's slice.
+    counts: Mapping[str, tuple[int, int]] | None = None
+    error: BaseException | None = None
 
 
 @dataclass(frozen=True)

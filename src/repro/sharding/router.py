@@ -59,7 +59,9 @@ from ..service.requests import ServiceFuture
 from ..service.resilience import DegradedResult, ResiliencePolicy
 from ..spc.parameters import ParameterizedQuery
 from ..storage.base import StorageBackend, as_backend
+from ..storage.writes import WriteBatch, as_write_batch
 from .messages import (
+    ApplyWrites,
     BatchDone,
     ExecuteBatch,
     RegisterTemplate,
@@ -68,6 +70,7 @@ from .messages import (
     Shutdown,
     StatsReply,
     StatsRequest,
+    WritesApplied,
 )
 from .partition import Route, ShardMap, resolve_route
 from .worker import ShardConfig, shard_main
@@ -295,6 +298,11 @@ class ShardedQueryService:
         self._templates: dict[Any, _TemplateEntry] = {}
         self._pending: dict[int, _Pending] = {}
         self._stats_waiters: dict[int, tuple[threading.Event, list]] = {}
+        self._write_serial = itertools.count()
+        #: serial -> (event, outcome box, shard index); swept on shard death.
+        self._write_waiters: dict[int, tuple[threading.Event, list, int]] = {}
+        self._write_batches = 0
+        self._rows_written = 0
         self._execution_stats = StatsAccumulator()
         self._submitted = 0
         self._completed = 0
@@ -316,6 +324,9 @@ class ShardedQueryService:
         )
         slices = self._slice(backend)
         schema = backend.schema
+        #: Kept for the write path: slicing a batch's partitioned relations
+        #: needs each relation's attribute names for the partition key.
+        self._db_schema = schema
         access = self.engine.access_schema
         self._handles = [_ShardHandle(index) for index in range(self.shards)]
         for handle in self._handles:
@@ -462,6 +473,143 @@ class ShardedQueryService:
         """Submit a batch and wait for every answer, in binding order."""
         futures = self.submit_many(template, bindings, deadline=deadline, budget=budget)
         return [future.result() for future in futures]
+
+    # -- the write path ----------------------------------------------------------------
+
+    def apply_writes(
+        self,
+        batch: WriteBatch | None = None,
+        *,
+        inserts: Mapping[str, Iterable[Any]] | None = None,
+        deletes: Mapping[str, Iterable[Any]] | None = None,
+        timeout: float = 30.0,
+    ) -> dict[str, tuple[int, int]]:
+        """Commit one write batch across the shard fleet, synchronously.
+
+        The router slices the batch the same way it sliced the data at
+        construction — rows of a partitioned relation go only to the shard
+        their partition key hashes to; rows of a replicated relation fan out
+        to every shard — and ships each shard its slice as an
+        :class:`~repro.sharding.messages.ApplyWrites` envelope on the same
+        FIFO outbox as queries, so per shard a write is ordered exactly
+        between the requests admitted before and after it.  Each shard child
+        commits its slice through its own service (atomic version bump,
+        incremental index maintenance, scoped cache invalidation next to the
+        data), and the router invalidates its own template caches for the
+        touched relations.
+
+        Returns the merged logical per-relation ``(inserted, deleted)``
+        counts: summed across shards for partitioned relations, the per-shard
+        count (they are identical replicas) for replicated ones.
+
+        Raises
+        ------
+        ~repro.errors.ShardCrashedError
+            When a routed shard died before acknowledging; surviving shards
+            have still committed their slices (each slice is atomic locally;
+            there is no cross-shard transaction).
+        ~repro.errors.ServiceTimeout
+            When a shard does not acknowledge within ``timeout`` seconds.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed; no writes accepted")
+        resolved = as_write_batch(batch, inserts=inserts, deletes=deletes)
+        if not resolved:
+            return {}
+        shard_batches = self._shard_batches(resolved)
+        waiters: list[tuple[_ShardHandle, int, threading.Event, list]] = []
+        failures: list[BaseException] = []
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed; no writes accepted")
+            for handle, shard_batch in zip(self._handles, shard_batches):
+                if shard_batch is None:
+                    continue
+                if handle.dead:
+                    failures.append(
+                        ShardCrashedError(
+                            f"shard {handle.index} worker process is dead; its "
+                            f"slice of the write batch was not applied",
+                            shard=handle.index,
+                        )
+                    )
+                    continue
+                serial = next(self._write_serial)
+                event: threading.Event = threading.Event()
+                box: list = []
+                self._write_waiters[serial] = (event, box, handle.index)
+                handle.outbox.put(_Control(ApplyWrites(serial, shard_batch)))
+                waiters.append((handle, serial, event, box))
+        merged: dict[str, tuple[int, int]] = {}
+        deadline_at = time.monotonic() + timeout
+        for handle, serial, event, box in waiters:
+            remaining = max(0.0, deadline_at - time.monotonic())
+            if not event.wait(remaining):
+                with self._lock:
+                    self._write_waiters.pop(serial, None)
+                failures.append(
+                    ServiceTimeout(
+                        f"shard {handle.index} did not acknowledge write batch "
+                        f"#{serial} within {timeout}s",
+                        limit=timeout,
+                    )
+                )
+                continue
+            outcome = box[0]
+            if isinstance(outcome, BaseException):
+                failures.append(outcome)
+                continue
+            for relation, (inserted, deleted) in outcome.items():
+                if self.shard_map.is_partitioned(relation):
+                    old = merged.get(relation, (0, 0))
+                    merged[relation] = (old[0] + inserted, old[1] + deleted)
+                else:
+                    # Replicas apply identical slices; keep the largest ack so
+                    # one straggler/crash cannot under-report the logical count.
+                    old = merged.get(relation, (0, 0))
+                    merged[relation] = (max(old[0], inserted), max(old[1], deleted))
+        # The router's own engine caches templates/certificates over the
+        # written relations; drop exactly those (shard engines already did
+        # their own scoped invalidation next to the data).
+        self.engine.invalidate(resolved.relations)
+        with self._lock:
+            self._write_batches += 1
+            self._rows_written += sum(
+                inserted + deleted for inserted, deleted in merged.values()
+            )
+        if failures:
+            raise failures[0]
+        return merged
+
+    def _shard_batches(self, batch: WriteBatch) -> list[WriteBatch | None]:
+        """Slice one batch into per-shard batches (``None``: nothing for it).
+
+        Partitioned relations bucket by the stable hash of the partition key
+        (the same :meth:`~repro.sharding.partition.ShardMap.slice_rows` that
+        placed the data, so writes land where reads route); replicated
+        relations fan out whole.  Unknown relations raise router-side, before
+        any IPC.
+        """
+        shard_inserts: list[dict[str, tuple]] = [{} for _ in range(self.shards)]
+        shard_deletes: list[dict[str, tuple]] = [{} for _ in range(self.shards)]
+        for rows_by_relation, per_shard in (
+            (batch.inserts, shard_inserts),
+            (batch.deletes, shard_deletes),
+        ):
+            for relation, rows in rows_by_relation.items():
+                attributes = self._db_schema.relation(relation).attribute_names
+                if self.shard_map.is_partitioned(relation):
+                    buckets = self.shard_map.slice_rows(attributes, relation, rows)
+                    for shard, bucket in enumerate(buckets):
+                        if bucket:
+                            per_shard[shard][relation] = tuple(bucket)
+                else:
+                    for shard in range(self.shards):
+                        per_shard[shard][relation] = rows
+        return [
+            WriteBatch(inserts=inserts, deletes=deletes) if inserts or deletes else None
+            for inserts, deletes in zip(shard_inserts, shard_deletes)
+        ]
 
     def _admit(
         self,
@@ -673,6 +821,8 @@ class ShardedQueryService:
                         result=outcome.result,
                         error=outcome.error,
                     )
+            elif isinstance(message, WritesApplied):
+                self._deliver_write_ack(message)
             elif isinstance(message, StatsReply):
                 self._deliver_stats(message)
             elif isinstance(message, ShardFatal):
@@ -724,6 +874,24 @@ class ShardedQueryService:
                 for request_id, pending in self._pending.items()
                 if pending.shard == handle.index
             ]
+            # Fail write acks waiting on this shard now, typed — a crashed
+            # shard must never leave apply_writes hanging until its timeout.
+            doomed_writes = [
+                serial
+                for serial, (_, _, shard) in self._write_waiters.items()
+                if shard == handle.index
+            ]
+            for serial in doomed_writes:
+                event, box, _shard = self._write_waiters.pop(serial)
+                box.append(
+                    ShardCrashedError(
+                        f"shard {handle.index} worker process died before "
+                        f"acknowledging write batch #{serial}; its slice may "
+                        f"not have been applied",
+                        shard=handle.index,
+                    )
+                )
+                event.set()
             self._idle.notify_all()
         if expected and not victims:
             return
@@ -737,6 +905,17 @@ class ShardedQueryService:
                     shard=handle.index,
                 ),
             )
+
+    def _deliver_write_ack(self, reply: WritesApplied) -> None:
+        """Wake the apply_writes caller waiting on this serial's outcome."""
+        with self._lock:
+            waiter = self._write_waiters.pop(reply.serial, None)
+        if waiter is not None:
+            event, box, _shard = waiter
+            box.append(
+                reply.error if reply.error is not None else dict(reply.counts or {})
+            )
+            event.set()
 
     def _deliver_stats(self, reply: StatsReply) -> None:
         with self._lock:
@@ -824,6 +1003,8 @@ class ShardedQueryService:
                 "failures": self._failures,
                 "degraded": self._degraded,
                 "pending": len(self._pending),
+                "write_batches": self._write_batches,
+                "rows_written": self._rows_written,
                 "shed_by_bound": self._shed_by_bound,
                 "certified_bound_completed": self._certified_bound_completed,
                 "routed": {

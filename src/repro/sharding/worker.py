@@ -33,6 +33,7 @@ from ..service import QueryService
 from ..service.resilience import ResiliencePolicy
 from ..storage.base import StorageBackend, as_backend
 from .messages import (
+    ApplyWrites,
     BatchDone,
     ExecuteBatch,
     RegisterTemplate,
@@ -41,6 +42,7 @@ from .messages import (
     Shutdown,
     StatsReply,
     StatsRequest,
+    WritesApplied,
 )
 
 Row = tuple[Any, ...]
@@ -138,6 +140,8 @@ def shard_main(config: ShardConfig, conn: Any) -> None:
                 _register(service, templates, config.shard, message)
             elif isinstance(message, ExecuteBatch):
                 conn.send(_serve_batch(service, templates, config.shard, message))
+            elif isinstance(message, ApplyWrites):
+                conn.send(_apply_writes(service, config.shard, message))
             elif isinstance(message, StatsRequest):
                 stats = dict(service.stats())
                 stats["templates"] = sum(
@@ -170,6 +174,24 @@ def _register(
         templates[message.template_id] = portable_error(error, shard)
     else:
         templates[message.template_id] = message.template
+
+
+def _apply_writes(
+    service: QueryService, shard: int, message: ApplyWrites
+) -> WritesApplied:
+    """Commit one shard-slice write batch through the shard's own service.
+
+    The service path does the whole live-update dance locally: the backend
+    commits the batch atomically (one ``data_version`` bump, incremental
+    index maintenance) and the shard's engine/stale caches are invalidated
+    for exactly the touched relations.  Failures travel back typed; the
+    batch either committed (counts) or did not (error) — never half.
+    """
+    try:
+        counts = service.apply_writes(message.batch)
+    except BaseException as error:
+        return WritesApplied(message.serial, error=portable_error(error, shard))
+    return WritesApplied(message.serial, counts=counts)
 
 
 def _serve_batch(

@@ -26,9 +26,15 @@ Backend *decorators* compose on the shared :class:`WrapperBackend` base:
 ``as_backend`` resolves either a backend or a ``Database`` (which memoizes
 its own :class:`InMemoryBackend`), so every executor entry point accepts
 both.
+
+The live write path enters through :class:`WriteBatch`
+(:mod:`repro.storage.writes`): one atomic, picklable unit of per-relation
+inserts and deletes that every backend applies with a single
+``data_version`` bump, maintaining its constraint indexes incrementally.
 """
 
 from .base import StorageBackend, as_backend
+from .writes import WriteBatch, as_write_batch
 from .cpuwork import CpuCostInjectingBackend
 from .faults import FaultDecision, FaultInjectingBackend, FaultPlan
 from .latency import LatencyInjectingBackend
@@ -49,5 +55,7 @@ __all__ = [
     "StorageBackend",
     "ThreadLocalConnections",
     "WrapperBackend",
+    "WriteBatch",
     "as_backend",
+    "as_write_batch",
 ]

@@ -28,11 +28,13 @@ pins.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Any, Iterable, Sequence
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 from ..access.constraint import AccessConstraint
-from ..errors import ExecutionError
+from ..errors import ApiMisuseError, ExecutionError
 from ..relational.statistics import AccessCounter, AccessSnapshot
+from .writes import WriteBatch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..access.indexes import AccessIndexes
@@ -117,14 +119,90 @@ class StorageBackend(abc.ABC):
 
     @property
     def data_version(self) -> int:
-        """Monotonic fingerprint of the stored data; 0 when always live.
+        """Monotonic fingerprint of the stored data, bumped once per write batch.
 
-        Backends whose retrieval structures are snapshots (the in-memory
-        hash indexes) bump this on mutation so executor-level index caches
-        rebuild instead of serving stale views; backends whose indexes see
-        live data (SQLite) can leave it constant.
+        Executor-level index caches and result caches stamp themselves with
+        this value, so a committed write is observed (rebuild, invalidate)
+        instead of silently serving stale views.  Read-only backends may
+        leave it at 0.
         """
         return 0
+
+    @property
+    def write_epoch(self) -> int:
+        """Seqlock word for consistent snapshot binds; even iff no commit is running.
+
+        A reader that observes the same *even* epoch before and after binding
+        retrieval structures holds a snapshot consistent with the
+        ``data_version`` it read in between.  Backends that serialize reads
+        against writes some other way (e.g. the SQLite backend's
+        readers-writer :meth:`read_view`) may derive it from ``data_version``.
+        """
+        return 2 * self.data_version
+
+    def relation_version(self, relation: str) -> int:
+        """Monotonic per-relation write counter; defaults to ``data_version``.
+
+        Lets caches invalidate only what a write batch touched.  Backends
+        without per-relation tracking fall back to the global version (safe:
+        over-invalidation, never staleness).
+        """
+        return self.data_version
+
+    # -- writes --------------------------------------------------------------------
+
+    def apply_writes(self, batch: WriteBatch) -> dict[str, tuple[int, int]]:
+        """Atomically apply one :class:`~repro.storage.writes.WriteBatch`.
+
+        Commits as a single ``data_version`` bump; per relation, deletes land
+        before inserts, and a delete row removes every stored copy equal to
+        it.  Returns ``{relation: (inserted, deleted)}`` counts for the
+        relations actually changed.  Backends that do not support writes
+        raise :class:`~repro.errors.ApiMisuseError`.
+        """
+        raise ApiMisuseError(
+            f"{type(self).__name__} ({self.kind!r}) does not support writes"
+        )
+
+    def insert(self, relation: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert ``rows`` into ``relation`` as one batch; returns rows inserted."""
+        counts = self.apply_writes(WriteBatch(inserts={relation: rows}))
+        return counts.get(relation, (0, 0))[0]
+
+    def delete(
+        self,
+        relation: str,
+        rows_or_predicate: Iterable[Sequence[Any]] | Callable[[Row], bool],
+    ) -> int:
+        """Delete by explicit rows or by predicate; returns tuples removed.
+
+        A callable is evaluated as ``DELETE WHERE predicate(row)`` over the
+        relation's current tuples (resolved through the uncounted
+        :meth:`dump` seam — deletion is not query answering); an iterable
+        names the exact rows whose every copy is removed.
+        """
+        if callable(rows_or_predicate):
+            targets: Iterable[Sequence[Any]] = [
+                row for row in self.dump(relation) if rows_or_predicate(row)
+            ]
+        else:
+            targets = rows_or_predicate
+        counts = self.apply_writes(WriteBatch(deletes={relation: targets}))
+        return counts.get(relation, (0, 0))[1]
+
+    @contextmanager
+    def read_view(self) -> Iterator[int | None]:
+        """Context manager bracketing one multi-step read against concurrent writes.
+
+        Yields the pinned ``data_version`` the bracketed reads observe, or
+        ``None`` when the backend's retrieval structures are themselves
+        immutable snapshots (the in-memory copy-on-write indexes) and the
+        bound indexes already carry their version.  Backends whose indexes
+        read live data (SQLite) override this with a shared readers-writer
+        lock so a commit can never land between two fetch steps of one
+        execution.
+        """
+        yield None
 
     # -- counted access paths ------------------------------------------------------
 

@@ -16,12 +16,13 @@ one instance per database and ``as_backend`` resolves it.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from ..access.constraint import AccessConstraint
 from ..access.indexes import AccessIndexes, ConstraintIndex
 from ..relational.statistics import AccessCounter
 from .base import Row, StorageBackend
+from .writes import WriteBatch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..relational.database import Database
@@ -36,10 +37,12 @@ class InMemoryBackend(StorageBackend):
     def __init__(self, database: "Database") -> None:
         self.database = database
         #: (constraint, enforce_bound) -> ConstraintIndex view, so repeated
-        #: protocol-level fetches reuse one view per constraint.  Fingerprinted
-        #: by the database's data_version: a mutation invalidates the whole
-        #: map, because the hash indexes the views wrap are snapshots.
+        #: protocol-level fetches reuse one view per constraint.  Each view is
+        #: stamped with its relation's version at build time; a write batch
+        #: discards exactly the views of the relations it touched (the hash
+        #: indexes they wrap are snapshots) and leaves the rest bound.
         self._views: dict[tuple[AccessConstraint, bool], ConstraintIndex] = {}
+        self._view_stamps: dict[tuple[AccessConstraint, bool], int] = {}
         self._views_version = database.data_version
 
     # -- metadata ------------------------------------------------------------------
@@ -62,15 +65,43 @@ class InMemoryBackend(StorageBackend):
     def data_version(self) -> int:  # type: ignore[override]
         return self.database.data_version
 
+    @property
+    def write_epoch(self) -> int:  # type: ignore[override]
+        return self.database.write_epoch
+
+    def relation_version(self, relation: str) -> int:
+        return self.database.relation_version(relation)
+
     def populate(self, relation: str, rows: Iterable[Sequence[Any]]) -> None:
         """Bulk-append tuples through the database's mutation path.
 
-        ``Database.extend`` drops the relation's (snapshot) hash indexes and
-        bumps ``data_version``, so this backend's views and the executor's
-        prepared index caches rebuild on next use instead of silently serving
-        pre-populate data — the divergence-from-SQLite failure mode.
+        ``Database.extend`` commits one write batch: the relation's hash
+        indexes are incrementally maintained and ``data_version`` bumps, so
+        this backend's views and the executor's prepared index caches pick up
+        the new data on next use instead of silently serving pre-populate
+        data — the divergence-from-SQLite failure mode.
         """
         self.database.extend(relation, rows)
+
+    # -- writes --------------------------------------------------------------------
+
+    def apply_writes(self, batch: "WriteBatch") -> dict[str, tuple[int, int]]:
+        """Apply one batch through :meth:`Database.apply_writes` (atomic commit).
+
+        The database validates everything first, maintains each touched hash
+        index copy-on-write, and publishes the batch with a single
+        ``data_version`` bump; executions that already bound the superseded
+        index snapshots keep reading their consistent pre-write version.
+        """
+        return self.database.apply_writes(inserts=batch.inserts, deletes=batch.deletes)
+
+    def delete(
+        self,
+        relation: str,
+        rows_or_predicate: "Iterable[Sequence[Any]] | Callable[[Row], bool]",
+    ) -> int:
+        """Delete by rows or predicate; predicates evaluate under the write lock."""
+        return self.database.delete(relation, rows_or_predicate)
 
     def dump(self, relation: str) -> list[Row]:
         """All tuples, uncounted — delegates to ``Relation.tuples``."""
@@ -93,9 +124,25 @@ class InMemoryBackend(StorageBackend):
         return self._view(constraint, True).contains(x_value)
 
     def _check_views_fresh(self) -> None:
-        if self._views_version != self.database.data_version:
-            self._views.clear()
-            self._views_version = self.database.data_version
+        """Discard exactly the views of relations written since they were built.
+
+        The seam is version-stamped twice over: the cheap global
+        ``data_version`` check short-circuits the no-write case, and on a
+        mismatch each view's per-relation stamp decides individually — a
+        write to one relation leaves every other relation's views bound.
+        """
+        version = self.database.data_version
+        if self._views_version == version:
+            return
+        stale = [
+            key
+            for key, stamp in self._view_stamps.items()
+            if self.database.relation_version(key[0].relation) != stamp
+        ]
+        for key in stale:
+            del self._views[key]
+            del self._view_stamps[key]
+        self._views_version = version
 
     def _view(self, constraint: AccessConstraint, enforce_bound: bool) -> ConstraintIndex:
         self._check_views_fresh()
@@ -134,9 +181,11 @@ class InMemoryBackend(StorageBackend):
                 for constraint in relation_constraints
             ]
             hash_indexes = self.database.build_indexes(relation_name, specs)
+            stamp = self.database.relation_version(relation_name)
             for constraint, hash_index in zip(relation_constraints, hash_indexes):
                 view = ConstraintIndex(constraint, hash_index, enforce_bound=enforce_bounds)
                 self._views[(constraint, enforce_bounds)] = view
+                self._view_stamps[(constraint, enforce_bounds)] = stamp
                 indexes.add(view)
         return indexes
 

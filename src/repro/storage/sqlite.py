@@ -39,14 +39,17 @@ import itertools
 import os
 import sqlite3
 import threading
-from typing import TYPE_CHECKING, Any, Iterable, Sequence
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 from ..access.constraint import AccessConstraint
 from ..access.indexes import AccessIndexes, check_bound
 from ..errors import ExecutionError, SchemaError, UnknownRelationError
 from ..relational.schema import DatabaseSchema
 from ..relational.statistics import AccessCounter
+from ..util.rwlock import ReadWriteLock
 from .base import Row, StorageBackend
+from .writes import WriteBatch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..relational.database import Database
@@ -99,8 +102,13 @@ class ThreadLocalConnections:
     >>> pool.close_all()
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self,
+        path: str,
+        configure: "Callable[[sqlite3.Connection], None] | None" = None,
+    ) -> None:
         self.path = path
+        self._configure = configure
         self._local = threading.local()
         self._lock = threading.Lock()
         self._all: list[sqlite3.Connection] = []
@@ -114,18 +122,27 @@ class ThreadLocalConnections:
             self._anchor: sqlite3.Connection | None = sqlite3.connect(
                 self._target, uri=self._uri, check_same_thread=False
             )
+            if configure is not None:
+                configure(self._anchor)
         else:
             self._target = path
             self._uri = False
             self._anchor = None
 
     def get(self) -> sqlite3.Connection:
-        """The calling thread's connection, created on first use."""
+        """The calling thread's connection, created on first use.
+
+        Every new connection runs the pool's ``configure`` hook (journal
+        mode, busy timeout, ...) before it is handed out, so per-connection
+        pragmas hold uniformly across worker threads.
+        """
         connection = getattr(self._local, "connection", None)
         if connection is None:
             connection = sqlite3.connect(
                 self._target, uri=self._uri, check_same_thread=False
             )
+            if self._configure is not None:
+                self._configure(connection)
             with self._lock:
                 # The closed check and the registration must be one atomic
                 # step, or a get() racing close_all() would register (and
@@ -226,12 +243,21 @@ class SQLiteBackend(StorageBackend):
         self.schema = schema
         self.path = path
         self.counter = AccessCounter()
-        self._connections = ThreadLocalConnections(path)
+        self._connections = ThreadLocalConnections(
+            path, configure=self._configure_connection
+        )
         #: Serializes DDL (index creation) across threads.
         self._ddl_lock = threading.Lock()
         #: Constraints whose SQL index has been created, to make
         #: build_indexes idempotent without re-issuing DDL.
         self._indexed: set[tuple[str, tuple[str, ...]]] = set()
+        #: Readers-writer discipline for live-index consistency: plan
+        #: executions hold the shared side for their whole fetch loop
+        #: (:meth:`read_view`), write batches the exclusive side — a commit
+        #: can never land between two fetch steps of one execution.
+        self._rw = ReadWriteLock()
+        self._data_version = 0
+        self._relation_versions: dict[str, int] = {}
         for relation in schema:
             columns = ", ".join(_quote(a) for a in relation.attribute_names)
             self._connection.execute(
@@ -243,6 +269,20 @@ class SQLiteBackend(StorageBackend):
     def _connection(self) -> sqlite3.Connection:
         """The calling thread's connection to this store."""
         return self._connections.get()
+
+    def _configure_connection(self, connection: sqlite3.Connection) -> None:
+        """Per-connection pragmas, applied by the pool to every new connection.
+
+        File-backed stores run in WAL mode: readers on other connections keep
+        reading a consistent snapshot while a write batch commits, which is
+        the journal mode the live write path assumes.  WAL does not apply to
+        (shared-cache) in-memory databases, so ``:memory:`` stores skip it.
+        A busy timeout covers the residual writer-vs-writer contention.
+        """
+        connection.execute("PRAGMA busy_timeout=5000")
+        if self.path != ":memory:":
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
 
     # -- construction --------------------------------------------------------------
 
@@ -285,32 +325,163 @@ class SQLiteBackend(StorageBackend):
         placeholders = ", ".join("?" for _ in range(schema.arity))
         sql = f"INSERT INTO {_quote(relation)} VALUES ({placeholders})"
         batch: list[tuple[Any, ...]] = []
-        try:
-            for row_number, row in enumerate(rows):
-                values = tuple(row)
-                if len(values) != schema.arity:
-                    raise SchemaError(
-                        f"relation {relation!r} expects arity {schema.arity}, "
-                        f"got tuple of length {len(values)} at row {row_number}"
-                    )
-                for attribute, value in zip(schema.attribute_names, values):
-                    if value is not None and not isinstance(value, _STORABLE):
+        appended = False
+        with self._rw.write():
+            try:
+                for row_number, row in enumerate(rows):
+                    values = tuple(row)
+                    if len(values) != schema.arity:
                         raise SchemaError(
-                            f"SQLiteBackend cannot store {type(value).__name__} value "
-                            f"{value!r} (relation {relation!r}, row {row_number}, "
-                            f"column {attribute!r}); supported types are "
-                            f"None/int/float/str/bytes"
+                            f"relation {relation!r} expects arity {schema.arity}, "
+                            f"got tuple of length {len(values)} at row {row_number}"
                         )
-                batch.append(values)
-                if len(batch) >= POPULATE_CHUNK_SIZE:
+                    for attribute, value in zip(schema.attribute_names, values):
+                        if value is not None and not isinstance(value, _STORABLE):
+                            raise SchemaError(
+                                f"SQLiteBackend cannot store {type(value).__name__} value "
+                                f"{value!r} (relation {relation!r}, row {row_number}, "
+                                f"column {attribute!r}); supported types are "
+                                f"None/int/float/str/bytes"
+                            )
+                    batch.append(values)
+                    if len(batch) >= POPULATE_CHUNK_SIZE:
+                        self._connection.executemany(sql, batch)
+                        batch.clear()
+                        appended = True
+                if batch:
                     self._connection.executemany(sql, batch)
-                    batch.clear()
-            if batch:
-                self._connection.executemany(sql, batch)
+                    appended = True
+            except BaseException:
+                self._connection.rollback()
+                raise
+            self._connection.commit()
+            if appended:
+                self._data_version += 1
+                self._relation_versions[relation] = self.relation_version(relation) + 1
+
+    # -- writes --------------------------------------------------------------------
+
+    @property
+    def data_version(self) -> int:  # type: ignore[override]
+        return self._data_version
+
+    def relation_version(self, relation: str) -> int:
+        return self._relation_versions.get(relation, 0)
+
+    @contextmanager
+    def read_view(self) -> Iterator[int]:
+        """Shared side of the backend's readers-writer lock, for one execution.
+
+        SQL indexes read live tables, so unlike the in-memory backend's
+        copy-on-write snapshots, consistency across a multi-step fetch loop
+        needs mutual exclusion against committing writers.  Yields the pinned
+        ``data_version`` all bracketed reads observe.
+        """
+        with self._rw.read():
+            yield self._data_version
+
+    def _validated_rows(
+        self, relation: str, rows: Iterable[Sequence[Any]]
+    ) -> list[Row]:
+        schema = self._relation_schema(relation)
+        validated: list[Row] = []
+        for row_number, row in enumerate(rows):
+            values = tuple(row)
+            if len(values) != schema.arity:
+                raise SchemaError(
+                    f"relation {relation!r} expects arity {schema.arity}, "
+                    f"got tuple of length {len(values)} at row {row_number}"
+                )
+            for attribute, value in zip(schema.attribute_names, values):
+                if value is not None and not isinstance(value, _STORABLE):
+                    raise SchemaError(
+                        f"SQLiteBackend cannot store {type(value).__name__} value "
+                        f"{value!r} (relation {relation!r}, row {row_number}, "
+                        f"column {attribute!r}); supported types are "
+                        f"None/int/float/str/bytes"
+                    )
+            validated.append(values)
+        return validated
+
+    def apply_writes(self, batch: WriteBatch) -> dict[str, tuple[int, int]]:
+        """Atomically apply one write batch as a single SQL transaction.
+
+        Every row is validated before the exclusive lock is taken; under it,
+        per relation, deletes run first (each target row removes every stored
+        copy, NULL-safely via ``IS`` comparisons), then inserts, and the
+        transaction commits as one ``data_version`` bump.  In-flight plan
+        executions are excluded for the duration by :meth:`read_view`'s
+        shared lock, so none of them can straddle the commit.
+        """
+        staged: list[tuple[str, list[Row], list[Row]]] = []
+        for relation in batch.relations:
+            inserts = self._validated_rows(relation, batch.inserts.get(relation, ()))
+            deletes = self._validated_rows(relation, batch.deletes.get(relation, ()))
+            if inserts or deletes:
+                staged.append((relation, inserts, deletes))
+        if not staged:
+            return {}
+        with self._rw.write():
+            return self._apply_staged(staged)
+
+    def _apply_staged(
+        self, staged: list[tuple[str, list[Row], list[Row]]]
+    ) -> dict[str, tuple[int, int]]:
+        """Run a validated batch under the already-held exclusive lock."""
+        connection = self._connection
+        counts: dict[str, tuple[int, int]] = {}
+        try:
+            for relation, inserts, deletes in staged:
+                schema = self._relation_schema(relation)
+                table = _quote(relation)
+                deleted = 0
+                if deletes:
+                    predicate = " AND ".join(
+                        f"{_quote(a)} IS ?" for a in schema.attribute_names
+                    )
+                    sql = f"DELETE FROM {table} WHERE {predicate}"
+                    for row in dict.fromkeys(deletes):
+                        deleted += connection.execute(sql, row).rowcount
+                if inserts:
+                    placeholders = ", ".join("?" for _ in range(schema.arity))
+                    connection.executemany(
+                        f"INSERT INTO {table} VALUES ({placeholders})", inserts
+                    )
+                if inserts or deleted:
+                    counts[relation] = (len(inserts), deleted)
         except BaseException:
-            self._connection.rollback()
+            connection.rollback()
             raise
-        self._connection.commit()
+        connection.commit()
+        if counts:
+            self._data_version += 1
+            for relation in counts:
+                self._relation_versions[relation] = self.relation_version(relation) + 1
+        return counts
+
+    def delete(
+        self,
+        relation: str,
+        rows_or_predicate: "Iterable[Sequence[Any]] | Callable[[Row], bool]",
+    ) -> int:
+        """Delete by rows or predicate; predicates evaluate under the write lock.
+
+        Evaluating a predicate requires reading current tuples; doing both
+        the read and the delete under one exclusive acquisition closes the
+        race where a concurrent batch changes the relation between them.
+        """
+        if not callable(rows_or_predicate):
+            return super().delete(relation, rows_or_predicate)
+        self._relation_schema(relation)
+        with self._rw.write():
+            targets = self._validated_rows(
+                relation,
+                [row for row in self.dump(relation) if rows_or_predicate(row)],
+            )
+            if not targets:
+                return 0
+            counts = self._apply_staged([(relation, [], targets)])
+        return counts.get(relation, (0, 0))[1]
 
     # -- metadata ------------------------------------------------------------------
 

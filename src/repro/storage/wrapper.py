@@ -28,12 +28,13 @@ seed.
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from ..access.constraint import AccessConstraint
 from ..access.indexes import AccessIndexes
 from ..relational.statistics import AccessCounter
 from .base import Row, StorageBackend, as_backend
+from .writes import WriteBatch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..relational.schema import DatabaseSchema
@@ -139,6 +140,13 @@ class WrapperBackend(StorageBackend):
     def data_version(self) -> int:
         return self.inner.data_version
 
+    @property
+    def write_epoch(self) -> int:
+        return self.inner.write_epoch
+
+    def relation_version(self, relation: str) -> int:
+        return self.inner.relation_version(relation)
+
     def relation_names(self) -> tuple[str, ...]:
         return self.inner.relation_names()
 
@@ -150,6 +158,25 @@ class WrapperBackend(StorageBackend):
 
     def dump(self, relation: str) -> list[Row]:
         return self.inner.dump(relation)
+
+    # -- writes (delegating) ----------------------------------------------------------
+
+    def apply_writes(self, batch: "WriteBatch") -> dict[str, tuple[int, int]]:
+        return self.inner.apply_writes(batch)
+
+    def insert(self, relation: str, rows: Iterable[Sequence[Any]]) -> int:
+        return self.inner.insert(relation, rows)
+
+    def delete(
+        self,
+        relation: str,
+        rows_or_predicate: "Iterable[Sequence[Any]] | Callable[[Row], bool]",
+    ) -> int:
+        return self.inner.delete(relation, rows_or_predicate)
+
+    def read_view(self):
+        """Delegate the consistency bracket to the wrapped store."""
+        return self.inner.read_view()
 
     # -- counted access paths (delegating; decorators override) ---------------------
 

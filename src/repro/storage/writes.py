@@ -1,0 +1,113 @@
+"""Write batches: the typed unit of mutation crossing the storage seam.
+
+A :class:`WriteBatch` names, per relation, the rows to insert and the rows to
+delete.  It is deliberately *data only* — plain tuples in frozen mappings —
+so the same object can be applied to an in-memory database, executed as SQL
+against the SQLite backend, pickled into an ``ApplyWrites`` IPC envelope and
+routed to shard worker processes, all without the relational layer ever
+importing storage code (backends unpack it into plain mappings for
+:meth:`repro.relational.database.Database.apply_writes`).
+
+Semantics shared by every backend:
+
+* the batch is **atomic**: it commits as one ``data_version`` bump and a
+  reader observes none or all of it;
+* per relation, deletes land before inserts;
+* a delete row removes **every** stored copy equal to it (SQL ``DELETE
+  WHERE`` multiset semantics); rows not present delete nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..errors import ApiMisuseError
+
+Row = tuple[Any, ...]
+
+#: Relation -> rows, normalized to tuples inside an immutable mapping view.
+RowsByRelation = Mapping[str, tuple[Row, ...]]
+
+
+def _normalize(rows_by_relation: Mapping[str, Iterable[Sequence[Any]]] | None) -> RowsByRelation:
+    if not rows_by_relation:
+        return MappingProxyType({})
+    normalized: dict[str, tuple[Row, ...]] = {}
+    for relation, rows in rows_by_relation.items():
+        as_tuples = tuple(tuple(row) for row in rows)
+        if as_tuples:
+            normalized[relation] = as_tuples
+    return MappingProxyType(normalized)
+
+
+@dataclass(frozen=True)
+class WriteBatch:
+    """One atomic batch of inserts and deletes, keyed by relation name.
+
+    Example
+    -------
+    >>> batch = WriteBatch(
+    ...     inserts={"friends": [("u0", "u9")]},
+    ...     deletes={"friends": [("u0", "u1")]},
+    ... )
+    >>> batch.relations
+    ('friends',)
+    >>> batch.total_rows
+    2
+    """
+
+    inserts: RowsByRelation = field(default_factory=dict)
+    deletes: RowsByRelation = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "inserts", _normalize(self.inserts))
+        object.__setattr__(self, "deletes", _normalize(self.deletes))
+
+    @property
+    def relations(self) -> tuple[str, ...]:
+        """Every relation the batch touches (deletes first, insertion-ordered)."""
+        return tuple(dict.fromkeys(list(self.deletes) + list(self.inserts)))
+
+    @property
+    def total_rows(self) -> int:
+        """Number of rows carried (inserts plus delete targets)."""
+        return sum(len(rows) for rows in self.inserts.values()) + sum(
+            len(rows) for rows in self.deletes.values()
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.inserts) or bool(self.deletes)
+
+    def restricted_to(self, relations: Iterable[str]) -> "WriteBatch":
+        """The sub-batch touching only ``relations`` (e.g. one shard's slice)."""
+        keep = set(relations)
+        return WriteBatch(
+            inserts={r: rows for r, rows in self.inserts.items() if r in keep},
+            deletes={r: rows for r, rows in self.deletes.items() if r in keep},
+        )
+
+    def __getstate__(self) -> dict[str, Any]:
+        # MappingProxyType does not pickle; ship plain dicts across the IPC
+        # boundary and re-wrap on arrival.
+        return {"inserts": dict(self.inserts), "deletes": dict(self.deletes)}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        object.__setattr__(self, "inserts", _normalize(state["inserts"]))
+        object.__setattr__(self, "deletes", _normalize(state["deletes"]))
+
+
+def as_write_batch(
+    batch: "WriteBatch | None" = None,
+    inserts: Mapping[str, Iterable[Sequence[Any]]] | None = None,
+    deletes: Mapping[str, Iterable[Sequence[Any]]] | None = None,
+) -> WriteBatch:
+    """Coerce the ``(batch | inserts/deletes)`` calling conventions to one batch."""
+    if batch is not None:
+        if inserts or deletes:
+            raise ApiMisuseError(
+                "pass either a WriteBatch or inserts/deletes mappings, not both"
+            )
+        return batch
+    return WriteBatch(inserts=inserts or {}, deletes=deletes or {})

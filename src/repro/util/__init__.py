@@ -1,9 +1,12 @@
 """Small cross-cutting utilities shared across layers.
 
-Currently home to :mod:`repro.util.stablehash`, the process-stable hashing
-every cross-process routing decision must use (the contract REPRO006 lints).
+Home to :mod:`repro.util.stablehash`, the process-stable hashing every
+cross-process routing decision must use (the contract REPRO006 lints), and
+:mod:`repro.util.rwlock`, the readers-writer lock live-index backends use to
+keep multi-step executions consistent against concurrent write batches.
 """
 
+from .rwlock import ReadWriteLock
 from .stablehash import canonical_bytes, stable_hash, stable_shard
 
-__all__ = ["canonical_bytes", "stable_hash", "stable_shard"]
+__all__ = ["ReadWriteLock", "canonical_bytes", "stable_hash", "stable_shard"]

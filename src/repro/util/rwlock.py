@@ -1,0 +1,80 @@
+"""A writer-preferring readers-writer lock.
+
+Backends whose retrieval structures read *live* data (the SQLite backend's
+SQL indexes) must keep a multi-step plan execution consistent against
+concurrent write batches: every fetch step of one execution has to observe
+the same committed version.  :class:`ReadWriteLock` provides the classic
+shared/exclusive discipline for that — any number of concurrent readers
+(plan executions), one writer (a committing batch), and waiting writers
+block *new* readers so a steady read load cannot starve the write path.
+
+Snapshot backends (the in-memory copy-on-write hash indexes) do not need
+this lock: their bound indexes are immutable, so reads are consistent
+without any mutual exclusion.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """Shared (read) / exclusive (write) lock, writer-preferring.
+
+    Neither side is reentrant: a thread holding the lock must release it
+    before acquiring again (a nested read can deadlock behind a waiting
+    writer; a nested write deadlocks with itself).
+
+    Example
+    -------
+    >>> lock = ReadWriteLock()
+    >>> with lock.read():           # any number of concurrent readers
+    ...     pass
+    >>> with lock.write():          # exactly one writer, no readers
+    ...     pass
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Hold the shared side: blocks while a writer is active or waiting."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Hold the exclusive side: blocks until no reader or writer remains.
+
+        Not reentrant — a thread holding either side must release it before
+        acquiring the write side, or it deadlocks with itself.
+        """
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()

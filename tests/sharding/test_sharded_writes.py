@@ -1,0 +1,192 @@
+"""Live writes across the shard fleet: routing, parity, crash behavior.
+
+These tests build their own short-lived services instead of the module-scoped
+fixtures in ``conftest.py`` — writes mutate shard state, and the standing
+services are shared by the read-path tests.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import ShardCrashedError
+from repro.execution import BoundedEngine
+from repro.relational import Database
+from repro.service import QueryService
+from repro.sharding import ShardMap, ShardedQueryService
+from repro.spc import ParameterizedQuery
+from repro.storage import as_backend
+from repro.workloads import generate_social_database, query_q1, social_access_schema
+
+RESOLVE_TIMEOUT = 30.0
+
+
+def _social_db() -> Database:
+    return generate_social_database(scale=0.3, seed=7)
+
+
+def _template() -> ParameterizedQuery:
+    q1 = query_q1()
+    return ParameterizedQuery(
+        q1, {"album": q1.ref("ia", "album_id"), "user": q1.ref("f", "user_id")}
+    )
+
+
+def _keyed_map() -> ShardMap:
+    return ShardMap(2, {"in_album": ("album_id",)})
+
+
+def _wait_until_dead(service: ShardedQueryService, index: int) -> None:
+    handle = service._handles[index]
+    deadline = time.monotonic() + 10.0
+    while not handle.dead:
+        if time.monotonic() > deadline:
+            pytest.fail(f"router never noticed shard {index} dying")
+        time.sleep(0.02)
+
+
+def test_partitioned_writes_route_to_the_owning_shard():
+    """Rows of a partitioned relation land only on their key's shard."""
+    shard_map = _keyed_map()
+    albums = [f"a{i}" for i in range(10)]
+    expected = [0, 0]
+    rows = []
+    for i, album in enumerate(albums):
+        rows.append((f"wp{i}", album))
+        expected[shard_map.shard_of_key("in_album", (album,))] += 1
+    assert all(expected), "test data must exercise both shards"
+
+    with ShardedQueryService(_social_db(), social_access_schema(), shard_map=shard_map) as service:
+        before = service.shard_stats()
+        counts = service.apply_writes(inserts={"in_album": rows})
+        assert counts == {"in_album": (len(rows), 0)}
+        after = service.shard_stats()
+        for shard in range(2):
+            routed = after[shard]["rows_written"] - before[shard]["rows_written"]
+            assert routed == expected[shard]
+            assert after[shard]["write_batches"] - before[shard]["write_batches"] == 1
+        stats = service.stats(shard_timeout=None)
+        assert stats["write_batches"] == 1
+        assert stats["rows_written"] == len(rows)
+
+
+def test_replicated_writes_fan_out_to_every_shard():
+    """A non-partitioned relation's rows reach every shard, counted once."""
+    edges = [("uw0", "uw1"), ("uw1", "uw2"), ("uw2", "uw0")]
+    with ShardedQueryService(
+        _social_db(), social_access_schema(), shard_map=_keyed_map()
+    ) as service:
+        counts = service.apply_writes(inserts={"friends": edges})
+        # Logical count, not #shards x rows: replicas apply identical slices.
+        assert counts == {"friends": (len(edges), 0)}
+        per_shard = service.shard_stats()
+        for shard in range(2):
+            assert per_shard[shard]["rows_written"] == len(edges)
+            assert per_shard[shard]["write_batches"] == 1
+
+
+def test_cross_shard_writes_match_the_unsharded_service():
+    """The same write + query schedule on sharded vs thread-tier services
+    yields identical answers — including a write that changes an answer."""
+    base = _social_db()
+    access = social_access_schema()
+    template = _template()
+
+    # Craft an observable write from the data: take an existing tag, make its
+    # tagger a friend of the taggee (the Q1 join condition), then remove the
+    # tag again.  The answer for (album-of-photo, taggee) must change twice.
+    photo, tagger, taggee = base.relation("tagging").tuples()[0]
+    album = dict(base.relation("in_album").tuples())[photo]
+    binding = {"album": album, "user": taggee}
+    probes = [binding] + [{"album": f"a{i % 12}", "user": f"u{i % 40}"} for i in range(10)]
+
+    reference = QueryService(as_backend(_social_db()), access, workers=1)
+    sharded = ShardedQueryService(base, access, shard_map=_keyed_map())
+    try:
+
+        def answers(service):
+            return [
+                service.submit(template, **probe).result(timeout=RESOLVE_TIMEOUT).as_set
+                for probe in probes
+            ]
+
+        def both_apply(**batch):
+            sharded_counts = sharded.apply_writes(**batch)
+            assert sharded_counts == reference.apply_writes(**batch)
+
+        assert answers(sharded) == answers(reference)
+
+        both_apply(inserts={"friends": [(taggee, tagger)]})
+        after_insert = answers(sharded)
+        assert after_insert == answers(reference)
+        assert any(photo in row for row in after_insert[0]), (
+            "the crafted friendship must surface the tag in the answer"
+        )
+
+        both_apply(deletes={"tagging": [(photo, tagger, taggee)]})
+        after_delete = answers(sharded)
+        assert after_delete == answers(reference)
+        assert not any(photo in row for row in after_delete[0])
+    finally:
+        sharded.close()
+        reference.close()
+
+
+def test_shard_crash_mid_write_leaves_survivors_consistent():
+    """A write spanning a dead shard fails typed; live shards still commit
+    their slices and keep serving."""
+    shard_map = _keyed_map()
+    albums = [f"a{i}" for i in range(10)]
+    by_shard: dict[int, str] = {}
+    for album in albums:
+        by_shard.setdefault(shard_map.shard_of_key("in_album", (album,)), album)
+    assert set(by_shard) == {0, 1}
+
+    with ShardedQueryService(
+        _social_db(), social_access_schema(), shard_map=shard_map
+    ) as service:
+        victim = 1
+        survivor = 0
+        os.kill(service._handles[victim].process.pid, signal.SIGKILL)
+        _wait_until_dead(service, victim)
+
+        rows = [(f"wp{shard}", album) for shard, album in sorted(by_shard.items())]
+        with pytest.raises(ShardCrashedError) as excinfo:
+            service.apply_writes(inserts={"in_album": rows})
+        assert excinfo.value.shard == victim
+
+        per_shard = service.shard_stats()
+        assert per_shard[victim] == {"alive": False}
+        # The survivor committed its slice and still answers queries.
+        assert per_shard[survivor]["alive"]
+        assert per_shard[survivor]["rows_written"] == 1
+        future = service.submit(_template(), album=by_shard[survivor], user="u0")
+        future.result(timeout=RESOLVE_TIMEOUT)
+
+
+def test_write_then_read_orders_on_the_same_shard():
+    """A query submitted after a write observes it (FIFO outbox ordering)."""
+    base = _social_db()
+    access = social_access_schema()
+    template = _template()
+    photo, tagger, taggee = base.relation("tagging").tuples()[1]
+    album = dict(base.relation("in_album").tuples())[photo]
+
+    with ShardedQueryService(base, access, shard_map=_keyed_map()) as service:
+        service.apply_writes(inserts={"friends": [(taggee, tagger)]})
+        result = service.submit(template, album=album, user=taggee).result(
+            timeout=RESOLVE_TIMEOUT
+        )
+        assert any(photo in row for row in result.as_set)
+
+        # And the answer agrees with a naive single-process oracle.
+        oracle = generate_social_database(scale=0.3, seed=7)
+        oracle.apply_writes(inserts={"friends": [(taggee, tagger)]})
+        naive = BoundedEngine(access).execute_naive(
+            template.bind(album=album, user=taggee), oracle
+        )
+        assert result.as_set == naive.as_set
