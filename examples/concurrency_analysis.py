@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""The concurrency analyzer catching a deadlock *before* any thread runs.
+
+A worker pool with a metrics sink is a classic two-lock shape: the pool
+locks itself then tells the sink, the sink locks itself then asks the pool.
+Each path is individually correct; together they deadlock the first time
+two threads interleave badly — maybe once a week in production, never in a
+fast test run.  The races analyzer finds the cycle statically, from the
+lock-order graph, with a method witness for each edge, then the same pass
+flags an unguarded counter read and a sleep held under a lock.
+
+Run with::
+
+    python examples/concurrency_analysis.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import textwrap
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.concurrency import CONCURRENCY_RULES, collect_guard_map
+from repro.analysis.lint import lint_paths
+
+#: A seeded deadlock: pool.submit takes pool->sink, sink.flush takes
+#: sink->pool.  Plus two riders: a lock-free stats read and a sleep under
+#: the pool lock.
+RACY_POOL = """
+    import threading
+    import time
+
+
+    class MetricsSink:
+        def __init__(self, pool):
+            self._lock = threading.Lock()
+            self._pool = pool
+            self._events = []
+
+        def record(self, event):
+            with self._lock:
+                self._events.append(event)
+
+        def flush(self):
+            with self._lock:                  # sink lock first...
+                backlog = self._pool.backlog()  # ...then the pool's (inside)
+                drained = list(self._events)
+                self._events = []
+            return backlog, drained
+
+
+    class WorkerPool:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._sink_lock = threading.Lock()
+            self._queue = []
+            self._done = 0
+
+        def submit(self, task):
+            with self._lock:                  # pool lock first...
+                self._queue.append(task)
+                with self._sink_lock:         # ...then the sink's
+                    pass
+
+        def backlog(self):
+            with self._sink_lock:
+                with self._lock:              # DEADLOCK: opposite order
+                    return len(self._queue)
+
+        def finish_one(self):
+            with self._lock:
+                self._queue.pop()
+                self._done += 1
+
+        def stats(self):
+            return self._done                 # RACE: unguarded read
+
+        def throttle(self):
+            with self._lock:
+                time.sleep(0.01)              # BLOCKING under the pool lock
+    """
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as scratch:
+        target = Path(scratch) / "pool.py"
+        target.write_text(textwrap.dedent(RACY_POOL))
+
+        # ------------------------------------------------- static findings
+        findings = lint_paths([target], CONCURRENCY_RULES)
+        print(f"{len(findings)} finding(s) — no thread was started:\n")
+        for finding in findings:
+            print(f"  line {finding.line:>3}  {finding.rule}  {finding.message}")
+
+        # The deadlock is reported as a cycle in the lock-order graph, with
+        # the acquiring method as the witness for each edge.
+        cycle = next(f for f in findings if f.rule == "CONC002")
+        assert "self._lock -> self._sink_lock -> self._lock" in cycle.message
+        print(f"\nthe deadlock, statically: {cycle.message}")
+
+        # ------------------------------------------------- the guard map
+        print("\ninferred guard map:")
+        for entry in collect_guard_map([target]):
+            print(
+                f"  {entry['class']:>10}.{entry['attr']:<10} "
+                f"guard={entry['guard'] or '—'}  ({entry['source']})"
+            )
+
+
+if __name__ == "__main__":
+    main()

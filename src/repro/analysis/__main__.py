@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.analysis lint src/ [more paths...] [--baseline FILE]
     python -m repro.analysis lint src/ --write-baseline FILE
+    python -m repro.analysis races src/repro [--guard-map FILE]
     python -m repro.analysis verify --workload all [--seed N]
 
 Exit status: 0 when clean / fully certified, 1 on findings or verification
@@ -13,23 +14,34 @@ failures (argparse itself exits 2 on usage errors).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Sequence
 
+from .concurrency import CONCURRENCY_RULES, collect_guard_map
 from .lint import apply_baseline, lint_paths, load_baseline, write_baseline
+from .lint.framework import Rule
 from .lint.rules import DEFAULT_RULES
 from .sweep import verify_workloads
 from .verify import RULES
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
+def _run_linter(args: argparse.Namespace, rules: Sequence[Rule]) -> int:
+    """Shared driver for ``lint`` and ``races``: findings vs. baseline."""
     paths = [Path(p) for p in args.paths]
     missing = [str(p) for p in paths if not p.exists()]
     if missing:
         print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
-    findings = lint_paths(paths, DEFAULT_RULES)
+    findings = lint_paths(paths, rules)
+
+    if getattr(args, "guard_map", None) is not None:
+        entries = collect_guard_map(paths)
+        Path(args.guard_map).write_text(
+            json.dumps({"entries": entries}, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote guard map ({len(entries)} entries) to {args.guard_map}")
 
     if args.write_baseline is not None:
         write_baseline(
@@ -58,6 +70,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings or stale else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return _run_linter(args, DEFAULT_RULES)
+
+
+def _cmd_races(args: argparse.Namespace) -> int:
+    return _run_linter(args, CONCURRENCY_RULES)
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     names = None if "all" in args.workload else tuple(dict.fromkeys(args.workload))
     report = verify_workloads(names, seed=args.seed)
@@ -66,7 +86,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_rules(_args: argparse.Namespace) -> int:
-    for rule in DEFAULT_RULES:
+    for rule in DEFAULT_RULES + CONCURRENCY_RULES:
         print(f"{rule.id}: {rule.description}")
     for rule_id, description in RULES.items():
         print(f"{rule_id}: {description}")
@@ -76,7 +96,7 @@ def _cmd_rules(_args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="static plan verifier and contract linter",
+        description="static plan verifier, contract linter and race analyzer",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -95,6 +115,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="write current findings to FILE as a bootstrap baseline and exit",
     )
     lint.set_defaults(run=_cmd_lint)
+
+    races = commands.add_parser(
+        "races",
+        help="run the static concurrency analyzer (CONC001-005) over source paths",
+    )
+    races.add_argument("paths", nargs="+", help="files or directories to analyze")
+    races.add_argument(
+        "--baseline",
+        default="races_baseline.json",
+        help="baseline file of acknowledged findings (default: %(default)s, "
+        "ignored when absent)",
+    )
+    races.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="write current findings to FILE as a bootstrap baseline and exit",
+    )
+    races.add_argument(
+        "--guard-map",
+        metavar="FILE",
+        default=None,
+        help="also write the inferred guard map (JSON) to FILE",
+    )
+    races.set_defaults(run=_cmd_races)
 
     verify = commands.add_parser(
         "verify", help="statically verify every query of the registered workloads"

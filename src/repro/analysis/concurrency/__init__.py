@@ -1,0 +1,57 @@
+"""Static concurrency analyzer: guard inference, lock-set dataflow, protocols.
+
+The analyzer proves lock discipline *before* any interleaving runs, the
+same a-priori stance the Σ Mᵢ certificate takes for bounded access: per
+class it infers which lock guards each shared attribute
+(:mod:`~repro.analysis.concurrency.guards`), runs a must-hold lock-set
+dataflow over every method (:mod:`~repro.analysis.concurrency.cfg`,
+:mod:`~repro.analysis.concurrency.locksets`), builds the lock-order
+graph, and checks the hand-rolled seqlock / copy-on-write protocols
+(:mod:`~repro.analysis.concurrency.protocols`).  Rules CONC001–005 plug
+into the contract-linter framework — same suppressions, same justified
+baseline.  Run it via the package CLI::
+
+    python -m repro.analysis races src/repro
+"""
+
+from .guards import (
+    Annotations,
+    GuardSpec,
+    LockTable,
+    discover_locks,
+    parse_annotations,
+    render_guard_table,
+)
+from .locksets import Access, ClassAnalysis, analyze_class
+from .rules import (
+    CONCURRENCY_RULES,
+    BlockingUnderLockRule,
+    GuardDisciplineRule,
+    LockOrderRule,
+    SeqlockProtocolRule,
+    SnapshotDisciplineRule,
+    analyze_module,
+    collect_guard_map,
+    guard_table_markdown,
+)
+
+__all__ = [
+    "Access",
+    "Annotations",
+    "BlockingUnderLockRule",
+    "CONCURRENCY_RULES",
+    "ClassAnalysis",
+    "GuardDisciplineRule",
+    "GuardSpec",
+    "LockOrderRule",
+    "LockTable",
+    "SeqlockProtocolRule",
+    "SnapshotDisciplineRule",
+    "analyze_class",
+    "analyze_module",
+    "collect_guard_map",
+    "discover_locks",
+    "guard_table_markdown",
+    "parse_annotations",
+    "render_guard_table",
+]

@@ -1,0 +1,244 @@
+"""Per-method control flow with a must-hold lock-set state.
+
+:class:`StructuredWalker` lowers one function body to a structured CFG on
+the fly and propagates a :class:`LockState` (a multiset of held lock
+tokens, so reentrant re-entry is countable) through it:
+
+* ``with`` items classified as acquisitions push ACQUIRE / RELEASE events
+  around the body (``with a, b:`` acquires in order, releases in reverse);
+* branches fork the state and re-join with **meet = intersection** — a
+  lock is *must-held* only if every path to the point holds it;
+* loops re-meet the entry state with the body's exit state (back edge), so
+  a lock released inside an iteration is not assumed held at the top;
+* ``try`` handlers run against the entry state of the ``try`` — the
+  exception unwind releases every ``with``-acquired lock inside the region
+  (the kill set), and the outer locks in the entry state survive;
+* ``finally`` runs against the meet of every path that can reach it
+  (normal exit, handler exits, and the unwind path);
+* explicit ``self._lock.acquire()`` / ``.release()`` statements adjust the
+  state mid-block.
+
+Nested ``def`` / ``lambda`` / ``class`` bodies are *not* descended into:
+a closure may run on another thread long after the lock is dropped, so no
+held set can be soundly assumed for them.  Comprehension bodies execute
+inline and are included.
+
+The walker is analysis-agnostic: a *sink* receives every leaf statement or
+header expression together with the state at that point, plus each
+acquisition with the state held just before it (for lock-order edges and
+re-acquisition checks, :mod:`.locksets`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .guards import Acquisition, LockTable, classify_acquisition, is_self_attr
+
+
+class LockState:
+    """An immutable multiset of held lock tokens."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self, counts: dict[str, int] | None = None) -> None:
+        self.counts = dict(counts or {})
+
+    def copy(self) -> "LockState":
+        return LockState(self.counts)
+
+    def acquire(self, token: str) -> "LockState":
+        counts = dict(self.counts)
+        counts[token] = counts.get(token, 0) + 1
+        return LockState(counts)
+
+    def release(self, token: str) -> "LockState":
+        counts = dict(self.counts)
+        if counts.get(token, 0) > 1:
+            counts[token] -= 1
+        else:
+            counts.pop(token, None)
+        return LockState(counts)
+
+    def held(self) -> frozenset[str]:
+        return frozenset(self.counts)
+
+    def count(self, token: str) -> int:
+        return self.counts.get(token, 0)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LockState) and self.counts == other.counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LockState({self.counts})"
+
+
+def meet(*states: "LockState | None") -> "LockState | None":
+    """Pointwise minimum over the non-terminated states (None = no path)."""
+    live = [state for state in states if state is not None]
+    if not live:
+        return None
+    counts: dict[str, int] = dict(live[0].counts)
+    for state in live[1:]:
+        for token in list(counts):
+            counts[token] = min(counts[token], state.counts.get(token, 0))
+    return LockState({token: n for token, n in counts.items() if n > 0})
+
+
+@dataclass
+class _LoopContext:
+    breaks: list[LockState] = field(default_factory=list)
+    continues: list[LockState] = field(default_factory=list)
+
+
+class StructuredWalker:
+    """Drive a sink over one function body with must-hold lock states."""
+
+    def __init__(self, table: LockTable, sink) -> None:
+        self.table = table
+        self.sink = sink
+        self._loops: list[_LoopContext] = []
+
+    def walk_function(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef, initial: LockState
+    ) -> None:
+        for default in fn.args.defaults + [d for d in fn.args.kw_defaults if d]:
+            self._leaf(default, initial)
+        self._walk_body(fn.body, initial)
+
+    # -- blocks -------------------------------------------------------------
+
+    def _walk_body(self, stmts: list[ast.stmt], state: LockState | None):
+        for stmt in stmts:
+            if state is None:
+                break  # unreachable after return/raise/break/continue
+            state = self._walk_stmt(stmt, state)
+        return state
+
+    def _walk_stmt(self, stmt: ast.stmt, state: LockState):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return state  # nested scope: no held set can be assumed
+        if isinstance(stmt, ast.If):
+            self._leaf(stmt.test, state)
+            then_exit = self._walk_body(stmt.body, state.copy())
+            else_exit = self._walk_body(stmt.orelse, state.copy())
+            return meet(then_exit, else_exit)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._walk_loop(stmt, state)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._walk_with(stmt, state)
+        if isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+        ):
+            return self._walk_try(stmt, state)
+        if isinstance(stmt, ast.Match):
+            self._leaf(stmt.subject, state)
+            exits = [self._walk_body(case.body, state.copy()) for case in stmt.cases]
+            return meet(state, *exits)
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                self._loops[-1].breaks.append(state.copy())
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                self._loops[-1].continues.append(state.copy())
+            return None
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._leaf(stmt, state)
+            return None
+        # Leaf statement: report it, then apply explicit acquire()/release().
+        self._leaf(stmt, state)
+        return self._apply_explicit(stmt, state)
+
+    def _walk_loop(self, stmt, state: LockState):
+        header = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+        self._leaf(header, state)
+        if not isinstance(stmt, ast.While):
+            self._leaf(stmt.target, state)
+        context = _LoopContext()
+        self._loops.append(context)
+        body_exit = self._walk_body(stmt.body, state.copy())
+        self._loops.pop()
+        # Back edge: the loop header sees the meet of entry and iteration
+        # exits.  `with`-structured code keeps them equal, so one pass is
+        # exact; explicit unbalanced acquire/release in a loop body is
+        # approximated by the meet rather than iterated to a fixpoint.
+        around = meet(state, body_exit, *context.continues)
+        infinite = isinstance(stmt, ast.While) and (
+            isinstance(stmt.test, ast.Constant) and stmt.test.value is True
+        )
+        exits = list(context.breaks)
+        if not infinite:
+            exits.append(around)
+        if stmt.orelse:
+            return self._walk_body(stmt.orelse, meet(*exits))
+        return meet(*exits)
+
+    def _walk_with(self, stmt, state: LockState):
+        acquired: list[str] = []
+        for item in stmt.items:
+            self._leaf(item.context_expr, state)
+            acquisition = classify_acquisition(item.context_expr, self.table)
+            if acquisition is not None:
+                self.sink.on_acquire(acquisition, state, item.context_expr)
+                state = state.acquire(acquisition.token)
+                acquired.append(acquisition.token)
+        exit_state = self._walk_body(stmt.body, state)
+        if exit_state is None:
+            return None
+        for token in reversed(acquired):
+            exit_state = exit_state.release(token)
+        return exit_state
+
+    def _walk_try(self, stmt, state: LockState):
+        entry = state.copy()
+        body_exit = self._walk_body(stmt.body, state.copy())
+        # Handlers run after the unwind released every lock `with`-acquired
+        # inside the try region; those tokens are not in `entry`, so the
+        # entry state *is* the kill-set-adjusted state.
+        handler_exits = []
+        for handler in stmt.handlers:
+            if handler.type is not None:
+                self._leaf(handler.type, entry)
+            handler_exits.append(self._walk_body(handler.body, entry.copy()))
+        else_exit = body_exit
+        if stmt.orelse and body_exit is not None:
+            else_exit = self._walk_body(stmt.orelse, body_exit)
+        after = meet(else_exit, *handler_exits)
+        if stmt.finalbody:
+            # Every path reaches finally: normal exit, handler exits, and
+            # the unhandled-unwind path (≈ entry).
+            final_entry = meet(entry, after) if after is not None else entry
+            self._walk_body(stmt.finalbody, final_entry)
+        return after
+
+    # -- leaves -------------------------------------------------------------
+
+    def _leaf(self, node: ast.AST | None, state: LockState) -> None:
+        if node is not None:
+            self.sink.on_leaf(node, state)
+
+    def _apply_explicit(self, stmt: ast.stmt, state: LockState) -> LockState:
+        """Handle ``self._lock.acquire()`` / ``.release()`` statements."""
+        if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+            return state
+        call = stmt.value
+        func = call.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("acquire", "release")
+            and is_self_attr(func.value)
+        ):
+            return state
+        attr = func.value.attr  # type: ignore[union-attr]
+        if attr not in self.table.locks or self.table.kind(attr) == "rwlock":
+            return state
+        token = self.table.token(attr)
+        if func.attr == "acquire":
+            acquisition = Acquisition(
+                token=token, base=token, reentrant=self.table.reentrant(attr)
+            )
+            self.sink.on_acquire(acquisition, state, call)
+            return state.acquire(token)
+        return state.release(token)

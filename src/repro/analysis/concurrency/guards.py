@@ -1,0 +1,381 @@
+"""Lock discovery, guard annotations, and guard inference (per class).
+
+The concurrency analyzer works class by class.  It first discovers the
+class's lock inventory — ``threading.Lock`` / ``RLock`` / ``Condition``
+(and the repo's own :class:`~repro.util.rwlock.ReadWriteLock`) assigned to
+``self`` attributes — canonicalizing aliases, so that
+``self._idle = threading.Condition(self._lock)`` means ``with self._idle:``
+holds ``self._lock``.  It then *infers* which lock guards each private
+attribute from the lock-set observed at every access (:mod:`.locksets`),
+and lets explicit annotations pin intent where inference cannot see it:
+
+``# guarded-by: self._lock``
+    on an assignment to ``self._attr``: every access must hold the lock.
+``# guarded-by: self._lock, writes``
+    writes must hold the lock; reads are deliberately lock-free (the
+    seqlock-published version counters).
+``# guarded-by: none — <reason>``
+    pinned unguarded: a deliberate benign race, named and justified.
+``# holds: self._lock``
+    on a ``def`` line: every caller already holds the lock (the
+    ``*_locked`` helper convention, made explicit).
+``# seqlock: self._write_lock``
+    on the epoch attribute's initialization: seqlock discipline (CONC003).
+``# published-snapshot``
+    on a copy-on-write attribute's initialization: the referenced
+    structure is never mutated in place once published (CONC004).
+
+Inference is *write-biased*: if every non-constructor write of an
+attribute holds a common lock, that lock is the guard — unlocked reads
+are then findings, which is exactly how unlocked ``_closed`` checks hide.
+If the writes agree on no lock, a majority (>50%) over all observed
+accesses decides; otherwise the attribute is unguarded (so read-only
+attributes and deliberate lock-free memos infer clean).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+#: ``# guarded-by: self._lock`` / ``self._rw`` / ``none — reason``; an
+#: optional ``, writes`` suffix restricts the guard to the write side.
+_GUARDED = re.compile(
+    r"#\s*guarded-by:\s*(none|self\.\w+(?:\.(?:read|write))?)\s*(,\s*writes)?"
+)
+_HOLDS = re.compile(
+    r"#\s*holds:\s*(self\.\w+(?:\.(?:read|write))?"
+    r"(?:\s*,\s*self\.\w+(?:\.(?:read|write))?)*)"
+)
+_SEQLOCK = re.compile(r"#\s*seqlock:\s*(self\.\w+)")
+_SNAPSHOT = re.compile(r"#\s*published-snapshot\b")
+
+#: Constructor name -> lock kind.  ``Condition()`` with no argument wraps a
+#: fresh ``RLock`` (reentrant); ``Condition(self._x)`` aliases ``self._x``.
+_LOCK_CTORS = {
+    "Lock": "lock",
+    "RLock": "rlock",
+    "Condition": "condition",
+    "Semaphore": "lock",
+    "BoundedSemaphore": "lock",
+    "ReadWriteLock": "rwlock",
+}
+
+#: Methods that run before the object is published to other threads.  The
+#: transitive closure over ``self._helper()`` calls from these is computed
+#: per class (:func:`setup_closure`), so ``__init__ -> _build`` counts too.
+SETUP_METHODS = frozenset({"__init__", "__new__", "__setstate__"})
+
+
+# ---------------------------------------------------------------------------
+# Lock inventory
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """One lock-like attribute of a class."""
+
+    attr: str
+    kind: str  # "lock" | "rlock" | "condition" | "rwlock"
+    wraps: str | None = None  # Condition(self._x) -> "_x"
+    line: int = 0
+
+
+class LockTable:
+    """The lock inventory of one class, with alias canonicalization."""
+
+    def __init__(self, locks: dict[str, LockInfo]) -> None:
+        self.locks = locks
+
+    def __bool__(self) -> bool:
+        return bool(self.locks)
+
+    def root(self, attr: str) -> str:
+        """Follow ``Condition(self._x)`` aliases to the underlying lock."""
+        seen = set()
+        while attr in self.locks and self.locks[attr].wraps and attr not in seen:
+            seen.add(attr)
+            attr = self.locks[attr].wraps  # type: ignore[assignment]
+        return attr
+
+    def token(self, attr: str) -> str:
+        """Canonical held-set token for a plain (non-rwlock) lock attr."""
+        return f"self.{self.root(attr)}"
+
+    def reentrant(self, attr: str) -> bool:
+        root = self.root(attr)
+        info = self.locks.get(root)
+        if info is None:  # Condition aliasing an unknown attribute
+            return False
+        # A bare Condition() wraps a fresh RLock, hence reentrant.
+        return info.kind == "rlock" or (info.kind == "condition" and not info.wraps)
+
+    def kind(self, attr: str) -> str | None:
+        info = self.locks.get(attr)
+        return info.kind if info else None
+
+
+def _ctor_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def is_self_attr(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def discover_locks(cls: ast.ClassDef) -> LockTable:
+    """Find every ``self.X = <lock ctor>`` assignment anywhere in the class."""
+    locks: dict[str, LockInfo] = {}
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        name = _ctor_name(node.value)
+        kind = _LOCK_CTORS.get(name or "")
+        if kind is None:
+            continue
+        wraps = None
+        if kind == "condition" and node.value.args:
+            argument = node.value.args[0]
+            if is_self_attr(argument):
+                wraps = argument.attr  # type: ignore[union-attr]
+        for target in node.targets:
+            if is_self_attr(target):
+                locks[target.attr] = LockInfo(  # type: ignore[union-attr]
+                    attr=target.attr,  # type: ignore[union-attr]
+                    kind=kind,
+                    wraps=wraps,
+                    line=node.lineno,
+                )
+    return LockTable(locks)
+
+
+# ---------------------------------------------------------------------------
+# Acquisitions
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One recognized lock acquisition (a ``with`` item or ``.acquire()``)."""
+
+    token: str  # "self._lock" or "self._rw.read"
+    base: str  # "self._lock" or "self._rw"
+    reentrant: bool
+
+
+def token_base(token: str) -> str:
+    """Strip a reader/writer side off an rwlock token."""
+    for suffix in (".read", ".write"):
+        if token.endswith(suffix):
+            return token[: -len(suffix)]
+    return token
+
+
+def classify_acquisition(expr: ast.AST, table: LockTable) -> Acquisition | None:
+    """Recognize ``with self._lock:`` / ``with self._rw.read():`` items."""
+    if is_self_attr(expr):
+        attr = expr.attr  # type: ignore[union-attr]
+        if attr in table.locks and table.kind(attr) != "rwlock":
+            token = table.token(attr)
+            return Acquisition(token=token, base=token, reentrant=table.reentrant(attr))
+        return None
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in ("read", "write")
+        and is_self_attr(expr.func.value)
+    ):
+        attr = expr.func.value.attr  # type: ignore[union-attr]
+        if table.kind(attr) == "rwlock":
+            base = f"self.{attr}"
+            return Acquisition(
+                token=f"{base}.{expr.func.attr}", base=base, reentrant=False
+            )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Annotations
+
+
+@dataclass(frozen=True)
+class GuardAnnotation:
+    guard: str | None  # base label ("self._lock", "self._rw") or None
+    mode: str  # "full" | "writes" | "none"
+
+
+@dataclass
+class Annotations:
+    """Per-line annotation table for one source file."""
+
+    guarded: dict[int, GuardAnnotation] = field(default_factory=dict)
+    holds: dict[int, tuple[str, ...]] = field(default_factory=dict)
+    seqlock: dict[int, str] = field(default_factory=dict)
+    snapshot: set[int] = field(default_factory=set)
+
+
+def parse_annotations(source: str) -> Annotations:
+    """Scan comments; a standalone comment annotates the following line."""
+    out = Annotations()
+    for number, text in enumerate(source.splitlines(), start=1):
+        target = number + 1 if text.lstrip().startswith("#") else number
+        match = _GUARDED.search(text)
+        if match:
+            raw, writes = match.group(1), match.group(2)
+            if raw == "none":
+                out.guarded[target] = GuardAnnotation(guard=None, mode="none")
+            else:
+                out.guarded[target] = GuardAnnotation(
+                    guard=token_base(raw), mode="writes" if writes else "full"
+                )
+        match = _HOLDS.search(text)
+        if match:
+            out.holds[target] = tuple(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+        match = _SEQLOCK.search(text)
+        if match:
+            out.seqlock[target] = match.group(1)
+        if _SNAPSHOT.search(text):
+            out.snapshot.add(target)
+    return out
+
+
+def resolve_holds(raw: str, table: LockTable) -> str:
+    """Resolve a ``# holds:`` value to a held-set token."""
+    if raw.endswith(".read") or raw.endswith(".write"):
+        return raw  # rwlock side, already a token
+    attr = raw[len("self.") :]
+    if table.kind(attr) == "rwlock":
+        return f"{raw}.write"  # holding "the rwlock" means the exclusive side
+    return table.token(attr) if attr in table.locks else raw
+
+
+# ---------------------------------------------------------------------------
+# Guard specs and inference
+
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """The inferred or annotated guard of one attribute."""
+
+    attr: str
+    guard: str | None  # base label; None = unguarded
+    mode: str  # "full" | "writes" | "none"
+    source: str  # "annotated" | "inferred"
+    read_tokens: frozenset[str] = frozenset()
+    write_tokens: frozenset[str] = frozenset()
+
+
+def make_spec(attr: str, guard: str | None, mode: str, source: str, table: LockTable) -> GuardSpec:
+    if guard is None or mode == "none":
+        return GuardSpec(attr=attr, guard=guard, mode="none", source=source)
+    lock_attr = guard[len("self.") :]
+    if table.kind(lock_attr) == "rwlock":
+        write_tokens = frozenset({f"{guard}.write"})
+        read_tokens = frozenset({f"{guard}.read", f"{guard}.write"})
+    else:
+        canonical = table.token(lock_attr) if lock_attr in table.locks else guard
+        write_tokens = read_tokens = frozenset({canonical})
+    return GuardSpec(
+        attr=attr,
+        guard=guard,
+        mode=mode,
+        source=source,
+        read_tokens=read_tokens,
+        write_tokens=write_tokens,
+    )
+
+
+def infer_guard(
+    records: Sequence[tuple[str, frozenset[str]]],
+) -> str | None:
+    """Infer the guarding base lock from ``(kind, held_bases)`` records.
+
+    Write-biased: a base held across *all* writes wins; otherwise a strict
+    majority over all accesses; otherwise the attribute is unguarded.
+    """
+    writes = [bases for kind, bases in records if kind == "write"]
+    if not writes:
+        # Read-only after construction: immutable as far as any thread can
+        # tell, so no guard is needed (or inferable).
+        return None
+    common = frozenset.intersection(*writes)
+    if common:
+        return sorted(common)[0]
+    tally: dict[str, int] = {}
+    for _kind, bases in records:
+        for base in bases:
+            tally[base] = tally.get(base, 0) + 1
+    for base, count in sorted(tally.items()):
+        if count * 2 > len(records):
+            return base
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Setup closure
+
+
+def setup_closure(cls: ast.ClassDef) -> frozenset[str]:
+    """Constructor methods plus every ``self._helper()`` they reach.
+
+    Accesses inside these run before the object is visible to any other
+    thread, so they are exempt from guard inference and checking.
+    """
+    methods = {
+        stmt.name: stmt
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    closure = set(SETUP_METHODS & methods.keys())
+    frontier = list(closure)
+    while frontier:
+        body = methods[frontier.pop()]
+        for node in ast.walk(body):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and is_self_attr(node.func)
+                and node.func.attr in methods
+                and node.func.attr not in closure
+            ):
+                closure.add(node.func.attr)
+                frontier.append(node.func.attr)
+    return frozenset(closure)
+
+
+# ---------------------------------------------------------------------------
+# Guard-map rendering (consumed by docs/architecture.md and its drift gate)
+
+_DISCIPLINE = {
+    "full": "all accesses",
+    "writes": "writes only",
+    "none": "unguarded (pinned)",
+}
+
+
+def render_guard_table(entries: Iterable[dict]) -> str:
+    """Render guard-map entries as the markdown table embedded in the docs."""
+    lines = [
+        "| Module | Class | Attribute | Guard | Discipline | How |",
+        "|---|---|---|---|---|---|",
+    ]
+    for entry in entries:
+        guard = entry["guard"] or "—"
+        discipline = entry.get("protocol") or _DISCIPLINE[entry["mode"]]
+        lines.append(
+            f"| `{entry['module']}` | `{entry['class']}` | `{entry['attr']}` "
+            f"| `{guard}` | {discipline} | {entry['source']} |"
+        )
+    return "\n".join(lines)

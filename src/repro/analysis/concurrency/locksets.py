@@ -1,0 +1,532 @@
+"""Class-level lock-set analysis: accesses, lock order, blocking calls.
+
+:func:`analyze_class` drives :class:`~.cfg.StructuredWalker` over every
+method of one class and collects
+
+* :class:`Access` records — each read/write of a private ``self._attr``
+  together with the must-hold lock set at that point (guard inference and
+  CONC001 both consume these);
+* :class:`OrderEdge` records — lock *A* held while acquiring lock *B*
+  (the class's lock-order graph; a cycle is a potential deadlock,
+  CONC002), plus immediate re-acquisition of a non-reentrant lock
+  (guaranteed self-deadlock, also CONC002);
+* :class:`BlockingCall` records — ``time.sleep`` / ``.wait()`` /
+  bare ``.join()`` / ``.recv()`` / queue ``.take()``/``.get()`` reached
+  with a non-empty lock set (CONC005).  ``Condition.wait()`` on the lock
+  the thread holds is the one legitimate blocking-while-locked pattern and
+  is exempt.
+
+Writes include plain stores, augmented stores, subscript stores and
+deletes rooted at ``self._attr``, and known mutator-method calls
+(``.append`` / ``.update`` / ...) whose receiver is rooted at
+``self._attr`` — so ``self._buckets[key].append(row)`` counts as a write
+of ``_buckets``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .cfg import LockState, StructuredWalker
+from .guards import (
+    Acquisition,
+    Annotations,
+    GuardSpec,
+    LockTable,
+    discover_locks,
+    infer_guard,
+    is_self_attr,
+    make_spec,
+    resolve_holds,
+    setup_closure,
+    token_base,
+)
+
+#: Method names whose call mutates the receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "clear",
+        "pop",
+        "popitem",
+        "popleft",
+        "appendleft",
+        "add",
+        "update",
+        "setdefault",
+        "discard",
+        "remove",
+        "move_to_end",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Keyword arguments that keep a queue ``.get()`` call a *blocking* one.
+_QUEUE_KWARGS = frozenset({"timeout", "block"})
+
+
+@dataclass(frozen=True)
+class Access:
+    attr: str
+    kind: str  # "read" | "write"
+    method: str
+    line: int
+    held: frozenset[str]
+    #: For writes: "rebind" (plain ``self._x = ...``) vs "mutate" (subscript
+    #: stores, deletes, augmented stores, mutator calls).  Copy-on-write
+    #: publication rebinds; only mutation violates CONC004.
+    via: str = ""
+
+
+@dataclass(frozen=True)
+class OrderEdge:
+    first: str  # base label of the lock already held
+    second: str  # base label of the lock being acquired
+    method: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Reacquisition:
+    token: str
+    method: str
+    line: int
+
+
+@dataclass(frozen=True)
+class BlockingCall:
+    what: str
+    method: str
+    line: int
+    held: frozenset[str]
+
+
+@dataclass
+class ClassAnalysis:
+    """Everything the rules need to know about one class."""
+
+    name: str
+    node: ast.ClassDef
+    table: LockTable
+    setup: frozenset[str]
+    accesses: list[Access] = field(default_factory=list)
+    edges: list[OrderEdge] = field(default_factory=list)
+    reacquisitions: list[Reacquisition] = field(default_factory=list)
+    blocking: list[BlockingCall] = field(default_factory=list)
+    guard_specs: dict[str, GuardSpec] = field(default_factory=dict)
+    seqlocks: dict[str, str] = field(default_factory=dict)  # epoch attr -> writer base
+    snapshots: frozenset[str] = frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Access extraction
+
+
+def _self_root(node: ast.AST) -> str | None:
+    """Peel subscripts/attributes down to a ``self._attr`` root, if any."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)) and not is_self_attr(node):
+        node = node.value
+    if is_self_attr(node):
+        return node.attr  # type: ignore[union-attr]
+    return None
+
+
+class _Extractor:
+    """Collect attribute accesses and calls from one leaf node."""
+
+    def __init__(self, record, record_call) -> None:
+        self.record = record  # (attr, kind, node) -> None
+        self.record_call = record_call  # (call node) -> None
+
+    def visit(self, node: ast.AST | None) -> None:
+        if node is None:
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            return  # closures may run without the lock; never assume the held set
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                self.visit_target(target, "rebind")
+            self.visit(node.value)
+            return
+        if isinstance(node, ast.AugAssign):
+            self.visit_target(node.target, "mutate")
+            self.visit(node.value)
+            return
+        if isinstance(node, ast.AnnAssign):
+            self.visit_target(node.target, "rebind")
+            self.visit(node.value)
+            return
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                self.visit_target(target, "mutate")
+            return
+        if isinstance(node, ast.Call):
+            self.record_call(node)
+            func = node.func
+            if is_self_attr(func):
+                # Calling a bound method is not shared-state access; only
+                # the receiver chain of attribute *data* counts.
+                for argument in node.args:
+                    self.visit(argument)
+                for keyword in node.keywords:
+                    self.visit(keyword.value)
+                return
+            if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                root = _self_root(func.value)
+                if root is not None:
+                    self.record(root, "write", func.value, "mutate")
+                    # Still read the subscript keys inside the receiver.
+                    receiver = func.value
+                    while not is_self_attr(receiver):
+                        if isinstance(receiver, ast.Subscript):
+                            self.visit(receiver.slice)
+                        receiver = receiver.value  # type: ignore[union-attr]
+                    for argument in node.args:
+                        self.visit(argument)
+                    for keyword in node.keywords:
+                        self.visit(keyword.value)
+                    return
+            for child in ast.iter_child_nodes(node):
+                self.visit(child)
+            return
+        if is_self_attr(node):
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                kind, via = "write", "rebind"
+            else:
+                kind, via = "read", ""
+            self.record(node.attr, kind, node, via)  # type: ignore[union-attr]
+            return
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+
+    def visit_target(self, target: ast.AST, via: str) -> None:
+        if is_self_attr(target):
+            self.record(target.attr, "write", target, via)  # type: ignore[union-attr]
+            return
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            root = _self_root(target)
+            if root is not None:
+                # Store through a subscript/attribute chain mutates the
+                # structure the root attribute references.
+                self.record(root, "write", target, "mutate")
+                node: ast.AST = target
+                while not is_self_attr(node):
+                    if isinstance(node, ast.Subscript):
+                        self.visit(node.slice)
+                    node = node.value  # type: ignore[union-attr]
+                return
+            self.visit(target.value)  # e.g. local[k] = v — read the parts
+            if isinstance(target, ast.Subscript):
+                self.visit(target.slice)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self.visit_target(element, via)
+            return
+        if isinstance(target, ast.Starred):
+            self.visit_target(target.value, via)
+
+
+# ---------------------------------------------------------------------------
+# Blocking-call classification
+
+
+def _blocking_reason(
+    call: ast.Call, table: LockTable, state: LockState
+) -> str | None:
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    name = func.attr
+    receiver = func.value
+    if name == "sleep" and isinstance(receiver, ast.Name) and receiver.id == "time":
+        return "time.sleep()"
+    if name == "wait":
+        if is_self_attr(receiver) and receiver.attr in table.locks:  # type: ignore[union-attr]
+            # Condition.wait() releases the lock it wraps while sleeping —
+            # the one legitimate wait under a lock, *if* that lock is held.
+            if table.token(receiver.attr) in state.held():  # type: ignore[union-attr]
+                return None
+        return f"{ast.unparse(func)}()"
+    if name == "join" and not call.args:
+        # str.join always takes a positional iterable; a bare join() (or
+        # join(timeout=...)) is a thread/process join.
+        return f"{ast.unparse(func)}()"
+    if name in ("recv", "recv_bytes"):
+        return f"{ast.unparse(func)}()"
+    if name == "take":
+        return f"{ast.unparse(func)}()"
+    if name == "get" and not call.args:
+        if all(kw.arg in _QUEUE_KWARGS for kw in call.keywords):
+            # dict.get() needs a positional key, so a zero-positional get()
+            # is a queue take.
+            return f"{ast.unparse(func)}()"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The per-method sink
+
+
+class _MethodSink:
+    def __init__(self, analysis: ClassAnalysis, method: str) -> None:
+        self.analysis = analysis
+        self.method = method
+
+    def on_acquire(
+        self, acquisition: Acquisition, state: LockState, node: ast.AST
+    ) -> None:
+        line = getattr(node, "lineno", 0)
+        held = state.held()
+        for token in held:
+            if token_base(token) == acquisition.base:
+                if not (acquisition.reentrant and token == acquisition.token):
+                    self.analysis.reacquisitions.append(
+                        Reacquisition(
+                            token=acquisition.token, method=self.method, line=line
+                        )
+                    )
+            else:
+                self.analysis.edges.append(
+                    OrderEdge(
+                        first=token_base(token),
+                        second=acquisition.base,
+                        method=self.method,
+                        line=line,
+                    )
+                )
+
+    def on_leaf(self, node: ast.AST, state: LockState) -> None:
+        held = state.held()
+
+        def record(attr: str, kind: str, access_node: ast.AST, via: str = "") -> None:
+            if not attr.startswith("_") or attr in self.analysis.table.locks:
+                return
+            self.analysis.accesses.append(
+                Access(
+                    attr=attr,
+                    kind=kind,
+                    method=self.method,
+                    line=getattr(access_node, "lineno", 0),
+                    held=held,
+                    via=via,
+                )
+            )
+
+        def record_call(call: ast.Call) -> None:
+            reason = _blocking_reason(call, self.analysis.table, state)
+            if reason is not None:
+                self.analysis.blocking.append(
+                    BlockingCall(
+                        what=reason,
+                        method=self.method,
+                        line=getattr(call, "lineno", 0),
+                        held=held,
+                    )
+                )
+
+        _Extractor(record, record_call).visit(node)
+
+
+# ---------------------------------------------------------------------------
+# Class analysis
+
+
+def _attr_assignment_lines(cls: ast.ClassDef) -> dict[int, str]:
+    """Line -> attribute for every ``self._x = ...`` in the class body."""
+    lines: dict[int, str] = {}
+    for node in ast.walk(cls):
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if is_self_attr(target):
+                lines.setdefault(node.lineno, target.attr)  # type: ignore[union-attr]
+    return lines
+
+
+def analyze_class(
+    cls: ast.ClassDef, annotations: Annotations
+) -> ClassAnalysis | None:
+    """Analyze one class; ``None`` when it has no locks and no annotations."""
+    table = discover_locks(cls)
+    assignment_lines = _attr_assignment_lines(cls)
+
+    guarded: dict[str, "object"] = {}
+    seqlocks: dict[str, str] = {}
+    snapshots: set[str] = set()
+    for line, annotation in annotations.guarded.items():
+        attr = assignment_lines.get(line)
+        if attr is not None:
+            guarded[attr] = annotation
+    for line, writer in annotations.seqlock.items():
+        attr = assignment_lines.get(line)
+        if attr is not None:
+            seqlocks[attr] = token_base(writer)
+    for line in annotations.snapshot:
+        attr = assignment_lines.get(line)
+        if attr is not None:
+            snapshots.add(attr)
+
+    if not table and not guarded and not seqlocks and not snapshots:
+        return None
+
+    analysis = ClassAnalysis(
+        name=cls.name,
+        node=cls,
+        table=table,
+        setup=setup_closure(cls),
+        seqlocks=seqlocks,
+        snapshots=frozenset(snapshots),
+    )
+
+    for stmt in cls.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        initial = LockState()
+        for line in (stmt.lineno, stmt.lineno - 1):
+            for raw in annotations.holds.get(line, ()):
+                initial = initial.acquire(resolve_holds(raw, table))
+        walker = StructuredWalker(table, _MethodSink(analysis, stmt.name))
+        walker.walk_function(stmt, initial)
+
+    # Guard inference: the seqlock epoch is writes-only guarded by
+    # definition (readers are the lock-free side of the protocol).
+    attrs = sorted({access.attr for access in analysis.accesses} | set(guarded))
+    for attr in attrs:
+        annotation = guarded.get(attr)
+        if annotation is not None:
+            spec = make_spec(attr, annotation.guard, annotation.mode, "annotated", table)
+        elif attr in seqlocks:
+            spec = make_spec(attr, seqlocks[attr], "writes", "annotated", table)
+        else:
+            records = [
+                (access.kind, frozenset(token_base(token) for token in access.held))
+                for access in analysis.accesses
+                if access.attr == attr and access.method not in analysis.setup
+            ]
+            guard = infer_guard(records)
+            # Published snapshots are read lock-free by design (the CoW
+            # protocol's whole point); an inferred guard covers writes only.
+            if guard and attr in snapshots:
+                mode = "writes"
+            else:
+                mode = "full" if guard else "none"
+            spec = make_spec(attr, guard, mode, "inferred", table)
+        analysis.guard_specs[attr] = spec
+    return analysis
+
+
+# ---------------------------------------------------------------------------
+# CONC001 / CONC002 / CONC005 findings (line, message) pairs
+
+
+def guard_discipline_findings(analysis: ClassAnalysis) -> list[tuple[int, str]]:
+    """CONC001: accesses of guarded attributes outside their guard."""
+    findings = []
+    for access in analysis.accesses:
+        if access.method in analysis.setup:
+            continue
+        if access.attr in analysis.seqlocks:
+            # The epoch belongs to CONC003: its bump/lock/pairing protocol
+            # subsumes the plain guard check, and double-reporting one
+            # defect under two rules would muddy both.
+            continue
+        spec = analysis.guard_specs.get(access.attr)
+        if spec is None or spec.mode == "none":
+            continue
+        if spec.mode == "writes" and access.kind == "read":
+            continue
+        required = spec.write_tokens if access.kind == "write" else spec.read_tokens
+        if required and not (required & access.held):
+            findings.append(
+                (
+                    access.line,
+                    f"{analysis.name}.{access.method}: {access.kind} of "
+                    f"self.{access.attr} without holding {spec.guard} "
+                    f"({spec.source} guard)",
+                )
+            )
+    return findings
+
+
+def _cycles(edges: list[OrderEdge]) -> list[tuple[str, ...]]:
+    """Elementary cycles of the lock-order graph, canonicalized."""
+    graph: dict[str, set[str]] = {}
+    for edge in edges:
+        graph.setdefault(edge.first, set()).add(edge.second)
+    cycles: set[tuple[str, ...]] = set()
+
+    def search(start: str, node: str, path: list[str]) -> None:
+        for successor in sorted(graph.get(node, ())):
+            if successor == start:
+                cycle = path + [node]
+                pivot = cycle.index(min(cycle))
+                cycles.add(tuple(cycle[pivot:] + cycle[:pivot]))
+            elif successor not in path and successor > start:
+                # Only explore nodes ordered after the start so each cycle
+                # is found exactly once (from its minimal node).
+                search(start, successor, path + [node])
+
+    for node in sorted(graph):
+        search(node, node, [])
+    return sorted(cycles)
+
+
+def lock_order_findings(analysis: ClassAnalysis) -> list[tuple[int, str]]:
+    """CONC002: re-acquisitions and lock-order cycles."""
+    findings = []
+    for reacquisition in analysis.reacquisitions:
+        findings.append(
+            (
+                reacquisition.line,
+                f"{analysis.name}.{reacquisition.method}: re-acquisition of "
+                f"non-reentrant {reacquisition.token} (self-deadlock)",
+            )
+        )
+    edge_sites: dict[tuple[str, str], OrderEdge] = {}
+    for edge in analysis.edges:
+        edge_sites.setdefault((edge.first, edge.second), edge)
+    for cycle in _cycles(analysis.edges):
+        path = " -> ".join(cycle + (cycle[0],))
+        witnesses = "; ".join(
+            f"{b} after {a} in {edge_sites[(a, b)].method}"
+            for a, b in zip(cycle, cycle[1:] + (cycle[0],))
+            if (a, b) in edge_sites
+        )
+        first = min(
+            edge_sites[(a, b)].line
+            for a, b in zip(cycle, cycle[1:] + (cycle[0],))
+            if (a, b) in edge_sites
+        )
+        findings.append(
+            (
+                first,
+                f"{analysis.name}: lock-order cycle {path} — potential "
+                f"deadlock ({witnesses})",
+            )
+        )
+    return findings
+
+
+def blocking_findings(analysis: ClassAnalysis) -> list[tuple[int, str]]:
+    """CONC005: blocking calls while holding any inferred lock."""
+    findings = []
+    for call in analysis.blocking:
+        if call.method in analysis.setup or not call.held:
+            continue
+        held = ", ".join(sorted(call.held))
+        findings.append(
+            (
+                call.line,
+                f"{analysis.name}.{call.method}: blocking call {call.what} "
+                f"while holding {held}",
+            )
+        )
+    return findings

@@ -19,7 +19,6 @@ from .rules import (
     DEFAULT_RULES,
     ChargingContractRule,
     DeterminismSeamRule,
-    LockDisciplineRule,
     TypedErrorRule,
 )
 
@@ -30,7 +29,6 @@ __all__ = [
     "DEFAULT_RULES",
     "DeterminismSeamRule",
     "Finding",
-    "LockDisciplineRule",
     "Module",
     "Rule",
     "TypedErrorRule",

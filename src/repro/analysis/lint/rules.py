@@ -3,12 +3,14 @@
 Each rule encodes one invariant the test suite can only probe dynamically —
 the linter proves the *lexical* half statically, on every file, every CI run:
 
-``REPRO001``
-    Lock discipline (the serving layer's concurrency contract): in the
-    concurrent modules (``service/``, ``execution/cache.py``,
-    ``execution/metrics.py``), every write to ``self._``-prefixed shared
-    state outside ``__init__`` must be lexically inside a ``with self.<lock>:``
-    block.
+``REPRO001`` (retired)
+    The original lexical lock-discipline heuristic.  Superseded by the
+    flow-sensitive concurrency analyzer's ``CONC001``
+    (:mod:`repro.analysis.concurrency`), which infers per-attribute guards
+    and tracks must-hold lock sets through branches, loops and
+    ``try``/``finally`` instead of requiring writes to sit lexically inside
+    a ``with self.<lock>:`` block.  Run it via
+    ``python -m repro.analysis races src/repro``.
 ``REPRO002``
     Charging contract (PR 3): the access counters that realize the paper's
     ``|D_Q|`` accounting are mutated only by ``AccessCounter`` itself, and the
@@ -78,95 +80,6 @@ DATA_LAYERS = frozenset({"relational", "access", "storage"})
 
 #: Hot-path packages for the determinism rule.
 HOT_PATH_PACKAGES = frozenset({"execution", "service", "storage", "sharding"})
-
-#: Methods where unguarded writes establish (not share) state.
-_SETUP_METHODS = frozenset({"__init__", "__post_init__", "__new__", "__set_name__"})
-
-
-def _is_self_attribute(node: ast.AST) -> bool:
-    return (
-        isinstance(node, ast.Attribute)
-        and isinstance(node.value, ast.Name)
-        and node.value.id == "self"
-    )
-
-
-def _with_acquires_self_lock(node: ast.With | ast.AsyncWith) -> bool:
-    """``with self.<attr>:`` (a lock or condition owned by the instance)."""
-    return any(_is_self_attribute(item.context_expr) for item in node.items)
-
-
-class LockDisciplineRule(Rule):
-    """REPRO001: shared-state writes in concurrent modules hold the lock."""
-
-    id = "REPRO001"
-    description = (
-        "writes to self._-prefixed shared state in concurrent modules must be "
-        "lexically inside a `with self.<lock>:` block"
-    )
-
-    def _applies(self, module: Module) -> bool:
-        parts = module.parts
-        if "service" in parts or "sharding" in parts:
-            return True
-        return "execution" in parts and parts[-1] in {"cache.py", "metrics.py"}
-
-    def check(self, module: Module) -> Iterator[Finding]:
-        if not self._applies(module):
-            return
-        for node in ast.walk(module.tree):
-            if isinstance(node, ast.ClassDef):
-                yield from self._check_class(module, node)
-
-    def _check_class(self, module: Module, cls: ast.ClassDef) -> Iterator[Finding]:
-        for item in cls.body:
-            if (
-                isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
-                and item.name not in _SETUP_METHODS
-            ):
-                yield from self._check_body(module, item.body, locked=False)
-
-    def _check_body(
-        self, module: Module, body: list[ast.stmt], locked: bool
-    ) -> Iterator[Finding]:
-        for statement in body:
-            if isinstance(statement, (ast.With, ast.AsyncWith)):
-                inner = locked or _with_acquires_self_lock(statement)
-                yield from self._check_body(module, statement.body, inner)
-                continue
-            yield from self._check_statement(module, statement, locked)
-            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-                continue  # nested scopes are not this method's critical section
-            # Recurse into compound statements (if/for/while/try/match).
-            for attribute in ("body", "orelse", "finalbody"):
-                nested = getattr(statement, attribute, None)
-                if nested:
-                    yield from self._check_body(module, nested, locked)
-            for handler in getattr(statement, "handlers", []):
-                yield from self._check_body(module, handler.body, locked)
-            for case in getattr(statement, "cases", []):
-                yield from self._check_body(module, case.body, locked)
-
-    def _check_statement(
-        self, module: Module, statement: ast.stmt, locked: bool
-    ) -> Iterator[Finding]:
-        if locked:
-            return
-        targets: list[ast.expr] = []
-        if isinstance(statement, ast.Assign):
-            targets = statement.targets
-        elif isinstance(statement, (ast.AugAssign, ast.AnnAssign)):
-            if isinstance(statement, ast.AnnAssign) and statement.value is None:
-                return
-            targets = [statement.target]
-        for target in targets:
-            if _is_self_attribute(target) and target.attr.startswith("_"):
-                yield self.finding(
-                    module,
-                    statement,
-                    f"write to shared `self.{target.attr}` outside a "
-                    f"`with self.<lock>:` block",
-                )
 
 
 class ChargingContractRule(Rule):
@@ -382,9 +295,9 @@ class StableHashRule(Rule):
                 )
 
 
-#: The default rule set, in identifier order.
+#: The default rule set, in identifier order.  REPRO001 (lexical lock
+#: discipline) is retired: the ``races`` analyzer's CONC001 subsumes it.
 DEFAULT_RULES: tuple[Rule, ...] = (
-    LockDisciplineRule(),
     ChargingContractRule(),
     DeterminismSeamRule(),
     TypedErrorRule(),

@@ -117,7 +117,7 @@ class LRUCache(Generic[K, V]):
         self._misses = 0
         self._evictions = 0
 
-    def _untag_locked(self, key: K) -> None:
+    def _untag_locked(self, key: K) -> None:  # holds: self._lock
         """Drop ``key`` from the dependency maps (lock already held)."""
         for relation in self._key_relations.pop(key, ()):
             keys = self._by_relation.get(relation)

@@ -41,9 +41,13 @@ class Database:
         self.counter = AccessCounter()
         self.indexes = IndexCatalog()
         self._backend = None
-        self._data_version = 0
+        # Version counters are seqlock-published: bumped under the writer
+        # lock, read lock-free by monitors and result stamping (readers
+        # observe a committed value whenever ``write_epoch`` is even).
+        self._data_version = 0  # guarded-by: self._write_lock, writes
+        # guarded-by: self._write_lock, writes
         self._relation_versions: dict[str, int] = {}
-        self._write_epoch = 0
+        self._write_epoch = 0  # seqlock: self._write_lock
         self._write_lock = threading.RLock()
         self._relations: dict[str, Relation] = {}
         for relation_schema in schema:

@@ -68,13 +68,17 @@ class HashIndex:
         # Distinct value-projections per key, materialized lazily on first
         # probe of each key (the paper's "projection of R on X ∪ Y indexed on
         # X"); entries share the staleness contract of the buckets themselves.
+        # The in-place memoization in probe_shared is a deliberate benign
+        # race: concurrent probes of one key compute identical values, and
+        # the single dict store publishes one of them atomically (GIL).
+        # guarded-by: none — idempotent memo, racing writers agree
         self._projected: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
         if buckets is not None:
             # Shared-scan construction (build_shared) hands over prebuilt
             # buckets so one pass over the relation serves many indexes.
-            self._buckets = buckets
+            self._buckets = buckets  # published-snapshot
         else:
-            self._buckets = {}
+            self._buckets = {}  # published-snapshot
             self._build()
 
     def _build(self) -> None:

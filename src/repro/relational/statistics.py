@@ -96,7 +96,7 @@ class AccessCounter:
             self._local.slot = slot
         return slot
 
-    def _compact_locked(self) -> None:
+    def _compact_locked(self) -> None:  # holds: self._lock
         """Fold dead threads' slots into the retired totals (lock held)."""
         dead = [
             ref

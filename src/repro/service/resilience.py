@@ -171,7 +171,7 @@ class CircuitBreaker:
 
     The clock is injected (monotonic seconds), keeping state transitions
     deterministic in tests.  Thread-safe: every transition runs under one
-    lock (the REPRO001 lock discipline).
+    lock (the CONC001 guard discipline, checked by the races analyzer).
 
     Example
     -------

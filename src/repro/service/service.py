@@ -305,13 +305,21 @@ class QueryService:
         deadline: float | None,
         budget: int | None,
     ) -> ServiceFuture:
-        if self._closed:
-            raise ServiceClosedError("service is closed; no new requests admitted")
         template.check_names(params)
         if deadline is _UNSET:
             deadline = self.default_deadline
         if budget is _UNSET:
             budget = self.default_budget
+        with self._stats_lock:
+            if self._closed:
+                raise ServiceClosedError(
+                    "service is closed; no new requests admitted"
+                )
+            # Count the admission *before* the offer, under the same lock as
+            # the closed check: a worker can serve the request (bumping
+            # ``completed``) before this thread would otherwise get around
+            # to counting it, letting monitors observe completed > submitted.
+            self._submitted += 1
         index = next(self._intake_serial)
         request = ServiceRequest(
             index=index,
@@ -323,17 +331,18 @@ class QueryService:
             future=ServiceFuture(index),
         )
         if not self._queue.offer(request):
-            if self._closed:
+            # Roll the pre-count back so ``submitted`` still means
+            # *admitted*: submitted ==
+            #     completed + timeouts + failures + degraded + pending.
+            with self._stats_lock:
+                self._submitted -= 1
+                closed = self._closed
+            if closed:
                 raise ServiceClosedError("service is closed; no new requests admitted")
             raise ServiceOverloadedError(
                 f"admission queue full ({self._queue.capacity} pending requests); "
                 f"request rejected — retry with backoff or raise max_pending"
             )
-        # Counted only after a successful offer, so ``submitted`` means
-        # *admitted*: submitted ==
-        #     completed + timeouts + failures + degraded + pending.
-        with self._stats_lock:
-            self._submitted += 1
         return request.future
 
     # -- the write path ----------------------------------------------------------------
@@ -358,8 +367,9 @@ class QueryService:
         Returns the backend's per-relation ``(inserted, deleted)`` counts.
         Thread-safe; may be called concurrently with query traffic.
         """
-        if self._closed:
-            raise ServiceClosedError("service is closed; no writes accepted")
+        with self._stats_lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed; no writes accepted")
         resolved = as_write_batch(batch, inserts=inserts, deletes=deletes)
         if not resolved:
             return {}
@@ -385,8 +395,9 @@ class QueryService:
         exclusion, so no row can slip between the match and the removal.
         Returns the number of rows removed.
         """
-        if self._closed:
-            raise ServiceClosedError("service is closed; no writes accepted")
+        with self._stats_lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed; no writes accepted")
         if callable(rows_or_predicate):
             removed = self.backend.delete(relation, rows_or_predicate)
             if removed:
@@ -714,6 +725,7 @@ class QueryService:
                 "largest_batch": self._largest_batch,
                 "write_batches": self._write_batches,
                 "rows_written": self._rows_written,
+                "closed": self._closed,
             }
         snapshot["pending"] = len(self._queue)
         snapshot["execution"] = self._execution_stats.summary()
@@ -753,5 +765,5 @@ class QueryService:
         return (
             f"QueryService({stats['workers']} workers, "
             f"{stats['completed']}/{stats['submitted']} served"
-            f"{', closed' if self._closed else ''})"
+            f"{', closed' if stats['closed'] else ''})"
         )

@@ -511,8 +511,9 @@ class ShardedQueryService:
         ~repro.errors.ServiceTimeout
             When a shard does not acknowledge within ``timeout`` seconds.
         """
-        if self._closed:
-            raise ServiceClosedError("service is closed; no writes accepted")
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed; no writes accepted")
         resolved = as_write_batch(batch, inserts=inserts, deletes=deletes)
         if not resolved:
             return {}
@@ -618,8 +619,11 @@ class ShardedQueryService:
         deadline: float | None,
         budget: int | None,
     ) -> ServiceFuture:
-        if self._closed:
-            raise ServiceClosedError("service is closed; no new requests admitted")
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError(
+                    "service is closed; no new requests admitted"
+                )
         entry = self._template_entry(template)
         # Binding validation is router-side and synchronous: unknown/missing
         # parameter names and contradictory equated slots reject here, and
@@ -1028,8 +1032,10 @@ class ShardedQueryService:
         it.
         """
         waiters: list[tuple[_ShardHandle, threading.Event, list]] = []
+        with self._lock:
+            shutdown = self._shutdown
         for handle in self._handles:
-            if handle.dead or self._shutdown:
+            if handle.dead or shutdown:
                 continue
             event: threading.Event = threading.Event()
             box: list = []
@@ -1040,7 +1046,7 @@ class ShardedQueryService:
             waiters.append((handle, event, box))
         report: dict[int, dict[str, Any]] = {}
         for handle in self._handles:
-            if handle.dead or self._shutdown:
+            if handle.dead or shutdown:
                 report[handle.index] = {"alive": False}
         deadline = time.monotonic() + timeout
         for handle, event, box in waiters:
@@ -1091,8 +1097,9 @@ class ShardedQueryService:
         with self._lock:
             served = self._completed
             submitted = self._submitted
+            closed = self._closed
         return (
             f"ShardedQueryService({self.shards} shards, "
             f"{served}/{submitted} served"
-            f"{', closed' if self._closed else ''})"
+            f"{', closed' if closed else ''})"
         )

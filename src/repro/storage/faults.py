@@ -171,9 +171,11 @@ class FaultPlan:
             }
 
     def __repr__(self) -> str:
+        with self._lock:
+            outages = sorted(self._outages)
         return (
             f"FaultPlan(seed={self.seed}, transient={self.transient_fault_rate}, "
-            f"outages={sorted(self._outages)!r})"
+            f"outages={outages!r})"
         )
 
 

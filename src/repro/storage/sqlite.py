@@ -256,7 +256,11 @@ class SQLiteBackend(StorageBackend):
         #: (:meth:`read_view`), write batches the exclusive side — a commit
         #: can never land between two fetch steps of one execution.
         self._rw = ReadWriteLock()
-        self._data_version = 0
+        # Version counters: bumped only under the exclusive side of the
+        # read/write lock; read lock-free by monitors and result stamping
+        # (read_view hands out a consistent version under the shared side).
+        self._data_version = 0  # guarded-by: self._rw, writes
+        # guarded-by: self._rw, writes
         self._relation_versions: dict[str, int] = {}
         for relation in schema:
             columns = ", ".join(_quote(a) for a in relation.attribute_names)
@@ -424,10 +428,11 @@ class SQLiteBackend(StorageBackend):
         with self._rw.write():
             return self._apply_staged(staged)
 
-    def _apply_staged(
+    def _apply_staged(  # holds: self._rw.write
         self, staged: list[tuple[str, list[Row], list[Row]]]
     ) -> dict[str, tuple[int, int]]:
         """Run a validated batch under the already-held exclusive lock."""
+        assert self._rw.held_for_write(), "caller must hold the write side"
         connection = self._connection
         counts: dict[str, tuple[int, int]] = {}
         try:

@@ -41,6 +41,11 @@ class ReadWriteLock:
         self._readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        # Thread idents currently inside read()/write(), for the
+        # held_for_read/held_for_write introspection below.  Mutated only
+        # under self._cond alongside the counters they mirror.
+        self._reader_idents: set[int] = set()
+        self._writer_ident: int | None = None
 
     @contextmanager
     def read(self) -> Iterator[None]:
@@ -49,11 +54,13 @@ class ReadWriteLock:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+            self._reader_idents.add(threading.get_ident())
         try:
             yield
         finally:
             with self._cond:
                 self._readers -= 1
+                self._reader_idents.discard(threading.get_ident())
                 if not self._readers:
                     self._cond.notify_all()
 
@@ -70,6 +77,7 @@ class ReadWriteLock:
                 while self._writer_active or self._readers:
                     self._cond.wait()
                 self._writer_active = True
+                self._writer_ident = threading.get_ident()
             finally:
                 self._writers_waiting -= 1
         try:
@@ -77,4 +85,50 @@ class ReadWriteLock:
         finally:
             with self._cond:
                 self._writer_active = False
+                self._writer_ident = None
                 self._cond.notify_all()
+
+    # -- introspection ------------------------------------------------------------
+
+    def held_for_read(self) -> bool:
+        """True while the *calling thread* is inside :meth:`read`.
+
+        Assertion support for caller-held contracts (``# holds:``
+        annotations): a ``_locked``-suffixed helper can verify its
+        precondition at runtime instead of trusting the call site.
+
+        >>> lock = ReadWriteLock()
+        >>> lock.held_for_read()
+        False
+        >>> with lock.read():
+        ...     lock.held_for_read()
+        True
+        >>> lock.held_for_read()
+        False
+
+        Other threads' read holds are invisible to this predicate:
+
+        >>> import threading
+        >>> seen = []
+        >>> with lock.read():
+        ...     other = threading.Thread(target=lambda: seen.append(lock.held_for_read()))
+        ...     other.start()
+        ...     other.join()
+        >>> seen
+        [False]
+        """
+        with self._cond:
+            return threading.get_ident() in self._reader_idents
+
+    def held_for_write(self) -> bool:
+        """True while the *calling thread* is inside :meth:`write`.
+
+        >>> lock = ReadWriteLock()
+        >>> with lock.write():
+        ...     lock.held_for_write(), lock.held_for_read()
+        (True, False)
+        >>> lock.held_for_write()
+        False
+        """
+        with self._cond:
+            return self._writer_ident == threading.get_ident()

@@ -56,6 +56,69 @@ def test_lint_src_self_hosts(capsys):
     assert "0 finding(s)" in capsys.readouterr().out
 
 
+def _racy_tree(tmp_path):
+    target = tmp_path / "svc.py"
+    target.write_text(
+        "import threading\n\n"
+        "class Svc:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._n = 0\n\n"
+        "    def add(self):\n"
+        "        with self._lock:\n"
+        "            self._n += 1\n\n"
+        "    def sub(self):\n"
+        "        with self._lock:\n"
+        "            self._n -= 1\n\n"
+        "    def peek(self):\n"
+        "        return self._n\n"
+    )
+    return tmp_path
+
+
+def test_races_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("def fine():\n    return 1\n")
+    assert main(["races", str(tmp_path)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_races_findings_exit_one_and_render(tmp_path, capsys):
+    assert main(["races", str(_racy_tree(tmp_path))]) == 1
+    out = capsys.readouterr().out
+    assert "CONC001" in out and "1 finding(s)" in out
+
+
+def test_races_missing_path_is_usage_error(capsys):
+    assert main(["races", "/no/such/dir"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_races_baseline_roundtrip(tmp_path, capsys):
+    tree = _racy_tree(tmp_path)
+    baseline = tmp_path / "races_baseline.json"
+    assert main(["races", str(tree), "--write-baseline", str(baseline)]) == 0
+    assert main(["races", str(tree), "--baseline", str(baseline)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_races_writes_guard_map(tmp_path, capsys):
+    import json
+
+    tree = _racy_tree(tmp_path)
+    guard_map = tmp_path / "guards.json"
+    main(["races", str(tree), "--guard-map", str(guard_map)])
+    entries = json.loads(guard_map.read_text())["entries"]
+    assert any(
+        e["attr"] == "_n" and e["guard"] == "self._lock" for e in entries
+    )
+    assert "wrote guard map" in capsys.readouterr().out
+
+
+def test_races_src_self_hosts_without_baseline(capsys):
+    assert main(["races", str(REPO_SRC / "repro")]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
 def test_verify_single_workload(capsys):
     assert main(["verify", "--workload", "social"]) == 0
     out = capsys.readouterr().out
@@ -73,10 +136,14 @@ def test_verify_all_workloads(capsys):
 def test_rules_lists_every_rule_id(capsys):
     assert main(["rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("REPRO001", "REPRO002", "REPRO003", "REPRO004"):
+    for rule_id in ("REPRO002", "REPRO003", "REPRO004", "REPRO005", "REPRO006"):
+        assert rule_id in out
+    for rule_id in ("CONC001", "CONC002", "CONC003", "CONC004", "CONC005"):
         assert rule_id in out
     for rule_id in ("PLAN001", "PLAN002", "PLAN003", "PLAN004", "PLAN005", "PLAN006"):
         assert rule_id in out
+    # REPRO001 is retired: CONC001 subsumes the lexical heuristic.
+    assert "REPRO001" not in out
 
 
 def test_unknown_command_is_argparse_error():

@@ -1,0 +1,645 @@
+"""The concurrency analyzer on seeded defects: each mutant dies to its rule.
+
+The harness is a mutation suite: every fixture seeds exactly one concurrency
+defect — a dropped ``with``, a branch that skips the lock, a swapped
+acquisition order, an unpaired seqlock bump, an in-place snapshot mutation, a
+blocking call under a lock — and the test asserts the analyzer reports it
+under *exactly* the intended rule (no finding bleeding into a neighbour rule,
+no silence).  Clean counterparts pin the non-findings: condition waits,
+copy-on-write rebinds, ``# holds:`` helpers, pinned unguarded attributes and
+inline suppressions must all stay quiet.  A Hypothesis property then
+generates well-locked synthetic classes (and their lock-dropping mutants) to
+check the same contract over a much wider shape space, and a self-hosting
+gate runs the full rule set over ``src/repro`` with no baseline.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.concurrency import (
+    CONCURRENCY_RULES,
+    analyze_module,
+    collect_guard_map,
+)
+from repro.analysis.lint import lint_paths, parse_module
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+REPO_SRC = REPO_ROOT / "src"
+
+
+def _race_check(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return lint_paths([path], CONCURRENCY_RULES)
+
+
+# -- the mutation corpus: one seeded defect per fixture ----------------------------
+
+_DEFECTS = [
+    pytest.param(
+        """
+        import threading
+
+        class DroppedWith:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def add(self, n):
+                with self._lock:
+                    self._count += n
+
+            def reset(self):
+                with self._lock:
+                    self._count = 0
+
+            def peek(self):
+                return self._count      # DEFECT: read without the inferred guard
+        """,
+        "CONC001",
+        "read of self._count without holding self._lock (inferred guard)",
+        id="conc001-dropped-with-read",
+    ),
+    pytest.param(
+        """
+        import threading
+
+        class BranchLeak:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def add(self, n):
+                with self._lock:
+                    self._count += n
+
+            def toggle(self, fast):
+                if fast:
+                    self._count += 1    # DEFECT: this branch skips the lock
+                else:
+                    with self._lock:
+                        self._count += 1
+        """,
+        "CONC001",
+        "BranchLeak.toggle: write of self._count without holding self._lock",
+        id="conc001-branch-skips-lock",
+    ),
+    pytest.param(
+        """
+        import threading
+
+        class PinnedGuard:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._mostly_unlocked = 0  # guarded-by: self._lock
+
+            def sneak(self):
+                self._mostly_unlocked = 1   # DEFECT: annotation pins the guard
+
+            def also(self):
+                self._mostly_unlocked = 2   # DEFECT: majority would say unguarded
+        """,
+        "CONC001",
+        "without holding self._lock (annotated guard)",
+        id="conc001-annotated-pin",
+    ),
+    pytest.param(
+        """
+        import threading
+
+        class WritesOnly:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._version = 0  # guarded-by: self._lock, writes
+
+            def bump(self):
+                self._version += 1      # DEFECT: writes need the lock
+
+            def peek(self):
+                return self._version    # clean: reads are the lock-free side
+        """,
+        "CONC001",
+        "WritesOnly.bump: write of self._version without holding self._lock",
+        id="conc001-writes-only-mode",
+    ),
+    pytest.param(
+        """
+        import threading
+
+        class SwappedOrder:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def forward(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def backward(self):
+                with self._b:
+                    with self._a:       # DEFECT: opposite order -> deadlock
+                        pass
+        """,
+        "CONC002",
+        "lock-order cycle self._a -> self._b -> self._a",
+        id="conc002-order-cycle",
+    ),
+    pytest.param(
+        """
+        import threading
+
+        class SelfDeadlock:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def outer(self):
+                with self._lock:
+                    with self._lock:    # DEFECT: Lock() is not reentrant
+                        pass
+        """,
+        "CONC002",
+        "re-acquisition of non-reentrant self._lock (self-deadlock)",
+        id="conc002-self-deadlock",
+    ),
+    pytest.param(
+        """
+        import threading
+
+        class UnpairedBump:
+            def __init__(self):
+                self._lock = threading.RLock()
+                self._epoch = 0  # seqlock: self._lock
+                self._value = 0
+
+            def commit(self, v):
+                with self._lock:
+                    self._epoch += 1    # DEFECT: no try/finally closing bump
+                    self._value = v
+        """,
+        "CONC003",
+        "unpaired seqlock bump of self._epoch",
+        id="conc003-unpaired-bump",
+    ),
+    pytest.param(
+        """
+        import threading
+
+        class NonIncrement:
+            def __init__(self):
+                self._lock = threading.RLock()
+                self._epoch = 0  # seqlock: self._lock
+
+            def clobber(self):
+                with self._lock:
+                    self._epoch = 4     # DEFECT: can skip the odd state
+        """,
+        "CONC003",
+        "seqlock epoch self._epoch must only be bumped with '+= 1'",
+        id="conc003-non-increment-write",
+    ),
+    pytest.param(
+        """
+        import threading
+
+        class BumpNoLock:
+            def __init__(self):
+                self._lock = threading.RLock()
+                self._epoch = 0  # seqlock: self._lock
+                self._value = 0
+
+            def commit(self, v):
+                self._epoch += 1        # DEFECT: bump without the writer lock
+                try:
+                    self._value = v
+                finally:
+                    self._epoch += 1
+        """,
+        "CONC003",
+        "seqlock bump of self._epoch without holding self._lock",
+        id="conc003-bump-without-lock",
+    ),
+    pytest.param(
+        """
+        import threading
+
+        class WindowHygiene:
+            def __init__(self):
+                self._lock = threading.RLock()
+                self._epoch = 0  # seqlock: self._lock
+                self._value = 0
+
+            def commit(self, v):
+                with self._lock:
+                    self._epoch += 1
+                    try:
+                        self._value = v
+                    finally:
+                        self._epoch += 1
+
+            def sneak(self, v):
+                with self._lock:
+                    self._value = v     # DEFECT: published state, no window
+        """,
+        "CONC003",
+        "write of self._value outside the self._epoch seqlock window",
+        id="conc003-window-hygiene",
+    ),
+    pytest.param(
+        """
+        class SubscriptStore:
+            def __init__(self):
+                self._buckets = {}  # published-snapshot
+
+            def poke(self, key, rows):
+                self._buckets[key] = rows   # DEFECT: in-place store
+        """,
+        "CONC004",
+        "in-place mutation of published snapshot self._buckets",
+        id="conc004-subscript-store",
+    ),
+    pytest.param(
+        """
+        class DeepAppend:
+            def __init__(self):
+                self._buckets = {}  # published-snapshot
+
+            def deep(self, key, row):
+                self._buckets[key].append(row)  # DEFECT: mutates shared bucket
+        """,
+        "CONC004",
+        "in-place mutation of published snapshot self._buckets",
+        id="conc004-deep-append",
+    ),
+    pytest.param(
+        """
+        import threading
+        import time
+
+        class SleepUnderLock:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def slow(self):
+                with self._lock:
+                    time.sleep(0.5)     # DEFECT: blocks every other holder
+        """,
+        "CONC005",
+        "blocking call time.sleep() while holding self._lock",
+        id="conc005-sleep-under-lock",
+    ),
+    pytest.param(
+        """
+        import threading
+
+        class EventWait:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._ready = threading.Event()
+
+            def stall(self):
+                with self._lock:
+                    self._ready.wait()  # DEFECT: waits on a non-held primitive
+        """,
+        "CONC005",
+        "blocking call self._ready.wait() while holding self._lock",
+        id="conc005-event-wait-under-lock",
+    ),
+    pytest.param(
+        """
+        import threading
+
+        class QueueTake:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._inbox = None
+
+            def drain(self):
+                with self._lock:
+                    return self._inbox.get(timeout=1.0)  # DEFECT: queue take
+        """,
+        "CONC005",
+        "blocking call self._inbox.get() while holding self._lock",
+        id="conc005-queue-get-under-lock",
+    ),
+]
+
+
+@pytest.mark.parametrize("source, rule, fragment", _DEFECTS)
+def test_seeded_defect_dies_to_exactly_its_rule(tmp_path, source, rule, fragment):
+    findings = _race_check(tmp_path, source)
+    assert findings, "seeded defect was not detected"
+    # Exactly the intended rule: no silence, and no bleed into neighbours.
+    assert {f.rule for f in findings} == {rule}
+    assert any(fragment in f.message for f in findings), [f.message for f in findings]
+
+
+def test_writes_only_mode_reports_the_write_not_the_read(tmp_path):
+    _, rule, _ = _DEFECTS[3].values
+    assert rule == "CONC001"
+    findings = _race_check(tmp_path, _DEFECTS[3].values[0])
+    assert len(findings) == 1 and "write" in findings[0].message
+
+
+# -- clean counterparts: the analyzer must stay quiet ------------------------------
+
+_CLEAN = [
+    pytest.param(
+        """
+        import threading
+
+        class TryFinally:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def add(self, n):
+                self._lock.acquire()
+                try:
+                    self._count += n
+                finally:
+                    self._lock.release()
+
+            def sub(self, n):
+                with self._lock:
+                    self._count -= n
+        """,
+        id="explicit-acquire-release",
+    ),
+    pytest.param(
+        """
+        import threading
+
+        class CondWait:
+            def __init__(self):
+                self._cond = threading.Condition()
+                self._ready = False
+
+            def await_ready(self):
+                with self._cond:
+                    while not self._ready:
+                        self._cond.wait()   # waiting on the held condition: fine
+
+            def mark(self):
+                with self._cond:
+                    self._ready = True
+                    self._cond.notify_all()
+        """,
+        id="condition-wait-exempt",
+    ),
+    pytest.param(
+        """
+        import threading
+
+        class CopyOnWrite:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._snap = {}  # published-snapshot
+
+            def publish(self, key, rows):
+                with self._lock:
+                    fresh = dict(self._snap)
+                    fresh[key] = rows
+                    self._snap = fresh      # rebinding IS the CoW publish
+
+            def read(self, key):
+                return self._snap.get(key)  # lock-free snapshot read
+        """,
+        id="cow-rebind-is-clean",
+    ),
+    pytest.param(
+        """
+        import threading
+
+        class Seqlock:
+            def __init__(self):
+                self._lock = threading.RLock()
+                self._epoch = 0  # seqlock: self._lock
+                self._value = 0  # guarded-by: self._lock, writes
+
+            def commit(self, v):
+                with self._lock:
+                    self._epoch += 1
+                    try:
+                        self._value = v
+                    finally:
+                        self._epoch += 1
+
+            def peek(self):
+                return self._epoch, self._value  # lock-free reader side
+        """,
+        id="paired-seqlock",
+    ),
+    pytest.param(
+        """
+        import threading
+
+        class CallerHeld:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def add(self, n):
+                with self._lock:
+                    self._add_locked(n)
+
+            def _add_locked(self, n):  # holds: self._lock
+                self._count += n
+        """,
+        id="holds-annotation",
+    ),
+    pytest.param(
+        """
+        from repro.util.rwlock import ReadWriteLock
+
+        class Versioned:
+            def __init__(self):
+                self._rw = ReadWriteLock()
+                self._version = 0
+
+            def bump(self):
+                with self._rw.write():
+                    self._version += 1
+
+            def read(self):
+                with self._rw.read():
+                    return self._version
+        """,
+        id="rwlock-sides",
+    ),
+    pytest.param(
+        """
+        class Pinned:
+            def __init__(self):
+                # guarded-by: none — idempotent memo, racing writers agree
+                self._memo = {}
+
+            def get(self, key):
+                cached = self._memo.get(key)
+                if cached is None:
+                    cached = self._memo[key] = key * 2
+                return cached
+        """,
+        id="pinned-unguarded",
+    ),
+    pytest.param(
+        """
+        import threading
+
+        class Suppressed:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def add(self, n):
+                with self._lock:
+                    self._count += n
+
+            def reset(self):
+                with self._lock:
+                    self._count = 0
+
+            def peek(self):
+                return self._count  # repro-lint: disable=CONC001 torn-read tolerated
+        """,
+        id="inline-suppression",
+    ),
+]
+
+
+@pytest.mark.parametrize("source", _CLEAN)
+def test_clean_counterpart_stays_quiet(tmp_path, source):
+    assert _race_check(tmp_path, source) == []
+
+
+# -- guard map ---------------------------------------------------------------------
+
+def test_guard_map_records_inference_annotation_and_protocols(tmp_path):
+    path = tmp_path / "svc.py"
+    path.write_text(
+        textwrap.dedent(
+            """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self._rows = []
+                    self._epoch = 0  # seqlock: self._lock
+                    self._snap = {}  # published-snapshot
+                    self._stamp = 0  # guarded-by: self._lock, writes
+
+                def add(self, row):
+                    with self._lock:
+                        self._rows.append(row)
+                        self._stamp += 1
+                        self._epoch += 1
+                        try:
+                            self._snap = {"rows": len(self._rows)}
+                        finally:
+                            self._epoch += 1
+            """
+        )
+    )
+    entries = {e["attr"]: e for e in collect_guard_map([path])}
+    assert entries["_rows"]["guard"] == "self._lock"
+    assert entries["_rows"]["source"] == "inferred"
+    assert entries["_stamp"]["source"] == "annotated"
+    assert entries["_stamp"]["protocol"] == "writes only (lock-free reads)"
+    assert entries["_epoch"]["protocol"] == "seqlock (writes)"
+    assert entries["_snap"]["protocol"] == "copy-on-write snapshot"
+
+
+# -- Hypothesis: well-locked synthetic classes and their lock-dropping mutants -----
+
+_ATTRS = st.lists(
+    st.sampled_from(["_count", "_total", "_rows", "_state", "_pending"]),
+    min_size=1,
+    max_size=3,
+    unique=True,
+)
+# At least four methods: the mutation property strips the lock from one, and
+# the guard must still be the strict majority over the remaining accesses
+# (an "if" shape carries two accesses, so three methods can tie at 50%).
+_SHAPES = st.lists(
+    st.sampled_from(["plain", "if", "loop", "try"]), min_size=4, max_size=6
+)
+
+
+def _guarded_method(name, attrs, shape):
+    writes = "\n".join(f"            self.{attr} += 1" for attr in attrs)
+    inner = {
+        "plain": writes,
+        "if": f"            if self.{attrs[0]} > 0:\n    {writes.replace(chr(10), chr(10) + '    ')}",
+        "loop": f"            for _ in range(2):\n    {writes.replace(chr(10), chr(10) + '    ')}",
+        "try": f"            try:\n    {writes.replace(chr(10), chr(10) + '    ')}\n            finally:\n                pass",
+    }[shape]
+    return f"    def {name}(self):\n        with self._lock:\n{inner}\n"
+
+
+@st.composite
+def _locked_classes(draw):
+    attrs = draw(_ATTRS)
+    shapes = draw(_SHAPES)
+    inits = "\n".join(f"        self.{attr} = 0" for attr in attrs)
+    methods = "".join(
+        _guarded_method(f"method_{i}", attrs, shape) for i, shape in enumerate(shapes)
+    )
+    source = (
+        "import threading\n\n"
+        "class Generated:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        f"{inits}\n\n"
+        f"{methods}"
+    )
+    return source, attrs, len(shapes)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_locked_classes())
+def test_generated_well_locked_classes_are_clean(tmp_path_factory, case):
+    source, _attrs, _n = case
+    tmp_path = tmp_path_factory.mktemp("hyp")
+    assert _race_check(tmp_path, source) == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(_locked_classes(), st.data())
+def test_dropping_one_with_block_dies_to_conc001(tmp_path_factory, case, data):
+    source, attrs, n_methods = case
+    victim = data.draw(st.integers(min_value=0, max_value=n_methods - 1))
+    # Mutate: strip the lock from one method by renaming its with-target to a
+    # fresh (non-lock) context manager, leaving every access in place.
+    needle = f"    def method_{victim}(self):\n        with self._lock:"
+    assert needle in source
+    mutated = source.replace(
+        needle, f"    def method_{victim}(self):\n        with open('/dev/null'):"
+    )
+    tmp_path = tmp_path_factory.mktemp("hyp")
+    findings = _race_check(tmp_path, mutated)
+    # The majority of accesses stay locked, so every stripped access is a
+    # CONC001 finding against the still-inferred guard — and nothing else.
+    assert findings and {f.rule for f in findings} == {"CONC001"}
+    assert all(f"method_{victim}" in f.message for f in findings)
+    assert all(any(attr in f.message for attr in attrs) for f in findings)
+
+
+# -- self-hosting gate -------------------------------------------------------------
+
+def test_races_self_hosts_clean_over_src():
+    findings = lint_paths([REPO_SRC / "repro"], CONCURRENCY_RULES)
+    assert findings == [], [f"{f.path}:{f.line} {f.rule} {f.message}" for f in findings]
+
+
+def test_analysis_is_cached_per_module(tmp_path):
+    path = tmp_path / "m.py"
+    path.write_text("class C:\n    pass\n")
+    module = parse_module(path)
+    assert analyze_module(module) is analyze_module(module)

@@ -25,7 +25,6 @@ from repro.analysis.lint import (
 from repro.analysis.lint.rules import (
     ChargingContractRule,
     DeterminismSeamRule,
-    LockDisciplineRule,
     StableHashRule,
     SwallowedExceptionRule,
     TypedErrorRule,
@@ -42,53 +41,14 @@ def _lint_fixture(tmp_path, relative, source, rules=DEFAULT_RULES):
     return lint_paths([path], rules)
 
 
-# -- REPRO001: lock discipline -----------------------------------------------------
-
-_LOCK_FIXTURE = """
-    class Service:
-        def __init__(self):
-            self._closed = False      # setup writes are exempt
-
-        def close(self):
-            self._closed = True       # VIOLATION: unguarded shared write
-
-        def tally(self, n):
-            self._count += n          # VIOLATION: unguarded augmented write
-
-        def safe_close(self):
-            with self._lock:
-                self._closed = True   # guarded: ok
-
-        def nested(self):
-            with self._not_empty:
-                if self._closed:
-                    self._draining = True   # guarded through the condition: ok
-
-        def local_only(self):
-            closed = True             # plain locals are not shared state
-            self.public = closed      # public attrs are out of scope
-    """
+# -- REPRO001: retired in favor of the concurrency analyzer's CONC001 --------------
 
 
-def test_repro001_flags_unguarded_shared_writes(tmp_path):
-    findings = _lint_fixture(
-        tmp_path, "service/svc.py", _LOCK_FIXTURE, [LockDisciplineRule()]
-    )
-    assert [f.rule for f in findings] == ["REPRO001", "REPRO001"]
-    assert any("_closed" in f.message for f in findings)
-    assert any("_count" in f.message for f in findings)
-
-
-def test_repro001_scope_is_concurrent_modules_only(tmp_path):
-    # The same source outside service// execution-cache scope is not checked.
-    findings = _lint_fixture(
-        tmp_path, "planning/svc.py", _LOCK_FIXTURE, [LockDisciplineRule()]
-    )
-    assert findings == []
-    findings = _lint_fixture(
-        tmp_path, "execution/metrics.py", _LOCK_FIXTURE, [LockDisciplineRule()]
-    )
-    assert len(findings) == 2
+def test_repro001_is_retired():
+    # The lexical lock-discipline heuristic is gone; the flow-sensitive
+    # `races` analyzer (CONC001, tests/analysis/test_concurrency.py) subsumes
+    # it with inferred guards instead of a fixed module allowlist.
+    assert "REPRO001" not in {rule.id for rule in DEFAULT_RULES}
 
 
 # -- REPRO002: charging contract ---------------------------------------------------
@@ -303,13 +263,6 @@ def test_repro006_scope_is_routing_layers_only(tmp_path):
 
 
 # -- sharding joins the concurrency/fault/determinism scopes -----------------------
-
-
-def test_sharding_is_in_scope_for_lock_discipline(tmp_path):
-    findings = _lint_fixture(
-        tmp_path, "sharding/router.py", _LOCK_FIXTURE, [LockDisciplineRule()]
-    )
-    assert len(findings) == 2
 
 
 def test_sharding_is_in_scope_for_determinism(tmp_path):

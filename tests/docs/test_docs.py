@@ -66,6 +66,28 @@ def test_docs_mention_every_benchmark_file():
     assert not missing, f"docs/paper_map.md does not cover: {missing}"
 
 
+def test_architecture_guard_map_is_in_sync():
+    """The guard-map table in docs/architecture.md regenerates identically.
+
+    The table between the ``guard-map`` markers is machine-generated from
+    the concurrency analyzer; if a lock, annotation or shared attribute
+    changes in ``src/repro`` without the doc being regenerated, this drift
+    gate fails with the fresh table in the diff.
+    """
+    from repro.analysis.concurrency import guard_table_markdown
+
+    text = (REPO_ROOT / "docs" / "architecture.md").read_text()
+    begin, end = "<!-- guard-map:begin -->", "<!-- guard-map:end -->"
+    assert begin in text and end in text
+    documented = text.split(begin, 1)[1].split(end, 1)[0].strip()
+    generated = guard_table_markdown(REPO_ROOT).strip()
+    assert documented == generated, (
+        "docs/architecture.md guard map is stale — regenerate the section "
+        "between the guard-map markers with "
+        "repro.analysis.concurrency.guard_table_markdown(REPO_ROOT)"
+    )
+
+
 def _iter_module_names(package_name: str) -> list[str]:
     package = importlib.import_module(package_name)
     names = [package_name]

@@ -1,0 +1,110 @@
+"""Admission accounting under a submit/close race (regression).
+
+The races analyzer (CONC001) found that ``QueryService._admit`` checked
+``self._closed`` and counted ``submitted`` *outside* ``_stats_lock``: a
+``close()`` racing a burst of submissions could admit a request after the
+closed flag was set, and a worker could serve a request (bumping
+``completed``) before the submitting thread counted it — monitors sampling
+``stats()`` mid-race would observe ``completed > submitted``, and the
+post-drain books would not balance.  These tests hammer exactly that
+interleaving and assert the admission invariant
+
+    submitted == completed + timeouts + failures + degraded + pending
+
+holds at every sample and exactly balances once the service is closed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceClosedError, ServiceOverloadedError
+from repro.service import QueryService
+
+CLIENTS = 6
+PER_CLIENT = 30
+
+
+def _served(stats) -> int:
+    return (
+        stats["completed"] + stats["timeouts"] + stats["failures"] + stats["degraded"]
+    )
+
+
+@pytest.mark.parametrize("close_delay_requests", [0, 25, 60])
+def test_submit_close_race_keeps_books_balanced(
+    social_db, access, form_template, bindings, close_delay_requests
+):
+    service = QueryService(social_db, access, workers=3, max_pending=64)
+    admitted_per_client = [0] * CLIENTS
+    rejected_closed = threading.Event()
+    start = threading.Barrier(CLIENTS + 1)
+    served_gate = threading.Semaphore(0)
+    monitor_violations: list[dict] = []
+    stop_monitor = threading.Event()
+
+    def monitor() -> None:
+        # The fixed race let completed overtake submitted; sample relentlessly.
+        while not stop_monitor.is_set():
+            stats = service.stats()
+            if stats["submitted"] < _served(stats):
+                monitor_violations.append(stats)
+
+    def client(client_id: int) -> None:
+        start.wait()
+        futures = []
+        for binding in bindings[:PER_CLIENT]:
+            try:
+                futures.append(service.submit(form_template, **binding))
+            except ServiceClosedError:
+                rejected_closed.set()
+            except ServiceOverloadedError:
+                pass  # rejected-and-rolled-back: must not count as submitted
+            served_gate.release()
+        admitted_per_client[client_id] = len(futures)
+        for future in futures:
+            try:
+                future.result()
+            except ServiceClosedError:
+                pass  # closed without drain fails pending futures, still counted
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(CLIENTS)
+    ]
+    watcher = threading.Thread(target=monitor)
+    for thread in threads:
+        thread.start()
+    watcher.start()
+    start.wait()
+    # Close mid-burst: after roughly `close_delay_requests` submissions have
+    # gone through (0 = close immediately, 60 = close mid-stream).
+    for _ in range(close_delay_requests):
+        served_gate.acquire()
+    service.close(drain=True)
+    for thread in threads:
+        thread.join()
+    stop_monitor.set()
+    watcher.join()
+
+    assert monitor_violations == []
+    stats = service.stats()
+    assert stats["closed"] is True
+    assert stats["pending"] == 0
+    # Every future handed out is accounted, every rejection rolled back.
+    assert stats["submitted"] == sum(admitted_per_client)
+    assert stats["submitted"] == _served(stats)
+
+
+def test_submissions_after_close_are_rejected_not_counted(
+    social_db, access, form_template
+):
+    service = QueryService(social_db, access, workers=2)
+    service.submit(form_template, album="a0", user="u0").result()
+    service.close()
+    before = service.stats()["submitted"]
+    for _ in range(5):
+        with pytest.raises(ServiceClosedError):
+            service.submit(form_template, album="a0", user="u0")
+    assert service.stats()["submitted"] == before
